@@ -1,0 +1,116 @@
+/// \file bench_exp11_ddrc_throttle.cpp
+/// \brief EXP11 — ablation: regulating at the DDR controller (the
+///        commercial coarse knob) vs. at the port edge (the paper).
+///
+/// Scenario: a well-behaved "victim" DMA entitled to 1.5 GB/s shares the
+/// fabric with three saturating aggressors, while a latency-critical CPU
+/// task runs. Three configurations:
+///   * unregulated;
+///   * DDRC global read throttle capping aggregate accelerator traffic
+///     to the same total the per-port budgets allow (3 x 0.8 + 1.5 GB/s);
+///   * per-port tightly-coupled regulators: victim 1.5 GB/s,
+///     aggressors 0.8 GB/s each.
+/// Expected shape: the global throttle caps the *sum* but the aggressors
+/// still crowd the victim out of it; per-port regulation delivers the
+/// victim its entitlement exactly. The CPU tail improves in both cases
+/// but only edge regulation gives per-master isolation.
+#include <cstdio>
+
+#include "common.hpp"
+#include "qos/ddrc_throttle.hpp"
+
+using namespace fgqos;
+using namespace fgqos::bench;
+
+namespace {
+
+struct Row {
+  const char* config;
+  double victim_gbps;
+  double aggressor_gbps;
+  double cpu_p99_us;
+};
+
+Row run_one(const char* label, bool ddrc, bool per_port) {
+  ScenarioParams p;
+  p.scheme = Scheme::kUnregulated;
+  p.aggressor_count = 0;  // added manually below
+  p.critical_iterations = 40;
+  Scenario s = build_scenario(p);
+  soc::Soc& chip = *s.chip;
+
+  // Victim on port 0: paced to its 1.5 GB/s entitlement.
+  wl::TrafficGenConfig victim;
+  victim.name = "victim";
+  victim.target_bps = 1.5e9;
+  victim.seed = 1;
+  wl::TrafficGen& v = chip.add_traffic_gen(0, victim);
+  // Three saturating aggressors on ports 1..3.
+  std::vector<wl::TrafficGen*> aggs;
+  for (std::size_t i = 1; i < 4; ++i) {
+    wl::TrafficGenConfig tg;
+    tg.name = "agg" + std::to_string(i);
+    tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.seed = 10 + i;
+    aggs.push_back(&chip.add_traffic_gen(i, tg));
+  }
+
+  const double total_allow = 1.5e9 + 3 * 0.8e9;
+  if (ddrc) {
+    qos::DdrcThrottleConfig tc;
+    tc.read_bps = total_allow;
+    chip.insert_ddrc_throttle(tc);
+  }
+  if (per_port) {
+    chip.qos_block(1).regulator->set_rate(1.5e9);
+    chip.qos_block(1).regulator->set_enabled(true);
+    for (std::size_t m = 2; m <= 4; ++m) {
+      chip.qos_block(m).regulator->set_rate(0.8e9);
+      chip.qos_block(m).regulator->set_enabled(true);
+    }
+  }
+
+  run_critical(s, 2000 * sim::kPsPerMs);
+  Row r;
+  r.config = label;
+  r.victim_gbps = sim::bytes_per_second(
+                      v.port().stats().bytes_granted.value(), chip.now()) /
+                  1e9;
+  double agg_total = 0;
+  for (auto* g : aggs) {
+    agg_total += sim::bytes_per_second(
+        g->port().stats().bytes_granted.value(), chip.now());
+  }
+  r.aggressor_gbps = agg_total / 1e9;
+  r.cpu_p99_us =
+      static_cast<double>(chip.cpu_port().stats().read_latency.p99()) / 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "EXP11 (ablation): DDRC global throttle vs. per-port edge "
+      "regulation\n  victim entitled to 1.5 GB/s; aggregate allowance "
+      "3.9 GB/s in both regulated configs\n\n");
+  util::Table table({"config", "victim_GB/s", "aggressors_GB/s",
+                     "cpu_read_p99_us"});
+  const Row rows[] = {
+      run_one("unregulated", false, false),
+      run_one("ddrc_throttle", true, false),
+      run_one("per_port_hw_qos", false, true),
+  };
+  for (const Row& r : rows) {
+    table.add_row({r.config, util::format_fixed(r.victim_gbps, 2),
+                   util::format_fixed(r.aggressor_gbps, 2),
+                   util::format_fixed(r.cpu_p99_us, 2)});
+  }
+  table.print();
+  table.save_csv("exp11_ddrc_throttle.csv");
+  std::printf(
+      "\nonly per-port regulation delivers the victim its entitlement;\n"
+      "the global throttle lets the aggressors crowd it out.\n"
+      "CSV written to exp11_ddrc_throttle.csv\n");
+  return 0;
+}

@@ -1,0 +1,184 @@
+/// \file bench_exp12_adaptive.cpp
+/// \brief EXP12 — extension: closed-loop latency-target control vs.
+///        static budgets under a time-varying critical workload.
+///
+/// The critical CPU task alternates memory-heavy phases (dependent random
+/// loads) with compute phases (L1-resident). A static best-effort budget
+/// must be provisioned for the heavy phase and therefore wastes bandwidth
+/// during compute phases; a loose static budget recovers the bandwidth
+/// but breaks the heavy-phase latency. The AdaptiveQosController tracks
+/// the phase changes automatically through the tightly-coupled latency
+/// monitor: back-off when the critical window-max exceeds the target,
+/// additive growth otherwise.
+///
+/// Reported per policy: critical read p99/p999, best-effort bandwidth,
+/// and the controller's rate trajectory summary.
+#include <cstdio>
+
+#include "common.hpp"
+#include "qos/adaptive_controller.hpp"
+#include "qos/latency_monitor.hpp"
+
+using namespace fgqos;
+using namespace fgqos::bench;
+
+namespace {
+
+/// Alternates K iterations of a heavy kernel with K of a light kernel.
+class AlternatingKernel final : public cpu::Kernel {
+ public:
+  AlternatingKernel(std::unique_ptr<cpu::Kernel> heavy,
+                    std::unique_ptr<cpu::Kernel> light,
+                    std::uint64_t iters_per_phase)
+      : heavy_(std::move(heavy)),
+        light_(std::move(light)),
+        per_phase_(iters_per_phase) {}
+
+  cpu::KernelStep next(sim::Xoshiro256& rng) override {
+    cpu::Kernel& k = heavy_phase_ ? *heavy_ : *light_;
+    cpu::KernelStep s = k.next(rng);
+    if (s.end_of_iteration) {
+      ++done_;
+      if (done_ >= per_phase_) {
+        done_ = 0;
+        heavy_phase_ = !heavy_phase_;
+      }
+    }
+    return s;
+  }
+
+  void reset() override {
+    heavy_->reset();
+    light_->reset();
+    heavy_phase_ = true;
+    done_ = 0;
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_ = "alternating";
+  std::unique_ptr<cpu::Kernel> heavy_;
+  std::unique_ptr<cpu::Kernel> light_;
+  std::uint64_t per_phase_;
+  bool heavy_phase_ = true;
+  std::uint64_t done_ = 0;
+};
+
+struct Row {
+  std::string policy;
+  double p99_ns;
+  double p999_ns;
+  double be_gbps;
+  std::string note;
+};
+
+enum class Policy { kStaticTight, kStaticLoose, kAdaptive };
+
+Row run(Policy policy) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+
+  // Critical: alternating heavy/light phases.
+  wl::PointerChaseConfig heavy;
+  heavy.accesses_per_iteration = 2048;
+  wl::ComputeBoundConfig light;
+  light.accesses_per_iteration = 2048;
+  light.compute_cycles_per_access = 48;
+  cpu::CoreConfig cc;
+  cc.name = "critical";
+  chip.add_core(cc, std::make_unique<AlternatingKernel>(
+                        wl::make_pointer_chase(heavy),
+                        wl::make_compute_bound(light), 8));
+
+  qos::LatencyMonitorConfig lc;
+  lc.window_ps = 100 * sim::kPsPerUs;
+  qos::LatencyMonitor mon(chip.sim(), lc);
+  chip.cpu_port().add_observer(mon);
+
+  std::vector<qos::Regulator*> regs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    wl::TrafficGenConfig tg;
+    tg.name = "agg" + std::to_string(i);
+    tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.seed = 60 + i;
+    chip.add_traffic_gen(i, tg);
+    regs.push_back(chip.qos_block(1 + i).regulator.get());
+  }
+
+  std::unique_ptr<qos::AdaptiveQosController> ctrl;
+  Row r;
+  switch (policy) {
+    case Policy::kStaticTight:
+      r.policy = "static_tight";
+      r.note = "400 MB/s/master";
+      for (auto* reg : regs) {
+        reg->set_rate(400e6);
+        reg->set_enabled(true);
+      }
+      break;
+    case Policy::kStaticLoose:
+      r.policy = "static_loose";
+      r.note = "1.6 GB/s/master";
+      for (auto* reg : regs) {
+        reg->set_rate(1.6e9);
+        reg->set_enabled(true);
+      }
+      break;
+    case Policy::kAdaptive: {
+      r.policy = "adaptive";
+      qos::AdaptiveControllerConfig ac;
+      ac.latency_target_ps = 650 * sim::kPsPerNs;
+      ac.period_ps = lc.window_ps;
+      ac.increase_bps = 300e6;
+      ctrl = std::make_unique<qos::AdaptiveQosController>(chip.sim(), ac,
+                                                          mon, regs);
+      ctrl->start();
+      break;
+    }
+  }
+
+  chip.run_for(80 * sim::kPsPerMs);
+  const auto& lat = chip.cpu_port().stats().read_latency;
+  r.p99_ns = static_cast<double>(lat.p99()) / 1e3;
+  r.p999_ns = static_cast<double>(lat.p999()) / 1e3;
+  double be = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    be += sim::bytes_per_second(
+        chip.accel_port(i).stats().bytes_granted.value(), chip.now());
+  }
+  r.be_gbps = be / 1e9;
+  if (ctrl) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%llu dec / %llu inc, final %s",
+                  static_cast<unsigned long long>(ctrl->stats().decreases),
+                  static_cast<unsigned long long>(ctrl->stats().increases),
+                  util::format_bandwidth(ctrl->stats().current_bps).c_str());
+    r.note = buf;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "EXP12 (extension): latency-target adaptive control vs. static "
+      "budgets\n  critical task alternates memory-heavy and compute "
+      "phases; 3 hungry aggressors\n\n");
+  util::Table table(
+      {"policy", "read_p99_ns", "read_p99.9_ns", "best_effort_GB/s", "note"});
+  for (const Policy p :
+       {Policy::kStaticTight, Policy::kStaticLoose, Policy::kAdaptive}) {
+    const Row r = run(p);
+    table.add_row({r.policy, util::format_fixed(r.p99_ns, 0),
+                   util::format_fixed(r.p999_ns, 0),
+                   util::format_fixed(r.be_gbps, 2), r.note});
+  }
+  table.print();
+  table.save_csv("exp12_adaptive.csv");
+  std::printf(
+      "\nadaptive control should match static_tight's tail latency while "
+      "recovering\nmost of static_loose's best-effort bandwidth.\n"
+      "CSV written to exp12_adaptive.csv\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+/// \file bench_exp9_reclamation.cpp
+/// \brief EXP9 — Table III reconstruction: dynamic slack reclamation.
+///
+/// A "camera DMA" with phased demand (2 ms active / 2 ms idle) holds a
+/// 2 GB/s reservation; three best-effort DMAs are hungry throughout.
+/// Compares three policies:
+///  * static:      best-effort masters pinned to a conservative floor so
+///                 the guarantee can never be violated;
+///  * reclamation: the QosManager reads the monitors every 100 us and
+///                 re-programs best-effort budgets with the slack the
+///                 idle reservation leaves (CMRI-style reuse);
+///  * unregulated: upper bound for best-effort, no guarantee.
+/// Reported: camera rate achieved during its active phases, best-effort
+/// aggregate bandwidth, and total bus utilisation.
+#include <cstdio>
+
+#include "common.hpp"
+#include "qos/qos_manager.hpp"
+
+using namespace fgqos;
+using namespace fgqos::bench;
+
+namespace {
+
+struct Result {
+  double camera_active_bps;  ///< achieved while the camera was active
+  double best_effort_gbps;
+  double bus_util;
+};
+
+Result run(bool regulated, bool reclaim) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+
+  // Camera: phased reserved master on port 0.
+  wl::TrafficGenConfig cam;
+  cam.name = "camera";
+  cam.target_bps = 2e9;
+  cam.active_ps = 2 * sim::kPsPerMs;
+  cam.idle_ps = 2 * sim::kPsPerMs;
+  cam.seed = 1;
+  chip.add_traffic_gen(0, cam);
+
+  // Three hungry best-effort DMAs on ports 1..3.
+  std::vector<wl::TrafficGen*> be;
+  for (std::size_t i = 1; i < 4; ++i) {
+    wl::TrafficGenConfig tg;
+    tg.name = "be" + std::to_string(i);
+    tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.seed = 10 + i;
+    be.push_back(&chip.add_traffic_gen(i, tg));
+  }
+
+  qos::QosManagerConfig mc;
+  mc.capacity_bps = 11e9;  // measured platform peak under mixed traffic
+  mc.reclaim_period_ps = 100 * sim::kPsPerUs;
+  mc.best_effort_floor_bps = 500e6;
+  qos::QosManager mgr(chip.sim(), mc);
+  if (regulated) {
+    for (std::size_t m = 1; m <= 4; ++m) {
+      mgr.add_port("port" + std::to_string(m),
+                   static_cast<axi::MasterId>(m), chip.regfile(m));
+    }
+    const bool ok = mgr.reserve(1, 2e9);  // the camera's guarantee
+    if (!ok) {
+      std::fprintf(stderr, "reservation unexpectedly rejected\n");
+    }
+    if (reclaim) {
+      mgr.start_reclamation();
+    }
+  }
+
+  const sim::TimePs horizon = 40 * sim::kPsPerMs;
+  chip.run_for(horizon);
+
+  Result r;
+  // Camera active half the time: effective active-phase rate = 2x mean.
+  r.camera_active_bps =
+      2.0 * sim::bytes_per_second(
+                chip.accel_port(0).stats().bytes_granted.value(), horizon);
+  double total = 0;
+  for (auto* g : be) {
+    total += sim::bytes_per_second(g->port().stats().bytes_granted.value(),
+                                   horizon);
+  }
+  r.best_effort_gbps = total / 1e9;
+  r.bus_util = chip.dram().bus_utilization(horizon);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "EXP9 (Table III): slack reclamation — phased 2 GB/s camera "
+      "reservation vs. 3 hungry best-effort DMAs\n\n");
+  util::Table table({"policy", "camera_active_rate", "best_effort_GB/s",
+                     "bus_util_%"});
+  const Result st = run(true, false);
+  const Result rec = run(true, true);
+  const Result un = run(false, false);
+  auto add = [&](const char* name, const Result& r) {
+    table.add_row({name, util::format_bandwidth(r.camera_active_bps),
+                   util::format_fixed(r.best_effort_gbps, 2),
+                   util::format_fixed(r.bus_util * 100, 1)});
+  };
+  add("static_floor", st);
+  add("reclamation", rec);
+  add("unregulated", un);
+  table.print();
+  table.save_csv("exp9_reclamation.csv");
+  std::printf(
+      "\nbest-effort gain from reclamation: %.2fx over static floor\n"
+      "CSV written to exp9_reclamation.csv\n",
+      rec.best_effort_gbps / st.best_effort_gbps);
+  return 0;
+}

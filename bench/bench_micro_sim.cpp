@@ -1,0 +1,101 @@
+/// \file bench_micro_sim.cpp
+/// \brief Engineering micro-benchmarks of the simulator itself
+///        (google-benchmark): kernel primitives and whole-platform
+///        simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "axi/timed_fifo.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/histogram.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "soc/soc.hpp"
+#include "workload/cpu_workloads.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace {
+
+using namespace fgqos;
+
+void BM_Xoshiro(benchmark::State& state) {
+  sim::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  sim::Histogram h;
+  sim::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    h.record(rng.next_below(1'000'000));
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    q.schedule(t += 7, [] {});
+    if (q.size() > 64) {
+      q.pop();
+    }
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_TimedFifoPushPop(benchmark::State& state) {
+  axi::TimedFifo<std::uint64_t> f(64, 10);
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    now += 5;
+    if (!f.full()) {
+      f.push(now, now);
+    }
+    if (f.can_pop(now)) {
+      benchmark::DoNotOptimize(f.pop(now));
+    }
+  }
+}
+BENCHMARK(BM_TimedFifoPushPop);
+
+/// Whole-platform throughput: simulated microseconds per wall second with
+/// one saturating DMA and one CPU pointer chaser.
+void BM_SocSimulationThroughput(benchmark::State& state) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  wl::PointerChaseConfig pc;
+  cpu::CoreConfig cc;
+  chip.add_core(cc, wl::make_pointer_chase(pc));
+  wl::TrafficGenConfig tg;
+  chip.add_traffic_gen(0, tg);
+  for (auto _ : state) {
+    chip.run_for(10 * sim::kPsPerUs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(chip.sim().tick_count()));
+  state.counters["sim_us_per_iter"] = 10;
+}
+BENCHMARK(BM_SocSimulationThroughput)->Unit(benchmark::kMillisecond);
+
+/// DRAM controller request throughput under random traffic.
+void BM_DramRandomTraffic(benchmark::State& state) {
+  soc::SocConfig cfg;
+  cfg.qos_blocks = false;
+  soc::Soc chip(cfg);
+  wl::TrafficGenConfig tg;
+  tg.pattern = wl::Pattern::kRandomRead;
+  chip.add_traffic_gen(0, tg);
+  for (auto _ : state) {
+    chip.run_for(10 * sim::kPsPerUs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      chip.dram().stats().reads_serviced.value()));
+}
+BENCHMARK(BM_DramRandomTraffic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

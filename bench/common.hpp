@@ -1,0 +1,230 @@
+/// \file common.hpp
+/// \brief Shared scenario builders for the experiment benches.
+///
+/// Every bench binary reconstructs one table or figure of the paper's
+/// evaluation (see DESIGN.md section 4). The helpers here assemble the
+/// recurring scenario: one latency-critical CPU task plus N accelerator
+/// aggressors, under one of the regulation schemes being compared.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qos/cmri.hpp"
+#include "qos/prem_arbiter.hpp"
+#include "qos/regfile.hpp"
+#include "qos/soft_memguard.hpp"
+#include "soc/soc.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+#include "workload/cpu_workloads.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace fgqos::bench {
+
+/// Regulation schemes compared across the experiments.
+enum class Scheme {
+  kSolo,          ///< no aggressors at all (baseline)
+  kUnregulated,   ///< aggressors on, no QoS
+  kSoftMemguard,  ///< software MemGuard (1 ms timer + overflow IRQ)
+  kHwQos,         ///< tightly-coupled hardware regulators (the paper)
+  kPremStrict,    ///< strict mutual exclusion: accelerators fully blocked
+                  ///< while the critical task runs (canonical PREM point)
+  kPrem,          ///< PREM TDMA (CPU-exclusive / FPGA-shared slots)
+  kPremCmri,      ///< PREM TDMA + controlled injection
+};
+
+inline const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kSolo: return "solo";
+    case Scheme::kUnregulated: return "unregulated";
+    case Scheme::kSoftMemguard: return "memguard_sw";
+    case Scheme::kHwQos: return "hw_qos";
+    case Scheme::kPremStrict: return "prem_strict";
+    case Scheme::kPrem: return "prem_tdma";
+    case Scheme::kPremCmri: return "prem_cmri";
+  }
+  return "?";
+}
+
+/// Gate that blocks every line while an external flag is true — models
+/// strict PREM mutual exclusion driven by the critical task's activity.
+class BlockWhileGate final : public axi::TxnGate {
+ public:
+  explicit BlockWhileGate(const bool* blocked) : blocked_(blocked) {}
+  [[nodiscard]] bool allow(const axi::LineRequest&,
+                           sim::TimePs) const override {
+    return !*blocked_;
+  }
+  void on_grant(const axi::LineRequest&, sim::TimePs) override {}
+
+ private:
+  const bool* blocked_;
+};
+
+/// One assembled scenario. Keeps ownership of the QoS scheme objects that
+/// are not owned by the Soc.
+struct Scenario {
+  std::unique_ptr<soc::Soc> chip;
+  cpu::CpuCore* critical = nullptr;          ///< nullptr if none added
+  std::vector<wl::TrafficGen*> aggressors;
+  std::unique_ptr<qos::SoftMemguard> memguard;
+  std::unique_ptr<qos::PremArbiter> prem;
+  std::unique_ptr<qos::CmriInjector> cmri;
+  std::unique_ptr<BlockWhileGate> strict_gate;
+  std::unique_ptr<bool> strict_blocked;
+
+  /// Aggregate aggressor bandwidth over the whole run (bytes/second).
+  [[nodiscard]] double aggressor_bps() const {
+    double total = 0;
+    for (const auto* g : aggressors) {
+      total += sim::bytes_per_second(
+          const_cast<wl::TrafficGen*>(g)->port().stats().bytes_granted.value(),
+          chip->now());
+    }
+    return total;
+  }
+};
+
+/// Parameters of the standard scenario.
+struct ScenarioParams {
+  Scheme scheme = Scheme::kUnregulated;
+  std::size_t aggressor_count = 4;
+  wl::Pattern aggressor_pattern = wl::Pattern::kSeqRead;
+  /// Iterations of the critical kernel (0 = no critical core).
+  std::uint64_t critical_iterations = 10;
+  /// Critical kernel factory; default pointer chase.
+  std::function<std::unique_ptr<cpu::Kernel>()> critical_kernel;
+  /// Per-aggressor budget for kHwQos / kSoftMemguard (bytes/second).
+  double per_aggressor_budget_bps = 400e6;
+  /// HW regulation window.
+  sim::TimePs hw_window_ps = sim::kPsPerUs;
+  /// SW MemGuard period and ISR latency.
+  sim::TimePs sw_period_ps = sim::kPsPerMs;
+  sim::TimePs sw_isr_latency_ps = 3 * sim::kPsPerUs;
+  /// PREM slot length; the frame is {CPU-exclusive, FPGA-shared}.
+  sim::TimePs prem_slot_ps = 10 * sim::kPsPerUs;
+  /// CMRI: bytes each non-owner may inject per slot.
+  std::uint64_t cmri_injection_bytes = 2048;
+  /// Phased aggressor activity (both zero = always on).
+  sim::TimePs aggressor_active_ps = 0;
+  sim::TimePs aggressor_idle_ps = 0;
+  /// Override the platform configuration before building.
+  std::function<void(soc::SocConfig&)> tweak_config;
+};
+
+/// Builds the scenario: platform + critical core + aggressors + scheme.
+inline Scenario build_scenario(const ScenarioParams& p) {
+  Scenario s;
+  soc::SocConfig cfg;
+  if (p.tweak_config) {
+    p.tweak_config(cfg);
+  }
+  s.chip = std::make_unique<soc::Soc>(cfg);
+  soc::Soc& chip = *s.chip;
+
+  if (p.critical_iterations > 0) {
+    cpu::CoreConfig cc;
+    cc.name = "critical";
+    cc.max_iterations = p.critical_iterations;
+    std::unique_ptr<cpu::Kernel> k;
+    if (p.critical_kernel) {
+      k = p.critical_kernel();
+    } else {
+      wl::PointerChaseConfig pc;
+      pc.accesses_per_iteration = 1024;
+      k = wl::make_pointer_chase(pc);
+    }
+    s.critical = &chip.add_core(cc, std::move(k));
+  }
+
+  const std::size_t n = p.scheme == Scheme::kSolo ? 0 : p.aggressor_count;
+  for (std::size_t i = 0; i < n; ++i) {
+    wl::TrafficGenConfig tg;
+    tg.name = "agg" + std::to_string(i);
+    tg.pattern = p.aggressor_pattern;
+    tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.seed = 100 + i;
+    tg.active_ps = p.aggressor_active_ps;
+    tg.idle_ps = p.aggressor_idle_ps;
+    s.aggressors.push_back(&chip.add_traffic_gen(i % cfg.accel_ports, tg));
+  }
+
+  switch (p.scheme) {
+    case Scheme::kSolo:
+    case Scheme::kUnregulated:
+      break;
+    case Scheme::kPremStrict:
+      // Accelerators are blocked for as long as the scenario runs (the
+      // critical task is memory-active throughout): the canonical
+      // mutual-exclusion point — perfect isolation, zero best-effort
+      // bandwidth.
+      s.strict_blocked = std::make_unique<bool>(true);
+      s.strict_gate = std::make_unique<BlockWhileGate>(s.strict_blocked.get());
+      for (std::size_t i = 0; i < cfg.accel_ports; ++i) {
+        chip.accel_port(i).add_gate(*s.strict_gate);
+      }
+      break;
+    case Scheme::kHwQos:
+      for (std::size_t i = 0; i < n; ++i) {
+        qos::Regulator& reg =
+            *chip.qos_block(1 + (i % cfg.accel_ports)).regulator;
+        reg.set_window(p.hw_window_ps);
+        reg.set_rate(p.per_aggressor_budget_bps);
+        reg.set_enabled(true);
+      }
+      break;
+    case Scheme::kSoftMemguard: {
+      qos::SoftMemguardConfig mc;
+      mc.period_ps = p.sw_period_ps;
+      mc.isr_latency_ps = p.sw_isr_latency_ps;
+      s.memguard = std::make_unique<qos::SoftMemguard>(chip.sim(), mc);
+      for (std::size_t i = 0; i < n && i < cfg.accel_ports; ++i) {
+        axi::MasterPort& port = chip.accel_port(i);
+        s.memguard->set_rate(port.id(), p.per_aggressor_budget_bps);
+        port.add_gate(*s.memguard);
+      }
+      break;
+    }
+    case Scheme::kPrem:
+    case Scheme::kPremCmri: {
+      // Frame = {CPU exclusive, FPGA shared}: during the CPU slot all
+      // accelerators are gated; during the FPGA slot they are free.
+      qos::PremConfig pc;
+      pc.schedule = {chip.cpu_port().id(), qos::kAllMasters};
+      pc.slot_ps = p.prem_slot_ps;
+      s.prem = std::make_unique<qos::PremArbiter>(chip.sim(), pc);
+      axi::TxnGate* gate = s.prem.get();
+      if (p.scheme == Scheme::kPremCmri) {
+        qos::CmriConfig cc;
+        cc.injection_budget_bytes = p.cmri_injection_bytes;
+        s.cmri = std::make_unique<qos::CmriInjector>(*s.prem, cc);
+        gate = s.cmri.get();
+      }
+      for (std::size_t i = 0; i < cfg.accel_ports; ++i) {
+        // Gates see their own grants through on_grant; no observer needed.
+        chip.accel_port(i).add_gate(*gate);
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+/// Runs the scenario until the critical core halts (or the deadline).
+/// Returns the critical iteration mean in ps (0 when no critical core).
+inline double run_critical(Scenario& s, sim::TimePs deadline) {
+  if (s.critical == nullptr) {
+    s.chip->run_for(deadline);
+    return 0.0;
+  }
+  const bool ok = s.chip->run_until_cores_finished(deadline);
+  if (!ok) {
+    std::fprintf(stderr,
+                 "WARN: critical task missed the simulation deadline\n");
+  }
+  return s.critical->stats().iteration_ps.mean();
+}
+
+}  // namespace fgqos::bench

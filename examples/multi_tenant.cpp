@@ -1,0 +1,102 @@
+/// \file multi_tenant.cpp
+/// \brief Domain example: multi-tenant FPGA-as-a-service with runtime
+///        reservation changes.
+///
+/// Three tenants share the fabric's HP ports. The platform operator uses
+/// the QoS manager as an admission-controlled bandwidth broker:
+///   phase 1: tenant A reserves 4 GB/s, B and C run best-effort;
+///   phase 2: tenant B requests 6 GB/s — rejected (would oversubscribe),
+///            then retries with 3 GB/s — admitted;
+///   phase 3: tenant A releases its reservation; B's guarantee persists
+///            and C's best-effort share grows.
+/// The example prints the per-phase measured bandwidths, demonstrating
+/// runtime reprogramming of the hardware regulators through their
+/// register files.
+#include <cstdio>
+
+#include "qos/qos_manager.hpp"
+#include "soc/soc.hpp"
+#include "util/string_util.hpp"
+
+using namespace fgqos;
+
+namespace {
+
+double port_bps_since(soc::Soc& chip, std::size_t accel,
+                      std::uint64_t* last_bytes, sim::TimePs window) {
+  const std::uint64_t now_bytes =
+      chip.accel_port(accel).stats().bytes_granted.value();
+  const double bps = sim::bytes_per_second(now_bytes - *last_bytes, window);
+  *last_bytes = now_bytes;
+  return bps;
+}
+
+}  // namespace
+
+int main() {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+
+  const char* tenants[3] = {"tenantA", "tenantB", "tenantC"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    wl::TrafficGenConfig tg;
+    tg.name = tenants[i];
+    tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.seed = 40 + i;
+    chip.add_traffic_gen(i, tg);
+  }
+
+  qos::QosManagerConfig mc;
+  mc.capacity_bps = 11e9;
+  mc.max_reservable_frac = 0.8;  // 8.8 GB/s reservable
+  mc.best_effort_floor_bps = 400e6;
+  qos::QosManager mgr(chip.sim(), mc);
+  for (std::size_t i = 0; i < 3; ++i) {
+    mgr.add_port(tenants[i], static_cast<axi::MasterId>(1 + i),
+                 chip.regfile(1 + i));
+  }
+
+  std::uint64_t last[3] = {0, 0, 0};
+  const sim::TimePs phase = 5 * sim::kPsPerMs;
+  auto report = [&](const char* label) {
+    chip.run_for(phase);
+    std::printf("%-44s", label);
+    for (std::size_t i = 0; i < 3; ++i) {
+      std::printf("  %s: %-11s", tenants[i],
+                  util::format_bandwidth(
+                      port_bps_since(chip, i, &last[i], phase))
+                      .c_str());
+    }
+    std::printf("\n");
+  };
+
+  std::printf("multi-tenant bandwidth brokering (reservable: %s)\n\n",
+              util::format_bandwidth(mc.capacity_bps * mc.max_reservable_frac)
+                  .c_str());
+
+  report("phase 0: all best-effort (floor budgets)");
+
+  const bool a_ok = mgr.reserve(1, 4e9);
+  std::printf("\ntenant A reserves 4 GB/s -> %s\n",
+              a_ok ? "admitted" : "rejected");
+  report("phase 1: A guaranteed, B/C at floor");
+
+  const bool b_big = mgr.reserve(2, 6e9);
+  std::printf("\ntenant B requests 6 GB/s -> %s (only %s left)\n",
+              b_big ? "admitted" : "rejected",
+              util::format_bandwidth(mgr.available_bps()).c_str());
+  const bool b_ok = mgr.reserve(2, 3e9);
+  std::printf("tenant B retries 3 GB/s -> %s\n",
+              b_ok ? "admitted" : "rejected");
+  report("phase 2: A 4 GB/s, B 3 GB/s, C at floor");
+
+  mgr.release(1);
+  std::printf("\ntenant A releases its reservation\n");
+  // Hand the freed capacity to best-effort tenants via reclamation.
+  mgr.start_reclamation();
+  report("phase 3: B 3 GB/s, A/C best-effort + slack");
+
+  std::printf("\nreclaim iterations executed: %llu\n",
+              static_cast<unsigned long long>(mgr.reclaim_iterations()));
+  return 0;
+}

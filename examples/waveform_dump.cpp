@@ -1,0 +1,52 @@
+/// \file waveform_dump.cpp
+/// \brief Tool example: dump QoS activity as a VCD waveform.
+///
+/// Runs a short regulated scenario and writes fgqos_waves.vcd with, per
+/// accelerator port, the outstanding-transaction count, cumulative
+/// granted KiB and a per-grant toggle, plus each regulator's token credit
+/// and exhausted flag. Open with `gtkwave fgqos_waves.vcd` to watch the
+/// token buckets drain within each window and the gate shut exactly at
+/// exhaustion — the same picture an ILA would show on the real IP.
+#include <cstdio>
+
+#include "fgqos.hpp"
+
+using namespace fgqos;
+
+int main() {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+
+  // Two DMA engines, one tightly regulated, one free-running.
+  wl::TrafficGenConfig a;
+  a.name = "regulated_dma";
+  a.seed = 1;
+  chip.add_traffic_gen(0, a);
+  qos::Regulator& reg = *chip.qos_block(1).regulator;
+  reg.set_window(10 * sim::kPsPerUs);
+  reg.set_rate(800e6);
+  reg.set_enabled(true);
+
+  wl::TrafficGenConfig b;
+  b.name = "free_dma";
+  b.base = 0x9000'0000;
+  b.seed = 2;
+  chip.add_traffic_gen(1, b);
+
+  const char* path = "fgqos_waves.vcd";
+  qos::QosVcdTap tap(chip.sim(), path, sim::kPsPerUs);
+  tap.attach_port(chip.accel_port(0));
+  tap.attach_port(chip.accel_port(1));
+  tap.attach_regulator(reg);
+
+  chip.run_for(200 * sim::kPsPerUs);
+  tap.finish();
+
+  std::printf(
+      "wrote %s (200 us of activity)\n"
+      "  regulated DMA: 800 MB/s in 10 us windows -> watch reg_hp0.reg\n"
+      "  tokens saw-tooth and the exhausted flag gate the port\n"
+      "view with: gtkwave %s\n",
+      path, path);
+  return 0;
+}

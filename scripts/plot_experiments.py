@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Plot the CSV outputs of the bench_exp* binaries.
+
+Usage:
+    # run the benches first; they drop exp*.csv next to the binaries
+    cd build/bench && for b in ./bench_exp*; do $b; done
+    python3 ../../scripts/plot_experiments.py build/bench --out plots/
+
+Produces one PNG per known experiment CSV. Only matplotlib is required;
+files that are absent are skipped, so partial runs plot fine.
+"""
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    return rows
+
+
+def parse_num(cell):
+    """Extracts the leading float from cells like '1.97x' or '150.80 us'."""
+    s = str(cell).strip()
+    num = ""
+    for ch in s:
+        if ch.isdigit() or ch in ".-+e":
+            num += ch
+        else:
+            break
+    try:
+        return float(num)
+    except ValueError:
+        return None
+
+
+def plot_exp1(rows, ax):
+    series = {}
+    for r in rows:
+        key = f"{r['workload']}/{r['aggressor']}"
+        series.setdefault(key, ([], []))
+        series[key][0].append(int(r["n_gens"]))
+        series[key][1].append(parse_num(r["slowdown"]))
+    for key, (x, y) in sorted(series.items()):
+        ax.plot(x, y, marker="o", label=key)
+    ax.set_xlabel("active DMA masters")
+    ax.set_ylabel("critical slowdown (x)")
+    ax.set_title("EXP1: unregulated interference")
+    ax.legend(fontsize=7)
+
+
+def plot_exp2(rows, ax):
+    x = [parse_num(r["target"]) for r in rows]
+    hw = [parse_num(r["hw_err_%"]) for r in rows]
+    sw = [parse_num(r["sw_err_%"]) for r in rows]
+    ax.semilogx(x, hw, marker="o", label="hw tightly-coupled")
+    ax.semilogx(x, sw, marker="s", label="sw memguard")
+    ax.set_xlabel("target bandwidth")
+    ax.set_ylabel("relative error (%)")
+    ax.set_title("EXP2: regulation accuracy")
+    ax.legend()
+
+
+def plot_exp5(rows, ax):
+    schemes = {}
+    for r in rows:
+        schemes.setdefault(r["scheme"], ([], []))
+        schemes[r["scheme"]][0].append(parse_num(r["best_effort_GB/s"]))
+        schemes[r["scheme"]][1].append(parse_num(r["slowdown_p99"]))
+    for scheme, (x, y) in sorted(schemes.items()):
+        ax.plot(x, y, marker="o", label=scheme)
+    ax.axhline(1.15, linestyle="--", linewidth=0.8)
+    ax.set_xlabel("best-effort bandwidth (GB/s)")
+    ax.set_ylabel("critical p99 slowdown (x)")
+    ax.set_title("EXP5: guarantee vs. utilisation frontier")
+    ax.legend(fontsize=7)
+
+
+def plot_exp8(rows, ax):
+    x = list(range(len(rows)))
+    y = [parse_num(r["overshoot_%"]) for r in rows]
+    labels = [r["observation_lag"] for r in rows]
+    ax.bar(x, y)
+    ax.set_xticks(x, labels, rotation=30, fontsize=7)
+    ax.set_ylabel("budget overshoot per window (%)")
+    ax.set_title("EXP8: coupling-tightness ablation")
+
+
+KNOWN = {
+    "exp1_interference.csv": plot_exp1,
+    "exp2_accuracy.csv": plot_exp2,
+    "exp5_utilization.csv": plot_exp5,
+    "exp8_coupling_ablation.csv": plot_exp8,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("csv_dir", help="directory containing exp*.csv")
+    ap.add_argument("--out", default="plots", help="output directory")
+    args = ap.parse_args()
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.out, exist_ok=True)
+    made = 0
+    for name, fn in KNOWN.items():
+        path = os.path.join(args.csv_dir, name)
+        if not os.path.exists(path):
+            continue
+        fig, ax = plt.subplots(figsize=(5.5, 4))
+        fn(read_csv(path), ax)
+        fig.tight_layout()
+        out = os.path.join(args.out, name.replace(".csv", ".png"))
+        fig.savefig(out, dpi=150)
+        print("wrote", out)
+        made += 1
+    if made == 0:
+        sys.exit(f"no known experiment CSVs found in {args.csv_dir}")
+
+
+if __name__ == "__main__":
+    main()

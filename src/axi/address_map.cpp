@@ -1,0 +1,52 @@
+#include "axi/address_map.hpp"
+
+#include <algorithm>
+
+#include "util/config_error.hpp"
+
+namespace fgqos::axi {
+
+void AddressMap::add_region(std::string name, Addr base, std::uint64_t size,
+                            std::size_t slave_index) {
+  config_check(size > 0, "AddressMap: region '" + name + "' has zero size");
+  config_check(base + size > base,
+               "AddressMap: region '" + name + "' wraps the address space");
+  for (const auto& r : regions_) {
+    const bool disjoint = base + size <= r.base || r.base + r.size <= base;
+    config_check(disjoint, "AddressMap: region '" + name + "' overlaps '" +
+                               r.name + "'");
+  }
+  Region reg{std::move(name), base, size, slave_index};
+  auto it = std::lower_bound(
+      regions_.begin(), regions_.end(), reg,
+      [](const Region& a, const Region& b) { return a.base < b.base; });
+  regions_.insert(it, std::move(reg));
+}
+
+std::optional<Region> AddressMap::lookup(Addr a) const {
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), a,
+      [](Addr addr, const Region& r) { return addr < r.base; });
+  if (it == regions_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  if (it->contains(a)) {
+    return *it;
+  }
+  return std::nullopt;
+}
+
+std::optional<Region> AddressMap::lookup_range(Addr a,
+                                               std::uint64_t bytes) const {
+  if (bytes == 0) {
+    return std::nullopt;
+  }
+  auto r = lookup(a);
+  if (!r || !r->contains(a + bytes - 1)) {
+    return std::nullopt;
+  }
+  return r;
+}
+
+}  // namespace fgqos::axi

@@ -1,0 +1,49 @@
+/// \file address_map.hpp
+/// \brief Physical address decoding into named slave regions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "axi/types.hpp"
+
+namespace fgqos::axi {
+
+/// One decoded target region.
+struct Region {
+  std::string name;
+  Addr base = 0;
+  std::uint64_t size = 0;
+  std::size_t slave_index = 0;
+
+  [[nodiscard]] bool contains(Addr a) const {
+    return a >= base && a - base < size;
+  }
+  [[nodiscard]] Addr end() const { return base + size; }
+};
+
+/// Ordered, non-overlapping set of regions with O(log n) lookup.
+class AddressMap {
+ public:
+  /// Adds a region. Throws ConfigError on zero size or overlap with an
+  /// existing region.
+  void add_region(std::string name, Addr base, std::uint64_t size,
+                  std::size_t slave_index);
+
+  /// Region containing \p a, or nullopt when unmapped.
+  [[nodiscard]] std::optional<Region> lookup(Addr a) const;
+
+  /// Region containing the whole range [a, a+bytes), or nullopt when the
+  /// range is unmapped or straddles a region boundary.
+  [[nodiscard]] std::optional<Region> lookup_range(Addr a,
+                                                   std::uint64_t bytes) const;
+
+  [[nodiscard]] const std::vector<Region>& regions() const { return regions_; }
+
+ private:
+  std::vector<Region> regions_;  ///< kept sorted by base
+};
+
+}  // namespace fgqos::axi

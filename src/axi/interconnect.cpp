@@ -1,0 +1,116 @@
+#include "axi/interconnect.hpp"
+
+#include "util/assert.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::axi {
+
+Interconnect::Interconnect(sim::Simulator& sim, const sim::ClockDomain& clk,
+                           InterconnectConfig cfg)
+    : sim::Clocked(sim, clk, cfg.name),
+      cfg_(std::move(cfg)),
+      arbiter_(std::make_unique<RoundRobinArbiter>()) {
+  config_check(cfg_.issue_width > 0, "Interconnect: issue_width must be > 0");
+}
+
+MasterPort& Interconnect::add_master(MasterPortConfig cfg) {
+  const auto id = static_cast<MasterId>(ports_.size());
+  ports_.push_back(std::make_unique<MasterPort>(*this, id, std::move(cfg)));
+  eligible_.resize(ports_.size());
+  return *ports_.back();
+}
+
+void Interconnect::set_arbiter(std::unique_ptr<Arbiter> arb) {
+  FGQOS_ASSERT(arb != nullptr, "Interconnect: null arbiter");
+  arbiter_ = std::move(arb);
+}
+
+std::uint64_t Interconnect::total_bytes_granted() const {
+  std::uint64_t total = 0;
+  for (const auto& p : ports_) {
+    total += p->stats().bytes_granted.value();
+  }
+  return total;
+}
+
+void Interconnect::notify_work(sim::TimePs ready_at) { wake_at(ready_at); }
+
+bool Interconnect::tick(sim::Cycles /*cycle*/) {
+  FGQOS_ASSERT(slave_ != nullptr, "Interconnect: slave not wired");
+  const sim::TimePs now = simulator().now();
+  for (std::size_t grant = 0; grant < cfg_.issue_width; ++grant) {
+    int pick = -1;
+    if (locked_master_ >= 0) {
+      // kTransaction: the burst in progress keeps the crossbar.
+      MasterPort& p = *ports_[static_cast<std::size_t>(locked_master_)];
+      switch (p.grant_block_reason(now)) {
+        case MasterPort::BlockReason::kNone:
+          if (!slave_->can_accept(p.peek_line(now), now)) {
+            // Head-of-line blocked at the slave: hold everyone.
+            return true;
+          }
+          pick = locked_master_;
+          break;
+        case MasterPort::BlockReason::kRateLimit:
+          // Transient pace gap within the burst: keep the lock, stall.
+          return true;
+        case MasterPort::BlockReason::kGate:
+        case MasterPort::BlockReason::kEmpty:
+          // The port withdrew (QoS gate shut the handshake): release so
+          // a throttled burst cannot stall unrelated masters.
+          locked_master_ = -1;
+          break;
+      }
+    }
+    if (pick < 0) {
+      bool any = false;
+      for (std::size_t i = 0; i < ports_.size(); ++i) {
+        bool ok = ports_[i]->has_grantable_line(now);
+        if (ok) {
+          // The slave must also have room for this specific line.
+          ok = slave_->can_accept(ports_[i]->peek_line(now), now);
+        }
+        eligible_[i] = ok;
+        any = any || ok;
+      }
+      if (!any) {
+        break;
+      }
+      pick = arbiter_->pick(eligible_, now);
+      if (pick < 0) {
+        break;
+      }
+    }
+    LineRequest line =
+        ports_[static_cast<std::size_t>(pick)]->commit_grant(now);
+    slave_->accept(line, now);
+    if (cfg_.granularity == ArbGranularity::kTransaction) {
+      locked_master_ = line.last_of_txn ? -1 : pick;
+    }
+  }
+  // Keep ticking while any port has queued or in-flight work; requests that
+  // are currently gate-blocked still need periodic re-evaluation.
+  for (const auto& p : ports_) {
+    if (p->has_pending_work()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Interconnect::line_done(const LineRequest& line, sim::TimePs now) {
+  Transaction* txn = line.txn;
+  FGQOS_ASSERT(txn != nullptr && txn->lines_left > 0,
+               "line_done: bad transaction state");
+  --txn->lines_left;
+  if (txn->lines_left > 0) {
+    return;
+  }
+  MasterPort& port = *ports_.at(txn->master);
+  const sim::TimePs deliver = now + port.config().response_latency_ps;
+  simulator().schedule_at(deliver, [&port, txn, deliver]() {
+    port.complete_txn(*txn, deliver);
+  });
+}
+
+}  // namespace fgqos::axi

@@ -1,0 +1,99 @@
+/// \file interconnect.hpp
+/// \brief Crossbar connecting master ports to the memory controller.
+///
+/// Each cycle of its clock domain the interconnect arbitrates among master
+/// ports with grantable lines and forwards up to issue_width lines to the
+/// downstream slave (the DRAM controller). It also implements the response
+/// path: when the controller reports the last line of a burst done, the
+/// interconnect delivers the completion to the issuing port after that
+/// port's response latency.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axi/arbiter.hpp"
+#include "axi/port.hpp"
+#include "axi/transaction.hpp"
+#include "sim/simulator.hpp"
+
+namespace fgqos::axi {
+
+/// Downstream request consumer (implemented by dram::Controller).
+class SlaveIf {
+ public:
+  virtual ~SlaveIf() = default;
+  /// May a line be enqueued this cycle? Must be side-effect free.
+  [[nodiscard]] virtual bool can_accept(const LineRequest& line,
+                                        sim::TimePs now) const = 0;
+  /// Enqueues the line. Pre: can_accept() returned true this cycle.
+  virtual void accept(LineRequest line, sim::TimePs now) = 0;
+};
+
+/// At what granularity the crossbar switches between masters.
+enum class ArbGranularity : std::uint8_t {
+  /// Re-arbitrate every line: fine interleaving (ideal crossbar).
+  kLine,
+  /// Stick with a master until its whole burst has been forwarded; while
+  /// the burst is head-of-line blocked at the slave, other masters wait
+  /// (store-and-forward bridge behaviour — long DMA bursts then delay the
+  /// CPU considerably more, an interference amplifier real fabrics show).
+  kTransaction,
+};
+
+/// Interconnect configuration.
+struct InterconnectConfig {
+  std::string name = "xbar";
+  /// Lines forwarded per interconnect cycle (crossbar issue width).
+  std::size_t issue_width = 2;
+  ArbGranularity granularity = ArbGranularity::kLine;
+};
+
+/// The crossbar. Owns its master ports; the slave is wired externally.
+class Interconnect final : public sim::Clocked, public ResponseSink {
+ public:
+  Interconnect(sim::Simulator& sim, const sim::ClockDomain& clk,
+               InterconnectConfig cfg);
+
+  /// Creates a new master port. Must be called before the simulation runs.
+  MasterPort& add_master(MasterPortConfig cfg);
+
+  /// Wires the downstream slave (exactly one; required before running).
+  void set_slave(SlaveIf& slave) { slave_ = &slave; }
+
+  /// Replaces the arbitration policy (default: round robin).
+  void set_arbiter(std::unique_ptr<Arbiter> arb);
+
+  [[nodiscard]] std::size_t master_count() const { return ports_.size(); }
+  [[nodiscard]] MasterPort& master(std::size_t i) { return *ports_.at(i); }
+  [[nodiscard]] const MasterPort& master(std::size_t i) const {
+    return *ports_.at(i);
+  }
+  [[nodiscard]] const InterconnectConfig& config() const { return cfg_; }
+
+  /// Total bytes granted across all ports.
+  [[nodiscard]] std::uint64_t total_bytes_granted() const;
+
+  // --- internal wiring ----------------------------------------------------
+
+  /// Called by ports when new work arrives; wakes the crossbar.
+  void notify_work(sim::TimePs ready_at);
+
+  /// Next transaction id (unique per interconnect).
+  TxnId next_txn_id() { return ++txn_seq_; }
+
+  bool tick(sim::Cycles cycle) override;
+  void line_done(const LineRequest& line, sim::TimePs now) override;
+
+ private:
+  InterconnectConfig cfg_;
+  std::vector<std::unique_ptr<MasterPort>> ports_;
+  std::unique_ptr<Arbiter> arbiter_;
+  SlaveIf* slave_ = nullptr;
+  TxnId txn_seq_ = 0;
+  std::vector<bool> eligible_;  ///< scratch, sized to master count
+  int locked_master_ = -1;      ///< kTransaction: burst in progress
+};
+
+}  // namespace fgqos::axi

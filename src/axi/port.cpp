@@ -1,0 +1,181 @@
+#include "axi/port.hpp"
+
+#include "axi/interconnect.hpp"
+#include "util/assert.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::axi {
+
+MasterPort::MasterPort(Interconnect& owner, MasterId id, MasterPortConfig cfg)
+    : owner_(owner),
+      id_(id),
+      cfg_(std::move(cfg)),
+      queue_(cfg_.request_queue_depth, cfg_.request_latency_ps),
+      ps_per_byte_(1e12 / cfg_.port_bandwidth_bps) {
+  config_check(cfg_.port_bandwidth_bps > 0,
+               "MasterPort '" + cfg_.name + "': bandwidth must be > 0");
+  config_check(cfg_.line_bytes > 0 && (cfg_.line_bytes & (cfg_.line_bytes - 1)) == 0,
+               "MasterPort '" + cfg_.name + "': line_bytes must be a power of two");
+  config_check(cfg_.max_outstanding_reads > 0 && cfg_.max_outstanding_writes > 0,
+               "MasterPort '" + cfg_.name + "': outstanding limits must be > 0");
+}
+
+bool MasterPort::can_issue(Dir dir) const {
+  if (queue_.full()) {
+    return false;
+  }
+  if (dir == Dir::kRead) {
+    return out_reads_ < cfg_.max_outstanding_reads;
+  }
+  return out_writes_ < cfg_.max_outstanding_writes;
+}
+
+bool MasterPort::issue(Dir dir, Addr addr, std::uint32_t bytes,
+                       std::uint64_t user) {
+  FGQOS_ASSERT(bytes > 0, "MasterPort::issue: empty transaction");
+  if (!can_issue(dir)) {
+    stats_.issue_rejected.add();
+    return false;
+  }
+  const sim::TimePs now = owner_.simulator().now();
+  auto txn = std::make_unique<Transaction>();
+  txn->id = owner_.next_txn_id();
+  txn->master = id_;
+  txn->dir = dir;
+  txn->addr = addr;
+  txn->bytes = bytes;
+  txn->qos = cfg_.qos;
+  txn->user = user;
+  txn->created = now;
+  // Line split: [addr, addr+bytes) cut on line_bytes boundaries.
+  const Addr first_line = addr & ~static_cast<Addr>(cfg_.line_bytes - 1);
+  const Addr last_line =
+      (addr + bytes - 1) & ~static_cast<Addr>(cfg_.line_bytes - 1);
+  txn->lines_total =
+      static_cast<std::uint32_t>((last_line - first_line) / cfg_.line_bytes + 1);
+  txn->lines_left = txn->lines_total;
+
+  Transaction* raw = txn.get();
+  in_flight_.emplace(raw->id, std::move(txn));
+  if (dir == Dir::kRead) {
+    ++out_reads_;
+  } else {
+    ++out_writes_;
+  }
+  stats_.txns_issued.add();
+  for (auto* obs : observers_) {
+    obs->on_issue(*raw, now);
+  }
+  queue_.push(raw, now);
+  owner_.notify_work(queue_.head_ready_at());
+  return true;
+}
+
+std::uint32_t MasterPort::head_line_bytes(const Transaction& txn) const {
+  // Bytes of the current line actually covered by the burst (first and last
+  // lines may be partial).
+  const Addr line_base =
+      (txn.addr + head_offset_) & ~static_cast<Addr>(cfg_.line_bytes - 1);
+  const Addr cur = txn.addr + head_offset_;
+  const Addr line_end = line_base + cfg_.line_bytes;
+  const Addr burst_end = txn.addr + txn.bytes;
+  return static_cast<std::uint32_t>(std::min<Addr>(line_end, burst_end) - cur);
+}
+
+bool MasterPort::has_grantable_line(sim::TimePs now) const {
+  return grant_block_reason(now) == BlockReason::kNone;
+}
+
+MasterPort::BlockReason MasterPort::grant_block_reason(
+    sim::TimePs now) const {
+  if (!queue_.can_pop(now)) {
+    return BlockReason::kEmpty;
+  }
+  if (data_free_at_ > now) {
+    return BlockReason::kRateLimit;
+  }
+  const LineRequest line = peek_line(now);
+  for (const auto* gate : gates_) {
+    if (!gate->allow(line, now)) {
+      return BlockReason::kGate;
+    }
+  }
+  return BlockReason::kNone;
+}
+
+bool MasterPort::has_pending_work() const {
+  return !queue_.empty() || !in_flight_.empty();
+}
+
+LineRequest MasterPort::peek_line(sim::TimePs now) const {
+  Transaction* txn = queue_.front(now);
+  LineRequest line;
+  line.txn = txn;
+  line.addr = (txn->addr + head_offset_) & ~static_cast<Addr>(cfg_.line_bytes - 1);
+  line.bytes = head_line_bytes(*txn);
+  line.is_write = txn->dir == Dir::kWrite;
+  line.last_of_txn = (head_offset_ + line.bytes >= txn->bytes);
+  line.enqueued = now;
+  return line;
+}
+
+LineRequest MasterPort::commit_grant(sim::TimePs now) {
+  LineRequest line = peek_line(now);
+  Transaction* txn = line.txn;
+  if (head_offset_ == 0) {
+    txn->granted = now;
+  }
+  head_offset_ += line.bytes;
+  if (line.last_of_txn) {
+    FGQOS_ASSERT(head_offset_ == txn->bytes, "line split accounting broken");
+    queue_.pop(now);
+    head_offset_ = 0;
+  }
+  // Port data-path occupancy: a granted line occupies the physical port for
+  // bytes * ps_per_byte.
+  const auto occupancy =
+      static_cast<sim::TimePs>(static_cast<double>(line.bytes) * ps_per_byte_);
+  data_free_at_ = now + occupancy;
+  stats_.lines_granted.add();
+  stats_.bytes_granted.add(line.bytes);
+  if (line.is_write) {
+    stats_.write_bytes.add(line.bytes);
+  } else {
+    stats_.read_bytes.add(line.bytes);
+  }
+  for (auto* gate : gates_) {
+    gate->on_grant(line, now);
+  }
+  for (auto* obs : observers_) {
+    obs->on_grant(line, now);
+  }
+  return line;
+}
+
+void MasterPort::complete_txn(Transaction& txn, sim::TimePs now) {
+  txn.completed = now;
+  if (txn.dir == Dir::kRead) {
+    FGQOS_ASSERT(out_reads_ > 0, "read outstanding underflow");
+    --out_reads_;
+    stats_.read_latency.record(txn.latency());
+  } else {
+    FGQOS_ASSERT(out_writes_ > 0, "write outstanding underflow");
+    --out_writes_;
+    stats_.write_latency.record(txn.latency());
+  }
+  stats_.txns_completed.add();
+  for (auto* obs : observers_) {
+    obs->on_complete(txn, now);
+  }
+  // Deliver to the client last: it may immediately issue a new transaction
+  // into the slot just released.
+  const CompletionFn& fn = on_complete_;
+  // Copy the transaction out before erasing so the callback sees stable data.
+  const Transaction snapshot = txn;
+  in_flight_.erase(txn.id);
+  if (fn) {
+    fn(snapshot);
+  }
+}
+
+}  // namespace fgqos::axi

@@ -1,0 +1,72 @@
+/// \file timed_fifo.hpp
+/// \brief Bounded FIFO whose entries become visible after a latency.
+///
+/// Models a pipelined channel: an item pushed at time T with latency L can
+/// be popped at or after T+L. Capacity gives natural backpressure.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace fgqos::axi {
+
+template <typename T>
+class TimedFifo {
+ public:
+  /// \param capacity   maximum occupancy (visible + in-flight)
+  /// \param latency_ps delay before a pushed item becomes poppable
+  TimedFifo(std::size_t capacity, sim::TimePs latency_ps)
+      : capacity_(capacity), latency_ps_(latency_ps) {
+    FGQOS_ASSERT(capacity_ > 0, "TimedFifo: capacity must be > 0");
+  }
+
+  [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] sim::TimePs latency_ps() const { return latency_ps_; }
+
+  /// Pushes \p item at time \p now. Pre: !full().
+  void push(T item, sim::TimePs now) {
+    FGQOS_ASSERT(!full(), "TimedFifo: push on full fifo");
+    items_.push_back(Slot{now + latency_ps_, std::move(item)});
+  }
+
+  /// True when the head item is visible at \p now.
+  [[nodiscard]] bool can_pop(sim::TimePs now) const {
+    return !items_.empty() && items_.front().ready_at <= now;
+  }
+
+  /// Time the head item becomes visible; kTimeNever when empty.
+  [[nodiscard]] sim::TimePs head_ready_at() const {
+    return items_.empty() ? sim::kTimeNever : items_.front().ready_at;
+  }
+
+  /// Read-only view of the head. Pre: can_pop(now).
+  [[nodiscard]] const T& front(sim::TimePs now) const {
+    FGQOS_ASSERT(can_pop(now), "TimedFifo: front not ready");
+    return items_.front().item;
+  }
+
+  /// Removes and returns the head. Pre: can_pop(now).
+  T pop(sim::TimePs now) {
+    FGQOS_ASSERT(can_pop(now), "TimedFifo: pop not ready");
+    T item = std::move(items_.front().item);
+    items_.pop_front();
+    return item;
+  }
+
+ private:
+  struct Slot {
+    sim::TimePs ready_at;
+    T item;
+  };
+  std::size_t capacity_;
+  sim::TimePs latency_ps_;
+  std::deque<Slot> items_;
+};
+
+}  // namespace fgqos::axi

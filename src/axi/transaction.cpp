@@ -1,0 +1,4 @@
+#include "axi/transaction.hpp"
+
+// Transaction and LineRequest are plain data; this TU anchors the module.
+namespace fgqos::axi {}

@@ -1,0 +1,57 @@
+/// \file transaction.hpp
+/// \brief Burst transaction and the line-sized requests it splits into.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "axi/types.hpp"
+#include "sim/time.hpp"
+
+namespace fgqos::axi {
+
+/// One AXI burst as issued by a master. The interconnect splits it into
+/// line-sized LineRequests for the memory controller; the transaction
+/// completes when the last line completes (plus response latency).
+struct Transaction {
+  TxnId id = 0;
+  MasterId master = 0;
+  Dir dir = Dir::kRead;
+  Addr addr = 0;
+  std::uint32_t bytes = 0;        ///< total payload of the burst
+  QosValue qos = kQosBestEffort;
+  std::uint64_t user = 0;         ///< opaque tag for the issuing client
+
+  sim::TimePs created = 0;        ///< time the master issued it
+  sim::TimePs granted = 0;        ///< time the interconnect first serviced it
+  sim::TimePs completed = 0;      ///< time the response reached the master
+
+  std::uint32_t lines_total = 0;  ///< line requests this burst splits into
+  std::uint32_t lines_left = 0;   ///< still outstanding in the memory system
+
+  /// End-to-end latency; valid once completed.
+  [[nodiscard]] sim::TimePs latency() const { return completed - created; }
+};
+
+/// Completion callback type delivered to the issuing client.
+using CompletionFn = std::function<void(const Transaction&)>;
+
+/// Line-granular request as seen by the memory controller.
+struct LineRequest {
+  Transaction* txn = nullptr;
+  Addr addr = 0;
+  std::uint32_t bytes = 0;
+  bool is_write = false;
+  bool last_of_txn = false;
+  sim::TimePs enqueued = 0;       ///< arrival time at the controller
+};
+
+/// Sink through which the memory controller reports finished lines.
+class ResponseSink {
+ public:
+  virtual ~ResponseSink() = default;
+  /// Called exactly once per LineRequest, at data-burst completion time.
+  virtual void line_done(const LineRequest& line, sim::TimePs now) = 0;
+};
+
+}  // namespace fgqos::axi

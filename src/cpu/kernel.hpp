@@ -1,0 +1,46 @@
+/// \file kernel.hpp
+/// \brief Abstract synthetic-kernel interface executed by CPU cores.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "axi/types.hpp"
+#include "sim/random.hpp"
+
+namespace fgqos::cpu {
+
+/// One memory operation of a kernel step.
+struct MemOp {
+  axi::Addr addr = 0;
+  bool is_write = false;
+  /// Blocking ops (dependent loads) stall the core until the data returns;
+  /// non-blocking ops (independent streaming loads, stores) only stall on
+  /// resource exhaustion (MSHRs, port, write buffer).
+  bool blocking = true;
+};
+
+/// One step: compute phase followed by an optional memory operation.
+struct KernelStep {
+  std::uint32_t compute_cycles = 0;
+  std::optional<MemOp> op;
+  /// True when this step closes one kernel iteration (used for iteration
+  /// timing and max-iteration termination).
+  bool end_of_iteration = false;
+};
+
+/// A synthetic workload. Kernels are infinite generators; the executing
+/// core counts iterations via end_of_iteration markers.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  /// Produces the next step. \p rng is the executing core's private,
+  /// seeded generator (determinism).
+  virtual KernelStep next(sim::Xoshiro256& rng) = 0;
+  /// Restarts iteration-local state (address cursors etc.).
+  virtual void reset() = 0;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+}  // namespace fgqos::cpu

@@ -1,0 +1,35 @@
+#include "dram/address_mapper.hpp"
+
+namespace fgqos::dram {
+
+AddressMapper::AddressMapper(const TimingConfig& cfg, MappingPolicy policy)
+    : policy_(policy),
+      burst_bytes_(cfg.burst_bytes),
+      bursts_per_row_(cfg.row_bytes / cfg.burst_bytes),
+      banks_(cfg.banks),
+      capacity_(cfg.capacity_bytes) {}
+
+Decoded AddressMapper::decode(axi::Addr addr) const {
+  // Wrap into the channel capacity; callers may use any physical window.
+  const std::uint64_t burst_index = (addr % capacity_) / burst_bytes_;
+  Decoded d;
+  switch (policy_) {
+    case MappingPolicy::kRowBankColumn: {
+      d.column = burst_index % bursts_per_row_;
+      const std::uint64_t upper = burst_index / bursts_per_row_;
+      d.bank = static_cast<std::uint32_t>(upper % banks_);
+      d.row = upper / banks_;
+      break;
+    }
+    case MappingPolicy::kBankInterleaved: {
+      d.bank = static_cast<std::uint32_t>(burst_index % banks_);
+      const std::uint64_t upper = burst_index / banks_;
+      d.column = upper % bursts_per_row_;
+      d.row = upper / bursts_per_row_;
+      break;
+    }
+  }
+  return d;
+}
+
+}  // namespace fgqos::dram

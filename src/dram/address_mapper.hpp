@@ -1,0 +1,45 @@
+/// \file address_mapper.hpp
+/// \brief Physical address -> (bank, row, column) decoding policies.
+#pragma once
+
+#include <cstdint>
+
+#include "axi/types.hpp"
+#include "dram/timing.hpp"
+
+namespace fgqos::dram {
+
+/// Decoded DRAM coordinates of one burst-aligned address.
+struct Decoded {
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+  std::uint64_t column = 0;  ///< burst index within the row
+};
+
+/// How address bits are spread over banks and rows.
+enum class MappingPolicy : std::uint8_t {
+  /// row : bank : column — a sequential stream fills a whole row in one
+  /// bank before moving on (maximum row locality, minimum parallelism).
+  kRowBankColumn,
+  /// row : column : bank — consecutive bursts rotate across banks
+  /// (bank-interleaved; the common high-throughput default).
+  kBankInterleaved,
+};
+
+/// Stateless decoder for a given geometry and policy.
+class AddressMapper {
+ public:
+  AddressMapper(const TimingConfig& cfg, MappingPolicy policy);
+
+  [[nodiscard]] Decoded decode(axi::Addr addr) const;
+  [[nodiscard]] MappingPolicy policy() const { return policy_; }
+
+ private:
+  MappingPolicy policy_;
+  std::uint64_t burst_bytes_;
+  std::uint64_t bursts_per_row_;
+  std::uint32_t banks_;
+  std::uint64_t capacity_;
+};
+
+}  // namespace fgqos::dram

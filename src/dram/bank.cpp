@@ -1,0 +1,34 @@
+#include "dram/bank.hpp"
+
+#include <algorithm>
+
+namespace fgqos::dram {
+
+void Bank::activate(std::uint64_t row, Cycle c, std::uint32_t t_rcd,
+                    std::uint32_t t_ras, std::uint32_t t_rc) {
+  open_row_ = row;
+  cas_ready_ = c + t_rcd;
+  pre_ready_ = std::max(pre_ready_, c + t_ras);
+  act_ready_ = std::max(act_ready_, c + t_rc);
+  ++activations_;
+}
+
+void Bank::precharge(Cycle c, std::uint32_t t_rp) {
+  open_row_.reset();
+  act_ready_ = std::max(act_ready_, c + t_rp);
+}
+
+void Bank::read_cas(Cycle c, std::uint32_t t_rtp) {
+  pre_ready_ = std::max(pre_ready_, c + t_rtp);
+}
+
+void Bank::write_cas(Cycle data_end, std::uint32_t t_wr) {
+  pre_ready_ = std::max(pre_ready_, data_end + t_wr);
+}
+
+void Bank::refresh_block(Cycle ready) {
+  open_row_.reset();
+  act_ready_ = std::max(act_ready_, ready);
+}
+
+}  // namespace fgqos::dram

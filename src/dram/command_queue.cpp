@@ -1,0 +1,24 @@
+#include "dram/command_queue.hpp"
+
+#include "util/assert.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::dram {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  config_check(capacity_ > 0, "RequestQueue: capacity must be > 0");
+}
+
+void RequestQueue::push(QueueEntry entry) {
+  FGQOS_ASSERT(!full(), "RequestQueue: push on full queue");
+  entries_.push_back(std::move(entry));
+}
+
+QueueEntry RequestQueue::remove_at(std::size_t index) {
+  FGQOS_ASSERT(index < entries_.size(), "RequestQueue: bad index");
+  QueueEntry e = std::move(entries_[index]);
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  return e;
+}
+
+}  // namespace fgqos::dram

@@ -1,0 +1,49 @@
+/// \file command_queue.hpp
+/// \brief Bounded request queue scanned by the FR-FCFS scheduler.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "axi/transaction.hpp"
+#include "dram/address_mapper.hpp"
+#include "sim/time.hpp"
+
+namespace fgqos::dram {
+
+/// One pending line request plus its decoded coordinates.
+struct QueueEntry {
+  axi::LineRequest line;
+  Decoded where;
+  sim::TimePs visible_at = 0;  ///< front-end pipeline delay
+  std::uint64_t seq = 0;       ///< arrival order (FCFS tie-break)
+};
+
+/// FIFO-ordered bounded queue; the scheduler scans visible entries and
+/// removes an arbitrary one (FR-FCFS is not head-of-line).
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void push(QueueEntry entry);
+
+  /// Entries in arrival order; index into this deque is stable between
+  /// push/remove calls within one scheduling pass.
+  [[nodiscard]] const std::deque<QueueEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Removes the entry at \p index and returns it.
+  QueueEntry remove_at(std::size_t index);
+
+ private:
+  std::size_t capacity_;
+  std::deque<QueueEntry> entries_;
+};
+
+}  // namespace fgqos::dram

@@ -1,0 +1,375 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::dram {
+
+void ControllerConfig::validate() const {
+  timing.validate();
+  config_check(read_queue_depth > 0 && write_queue_depth > 0,
+               "ControllerConfig: queue depths must be > 0");
+  config_check(write_high_watermark <= write_queue_depth,
+               "ControllerConfig: high watermark exceeds queue depth");
+  config_check(write_low_watermark < write_high_watermark,
+               "ControllerConfig: watermarks must satisfy low < high");
+  config_check(starvation_cycles > 0,
+               "ControllerConfig: starvation_cycles must be > 0");
+}
+
+Controller::Controller(sim::Simulator& sim, const sim::ClockDomain& clk,
+                       ControllerConfig cfg, axi::ResponseSink& sink)
+    : sim::Clocked(sim, clk, "dram"),
+      cfg_(std::move(cfg)),
+      mapper_(cfg_.timing, cfg_.mapping),
+      sink_(&sink),
+      banks_(cfg_.timing.banks),
+      read_q_(cfg_.read_queue_depth),
+      write_q_(cfg_.write_queue_depth) {
+  cfg_.validate();
+  next_act_group_.assign(cfg_.timing.bank_groups, 0);
+  next_cas_group_.assign(cfg_.timing.bank_groups, 0);
+  config_check(clk.period_ps() == cfg_.timing.period_ps(),
+               "Controller: clock domain does not match timing.clock_mhz");
+  next_refresh_ = cfg_.timing.tREFI;
+}
+
+std::uint64_t Controller::master_bytes(axi::MasterId m) const {
+  if (m >= master_bytes_.size()) {
+    return 0;
+  }
+  return master_bytes_[m];
+}
+
+double Controller::bus_utilization(sim::TimePs elapsed_ps) const {
+  if (elapsed_ps == 0) {
+    return 0.0;
+  }
+  const double busy_ps =
+      static_cast<double>(stats_.data_bus_busy_cycles.value()) *
+      static_cast<double>(cfg_.timing.period_ps());
+  return busy_ps / static_cast<double>(elapsed_ps);
+}
+
+bool Controller::can_accept(const axi::LineRequest& line,
+                            sim::TimePs /*now*/) const {
+  return line.is_write ? !write_q_.full() : !read_q_.full();
+}
+
+void Controller::accept(axi::LineRequest line, sim::TimePs now) {
+  FGQOS_ASSERT(line.bytes <= cfg_.timing.burst_bytes,
+               "Controller: line larger than one burst");
+  QueueEntry e;
+  e.where = mapper_.decode(line.addr);
+  e.visible_at = now + cfg_.frontend_latency_ps;
+  e.seq = ++arrival_seq_;
+  e.line = line;
+  const sim::TimePs visible_at = e.visible_at;
+  if (line.is_write) {
+    write_q_.push(std::move(e));
+  } else {
+    read_q_.push(std::move(e));
+  }
+  wake_at(visible_at);
+}
+
+void Controller::do_refresh(Cycle c) {
+  const Cycle ready = c + cfg_.timing.tRFC;
+  for (auto& b : banks_) {
+    b.refresh_block(ready);
+  }
+  stats_.refreshes.add();
+  // Catch up the schedule (idle periods may have skipped several tREFI
+  // intervals; those refreshes happened while no requests were pending and
+  // carry no modelled cost).
+  while (next_refresh_ <= c) {
+    next_refresh_ += cfg_.timing.tREFI;
+  }
+}
+
+bool Controller::act_allowed(Cycle c, std::uint32_t group) const {
+  if (c < next_act_any_ || c < next_act_group_[group]) {
+    return false;
+  }
+  if (act_history_.size() >= 4 &&
+      c < act_history_.front() + cfg_.timing.tFAW) {
+    return false;
+  }
+  return true;
+}
+
+void Controller::note_act(Cycle c, std::uint32_t group) {
+  next_act_any_ = c + cfg_.timing.tRRD_S;
+  next_act_group_[group] =
+      std::max(next_act_group_[group], c + cfg_.timing.tRRD_L);
+  act_history_.push_back(c);
+  while (act_history_.size() > 4) {
+    act_history_.pop_front();
+  }
+}
+
+Controller::Cycle Controller::dir_cas_ready(bool write) const {
+  return write ? next_write_cas_ : next_read_cas_;
+}
+
+bool Controller::cas_issuable(const QueueEntry& e, Cycle c,
+                              sim::TimePs now) const {
+  if (e.visible_at > now) {
+    return false;
+  }
+  const Bank& b = banks_[e.where.bank];
+  if (!b.row_open() || !b.row_hit(e.where.row)) {
+    return false;
+  }
+  const std::uint32_t group = cfg_.timing.group_of(e.where.bank);
+  if (c < b.cas_ready() || c < dir_cas_ready(e.line.is_write) ||
+      c < next_cas_any_ || c < next_cas_group_[group]) {
+    return false;
+  }
+  const Cycle data_start =
+      c + (e.line.is_write ? cfg_.timing.tCWL : cfg_.timing.tCL);
+  return data_start >= data_bus_free_;
+}
+
+void Controller::issue_cas(QueueEntry entry, Cycle c, bool auto_precharge) {
+  const TimingConfig& t = cfg_.timing;
+  const bool is_write = entry.line.is_write;
+  Bank& b = banks_[entry.where.bank];
+  const std::uint32_t group = t.group_of(entry.where.bank);
+  const Cycle data_start = c + (is_write ? t.tCWL : t.tCL);
+  const Cycle data_end = data_start + t.burst_cycles();
+  data_bus_free_ = data_end;
+  stats_.data_bus_busy_cycles.add(t.burst_cycles());
+  next_cas_any_ = std::max(next_cas_any_, c + t.tCCD_S);
+  next_cas_group_[group] =
+      std::max(next_cas_group_[group], c + t.tCCD_L);
+  if (is_write) {
+    b.write_cas(data_end, t.tWR);
+    // Write -> read turnaround.
+    next_read_cas_ = std::max(next_read_cas_, data_end + t.tWTR);
+    stats_.writes_serviced.add();
+  } else {
+    b.read_cas(c, t.tRTP);
+    // Read -> write turnaround: the write CAS must not start its burst
+    // before the read burst has left the bus plus tRTW.
+    const Cycle wr_earliest = data_end + t.tRTW;
+    next_write_cas_ = std::max(
+        next_write_cas_, wr_earliest > t.tCWL ? wr_earliest - t.tCWL : 0);
+    stats_.reads_serviced.add();
+  }
+  if (auto_precharge) {
+    // CAS-with-AP: the row closes by itself once tRTP/tWR allows; model
+    // as a precharge effective at the bank's earliest legal PRE cycle.
+    b.precharge(b.pre_ready(), t.tRP);
+  }
+  stats_.payload_bytes.add(entry.line.bytes);
+  stats_.bus_bytes.add(t.burst_bytes);
+  const axi::MasterId m = entry.line.txn->master;
+  if (m >= master_bytes_.size()) {
+    master_bytes_.resize(m + 1, 0);
+  }
+  master_bytes_[m] += entry.line.bytes;
+
+  const sim::TimePs done_ps = data_end * clock().period_ps();
+  axi::ResponseSink* sink = sink_;
+  const axi::LineRequest line = entry.line;
+  simulator().schedule_at(done_ps,
+                          [sink, line, done_ps]() { sink->line_done(line, done_ps); });
+}
+
+void Controller::scan_order(std::vector<const QueueEntry*>& out,
+                            bool include_reads, bool include_writes,
+                            sim::TimePs now) const {
+  out.clear();
+  if (include_reads) {
+    for (const auto& e : read_q_.entries()) {
+      if (e.visible_at <= now) {
+        out.push_back(&e);
+      }
+    }
+  }
+  if (include_writes) {
+    for (const auto& e : write_q_.entries()) {
+      if (e.visible_at <= now) {
+        out.push_back(&e);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueueEntry* a, const QueueEntry* b) {
+              return a->seq < b->seq;
+            });
+}
+
+bool Controller::try_prep(const std::vector<const QueueEntry*>& order,
+                          const std::vector<bool>& hit_pending,
+                          int starving_bank, Cycle c) {
+  // One command bus: issue at most one PRE or ACT, scanning oldest-first
+  // and touching each bank once (bank-level parallelism warms several banks
+  // across consecutive cycles).
+  std::uint64_t touched = 0;  // bitmask over banks (<= 64 banks supported)
+  FGQOS_ASSERT(banks_.size() <= 64, "try_prep: more than 64 banks");
+  for (const QueueEntry* e : order) {
+    const std::uint64_t bit = std::uint64_t{1} << e->where.bank;
+    if (touched & bit) {
+      continue;
+    }
+    touched |= bit;
+    Bank& b = banks_[e->where.bank];
+    const std::uint32_t group = cfg_.timing.group_of(e->where.bank);
+    if (!b.row_open()) {
+      if (c >= b.act_ready() && act_allowed(c, group)) {
+        b.activate(e->where.row, c, cfg_.timing.tRCD, cfg_.timing.tRAS,
+                   cfg_.timing.tRC);
+        note_act(c, group);
+        stats_.activations.add();
+        return true;
+      }
+    } else if (!b.row_hit(e->where.row)) {
+      // First-ready FR-FCFS: keep the open row alive while visible row
+      // hits remain — unless this bank's oldest request is starving.
+      const bool protect_hits =
+          hit_pending[e->where.bank] &&
+          static_cast<int>(e->where.bank) != starving_bank;
+      if (!protect_hits && c >= b.pre_ready()) {
+        b.precharge(c, cfg_.timing.tRP);
+        stats_.conflict_precharges.add();
+        return true;
+      }
+    }
+    // Row open and matching: waiting on CAS timing; nothing to prep.
+  }
+  return false;
+}
+
+bool Controller::tick(sim::Cycles cycle) {
+  const sim::TimePs now = simulator().now();
+  const Cycle c = cycle;
+
+  if (c >= next_refresh_) {
+    do_refresh(c);
+    return true;  // refresh occupies the command bus this cycle
+  }
+
+  // Write-drain hysteresis.
+  if (write_q_.size() >= cfg_.write_high_watermark) {
+    draining_writes_ = true;
+  } else if (write_q_.size() <= cfg_.write_low_watermark) {
+    draining_writes_ = false;
+  }
+  bool serve_writes = draining_writes_ || read_q_.empty();
+  bool serve_reads = !draining_writes_ || write_q_.empty();
+  // Aging in both directions bounds worst-case service:
+  //  * a sustained write flood can hold the drain above the low watermark
+  //    forever — aged reads re-enter the scan;
+  //  * a sustained read stream can keep the write queue just below the
+  //    high watermark forever (and deadlock masters waiting on write
+  //    completions) — aged writes re-enter the scan.
+  const auto front_aged = [&](const RequestQueue& q) {
+    if (q.empty()) {
+      return false;
+    }
+    const QueueEntry& front = q.entries().front();
+    return front.visible_at <= now &&
+           c >= front.visible_at / clock().period_ps() +
+                    cfg_.starvation_cycles;
+  };
+  serve_reads = serve_reads || front_aged(read_q_);
+  serve_writes = serve_writes || front_aged(write_q_);
+
+  static thread_local std::vector<const QueueEntry*> order;
+  scan_order(order, serve_reads, serve_writes, now);
+
+  if (!order.empty()) {
+    // Starvation guard: when the oldest visible request has waited too
+    // long, suspend row-hit bypassing on its bank (other banks keep full
+    // FR-FCFS parallelism, so throughput is preserved while the oldest
+    // request's service is bounded).
+    const QueueEntry* oldest = order.front();
+    const Cycle oldest_age =
+        c - std::min<Cycle>(c, oldest->visible_at / clock().period_ps());
+    const bool starving = oldest_age > cfg_.starvation_cycles;
+    const int starving_bank =
+        starving ? static_cast<int>(oldest->where.bank) : -1;
+
+    // Per-bank flag: does any visible entry (either queue, regardless of
+    // drain mode) hit the currently open row? Protects warm rows from
+    // being precharged moments before their hits would issue.
+    static thread_local std::vector<bool> hit_pending;
+    hit_pending.assign(banks_.size(), false);
+    auto mark_hits = [&](const RequestQueue& q) {
+      for (const auto& e : q.entries()) {
+        if (e.visible_at > now) {
+          continue;
+        }
+        const Bank& b = banks_[e.where.bank];
+        if (b.row_open() && b.row_hit(e.where.row)) {
+          hit_pending[e.where.bank] = true;
+        }
+      }
+    };
+    mark_hits(read_q_);
+    mark_hits(write_q_);
+
+    // 1. First-ready CAS: oldest row-hit whose timings allow issue now.
+    //    On the starving bank only the starving entry itself may issue;
+    //    while starving, CAS in the opposite bus direction is also held
+    //    back — otherwise a continuous same-direction stream pushes the
+    //    turnaround window (next_read/write_cas) forward forever and the
+    //    starving request never becomes issuable (write livelock).
+    const QueueEntry* best = nullptr;
+    for (const QueueEntry* e : order) {
+      if (starving && e->line.is_write != oldest->line.is_write) {
+        continue;
+      }
+      if (static_cast<int>(e->where.bank) == starving_bank && e != oldest) {
+        continue;
+      }
+      if (cas_issuable(*e, c, now)) {
+        best = e;
+        break;  // order is oldest-first
+      }
+    }
+    if (best != nullptr) {
+      RequestQueue& q = best->line.is_write ? write_q_ : read_q_;
+      // Find the entry's index in its queue to remove it.
+      const auto& entries = q.entries();
+      // Closed-page: auto-precharge unless another queued hit wants the
+      // row. "best" itself is one of the pending hits, so the row stays
+      // open only when at least one other hit exists.
+      bool other_hit = false;
+      if (cfg_.page_policy == PagePolicy::kClosed) {
+        const Bank& b = banks_[best->where.bank];
+        for (const QueueEntry* e : order) {
+          if (e != best && e->where.bank == best->where.bank &&
+              b.row_hit(e->where.row)) {
+            other_hit = true;
+            break;
+          }
+        }
+      }
+      const bool auto_pre =
+          cfg_.page_policy == PagePolicy::kClosed && !other_hit;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].seq == best->seq) {
+          issue_cas(q.remove_at(i), c, auto_pre);
+          return true;
+        }
+      }
+      FGQOS_ASSERT(false, "controller: CAS candidate vanished");
+    }
+
+    // 2. Otherwise issue one prep command (PRE or ACT), oldest entries
+    //    first, one bank each.
+    try_prep(order, hit_pending, starving_bank, c);
+  }
+
+  // Sleep only when both queues are completely empty (invisible entries
+  // still need future ticks; wake_at in accept() covers new arrivals, and
+  // we remain awake while anything is queued).
+  return !(read_q_.empty() && write_q_.empty());
+}
+
+}  // namespace fgqos::dram

@@ -1,0 +1,157 @@
+/// \file controller.hpp
+/// \brief FR-FCFS DDR controller model.
+///
+/// Mid-fidelity model in the DRAMSim tradition: per-bank row state and
+/// timing windows (tRCD/tRP/tRAS/tRC/tRRD/tFAW/tCCD/tRTP/tWR/tWTR/tRTW),
+/// a shared command bus (one command per controller cycle), a shared data
+/// bus with direction-turnaround penalties, periodic refresh, FR-FCFS
+/// scheduling with a starvation guard, and write draining with
+/// high/low watermarks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "axi/interconnect.hpp"
+#include "axi/transaction.hpp"
+#include "dram/address_mapper.hpp"
+#include "dram/bank.hpp"
+#include "dram/command_queue.hpp"
+#include "dram/timing.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace fgqos::dram {
+
+/// Row management policy after a CAS completes.
+enum class PagePolicy : std::uint8_t {
+  /// Leave the row open (bet on locality; conflicts pay PRE+ACT).
+  kOpen,
+  /// Auto-precharge after each CAS unless another hit to the same row is
+  /// already queued (bet on randomness; every access pays ACT).
+  kClosed,
+};
+
+/// Controller-level knobs (timing lives in TimingConfig).
+struct ControllerConfig {
+  TimingConfig timing{};
+  MappingPolicy mapping = MappingPolicy::kBankInterleaved;
+  PagePolicy page_policy = PagePolicy::kOpen;
+  std::size_t read_queue_depth = 32;
+  std::size_t write_queue_depth = 32;
+  /// Write-drain hysteresis (entries).
+  std::size_t write_high_watermark = 24;
+  std::size_t write_low_watermark = 8;
+  /// Oldest-request age (controller cycles) beyond which row hits may no
+  /// longer bypass it (FR-FCFS starvation guard).
+  std::uint64_t starvation_cycles = 1200;
+  /// Front-end pipeline latency from accept() to schedulability.
+  sim::TimePs frontend_latency_ps = 20'000;  // 20 ns
+
+  void validate() const;
+};
+
+/// Aggregate controller statistics.
+struct ControllerStats {
+  sim::Counter reads_serviced;
+  sim::Counter writes_serviced;
+  sim::Counter payload_bytes;    ///< useful bytes delivered
+  sim::Counter bus_bytes;        ///< bytes moved on the data bus (bursts)
+  sim::Counter activations;      ///< ACT commands (row misses)
+  sim::Counter conflict_precharges;  ///< PRE issued to replace an open row
+  sim::Counter refreshes;
+  sim::Counter data_bus_busy_cycles;
+
+  /// CAS issued to a row opened by an earlier request of the same stream.
+  [[nodiscard]] std::uint64_t row_hits() const {
+    const std::uint64_t cas = reads_serviced.value() + writes_serviced.value();
+    const std::uint64_t acts = activations.value();
+    return cas > acts ? cas - acts : 0;
+  }
+};
+
+/// The memory controller. Accepts line requests from the interconnect and
+/// reports each back through the ResponseSink at data-burst completion.
+class Controller final : public sim::Clocked, public axi::SlaveIf {
+ public:
+  /// \param clk must have the same frequency as cfg.timing.clock_mhz.
+  Controller(sim::Simulator& sim, const sim::ClockDomain& clk,
+             ControllerConfig cfg, axi::ResponseSink& sink);
+
+  [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  [[nodiscard]] const AddressMapper& mapper() const { return mapper_; }
+
+  /// Bytes serviced for one master id (payload).
+  [[nodiscard]] std::uint64_t master_bytes(axi::MasterId m) const;
+
+  /// Measured data-bus utilisation in [0,1] over the whole run.
+  [[nodiscard]] double bus_utilization(sim::TimePs elapsed_ps) const;
+
+  /// Current queue occupancies (diagnostics).
+  [[nodiscard]] std::size_t read_queue_size() const { return read_q_.size(); }
+  [[nodiscard]] std::size_t write_queue_size() const {
+    return write_q_.size();
+  }
+  [[nodiscard]] bool draining_writes() const { return draining_writes_; }
+
+  // SlaveIf
+  [[nodiscard]] bool can_accept(const axi::LineRequest& line,
+                                sim::TimePs now) const override;
+  void accept(axi::LineRequest line, sim::TimePs now) override;
+
+  // Clocked
+  bool tick(sim::Cycles cycle) override;
+
+ private:
+  using Cycle = Bank::Cycle;
+
+  void do_refresh(Cycle c);
+  [[nodiscard]] bool act_allowed(Cycle c, std::uint32_t group) const;
+  void note_act(Cycle c, std::uint32_t group);
+  /// Earliest CAS issue cycle for direction \p write given bus state.
+  [[nodiscard]] Cycle dir_cas_ready(bool write) const;
+  /// True when a CAS for \p e could be issued at cycle \p c.
+  [[nodiscard]] bool cas_issuable(const QueueEntry& e, Cycle c,
+                                  sim::TimePs now) const;
+  /// Issues the CAS: updates bank/bus state, schedules completion.
+  /// \param auto_precharge close the row right after (closed-page policy).
+  void issue_cas(QueueEntry entry, Cycle c, bool auto_precharge);
+  /// Tries to issue PRE/ACT for the oldest entries (one command max).
+  /// \param hit_pending per-bank flag: a visible entry targets the open row
+  /// \param starving_bank bank whose oldest entry is starving (-1 = none);
+  ///        row-hit protection is suspended for that bank.
+  bool try_prep(const std::vector<const QueueEntry*>& order,
+                const std::vector<bool>& hit_pending, int starving_bank,
+                Cycle c);
+  /// Collects pointers to visible entries of the queues to scan, oldest
+  /// first.
+  void scan_order(std::vector<const QueueEntry*>& out, bool include_reads,
+                  bool include_writes, sim::TimePs now) const;
+
+  ControllerConfig cfg_;
+  AddressMapper mapper_;
+  axi::ResponseSink* sink_;
+  std::vector<Bank> banks_;
+  RequestQueue read_q_;
+  RequestQueue write_q_;
+  std::uint64_t arrival_seq_ = 0;
+  bool draining_writes_ = false;
+
+  // Global channel state (absolute controller cycles).
+  Cycle next_act_any_ = 0;                 ///< tRRD_S
+  std::vector<Cycle> next_act_group_;      ///< tRRD_L, per bank group
+  std::deque<Cycle> act_history_;          ///< tFAW window
+  Cycle next_cas_any_ = 0;                 ///< tCCD_S
+  std::vector<Cycle> next_cas_group_;      ///< tCCD_L, per bank group
+  Cycle next_read_cas_ = 0;
+  Cycle next_write_cas_ = 0;
+  Cycle data_bus_free_ = 0;
+  Cycle next_refresh_ = 0;
+
+  ControllerStats stats_;
+  std::vector<std::uint64_t> master_bytes_;
+};
+
+}  // namespace fgqos::dram

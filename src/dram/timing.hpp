@@ -1,0 +1,71 @@
+/// \file timing.hpp
+/// \brief DDR4-style timing and geometry parameters.
+///
+/// All timing values are in controller clock cycles (the controller clock
+/// runs at the I/O frequency / 2, i.e. 1200 MHz for DDR4-2400, moving
+/// 2 * bus_width bytes per controller cycle).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace fgqos::dram {
+
+/// Timing/geometry bundle. Defaults model a 64-bit DDR4-2400 channel, the
+/// PS DDR controller class found on Zynq UltraScale+ boards
+/// (theoretical peak 19.2 GB/s).
+struct TimingConfig {
+  std::uint64_t clock_mhz = 1200;          ///< controller clock
+  std::uint32_t data_bytes_per_cycle = 16; ///< 64-bit DDR: 2 beats/cycle
+  std::uint32_t burst_bytes = 64;          ///< BL8 on a 64-bit bus
+
+  // Core timings (controller cycles, DDR4-2400 17-17-17-ish):
+  std::uint32_t tCL = 17;    ///< read CAS latency
+  std::uint32_t tCWL = 12;   ///< write CAS latency
+  std::uint32_t tRCD = 17;   ///< ACT -> CAS
+  std::uint32_t tRP = 17;    ///< PRE -> ACT
+  std::uint32_t tRAS = 39;   ///< ACT -> PRE
+  std::uint32_t tRC = 56;    ///< ACT -> ACT, same bank
+  std::uint32_t tRRD_S = 4;  ///< ACT -> ACT, different bank group
+  std::uint32_t tRRD_L = 6;  ///< ACT -> ACT, same bank group
+  std::uint32_t tFAW = 26;   ///< four-ACT window
+  std::uint32_t tCCD_S = 4;  ///< CAS -> CAS, different bank group
+  std::uint32_t tCCD_L = 6;  ///< CAS -> CAS, same bank group
+  std::uint32_t tRTP = 9;    ///< read CAS -> PRE
+  std::uint32_t tWR = 18;    ///< end of write data -> PRE
+  std::uint32_t tWTR = 9;    ///< end of write data -> read CAS
+  std::uint32_t tRTW = 8;    ///< extra gap when turning read -> write
+  std::uint32_t tREFI = 9360;  ///< refresh interval
+  std::uint32_t tRFC = 420;    ///< refresh cycle time
+
+  std::uint32_t banks = 16;        ///< total banks (DDR4: 4 groups x 4)
+  std::uint32_t bank_groups = 4;   ///< bank groups (tCCD_L/tRRD_L apply
+                                   ///< within a group)
+  std::uint64_t row_bytes = 8192;  ///< row (page) size per bank
+  std::uint64_t capacity_bytes = 2ull << 30;  ///< channel capacity
+
+  /// Controller clock period.
+  [[nodiscard]] sim::TimePs period_ps() const {
+    return sim::period_ps_from_mhz(clock_mhz);
+  }
+  /// Cycles one burst occupies the data bus.
+  [[nodiscard]] std::uint32_t burst_cycles() const {
+    return burst_bytes / data_bytes_per_cycle;
+  }
+  /// Theoretical peak bandwidth in bytes/second.
+  [[nodiscard]] double peak_bandwidth_bps() const {
+    return static_cast<double>(data_bytes_per_cycle) *
+           static_cast<double>(clock_mhz) * 1e6;
+  }
+  /// Bank group of a bank index.
+  [[nodiscard]] std::uint32_t group_of(std::uint32_t bank) const {
+    return bank % bank_groups;
+  }
+
+  /// Throws ConfigError when a parameter combination is inconsistent.
+  void validate() const;
+};
+
+}  // namespace fgqos::dram

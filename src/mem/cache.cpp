@@ -1,0 +1,92 @@
+#include "mem/cache.hpp"
+
+#include "util/config_error.hpp"
+
+namespace fgqos::mem {
+
+void CacheConfig::validate() const {
+  config_check(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0,
+               "CacheConfig '" + name + "': line_bytes must be a power of two");
+  config_check(ways > 0, "CacheConfig '" + name + "': ways must be > 0");
+  config_check(size_bytes % (static_cast<std::uint64_t>(line_bytes) * ways) == 0,
+               "CacheConfig '" + name +
+                   "': size must be a multiple of line_bytes * ways");
+  const std::uint64_t s = size_bytes / (static_cast<std::uint64_t>(line_bytes) * ways);
+  config_check(s > 0 && (s & (s - 1)) == 0,
+               "CacheConfig '" + name + "': set count must be a power of two");
+}
+
+Cache::Cache(CacheConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  sets_ = cfg_.sets();
+  lines_.resize(sets_ * cfg_.ways);
+}
+
+std::uint64_t Cache::set_index(axi::Addr addr) const {
+  return (addr / cfg_.line_bytes) & (sets_ - 1);
+}
+
+std::uint64_t Cache::tag_of(axi::Addr addr) const {
+  return (addr / cfg_.line_bytes) / sets_;
+}
+
+axi::Addr Cache::line_addr(std::uint64_t tag, std::uint64_t set) const {
+  return (tag * sets_ + set) * cfg_.line_bytes;
+}
+
+CacheAccessResult Cache::access(axi::Addr addr, bool is_write) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = ++lru_clock_;
+      line.dirty = line.dirty || is_write;
+      stats_.hits.add();
+      return CacheAccessResult{true, std::nullopt};
+    }
+  }
+  // Miss: victim is the first invalid way, else the true-LRU way.
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) {
+      victim = &base[w];
+    }
+  }
+  stats_.misses.add();
+  CacheAccessResult res{false, std::nullopt};
+  if (victim->valid && victim->dirty) {
+    res.writeback_addr = line_addr(victim->tag, set);
+    stats_.writebacks.add();
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->lru = ++lru_clock_;
+  return res;
+}
+
+bool Cache::probe(axi::Addr addr) const {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Line* base = &lines_[set * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& line : lines_) {
+    line = Line{};
+  }
+}
+
+}  // namespace fgqos::mem

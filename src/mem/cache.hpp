@@ -1,0 +1,91 @@
+/// \file cache.hpp
+/// \brief Set-associative write-back, write-allocate cache (tag-only).
+///
+/// Functional tag array with true-LRU replacement; no data storage (the
+/// simulator is timing-only). Used for the CPU cluster's private L1s and
+/// shared L2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "axi/types.hpp"
+#include "sim/stats.hpp"
+
+namespace fgqos::mem {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 4;
+
+  void validate() const;
+  [[nodiscard]] std::uint64_t sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) * ways);
+  }
+};
+
+/// Outcome of one access.
+struct CacheAccessResult {
+  bool hit = false;
+  /// On a miss: line address of a dirty victim that must be written back
+  /// (nullopt when the victim was clean or the set had room).
+  std::optional<axi::Addr> writeback_addr;
+};
+
+/// Cache statistics.
+struct CacheStats {
+  sim::Counter hits;
+  sim::Counter misses;
+  sim::Counter writebacks;
+
+  [[nodiscard]] double hit_rate() const {
+    const double total =
+        static_cast<double>(hits.value() + misses.value());
+    return total == 0 ? 0.0 : static_cast<double>(hits.value()) / total;
+  }
+};
+
+/// The tag array.
+class Cache {
+ public:
+  explicit Cache(CacheConfig cfg);
+
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+  /// Performs an access: on a hit updates LRU (and the dirty bit for
+  /// writes); on a miss allocates the line, evicting LRU if needed.
+  CacheAccessResult access(axi::Addr addr, bool is_write);
+
+  /// True when the line holding \p addr is present (no LRU update).
+  [[nodiscard]] bool probe(axi::Addr addr) const;
+
+  /// Invalidates everything (dirty state is dropped; use for test setup).
+  void flush();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  ///< higher = more recently used
+  };
+
+  [[nodiscard]] std::uint64_t set_index(axi::Addr addr) const;
+  [[nodiscard]] std::uint64_t tag_of(axi::Addr addr) const;
+  [[nodiscard]] axi::Addr line_addr(std::uint64_t tag,
+                                    std::uint64_t set) const;
+
+  CacheConfig cfg_;
+  std::uint64_t sets_;
+  std::vector<Line> lines_;  ///< sets_ * ways, row-major by set
+  std::uint64_t lru_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace fgqos::mem

@@ -1,0 +1,39 @@
+#include "mem/mshr.hpp"
+
+#include "util/assert.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::mem {
+
+MshrFile::MshrFile(std::size_t entries) : capacity_(entries) {
+  config_check(capacity_ > 0, "MshrFile: capacity must be > 0");
+}
+
+bool MshrFile::allocate(axi::Addr line_addr) {
+  auto it = entries_.find(line_addr);
+  if (it != entries_.end()) {
+    ++it->second;
+    ++merges_;
+    return true;
+  }
+  if (full()) {
+    return false;
+  }
+  entries_.emplace(line_addr, 1);
+  return true;
+}
+
+std::uint32_t MshrFile::waiters(axi::Addr line_addr) const {
+  auto it = entries_.find(line_addr);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+std::uint32_t MshrFile::complete(axi::Addr line_addr) {
+  auto it = entries_.find(line_addr);
+  FGQOS_ASSERT(it != entries_.end(), "MshrFile: completing unknown line");
+  const std::uint32_t n = it->second;
+  entries_.erase(it);
+  return n;
+}
+
+}  // namespace fgqos::mem

@@ -1,0 +1,50 @@
+/// \file mshr.hpp
+/// \brief Miss Status Holding Registers: outstanding-miss tracking with
+///        same-line merge.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "axi/types.hpp"
+
+namespace fgqos::mem {
+
+/// Bounded set of in-flight miss line addresses. A second miss to a line
+/// already in flight merges into the existing entry (no extra memory
+/// transaction); capacity limits memory-level parallelism.
+class MshrFile {
+ public:
+  explicit MshrFile(std::size_t entries);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t in_flight() const { return entries_.size(); }
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+
+  /// True when \p line_addr already has an entry (a merge is free).
+  [[nodiscard]] bool present(axi::Addr line_addr) const {
+    return entries_.count(line_addr) != 0;
+  }
+
+  /// Allocates an entry (or merges). Returns false when full and the line
+  /// is not already present — the requester must stall.
+  bool allocate(axi::Addr line_addr);
+
+  /// Number of merged requests waiting on \p line_addr (1 = just the
+  /// original miss).
+  [[nodiscard]] std::uint32_t waiters(axi::Addr line_addr) const;
+
+  /// Completes the miss and frees the entry. Returns the waiter count that
+  /// was released. Pre: present(line_addr).
+  std::uint32_t complete(axi::Addr line_addr);
+
+  /// Total allocations that merged into an existing entry.
+  [[nodiscard]] std::uint64_t merges() const { return merges_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<axi::Addr, std::uint32_t> entries_;
+  std::uint64_t merges_ = 0;
+};
+
+}  // namespace fgqos::mem

@@ -1,0 +1,77 @@
+#include "qos/adaptive_controller.hpp"
+
+#include <algorithm>
+
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+AdaptiveQosController::AdaptiveQosController(
+    sim::Simulator& sim, AdaptiveControllerConfig cfg,
+    LatencyMonitor& critical_latency, std::vector<Regulator*> best_effort)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      critical_(&critical_latency),
+      best_effort_(std::move(best_effort)) {
+  config_check(cfg_.period_ps > 0, "AdaptiveQosController: period must be > 0");
+  config_check(cfg_.decrease_factor > 0 && cfg_.decrease_factor < 1,
+               "AdaptiveQosController: decrease_factor must be in (0,1)");
+  config_check(cfg_.min_bps > 0 && cfg_.min_bps <= cfg_.max_bps,
+               "AdaptiveQosController: 0 < min_bps <= max_bps required");
+  config_check(cfg_.initial_bps >= cfg_.min_bps &&
+                   cfg_.initial_bps <= cfg_.max_bps,
+               "AdaptiveQosController: initial rate outside [min, max]");
+  config_check(!best_effort_.empty(),
+               "AdaptiveQosController: needs at least one regulator");
+  for (const auto* r : best_effort_) {
+    config_check(r != nullptr, "AdaptiveQosController: null regulator");
+  }
+  stats_.current_bps = cfg_.initial_bps;
+}
+
+void AdaptiveQosController::apply(double per_port_bps) {
+  stats_.current_bps = per_port_bps;
+  for (Regulator* r : best_effort_) {
+    r->set_rate(per_port_bps);
+    r->set_enabled(true);
+  }
+}
+
+void AdaptiveQosController::start() {
+  if (active_) {
+    return;
+  }
+  active_ = true;
+  apply(stats_.current_bps);
+  const std::uint64_t epoch = ++epoch_;
+  sim_.schedule_at(sim_.now() + cfg_.period_ps,
+                   [this, epoch]() { control_tick(epoch); });
+}
+
+void AdaptiveQosController::stop() {
+  active_ = false;
+  ++epoch_;
+}
+
+void AdaptiveQosController::control_tick(std::uint64_t epoch) {
+  if (!active_ || epoch != epoch_) {
+    return;
+  }
+  ++stats_.periods;
+  const sim::TimePs observed = critical_->last_window_max_ps();
+  double rate = stats_.current_bps;
+  if (observed > cfg_.latency_target_ps) {
+    rate *= cfg_.decrease_factor;
+    ++stats_.decreases;
+  } else {
+    rate += cfg_.increase_bps /
+            static_cast<double>(best_effort_.size());
+    ++stats_.increases;
+  }
+  rate = std::clamp(rate, cfg_.min_bps, cfg_.max_bps);
+  apply(rate);
+  sim_.schedule_at(sim_.now() + cfg_.period_ps,
+                   [this, epoch]() { control_tick(epoch); });
+}
+
+}  // namespace fgqos::qos

@@ -1,0 +1,90 @@
+/// \file adaptive_controller.hpp
+/// \brief Closed-loop QoS: latency-target control of best-effort budgets.
+///
+/// The static reservation model (QosManager) requires the integrator to
+/// pick budgets offline. This controller instead drives the best-effort
+/// regulators from a *latency target* on the critical port: every control
+/// period it reads the critical LatencyMonitor and applies an AIMD
+/// (additive-increase / multiplicative-decrease) step to the aggregate
+/// best-effort rate —
+///   * critical window-max latency below the target: best-effort budgets
+///     grow by `increase_bps` (reclaim unused headroom);
+///   * above the target: budgets are cut by `decrease_factor`
+///     (fast back-off, the usual stability choice for AIMD loops).
+/// The result tracks the highest best-effort throughput compatible with
+/// the critical task's latency goal without any offline profiling — the
+/// natural extension of the paper's fine-grained control loop, made
+/// possible by the monitors being cheap enough to read every few
+/// microseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qos/latency_monitor.hpp"
+#include "qos/regulator.hpp"
+#include "sim/simulator.hpp"
+
+namespace fgqos::qos {
+
+/// Controller configuration.
+struct AdaptiveControllerConfig {
+  std::string name = "adaptive_qos";
+  /// Critical-port latency target (window max must stay below this).
+  sim::TimePs latency_target_ps = 600 * sim::kPsPerNs;
+  /// Control period (also the latency monitor's summary window).
+  sim::TimePs period_ps = 100 * sim::kPsPerUs;
+  /// Additive increase per period, spread across best-effort ports.
+  double increase_bps = 100e6;
+  /// Multiplicative decrease on target violation (in (0,1)).
+  double decrease_factor = 0.5;
+  /// Bounds on the per-port best-effort rate.
+  double min_bps = 50e6;
+  double max_bps = 5e9;
+  /// Initial per-port rate.
+  double initial_bps = 200e6;
+};
+
+/// Controller statistics.
+struct AdaptiveControllerStats {
+  std::uint64_t periods = 0;
+  std::uint64_t increases = 0;
+  std::uint64_t decreases = 0;
+  double current_bps = 0;  ///< per-port rate currently programmed
+};
+
+/// The control loop. Owns no hardware; it reprograms the regulators it
+/// was given (which must outlive it).
+class AdaptiveQosController {
+ public:
+  /// \param critical_latency monitor on the critical port (observer must
+  ///        already be attached)
+  /// \param best_effort regulators of the best-effort ports
+  AdaptiveQosController(sim::Simulator& sim, AdaptiveControllerConfig cfg,
+                        LatencyMonitor& critical_latency,
+                        std::vector<Regulator*> best_effort);
+
+  [[nodiscard]] const AdaptiveControllerConfig& config() const { return cfg_; }
+  [[nodiscard]] const AdaptiveControllerStats& stats() const { return stats_; }
+
+  /// Starts the loop (programs initial budgets immediately).
+  void start();
+  /// Stops it (regulators keep their last programmed rate).
+  void stop();
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  void apply(double per_port_bps);
+  void control_tick(std::uint64_t epoch);
+
+  sim::Simulator& sim_;
+  AdaptiveControllerConfig cfg_;
+  LatencyMonitor* critical_;
+  std::vector<Regulator*> best_effort_;
+  AdaptiveControllerStats stats_;
+  bool active_ = false;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace fgqos::qos

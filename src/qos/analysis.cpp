@@ -1,0 +1,91 @@
+#include "qos/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qos/window.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+LatencyBound worst_case_read_latency(const BoundInputs& in) {
+  in.dram.validate();
+  config_check(in.line_bytes > 0, "analysis: line_bytes must be > 0");
+  config_check(in.aggressor_total_bps >= 0,
+               "analysis: negative aggressor rate");
+  const dram::TimingConfig& t = in.dram.timing;
+  const sim::TimePs cyc = t.period_ps();
+
+  LatencyBound b;
+  b.path_ps = in.path_latency_ps;
+
+  // Worst-case single-line service: the target bank has a conflicting row
+  // open whose precharge window has just been re-armed (tRAS from a fresh
+  // ACT), then PRE + ACT + CAS + data; ACT may additionally stall on the
+  // four-activate window.
+  const std::uint64_t conflict_cycles =
+      static_cast<std::uint64_t>(t.tRAS) + t.tRP + t.tRCD + t.tCL +
+      t.burst_cycles();
+  const std::uint64_t faw_stall = t.tFAW;  // one full window in the worst case
+  b.per_line_service_ps = (conflict_cycles + faw_stall) * cyc;
+
+  // One refresh may be in progress or become due while waiting.
+  b.refresh_ps = static_cast<sim::TimePs>(t.tRFC) * cyc;
+
+  // Interfering lines ahead of the critical one: limited by the read
+  // queue capacity AND by what regulation admits over the waiting
+  // interval. The waiting interval depends on the interference, so the
+  // bound is the least fixed point of
+  //   L = path + (K(L) + 1) * S + R + D
+  //   K(L) = min(queue - 1, lines(budget * ceil(L / W)) + overdraft)
+  // where the overdraft is one line per regulated master (credit
+  // semantics). The iteration is monotone and capped by the queue term,
+  // so it converges in a handful of steps.
+  const std::uint64_t budget_bytes =
+      budget_for_rate(in.aggressor_total_bps, in.regulation_window_ps);
+  const std::uint64_t queue_lines = in.dram.read_queue_depth > 0
+                                        ? in.dram.read_queue_depth - 1
+                                        : 0;
+  const auto lines_over = [&](sim::TimePs span) {
+    if (in.aggressor_total_bps <= 0) {
+      return queue_lines;
+    }
+    const std::uint64_t windows =
+        (span + in.regulation_window_ps - 1) / in.regulation_window_ps;
+    const std::uint64_t bytes = budget_bytes * std::max<std::uint64_t>(
+                                                   windows, 1);
+    const std::uint64_t lines =
+        (bytes + in.line_bytes - 1) / in.line_bytes + in.aggressor_count;
+    return std::min(lines, queue_lines);
+  };
+
+  std::uint64_t k = lines_over(b.per_line_service_ps);
+  sim::TimePs total = 0;
+  for (int iter = 0; iter < 64; ++iter) {
+    total = b.path_ps + (k + 1) * b.per_line_service_ps + b.refresh_ps;
+    const std::uint64_t k_next = lines_over(total);
+    if (k_next == k) {
+      break;
+    }
+    k = k_next;
+  }
+  b.interfering_lines = k;
+  b.service_ps = (k + 1) * b.per_line_service_ps;
+
+  // A write-drain batch may run first: the controller drains from the
+  // high to the low watermark before reads resume, but the read-aging
+  // guard re-admits reads after starvation_cycles regardless.
+  const std::uint64_t drain_lines =
+      in.dram.write_high_watermark - in.dram.write_low_watermark;
+  const std::uint64_t drain_cycles_raw =
+      drain_lines * (conflict_cycles + faw_stall);
+  const std::uint64_t drain_cycles =
+      std::min<std::uint64_t>(drain_cycles_raw,
+                              in.dram.starvation_cycles + conflict_cycles);
+  b.write_drain_ps = drain_cycles * cyc;
+
+  b.total_ps = b.path_ps + b.service_ps + b.refresh_ps + b.write_drain_ps;
+  return b;
+}
+
+}  // namespace fgqos::qos

@@ -1,0 +1,71 @@
+/// \file analysis.hpp
+/// \brief Analytical worst-case latency bounds under regulated
+///        interference.
+///
+/// The point of bandwidth regulation in real-time systems is not the
+/// average: it is that a *bound* on interfering traffic yields a bound on
+/// the critical request's latency. This module derives a conservative
+/// closed-form bound for one critical read line on the modelled platform,
+/// in the tradition of the MemGuard/PREM schedulability analyses:
+///
+///   L_wc = path + (K + 1) * S_wc + R + D
+///
+/// where
+///   * path — request/response wiring latency (port + controller
+///     front-end + response path);
+///   * S_wc — worst-case DRAM service time of one line (row conflict:
+///     PRE + ACT + CAS + data, plus a FAW stall);
+///   * K    — interfering lines that can be ahead of the critical one,
+///     bounded by BOTH the read-queue capacity and the regulated
+///     injection: over any window the aggressors can inject at most
+///     their aggregate budget plus one in-flight line each (the credit
+///     overdraft);
+///   * R    — one refresh (tRFC) that may be in progress on arrival;
+///   * D    — one write-drain batch (high - low watermark lines) that
+///     may have priority when the read arrives, bounded additionally by
+///     the controller's read-aging threshold.
+///
+/// The bound is validated against simulation in the test suite
+/// (AnalysisBound.*: observed max <= bound across scenarios).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dram/controller.hpp"
+#include "sim/time.hpp"
+
+namespace fgqos::qos {
+
+/// Inputs of the bound.
+struct BoundInputs {
+  dram::ControllerConfig dram{};
+  /// Sum of request-path latencies on the critical route:
+  /// port request + controller front-end + response path.
+  sim::TimePs path_latency_ps = 0;
+  /// Line size of the critical request.
+  std::uint32_t line_bytes = 64;
+  /// Aggregate regulated aggressor rate (bytes/second).
+  double aggressor_total_bps = 0;
+  /// Regulation window of the aggressor regulators.
+  sim::TimePs regulation_window_ps = sim::kPsPerUs;
+  /// Number of regulated aggressor masters (credit overdraft allowance).
+  std::size_t aggressor_count = 0;
+};
+
+/// The bound plus its breakdown (all in picoseconds).
+struct LatencyBound {
+  sim::TimePs total_ps = 0;
+  sim::TimePs path_ps = 0;
+  sim::TimePs service_ps = 0;      ///< (K+1) * S_wc
+  sim::TimePs refresh_ps = 0;      ///< R
+  sim::TimePs write_drain_ps = 0;  ///< D
+  std::uint64_t interfering_lines = 0;  ///< K
+  sim::TimePs per_line_service_ps = 0;  ///< S_wc
+};
+
+/// Computes the conservative worst-case latency of one critical read
+/// line. Throws ConfigError on inconsistent inputs.
+LatencyBound worst_case_read_latency(const BoundInputs& in);
+
+}  // namespace fgqos::qos

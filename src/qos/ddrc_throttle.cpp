@@ -1,0 +1,55 @@
+#include "qos/ddrc_throttle.hpp"
+
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+DdrcThrottle::DdrcThrottle(sim::Simulator& sim, DdrcThrottleConfig cfg,
+                           axi::SlaveIf& inner)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      inner_(&inner),
+      read_bucket_(budget_for_rate(cfg_.read_bps, cfg_.window_ps),
+                   ReplenishKind::kFixedWindow),
+      write_bucket_(budget_for_rate(cfg_.write_bps, cfg_.window_ps),
+                    ReplenishKind::kFixedWindow) {
+  config_check(cfg_.window_ps > 0, "DdrcThrottle: window must be > 0");
+  sim_.schedule_at(sim_.now() + cfg_.window_ps, [this]() { on_window(); });
+}
+
+void DdrcThrottle::on_window() {
+  read_bucket_.replenish();
+  write_bucket_.replenish();
+  sim_.schedule_at(sim_.now() + cfg_.window_ps, [this]() { on_window(); });
+}
+
+void DdrcThrottle::set_rates(double read_bps, double write_bps) {
+  cfg_.read_bps = read_bps;
+  cfg_.write_bps = write_bps;
+  read_bucket_.set_budget(budget_for_rate(read_bps, cfg_.window_ps));
+  write_bucket_.set_budget(budget_for_rate(write_bps, cfg_.window_ps));
+}
+
+bool DdrcThrottle::can_accept(const axi::LineRequest& line,
+                              sim::TimePs now) const {
+  const bool throttled = line.is_write ? cfg_.write_bps > 0 : cfg_.read_bps > 0;
+  if (throttled) {
+    const TokenBucket& bucket = line.is_write ? write_bucket_ : read_bucket_;
+    if (!bucket.can_spend()) {
+      ++rejections_;
+      return false;
+    }
+  }
+  return inner_->can_accept(line, now);
+}
+
+void DdrcThrottle::accept(axi::LineRequest line, sim::TimePs now) {
+  const bool throttled = line.is_write ? cfg_.write_bps > 0 : cfg_.read_bps > 0;
+  if (throttled) {
+    TokenBucket& bucket = line.is_write ? write_bucket_ : read_bucket_;
+    bucket.spend(line.bytes);
+  }
+  inner_->accept(line, now);
+}
+
+}  // namespace fgqos::qos

@@ -1,0 +1,68 @@
+/// \file ddrc_throttle.hpp
+/// \brief Controller-level traffic throttle (Xilinx DDRC-QoS-style).
+///
+/// Commercial FPGA SoCs expose coarse QoS knobs at the DDR controller:
+/// global per-direction command throttles that limit how fast the
+/// controller accepts requests, with no notion of which master they came
+/// from. This class models that alternative as a SlaveIf decorator
+/// inserted between the crossbar and the dram::Controller. It is the
+/// "regulation at the wrong place" baseline: it can cap aggregate
+/// traffic, but cannot isolate a critical master from an aggressive one —
+/// both are slowed equally (EXP11 quantifies this against the paper's
+/// per-port regulators).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "axi/interconnect.hpp"
+#include "qos/window.hpp"
+#include "sim/simulator.hpp"
+
+namespace fgqos::qos {
+
+/// Throttle configuration.
+struct DdrcThrottleConfig {
+  std::string name = "ddrc_throttle";
+  /// Aggregate accepted read payload per second (0 = unthrottled).
+  double read_bps = 0;
+  /// Aggregate accepted write payload per second (0 = unthrottled).
+  double write_bps = 0;
+  /// Accounting window for the internal credit buckets.
+  sim::TimePs window_ps = sim::kPsPerUs;
+};
+
+/// The decorator. Wire as:
+///   DdrcThrottle thr(sim, cfg, controller);
+///   xbar.set_slave(thr);
+class DdrcThrottle final : public axi::SlaveIf {
+ public:
+  DdrcThrottle(sim::Simulator& sim, DdrcThrottleConfig cfg,
+               axi::SlaveIf& inner);
+
+  [[nodiscard]] const DdrcThrottleConfig& config() const { return cfg_; }
+  /// Bytes refused so far because a bucket was dry (per direction).
+  [[nodiscard]] std::uint64_t throttled_rejections() const {
+    return rejections_;
+  }
+
+  /// Reprograms the rates (takes effect immediately).
+  void set_rates(double read_bps, double write_bps);
+
+  // SlaveIf
+  [[nodiscard]] bool can_accept(const axi::LineRequest& line,
+                                sim::TimePs now) const override;
+  void accept(axi::LineRequest line, sim::TimePs now) override;
+
+ private:
+  void on_window();
+
+  sim::Simulator& sim_;
+  DdrcThrottleConfig cfg_;
+  axi::SlaveIf* inner_;
+  TokenBucket read_bucket_;
+  TokenBucket write_bucket_;
+  mutable std::uint64_t rejections_ = 0;
+};
+
+}  // namespace fgqos::qos

@@ -1,0 +1,63 @@
+#include "qos/latency_monitor.hpp"
+
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+LatencyMonitor::LatencyMonitor(sim::Simulator& sim, LatencyMonitorConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)) {
+  config_check(cfg_.window_ps > 0, "LatencyMonitor: window must be > 0");
+  config_check(cfg_.track_reads || cfg_.track_writes,
+               "LatencyMonitor: must track at least one direction");
+  schedule_boundary();
+}
+
+void LatencyMonitor::schedule_boundary() {
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_at(sim_.now() + cfg_.window_ps,
+                   [this, epoch]() { on_boundary(epoch); });
+}
+
+void LatencyMonitor::on_boundary(std::uint64_t epoch) {
+  if (epoch != epoch_) {
+    return;
+  }
+  last_window_max_ = window_max_;
+  last_window_mean_ =
+      window_count_ == 0
+          ? 0.0
+          : static_cast<double>(window_sum_) /
+                static_cast<double>(window_count_);
+  window_max_ = 0;
+  window_sum_ = 0;
+  window_count_ = 0;
+  threshold_fired_ = false;
+  schedule_boundary();
+}
+
+void LatencyMonitor::set_threshold(sim::TimePs latency_ps,
+                                   LatencyThresholdFn fn) {
+  threshold_ = latency_ps;
+  threshold_fn_ = std::move(fn);
+  threshold_fired_ = false;
+}
+
+void LatencyMonitor::on_complete(const axi::Transaction& txn,
+                                 sim::TimePs now) {
+  const bool is_write = txn.dir == axi::Dir::kWrite;
+  if (is_write ? !cfg_.track_writes : !cfg_.track_reads) {
+    return;
+  }
+  const sim::TimePs lat = txn.latency();
+  hist_.record(lat);
+  window_max_ = std::max(window_max_, lat);
+  window_sum_ += lat;
+  ++window_count_;
+  if (threshold_ > 0 && !threshold_fired_ && lat >= threshold_ &&
+      threshold_fn_) {
+    threshold_fired_ = true;
+    threshold_fn_(now, lat);
+  }
+}
+
+}  // namespace fgqos::qos

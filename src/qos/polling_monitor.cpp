@@ -1,0 +1,60 @@
+#include "qos/polling_monitor.hpp"
+
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+LaggedRegulator::LaggedRegulator(sim::Simulator& sim,
+                                 LaggedRegulatorConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)) {
+  config_check(cfg_.window_ps > 0, "LaggedRegulator: window must be > 0");
+  sim_.schedule_at(sim_.now() + cfg_.window_ps, [this]() { on_window(); });
+}
+
+void LaggedRegulator::on_window() {
+  if (true_bytes_ > cfg_.budget_bytes) {
+    const std::uint64_t overshoot = true_bytes_ - cfg_.budget_bytes;
+    if (overshoot > max_overshoot_) {
+      max_overshoot_ = overshoot;
+    }
+  }
+  true_bytes_ = 0;
+  observed_bytes_ = 0;
+  ++epoch_;  // pending observations from the old window are dropped
+  sim_.schedule_at(sim_.now() + cfg_.window_ps, [this]() { on_window(); });
+}
+
+void LaggedRegulator::on_observe(std::uint64_t bytes, std::uint64_t epoch) {
+  if (epoch != epoch_) {
+    return;
+  }
+  observed_bytes_ += bytes;
+}
+
+bool LaggedRegulator::allow(const axi::LineRequest& /*line*/,
+                            sim::TimePs) const {
+  if (!cfg_.enabled) {
+    return true;
+  }
+  // Decision on *observed* state only: the gate shuts when the stale view
+  // crosses the budget.
+  return observed_bytes_ < cfg_.budget_bytes;
+}
+
+void LaggedRegulator::on_grant(const axi::LineRequest& line,
+                               sim::TimePs now) {
+  if (!cfg_.enabled) {
+    return;
+  }
+  true_bytes_ += line.bytes;
+  const std::uint64_t bytes = line.bytes;
+  const std::uint64_t epoch = epoch_;
+  if (cfg_.observation_latency_ps == 0) {
+    on_observe(bytes, epoch);
+    return;
+  }
+  sim_.schedule_at(now + cfg_.observation_latency_ps,
+                   [this, bytes, epoch]() { on_observe(bytes, epoch); });
+}
+
+}  // namespace fgqos::qos

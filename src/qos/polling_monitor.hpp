@@ -1,0 +1,69 @@
+/// \file polling_monitor.hpp
+/// \brief Loosely-coupled regulator variant for the coupling ablation.
+///
+/// Same token-bucket policy as qos::Regulator, but the regulator's view of
+/// consumed bytes lags reality by a configurable observation latency —
+/// modelling a monitor that sits across the fabric (e.g. an AXI
+/// Performance Monitor polled over the configuration bus) instead of on
+/// the port itself. During the lag the gate stays open even though the
+/// budget is already spent, so the master overshoots its allocation; the
+/// overshoot grows with the observation latency, which is exactly the
+/// effect EXP8 quantifies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "axi/port.hpp"
+#include "qos/window.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace fgqos::qos {
+
+/// Configuration of the lagged regulator.
+struct LaggedRegulatorConfig {
+  std::string name = "lagged_regulator";
+  std::uint64_t budget_bytes = 4096;
+  sim::TimePs window_ps = sim::kPsPerUs;
+  /// Delay between a grant happening and the regulator observing it.
+  sim::TimePs observation_latency_ps = 10 * sim::kPsPerUs;
+  bool enabled = true;
+};
+
+/// The loosely-coupled regulator.
+class LaggedRegulator final : public axi::TxnGate {
+ public:
+  LaggedRegulator(sim::Simulator& sim, LaggedRegulatorConfig cfg);
+
+  [[nodiscard]] const LaggedRegulatorConfig& config() const { return cfg_; }
+  /// Bytes granted in the current window (ground truth).
+  [[nodiscard]] std::uint64_t window_bytes_true() const { return true_bytes_; }
+  /// Bytes the regulator has observed so far this window.
+  [[nodiscard]] std::uint64_t window_bytes_observed() const {
+    return observed_bytes_;
+  }
+  /// Largest single-window overshoot (true bytes - budget) seen so far.
+  [[nodiscard]] std::uint64_t max_overshoot_bytes() const {
+    return max_overshoot_;
+  }
+
+  // TxnGate
+  [[nodiscard]] bool allow(const axi::LineRequest& line,
+                           sim::TimePs now) const override;
+  void on_grant(const axi::LineRequest& line, sim::TimePs now) override;
+
+ private:
+  void on_window();
+  void on_observe(std::uint64_t bytes, std::uint64_t epoch);
+
+  sim::Simulator& sim_;
+  LaggedRegulatorConfig cfg_;
+  std::uint64_t true_bytes_ = 0;      ///< granted this window
+  std::uint64_t observed_bytes_ = 0;  ///< what the regulator "knows"
+  std::uint64_t max_overshoot_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace fgqos::qos

@@ -1,0 +1,172 @@
+#include "qos/qos_manager.hpp"
+
+#include <algorithm>
+
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+QosManager::QosManager(sim::Simulator& sim, QosManagerConfig cfg)
+    : sim_(sim), cfg_(cfg) {
+  config_check(cfg_.capacity_bps > 0, "QosManager: capacity must be > 0");
+  config_check(cfg_.max_reservable_frac > 0 && cfg_.max_reservable_frac <= 1,
+               "QosManager: max_reservable_frac must be in (0,1]");
+  config_check(cfg_.idle_threshold >= 0 && cfg_.idle_threshold <= 1,
+               "QosManager: idle_threshold must be in [0,1]");
+}
+
+void QosManager::add_port(std::string name, axi::MasterId master,
+                          QosRegFile& regfile) {
+  config_check(find(master) == nullptr,
+               "QosManager: master already registered");
+  config_check(regfile.regulator() != nullptr,
+               "QosManager: port '" + name + "' has no regulator");
+  ManagedPort p;
+  p.name = std::move(name);
+  p.master = master;
+  p.regfile = &regfile;
+  ports_.push_back(p);
+  // Best-effort default: floor rate so an unmanaged port cannot flood.
+  program_rate(ports_.back(), cfg_.best_effort_floor_bps);
+}
+
+ManagedPort* QosManager::find(axi::MasterId master) {
+  for (auto& p : ports_) {
+    if (p.master == master) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+void QosManager::program_rate(ManagedPort& port, double bps) {
+  QosRegFile& rf = *port.regfile;
+  const auto window_ns = rf.read(Reg::kWindowNs);
+  const sim::TimePs window_ps =
+      static_cast<sim::TimePs>(window_ns) * sim::kPsPerNs;
+  const std::uint64_t budget = budget_for_rate(bps, window_ps);
+  rf.write(Reg::kBudget, static_cast<std::uint32_t>(budget));
+  rf.write(Reg::kCtrl, 1);
+}
+
+bool QosManager::reserve(axi::MasterId master, double bytes_per_second) {
+  ManagedPort* p = find(master);
+  config_check(p != nullptr, "QosManager: unknown master");
+  config_check(bytes_per_second > 0, "QosManager: rate must be > 0");
+  const double already = p->best_effort ? 0.0 : p->reserved_bps;
+  const double total = reserved_total_bps() - already + bytes_per_second;
+  if (total > cfg_.capacity_bps * cfg_.max_reservable_frac) {
+    return false;  // admission control rejects
+  }
+  p->best_effort = false;
+  p->reserved_bps = bytes_per_second;
+  program_rate(*p, bytes_per_second);
+  return true;
+}
+
+void QosManager::release(axi::MasterId master) {
+  ManagedPort* p = find(master);
+  config_check(p != nullptr, "QosManager: unknown master");
+  p->best_effort = true;
+  p->reserved_bps = 0.0;
+  program_rate(*p, cfg_.best_effort_floor_bps);
+}
+
+double QosManager::reserved_total_bps() const {
+  double total = 0.0;
+  for (const auto& p : ports_) {
+    if (!p.best_effort) {
+      total += p.reserved_bps;
+    }
+  }
+  return total;
+}
+
+double QosManager::available_bps() const {
+  return cfg_.capacity_bps * cfg_.max_reservable_frac - reserved_total_bps();
+}
+
+void QosManager::start_reclamation() {
+  config_check(cfg_.reclaim_period_ps > 0,
+               "QosManager: reclamation disabled by configuration");
+  if (reclaiming_) {
+    return;
+  }
+  reclaiming_ = true;
+  const std::uint64_t epoch = ++reclaim_epoch_;
+  sim_.schedule_at(sim_.now() + cfg_.reclaim_period_ps,
+                   [this, epoch]() { reclaim_tick(epoch); });
+}
+
+void QosManager::stop_reclamation() {
+  reclaiming_ = false;
+  ++reclaim_epoch_;
+  // Restore static programming.
+  for (auto& p : ports_) {
+    program_rate(p, p.best_effort ? cfg_.best_effort_floor_bps
+                                  : p.reserved_bps);
+  }
+}
+
+void QosManager::reclaim_tick(std::uint64_t epoch) {
+  if (!reclaiming_ || epoch != reclaim_epoch_) {
+    return;
+  }
+  ++reclaim_iterations_;
+  // 1. Measure each port's consumption over the last period from its
+  //    monitor registers (as the real driver does).
+  double slack_bps = std::max(0.0, cfg_.capacity_bps - reserved_total_bps());
+  std::vector<ManagedPort*> best_effort;
+  std::vector<double> demand;
+  for (auto& p : ports_) {
+    const std::uint64_t total = p.regfile->monitor_total_bytes();
+    const std::uint64_t last = last_total_bytes_.count(p.master)
+                                   ? last_total_bytes_[p.master]
+                                   : 0;
+    last_total_bytes_[p.master] = total;
+    const double used_bps =
+        sim::bytes_per_second(total - last, cfg_.reclaim_period_ps);
+    if (p.best_effort) {
+      best_effort.push_back(&p);
+      demand.push_back(used_bps);
+      continue;
+    }
+    if (used_bps < p.reserved_bps * cfg_.idle_threshold) {
+      // Idle guarantee: its unused share becomes reclaimable. Keep the
+      // measured usage plus headroom so a waking master ramps gracefully
+      // until the next period restores its full guarantee.
+      slack_bps += p.reserved_bps - used_bps;
+    }
+  }
+  // 2. Redistribute slack across the best-effort ports.
+  if (!best_effort.empty()) {
+    const auto n = static_cast<double>(best_effort.size());
+    double demand_total = 0;
+    for (const double d : demand) {
+      demand_total += d;
+    }
+    for (std::size_t i = 0; i < best_effort.size(); ++i) {
+      double share = slack_bps / n;
+      if (cfg_.reclaim_policy == ReclaimPolicy::kProportional &&
+          demand_total > 0) {
+        // A saturated port consumes exactly what it was programmed, so
+        // last-period demand is a good proxy for appetite; hold back a
+        // small even-split fraction so a newly-hungry port can ramp.
+        share = 0.2 * slack_bps / n +
+                0.8 * slack_bps * (demand[i] / demand_total);
+      }
+      program_rate(*best_effort[i],
+                   std::max(cfg_.best_effort_floor_bps, share));
+    }
+  }
+  // 3. Reserved ports always keep their full guarantee programmed.
+  for (auto& p : ports_) {
+    if (!p.best_effort) {
+      program_rate(p, p.reserved_bps);
+    }
+  }
+  sim_.schedule_at(sim_.now() + cfg_.reclaim_period_ps,
+                   [this, epoch]() { reclaim_tick(epoch); });
+}
+
+}  // namespace fgqos::qos

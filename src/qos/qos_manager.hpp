@@ -1,0 +1,106 @@
+/// \file qos_manager.hpp
+/// \brief Host-side QoS runtime: reservations, admission control,
+///        CMRI-style dynamic reclamation of unused guaranteed bandwidth.
+///
+/// This is the software half of the paper's contribution: a user-level
+/// manager that programs the per-port hardware QoS blocks exclusively
+/// through their register files (as a Linux driver would) and periodically
+/// redistributes slack bandwidth from under-consuming guaranteed masters
+/// to best-effort masters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "axi/types.hpp"
+#include "qos/regfile.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace fgqos::qos {
+
+/// How reclaimed slack is split across best-effort ports.
+enum class ReclaimPolicy : std::uint8_t {
+  kEven,          ///< equal share per best-effort port
+  kProportional,  ///< proportional to each port's measured demand
+};
+
+/// Manager configuration.
+struct QosManagerConfig {
+  /// Platform memory bandwidth the manager may hand out (bytes/second);
+  /// typically the measured (not theoretical) peak.
+  double capacity_bps = 16e9;
+  /// Fraction of capacity that may be promised as guarantees.
+  double max_reservable_frac = 0.85;
+  /// Reclamation loop period (0 disables reclamation).
+  sim::TimePs reclaim_period_ps = 100 * sim::kPsPerUs;
+  /// A reserved master using less than this fraction of its guarantee is
+  /// considered idle and its slack becomes reclaimable.
+  double idle_threshold = 0.5;
+  /// Floor rate handed to best-effort ports when all slack is in use.
+  double best_effort_floor_bps = 50e6;
+  /// Slack distribution policy.
+  ReclaimPolicy reclaim_policy = ReclaimPolicy::kEven;
+};
+
+/// One port under management.
+struct ManagedPort {
+  std::string name;
+  axi::MasterId master = 0;
+  QosRegFile* regfile = nullptr;
+  bool best_effort = true;       ///< no guarantee; receives reclaimed slack
+  double reserved_bps = 0.0;     ///< guaranteed rate (0 for best-effort)
+};
+
+/// The host runtime.
+class QosManager {
+ public:
+  QosManager(sim::Simulator& sim, QosManagerConfig cfg);
+
+  /// Registers a port (its register file must outlive the manager).
+  void add_port(std::string name, axi::MasterId master, QosRegFile& regfile);
+
+  /// Reserves \p bytes_per_second for \p master. Returns false (and leaves
+  /// state unchanged) when admission control rejects the request.
+  [[nodiscard]] bool reserve(axi::MasterId master, double bytes_per_second);
+
+  /// Drops the reservation; the port reverts to best-effort.
+  void release(axi::MasterId master);
+
+  /// Sum of currently admitted guarantees (bytes/second).
+  [[nodiscard]] double reserved_total_bps() const;
+  /// Remaining admissible guarantee capacity (bytes/second).
+  [[nodiscard]] double available_bps() const;
+
+  /// Starts the periodic reclamation loop (requires reclaim_period_ps > 0).
+  void start_reclamation();
+  /// Stops it.
+  void stop_reclamation();
+  [[nodiscard]] bool reclamation_active() const { return reclaiming_; }
+  /// Number of reclamation iterations executed.
+  [[nodiscard]] std::uint64_t reclaim_iterations() const {
+    return reclaim_iterations_;
+  }
+
+  [[nodiscard]] const QosManagerConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<ManagedPort>& ports() const {
+    return ports_;
+  }
+
+ private:
+  ManagedPort* find(axi::MasterId master);
+  void program_rate(ManagedPort& port, double bps);
+  void reclaim_tick(std::uint64_t epoch);
+
+  sim::Simulator& sim_;
+  QosManagerConfig cfg_;
+  std::vector<ManagedPort> ports_;
+  std::map<axi::MasterId, std::uint64_t> last_total_bytes_;
+  bool reclaiming_ = false;
+  std::uint64_t reclaim_epoch_ = 0;
+  std::uint64_t reclaim_iterations_ = 0;
+};
+
+}  // namespace fgqos::qos

@@ -1,0 +1,109 @@
+#include "qos/regfile.hpp"
+
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+QosRegFile::QosRegFile(Regulator* regulator, BandwidthMonitor* monitor)
+    : regulator_(regulator), monitor_(monitor) {
+  config_check(regulator_ != nullptr || monitor_ != nullptr,
+               "QosRegFile: needs at least one of regulator/monitor");
+}
+
+std::uint32_t QosRegFile::read(Reg reg) const {
+  switch (reg) {
+    case Reg::kCtrl:
+      return regulator_ != nullptr && regulator_->enabled() ? 1u : 0u;
+    case Reg::kBudget:
+      return regulator_ != nullptr
+                 ? static_cast<std::uint32_t>(regulator_->config().budget_bytes)
+                 : 0u;
+    case Reg::kWindowNs:
+      return regulator_ != nullptr
+                 ? static_cast<std::uint32_t>(regulator_->config().window_ps /
+                                              sim::kPsPerNs)
+                 : 0u;
+    case Reg::kStatus:
+      return regulator_ != nullptr && regulator_->exhausted() ? 1u : 0u;
+    case Reg::kMonTotalLo:
+      return monitor_ != nullptr
+                 ? static_cast<std::uint32_t>(monitor_->total_bytes())
+                 : 0u;
+    case Reg::kMonTotalHi:
+      return monitor_ != nullptr
+                 ? static_cast<std::uint32_t>(monitor_->total_bytes() >> 32)
+                 : 0u;
+    case Reg::kMonLastWindow:
+      return monitor_ != nullptr
+                 ? static_cast<std::uint32_t>(monitor_->last_window_bytes())
+                 : 0u;
+    case Reg::kIrqThreshold:
+      return irq_threshold_;
+    case Reg::kBurstWindows:
+      return regulator_ != nullptr
+                 ? static_cast<std::uint32_t>(
+                       regulator_->config().max_accumulation_windows)
+                 : 0u;
+    case Reg::kExhaustCount:
+      return regulator_ != nullptr
+                 ? static_cast<std::uint32_t>(
+                       regulator_->stats().exhausted_windows)
+                 : 0u;
+  }
+  return 0;
+}
+
+void QosRegFile::write(Reg reg, std::uint32_t value) {
+  switch (reg) {
+    case Reg::kCtrl:
+      if (regulator_ != nullptr) {
+        regulator_->set_enabled((value & 1u) != 0);
+      }
+      return;
+    case Reg::kBudget:
+      if (regulator_ != nullptr) {
+        regulator_->set_budget(value);
+      }
+      return;
+    case Reg::kWindowNs:
+      if (regulator_ != nullptr && value > 0) {
+        regulator_->set_window(static_cast<sim::TimePs>(value) *
+                               sim::kPsPerNs);
+      }
+      return;
+    case Reg::kIrqThreshold:
+      irq_threshold_ = value;
+      rearm_threshold();
+      return;
+    case Reg::kStatus:
+    case Reg::kMonTotalLo:
+    case Reg::kMonTotalHi:
+    case Reg::kMonLastWindow:
+    case Reg::kBurstWindows:
+    case Reg::kExhaustCount:
+      return;  // read-only
+  }
+}
+
+void QosRegFile::set_irq_handler(ThresholdFn handler) {
+  irq_handler_ = std::move(handler);
+  rearm_threshold();
+}
+
+void QosRegFile::rearm_threshold() {
+  if (monitor_ == nullptr) {
+    return;
+  }
+  if (irq_threshold_ == 0 || !irq_handler_) {
+    monitor_->set_threshold(0, nullptr);
+    return;
+  }
+  monitor_->set_threshold(irq_threshold_, irq_handler_);
+}
+
+std::uint64_t QosRegFile::monitor_total_bytes() const {
+  return (static_cast<std::uint64_t>(read(Reg::kMonTotalHi)) << 32) |
+         read(Reg::kMonTotalLo);
+}
+
+}  // namespace fgqos::qos

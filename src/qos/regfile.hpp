@@ -1,0 +1,71 @@
+/// \file regfile.hpp
+/// \brief Memory-mapped register model of one QoS block instance.
+///
+/// The hardware QoS IP exposes a small APB-style register file per
+/// supervised port; the host runtime (QosManager, drivers) programs budgets
+/// and windows and reads monitor counters exclusively through 32-bit
+/// register accesses, as it would on the real FPGA design.
+#pragma once
+
+#include <cstdint>
+
+#include "qos/bandwidth_monitor.hpp"
+#include "qos/regulator.hpp"
+
+namespace fgqos::qos {
+
+/// Register offsets (byte addresses, 32-bit registers).
+enum class Reg : std::uint32_t {
+  kCtrl = 0x00,          ///< bit0: regulator enable
+  kBudget = 0x04,        ///< bytes per window (RW)
+  kWindowNs = 0x08,      ///< window length in ns (RW)
+  kStatus = 0x0C,        ///< bit0: exhausted now (RO)
+  kMonTotalLo = 0x10,    ///< monitor total bytes, low 32 (RO)
+  kMonTotalHi = 0x14,    ///< monitor total bytes, high 32 (RO)
+  kMonLastWindow = 0x18, ///< last closed monitor window, bytes (RO)
+  kIrqThreshold = 0x1C,  ///< monitor threshold, bytes (RW; 0 = off)
+  kBurstWindows = 0x20,  ///< token accumulation cap, windows (RO here)
+  kExhaustCount = 0x24,  ///< exhausted-window count, low 32 (RO)
+};
+
+/// Binds one Regulator + one BandwidthMonitor behind a register interface.
+class QosRegFile {
+ public:
+  /// Either pointer may be null when the block instantiates only a monitor
+  /// or only a regulator.
+  QosRegFile(Regulator* regulator, BandwidthMonitor* monitor);
+
+  /// 32-bit register read. Unknown offsets read as 0.
+  [[nodiscard]] std::uint32_t read(Reg reg) const;
+  [[nodiscard]] std::uint32_t read(std::uint32_t offset) const {
+    return read(static_cast<Reg>(offset));
+  }
+
+  /// 32-bit register write. Writes to read-only or unknown offsets are
+  /// ignored (hardware-like behaviour).
+  void write(Reg reg, std::uint32_t value);
+  void write(std::uint32_t offset, std::uint32_t value) {
+    write(static_cast<Reg>(offset), value);
+  }
+
+  /// Convenience 64-bit monitor total (two coherent 32-bit halves).
+  [[nodiscard]] std::uint64_t monitor_total_bytes() const;
+
+  /// Connects the block's IRQ line. The handler fires when the monitor's
+  /// in-window byte count crosses the programmed kIrqThreshold (armed by
+  /// writing a non-zero threshold; re-arming per window is automatic).
+  void set_irq_handler(ThresholdFn handler);
+
+  [[nodiscard]] Regulator* regulator() const { return regulator_; }
+  [[nodiscard]] BandwidthMonitor* monitor() const { return monitor_; }
+
+ private:
+  void rearm_threshold();
+
+  Regulator* regulator_;
+  BandwidthMonitor* monitor_;
+  std::uint32_t irq_threshold_ = 0;
+  ThresholdFn irq_handler_;
+};
+
+}  // namespace fgqos::qos

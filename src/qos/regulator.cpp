@@ -1,0 +1,90 @@
+#include "qos/regulator.hpp"
+
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+Regulator::Regulator(sim::Simulator& sim, RegulatorConfig cfg)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      bucket_(cfg_.budget_bytes, cfg_.kind, cfg_.max_accumulation_windows) {
+  config_check(cfg_.window_ps > 0, "Regulator: window must be > 0");
+  config_check(cfg_.gate_reads || cfg_.gate_writes,
+               "Regulator: must gate at least one direction");
+  window_start_ = sim_.now();
+  schedule_replenish();
+}
+
+void Regulator::schedule_replenish() {
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_at(window_start_ + cfg_.window_ps,
+                   [this, epoch]() { on_replenish(epoch); });
+}
+
+void Regulator::on_replenish(std::uint64_t epoch) {
+  if (epoch != epoch_) {
+    return;  // stale: window was reconfigured
+  }
+  if (exhausted_) {
+    stats_.throttled_ps += sim_.now() - exhausted_since_;
+    exhausted_ = false;
+  }
+  bucket_.replenish();
+  window_start_ = sim_.now();
+  schedule_replenish();
+}
+
+void Regulator::set_enabled(bool enabled) {
+  if (cfg_.enabled && !enabled && exhausted_) {
+    stats_.throttled_ps += sim_.now() - exhausted_since_;
+    exhausted_ = false;
+  }
+  cfg_.enabled = enabled;
+}
+
+void Regulator::set_budget(std::uint64_t budget_bytes) {
+  bucket_.set_budget(budget_bytes);
+  cfg_.budget_bytes = budget_bytes;
+}
+
+void Regulator::set_window(sim::TimePs window_ps) {
+  config_check(window_ps > 0, "Regulator: window must be > 0");
+  cfg_.window_ps = window_ps;
+  ++epoch_;
+  window_start_ = sim_.now();
+  schedule_replenish();
+}
+
+void Regulator::set_rate(double bytes_per_second) {
+  set_budget(budget_for_rate(bytes_per_second, cfg_.window_ps));
+}
+
+double Regulator::programmed_rate_bps() const {
+  return static_cast<double>(cfg_.budget_bytes) * 1e12 /
+         static_cast<double>(cfg_.window_ps);
+}
+
+bool Regulator::allow(const axi::LineRequest& line, sim::TimePs) const {
+  if (!cfg_.enabled || !gates_dir(line.is_write)) {
+    return true;
+  }
+  return bucket_.can_spend();
+}
+
+void Regulator::on_grant(const axi::LineRequest& line, sim::TimePs now) {
+  if (!cfg_.enabled || !gates_dir(line.is_write)) {
+    return;
+  }
+  bucket_.spend(line.bytes);
+  stats_.regulated_bytes += line.bytes;
+  if (!exhausted_ && !bucket_.can_spend()) {
+    // Credit gone: the gate is now shut until the next replenish.
+    // Record the exhaustion edge (same cycle as the grant).
+    exhausted_ = true;
+    exhausted_since_ = now;
+    ++stats_.exhausted_windows;
+    stats_.last_exhausted_at = now;
+  }
+}
+
+}  // namespace fgqos::qos

@@ -1,0 +1,105 @@
+/// \file regulator.hpp
+/// \brief Tightly-coupled hardware bandwidth regulator.
+///
+/// The regulator is a byte-token bucket gating the AXI AR/AW handshake of
+/// one master port: a line is granted only when enough tokens remain, and
+/// tokens are debited in the same cycle the grant occurs. Because the gate
+/// is combinational (TxnGate::allow is evaluated at arbitration time), an
+/// over-budget master is stalled with zero reaction latency — the defining
+/// property of the paper's hardware QoS block, in contrast to the
+/// interrupt-driven software baseline (SoftMemguard).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "axi/port.hpp"
+#include "qos/window.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace fgqos::qos {
+
+/// Regulator configuration.
+struct RegulatorConfig {
+  std::string name = "regulator";
+  /// Bytes that may be granted per window.
+  std::uint64_t budget_bytes = 4096;
+  /// Replenishment window (the regulation granularity).
+  sim::TimePs window_ps = sim::kPsPerUs;
+  /// Replenish semantics (reset vs. accumulate).
+  ReplenishKind kind = ReplenishKind::kFixedWindow;
+  /// Burst cap for kTokenBucket, in multiples of budget_bytes.
+  std::uint64_t max_accumulation_windows = 1;
+  /// Start enabled?
+  bool enabled = true;
+  /// Regulate reads, writes or both.
+  bool gate_reads = true;
+  bool gate_writes = true;
+};
+
+/// Regulator statistics.
+struct RegulatorStats {
+  /// Number of windows in which the budget was fully exhausted.
+  std::uint64_t exhausted_windows = 0;
+  /// Accumulated time the gate was shut (from exhaustion to replenish).
+  sim::TimePs throttled_ps = 0;
+  /// Bytes granted while enabled.
+  std::uint64_t regulated_bytes = 0;
+  /// Time of the most recent exhaustion event (kTimeNever if none).
+  sim::TimePs last_exhausted_at = sim::kTimeNever;
+};
+
+/// The regulator. Attach with `port.add_gate(reg)` and, because gates do
+/// not see grants they did not block, also `port.add_observer` is NOT
+/// needed — on_grant of the gate interface is called on every grant.
+class Regulator final : public axi::TxnGate {
+ public:
+  Regulator(sim::Simulator& sim, RegulatorConfig cfg);
+
+  [[nodiscard]] const RegulatorConfig& config() const { return cfg_; }
+  [[nodiscard]] const RegulatorStats& stats() const { return stats_; }
+  /// Current byte credit (negative while in overdraft).
+  [[nodiscard]] std::int64_t tokens() const { return bucket_.tokens(); }
+  [[nodiscard]] bool enabled() const { return cfg_.enabled; }
+  /// True when the budget is currently exhausted (gate shut).
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+
+  /// Enables/disables regulation at runtime (host CTRL register).
+  void set_enabled(bool enabled);
+
+  /// Reprograms the per-window budget (host BUDGET register).
+  void set_budget(std::uint64_t budget_bytes);
+
+  /// Reprograms the window length; restarts the replenish schedule.
+  void set_window(sim::TimePs window_ps);
+
+  /// Convenience: budget from a target rate for the current window.
+  void set_rate(double bytes_per_second);
+
+  /// Effective programmed rate in bytes/second.
+  [[nodiscard]] double programmed_rate_bps() const;
+
+  // TxnGate
+  [[nodiscard]] bool allow(const axi::LineRequest& line,
+                           sim::TimePs now) const override;
+  void on_grant(const axi::LineRequest& line, sim::TimePs now) override;
+
+ private:
+  void schedule_replenish();
+  void on_replenish(std::uint64_t epoch);
+  [[nodiscard]] bool gates_dir(bool is_write) const {
+    return is_write ? cfg_.gate_writes : cfg_.gate_reads;
+  }
+
+  sim::Simulator& sim_;
+  RegulatorConfig cfg_;
+  TokenBucket bucket_;
+  RegulatorStats stats_;
+  bool exhausted_ = false;
+  sim::TimePs exhausted_since_ = 0;
+  std::uint64_t epoch_ = 0;
+  sim::TimePs window_start_ = 0;
+};
+
+}  // namespace fgqos::qos

@@ -1,0 +1,142 @@
+#include "qos/soft_memguard.hpp"
+
+#include <algorithm>
+
+#include "qos/window.hpp"
+#include "util/assert.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+SoftMemguard::SoftMemguard(sim::Simulator& sim, SoftMemguardConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)) {
+  config_check(cfg_.period_ps > 0, "SoftMemguard: period must be > 0");
+  config_check(cfg_.isr_latency_ps < cfg_.period_ps,
+               "SoftMemguard: ISR latency must be below the period");
+  sim_.schedule_at(sim_.now() + cfg_.period_ps, [this]() { on_period_tick(); });
+}
+
+void SoftMemguard::ensure(axi::MasterId master) {
+  if (master >= masters_.size()) {
+    masters_.resize(master + 1);
+  }
+}
+
+void SoftMemguard::set_budget(axi::MasterId master, std::uint64_t budget_bytes) {
+  ensure(master);
+  masters_[master].budget = budget_bytes;
+  masters_[master].quota = budget_bytes;
+  masters_[master].last_usage = budget_bytes;  // optimistic first period
+}
+
+void SoftMemguard::set_rate(axi::MasterId master, double bytes_per_second) {
+  set_budget(master, budget_for_rate(bytes_per_second, cfg_.period_ps));
+}
+
+const SoftMemguardMasterStats& SoftMemguard::master_stats(
+    axi::MasterId master) const {
+  static const SoftMemguardMasterStats kEmpty{};
+  if (master >= masters_.size()) {
+    return kEmpty;
+  }
+  return masters_[master].stats;
+}
+
+std::uint64_t SoftMemguard::period_bytes(axi::MasterId master) const {
+  return master < masters_.size() ? masters_[master].bytes : 0;
+}
+
+bool SoftMemguard::stalled(axi::MasterId master) const {
+  return master < masters_.size() && masters_[master].stalled;
+}
+
+bool SoftMemguard::allow(const axi::LineRequest& line, sim::TimePs) const {
+  const axi::MasterId m = line.txn->master;
+  if (m >= masters_.size()) {
+    return true;
+  }
+  return !masters_[m].stalled;
+}
+
+void SoftMemguard::on_grant(const axi::LineRequest& line, sim::TimePs now) {
+  const axi::MasterId m = line.txn->master;
+  if (m >= masters_.size()) {
+    return;
+  }
+  MasterState& st = masters_[m];
+  st.bytes += line.bytes;
+  if (st.budget == 0) {
+    return;
+  }
+  if (cfg_.reclaim_enabled && st.bytes > st.quota && pool_ > 0 &&
+      !st.overflow_pending && !st.stalled) {
+    // MemGuard reclaim: draw a chunk of donated budget before resorting
+    // to the overflow interrupt.
+    const std::uint64_t draw = std::min(cfg_.reclaim_chunk_bytes, pool_);
+    pool_ -= draw;
+    st.quota += draw;
+    reclaimed_total_ += draw;
+  }
+  if (st.bytes > st.quota) {
+    if (st.overflow_pending || st.stalled) {
+      // Interrupt already in flight: everything granted from the overflow
+      // until the stall lands is a guarantee violation.
+      if (!st.stalled) {
+        st.stats.violation_bytes += line.bytes;
+      }
+      return;
+    }
+    st.overflow_pending = true;
+    st.stats.violation_bytes += st.bytes - st.quota;
+    if (cfg_.use_overflow_irq) {
+      const std::uint64_t period = period_index_;
+      sim_.schedule_at(now + cfg_.isr_latency_ps,
+                       [this, m, period]() { deliver_stall(m, period); });
+    }
+    // Without the overflow IRQ the master keeps running until the period
+    // boundary; every grant above budget counts as violation (handled by
+    // the branch above on subsequent grants).
+  }
+}
+
+void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period) {
+  MasterState& st = masters_[m];
+  if (period != period_index_) {
+    return;  // the period ended before the ISR landed; budget was reset
+  }
+  FGQOS_ASSERT(st.overflow_pending, "deliver_stall without overflow");
+  st.overflow_pending = false;
+  st.stalled = true;
+  st.stalled_since = sim_.now();
+  if (st.period_of_last_stall != period_index_) {
+    st.period_of_last_stall = period_index_;
+    ++st.stats.periods_throttled;
+  }
+}
+
+void SoftMemguard::on_period_tick() {
+  const sim::TimePs now = sim_.now();
+  pool_ = 0;
+  for (auto& st : masters_) {
+    if (st.stalled) {
+      st.stats.throttled_ps += now - st.stalled_since;
+      st.stalled = false;
+    }
+    st.overflow_pending = false;
+    st.last_usage = st.bytes;
+    st.bytes = 0;
+    if (cfg_.reclaim_enabled && st.budget > 0) {
+      // Predictive donation: quota = min(budget, last usage + one chunk);
+      // the difference seeds the shared pool.
+      st.quota = std::min(st.budget,
+                          st.last_usage + cfg_.reclaim_chunk_bytes);
+      pool_ += st.budget - st.quota;
+    } else {
+      st.quota = st.budget;
+    }
+  }
+  ++period_index_;
+  sim_.schedule_at(now + cfg_.period_ps, [this]() { on_period_tick(); });
+}
+
+}  // namespace fgqos::qos

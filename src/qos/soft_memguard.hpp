@@ -1,0 +1,112 @@
+/// \file soft_memguard.hpp
+/// \brief Software bandwidth-regulation baseline (MemGuard-style).
+///
+/// Models the classic OS-level regulator the paper compares against:
+///  * a periodic timer (default 1 ms) defines the regulation period;
+///  * per-master byte budgets are charged from PMU-style counters;
+///  * when a counter overflows its budget, an interrupt is raised and the
+///    offending master is parked until the period ends — but only after the
+///    interrupt delivery + ISR latency has elapsed, during which the master
+///    keeps hammering memory (the "violation bytes" the paper's
+///    tightly-coupled regulator eliminates);
+///  * at each period boundary all masters are released and counters reset.
+///
+/// Attach to each regulated port with add_gate() only (gates observe their
+/// own grants through TxnGate::on_grant).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axi/port.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace fgqos::qos {
+
+/// SoftMemguard configuration.
+struct SoftMemguardConfig {
+  std::string name = "memguard_sw";
+  /// Regulation period (OS timer tick).
+  sim::TimePs period_ps = sim::kPsPerMs;
+  /// Interrupt delivery + ISR entry + throttle actuation latency.
+  sim::TimePs isr_latency_ps = 3 * sim::kPsPerUs;
+  /// When false, overflow interrupts are disabled and over-budget masters
+  /// are only caught at the next period boundary (pure polling; even
+  /// coarser behaviour).
+  bool use_overflow_irq = true;
+  /// MemGuard's predictive reclaim: masters predicted (from last period's
+  /// usage) to under-consume donate the difference to a global pool; a
+  /// master that hits its quota draws chunks from the pool before being
+  /// stalled.
+  bool reclaim_enabled = false;
+  /// Pool draw granularity.
+  std::uint64_t reclaim_chunk_bytes = 16 * 1024;
+};
+
+/// Per-master software regulation state and statistics.
+struct SoftMemguardMasterStats {
+  std::uint64_t periods_throttled = 0;  ///< periods in which a stall occurred
+  std::uint64_t violation_bytes = 0;    ///< bytes granted after overflow,
+                                        ///< before the stall took effect
+  sim::TimePs throttled_ps = 0;         ///< cumulative parked time
+};
+
+/// The software regulator. One instance supervises many masters.
+class SoftMemguard final : public axi::TxnGate {
+ public:
+  SoftMemguard(sim::Simulator& sim, SoftMemguardConfig cfg);
+
+  /// Registers a master with a per-period byte budget of \p budget_bytes.
+  /// 0 means unregulated. Call before attaching to the port.
+  void set_budget(axi::MasterId master, std::uint64_t budget_bytes);
+
+  /// Budget from a target rate.
+  void set_rate(axi::MasterId master, double bytes_per_second);
+
+  [[nodiscard]] const SoftMemguardConfig& config() const { return cfg_; }
+  [[nodiscard]] const SoftMemguardMasterStats& master_stats(
+      axi::MasterId master) const;
+  /// Bytes counted for \p master in the current period.
+  [[nodiscard]] std::uint64_t period_bytes(axi::MasterId master) const;
+  [[nodiscard]] bool stalled(axi::MasterId master) const;
+  /// Bytes left in the reclaim pool this period.
+  [[nodiscard]] std::uint64_t reclaim_pool_bytes() const { return pool_; }
+  /// Total bytes served out of the reclaim pool since construction.
+  [[nodiscard]] std::uint64_t reclaimed_total_bytes() const {
+    return reclaimed_total_;
+  }
+
+  // TxnGate: a stalled master may not be granted.
+  [[nodiscard]] bool allow(const axi::LineRequest& line,
+                           sim::TimePs now) const override;
+  void on_grant(const axi::LineRequest& line, sim::TimePs now) override;
+
+ private:
+  struct MasterState {
+    std::uint64_t budget = 0;       ///< 0 = unregulated
+    std::uint64_t quota = 0;        ///< this period's allowance (with
+                                    ///< reclaim: budget +/- donations)
+    std::uint64_t bytes = 0;        ///< counted this period
+    std::uint64_t last_usage = 0;   ///< previous period (prediction)
+    bool overflow_pending = false;  ///< IRQ in flight
+    bool stalled = false;
+    sim::TimePs stalled_since = 0;
+    std::uint64_t period_of_last_stall = ~std::uint64_t{0};
+    SoftMemguardMasterStats stats;
+  };
+
+  void ensure(axi::MasterId master);
+  void on_period_tick();
+  void deliver_stall(axi::MasterId master, std::uint64_t period);
+
+  sim::Simulator& sim_;
+  SoftMemguardConfig cfg_;
+  std::vector<MasterState> masters_;
+  std::uint64_t period_index_ = 0;
+  std::uint64_t pool_ = 0;
+  std::uint64_t reclaimed_total_ = 0;
+};
+
+}  // namespace fgqos::qos

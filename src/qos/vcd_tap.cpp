@@ -1,0 +1,94 @@
+#include "qos/vcd_tap.hpp"
+
+#include <algorithm>
+
+namespace fgqos::qos {
+
+/// Observer translating port events to VCD samples.
+class QosVcdTap::PortObserver final : public axi::TxnObserver {
+ public:
+  PortObserver(sim::VcdWriter& writer, const std::string& scope)
+      : writer_(&writer),
+        outstanding_sig_(writer.add_signal(scope, "outstanding", 8)),
+        granted_kib_sig_(writer.add_signal(scope, "granted_kib", 32)),
+        grant_pulse_sig_(writer.add_signal(scope, "grant", 1)) {}
+
+  void on_issue(const axi::Transaction&, sim::TimePs now) override {
+    ++outstanding_;
+    writer_->sample(outstanding_sig_, outstanding_, now);
+  }
+  void on_grant(const axi::LineRequest& line, sim::TimePs now) override {
+    granted_bytes_ += line.bytes;
+    writer_->sample(granted_kib_sig_, granted_bytes_ >> 10, now);
+    // Pulse: toggles on every grant so edges are visible at any zoom.
+    pulse_ = !pulse_;
+    writer_->sample(grant_pulse_sig_, pulse_ ? 1 : 0, now);
+  }
+  void on_complete(const axi::Transaction&, sim::TimePs now) override {
+    if (outstanding_ > 0) {
+      --outstanding_;
+    }
+    writer_->sample(outstanding_sig_, outstanding_, now);
+  }
+
+ private:
+  sim::VcdWriter* writer_;
+  sim::VcdSignal outstanding_sig_;
+  sim::VcdSignal granted_kib_sig_;
+  sim::VcdSignal grant_pulse_sig_;
+  std::uint64_t outstanding_ = 0;
+  std::uint64_t granted_bytes_ = 0;
+  bool pulse_ = false;
+};
+
+QosVcdTap::QosVcdTap(sim::Simulator& sim, const std::string& path,
+                     sim::TimePs sample_period_ps)
+    : sim_(sim), writer_(path), period_(sample_period_ps) {}
+
+QosVcdTap::~QosVcdTap() { finish(); }
+
+void QosVcdTap::attach_port(axi::MasterPort& port) {
+  observers_.push_back(
+      std::make_unique<PortObserver>(writer_, "port_" + port.name()));
+  port.add_observer(*observers_.back());
+}
+
+void QosVcdTap::attach_regulator(const Regulator& reg) {
+  RegSignals rs;
+  rs.reg = &reg;
+  const std::string scope = "reg_" + reg.config().name;
+  rs.tokens = writer_.add_signal(scope, "tokens", 32);
+  rs.exhausted = writer_.add_signal(scope, "exhausted", 1);
+  regs_.push_back(rs);
+  if (!polling_) {
+    polling_ = true;
+    const std::uint64_t epoch = ++epoch_;
+    sim_.schedule_at(sim_.now() + period_, [this, epoch]() { poll(epoch); });
+  }
+}
+
+void QosVcdTap::poll(std::uint64_t epoch) {
+  if (finished_ || epoch != epoch_) {
+    return;
+  }
+  const sim::TimePs now = sim_.now();
+  for (const RegSignals& rs : regs_) {
+    const std::int64_t tokens = rs.reg->tokens();
+    writer_.sample(rs.tokens,
+                   static_cast<std::uint64_t>(std::max<std::int64_t>(0, tokens)),
+                   now);
+    writer_.sample(rs.exhausted, rs.reg->exhausted() ? 1 : 0, now);
+  }
+  sim_.schedule_at(now + period_, [this, epoch]() { poll(epoch); });
+}
+
+void QosVcdTap::finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  ++epoch_;
+  writer_.finish();
+}
+
+}  // namespace fgqos::qos

@@ -1,0 +1,64 @@
+/// \file vcd_tap.hpp
+/// \brief Exports live QoS state (ports, regulators, monitors) as VCD.
+///
+/// Instantiate one tap per dump file, attach the entities of interest,
+/// run, then call finish() (or let the destructor do it). The resulting
+/// waveform shows — per port — outstanding transactions and cumulative
+/// granted bytes, and — per regulator — the token credit and the
+/// exhausted flag, which is exactly the picture an RTL engineer would
+/// probe on the real IP with an ILA.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axi/port.hpp"
+#include "qos/regulator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/vcd.hpp"
+
+namespace fgqos::qos {
+
+/// The tap.
+class QosVcdTap {
+ public:
+  /// \param sample_period_ps polling period for non-event state
+  ///        (regulator tokens); port events are recorded exactly.
+  QosVcdTap(sim::Simulator& sim, const std::string& path,
+            sim::TimePs sample_period_ps = sim::kPsPerUs);
+  ~QosVcdTap();
+
+  QosVcdTap(const QosVcdTap&) = delete;
+  QosVcdTap& operator=(const QosVcdTap&) = delete;
+
+  /// Adds per-port signals (outstanding transactions, granted KiB).
+  /// Call before the simulation starts producing events of interest.
+  void attach_port(axi::MasterPort& port);
+
+  /// Adds per-regulator signals (token credit, exhausted flag).
+  void attach_regulator(const Regulator& reg);
+
+  /// Stops sampling and closes the file.
+  void finish();
+
+ private:
+  class PortObserver;
+  void poll(std::uint64_t epoch);
+
+  sim::Simulator& sim_;
+  sim::VcdWriter writer_;
+  sim::TimePs period_;
+  std::vector<std::unique_ptr<PortObserver>> observers_;
+  struct RegSignals {
+    const Regulator* reg;
+    sim::VcdSignal tokens;
+    sim::VcdSignal exhausted;
+  };
+  std::vector<RegSignals> regs_;
+  std::uint64_t epoch_ = 0;
+  bool polling_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace fgqos::qos

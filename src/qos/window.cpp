@@ -1,0 +1,57 @@
+#include "qos/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+TokenBucket::TokenBucket(std::uint64_t budget_bytes, ReplenishKind kind,
+                         std::uint64_t max_accumulation_windows)
+    : budget_(budget_bytes),
+      kind_(kind),
+      max_windows_(max_accumulation_windows),
+      tokens_(static_cast<std::int64_t>(budget_bytes)) {
+  config_check(max_windows_ >= 1,
+               "TokenBucket: max_accumulation_windows must be >= 1");
+}
+
+void TokenBucket::spend(std::uint64_t bytes) {
+  FGQOS_ASSERT(tokens_ > 0, "TokenBucket: spend without credit");
+  tokens_ -= static_cast<std::int64_t>(bytes);
+}
+
+void TokenBucket::replenish() {
+  const auto budget = static_cast<std::int64_t>(budget_);
+  switch (kind_) {
+    case ReplenishKind::kFixedWindow:
+      // Debt carries over; surplus is discarded.
+      tokens_ = budget + std::min<std::int64_t>(tokens_, 0);
+      break;
+    case ReplenishKind::kTokenBucket:
+      tokens_ = std::min(tokens_ + budget, cap());
+      break;
+  }
+}
+
+void TokenBucket::set_budget(std::uint64_t budget_bytes) {
+  budget_ = budget_bytes;
+  tokens_ = std::min(tokens_, cap());
+}
+
+std::uint64_t budget_for_rate(double bytes_per_second, sim::TimePs window_ps) {
+  config_check(bytes_per_second >= 0, "budget_for_rate: negative rate");
+  if (bytes_per_second == 0) {
+    return 0;
+  }
+  const double bytes =
+      bytes_per_second * static_cast<double>(window_ps) / 1e12;
+  const double rounded = std::llround(bytes) > 0
+                             ? static_cast<double>(std::llround(bytes))
+                             : 1.0;
+  return static_cast<std::uint64_t>(rounded);
+}
+
+}  // namespace fgqos::qos

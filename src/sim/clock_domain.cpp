@@ -1,0 +1,17 @@
+#include "sim/clock_domain.hpp"
+
+#include "util/config_error.hpp"
+
+namespace fgqos::sim {
+
+ClockDomain::ClockDomain(std::string name, TimePs period_ps)
+    : name_(std::move(name)), period_ps_(period_ps) {
+  config_check(period_ps_ > 0, "ClockDomain '" + name_ + "': period must be > 0");
+}
+
+ClockDomain ClockDomain::from_mhz(std::string name, std::uint64_t mhz) {
+  config_check(mhz > 0, "ClockDomain '" + name + "': frequency must be > 0");
+  return ClockDomain(std::move(name), period_ps_from_mhz(mhz));
+}
+
+}  // namespace fgqos::sim

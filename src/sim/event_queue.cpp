@@ -1,0 +1,25 @@
+#include "sim/event_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace fgqos::sim {
+
+void EventQueue::schedule(TimePs when, EventFn fn) {
+  FGQOS_ASSERT(static_cast<bool>(fn), "EventQueue: null callback");
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+TimePs EventQueue::next_time() const {
+  return heap_.empty() ? kTimeNever : heap_.top().when;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  FGQOS_ASSERT(!heap_.empty(), "EventQueue: pop on empty queue");
+  // std::priority_queue::top() is const; move is safe because we pop
+  // immediately after.
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  return Popped{top.when, std::move(top.fn)};
+}
+
+}  // namespace fgqos::sim

@@ -1,0 +1,56 @@
+/// \file event_queue.hpp
+/// \brief Deterministic time-ordered callback queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fgqos::sim {
+
+/// Callback executed when its scheduled time is reached.
+using EventFn = std::function<void()>;
+
+/// Min-heap of (time, insertion sequence) -> callback. Two events at the
+/// same time fire in insertion order, which makes runs deterministic.
+class EventQueue {
+ public:
+  /// Schedules \p fn at absolute time \p when. \p when may equal the time
+  /// of the event currently executing (fires in the same delta step).
+  void schedule(TimePs when, EventFn fn);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; kTimeNever when empty.
+  [[nodiscard]] TimePs next_time() const;
+
+  /// Removes and returns the earliest event. Pre: !empty().
+  struct Popped {
+    TimePs when;
+    EventFn fn;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    TimePs when;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace fgqos::sim

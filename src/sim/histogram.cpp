@@ -1,0 +1,139 @@
+#include "sim/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::sim {
+
+Histogram::Histogram(unsigned sub_bucket_bits) : sub_bits_(sub_bucket_bits) {
+  config_check(sub_bucket_bits >= 1 && sub_bucket_bits <= 16,
+               "Histogram: sub_bucket_bits must be in [1,16]");
+  // Values 0 .. 2^sub_bits_-1 are exact; above that, 64-sub_bits_ octaves
+  // each with 2^sub_bits_ sub-buckets.
+  const std::size_t octaves = 64 - sub_bits_;
+  buckets_.assign((octaves + 1) << sub_bits_, 0);
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) const {
+  if (value < (std::uint64_t{1} << sub_bits_)) {
+    return static_cast<std::size_t>(value);
+  }
+  const unsigned msb = 63 - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned octave = msb - sub_bits_ + 1;  // >= 1
+  const std::uint64_t sub = (value >> (msb - sub_bits_)) & ((std::uint64_t{1} << sub_bits_) - 1);
+  return (static_cast<std::size_t>(octave) << sub_bits_) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t index) const {
+  const std::size_t octave = index >> sub_bits_;
+  const std::uint64_t sub = index & ((std::uint64_t{1} << sub_bits_) - 1);
+  if (octave == 0) {
+    return sub;  // exact
+  }
+  // Bucket spans [ (2^sub_bits + sub) << (octave-1), +span ), upper bound is
+  // the largest value mapping to this bucket.
+  const unsigned shift = static_cast<unsigned>(octave) - 1;
+  const std::uint64_t base = ((std::uint64_t{1} << sub_bits_) + sub) << shift;
+  const std::uint64_t span = std::uint64_t{1} << shift;
+  return base + span - 1;
+}
+
+void Histogram::record(std::uint64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  buckets_[bucket_index(value)] += n;
+  count_ += n;
+  if (value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+  const double v = static_cast<double>(value);
+  const double dn = static_cast<double>(n);
+  sum_ += v * dn;
+  sum_sq_ += v * v * dn;
+}
+
+void Histogram::merge(const Histogram& other) {
+  FGQOS_ASSERT(other.sub_bits_ == sub_bits_, "Histogram::merge: geometry mismatch");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = ~std::uint64_t{0};
+  max_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+std::uint64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(count_);
+  const double var = sum_sq_ / n - (sum_ / n) * (sum_ / n);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q <= 0.0) {
+    return min();
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
+  const double targetd = q * static_cast<double>(count_);
+  auto target = static_cast<std::uint64_t>(std::ceil(targetd));
+  if (target == 0) {
+    target = 1;
+  }
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target) {
+      return std::min(bucket_upper_bound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<Histogram::CdfPoint> Histogram::cdf() const {
+  std::vector<CdfPoint> out;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    cum += buckets_[i];
+    out.push_back(CdfPoint{std::min(bucket_upper_bound(i), max_), cum});
+  }
+  return out;
+}
+
+}  // namespace fgqos::sim

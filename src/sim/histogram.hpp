@@ -1,0 +1,74 @@
+/// \file histogram.hpp
+/// \brief HDR-style log-linear histogram for latency distributions.
+///
+/// Buckets are organised as log2 major buckets each split into a fixed
+/// number of linear sub-buckets, giving bounded relative error (< 1/32 by
+/// default) on quantiles while using O(64 * sub_buckets) memory regardless
+/// of the value range — suitable for recording millions of per-transaction
+/// latencies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fgqos::sim {
+
+/// Fixed-memory quantile-capable histogram over uint64 samples.
+class Histogram {
+ public:
+  /// \param sub_bucket_bits log2 of linear sub-buckets per octave
+  ///        (default 5 -> 32 sub-buckets -> <= 3.1% relative error).
+  explicit Histogram(unsigned sub_bucket_bits = 5);
+
+  /// Records one sample.
+  void record(std::uint64_t value);
+
+  /// Records \p count identical samples.
+  void record_n(std::uint64_t value, std::uint64_t count);
+
+  /// Merges another histogram with identical geometry into this one.
+  void merge(const Histogram& other);
+
+  /// Discards all samples.
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t min() const;
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+  /// Population standard deviation (0 for < 2 samples). Computed from the
+  /// exact running sums, not the bucketised values.
+  [[nodiscard]] double stddev() const;
+
+  /// Value at quantile \p q in [0,1]; returns an upper bound of the bucket
+  /// containing the q-th sample. Returns 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  /// Shorthand for common percentiles.
+  [[nodiscard]] std::uint64_t p50() const { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p90() const { return quantile(0.90); }
+  [[nodiscard]] std::uint64_t p99() const { return quantile(0.99); }
+  [[nodiscard]] std::uint64_t p999() const { return quantile(0.999); }
+
+  /// One (upper_bound, cumulative_count) point per non-empty bucket; used
+  /// to print CDFs.
+  struct CdfPoint {
+    std::uint64_t value;
+    std::uint64_t cumulative;
+  };
+  [[nodiscard]] std::vector<CdfPoint> cdf() const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(std::uint64_t value) const;
+  [[nodiscard]] std::uint64_t bucket_upper_bound(std::size_t index) const;
+
+  unsigned sub_bits_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace fgqos::sim

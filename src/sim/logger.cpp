@@ -1,0 +1,39 @@
+#include "sim/logger.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace fgqos::sim {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* tag(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Logger::set_level(LogLevel lvl) {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
+
+void Logger::logf(LogLevel lvl, const char* fmt, ...) {
+  std::fprintf(stderr, "[fgqos %s] ", tag(lvl));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace fgqos::sim

@@ -1,0 +1,39 @@
+/// \file logger.hpp
+/// \brief Leveled logging with near-zero cost when disabled.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace fgqos::sim {
+
+enum class LogLevel : std::uint8_t { kError = 0, kWarn, kInfo, kDebug, kTrace };
+
+/// Process-wide log sink writing to stderr. Components call the macros
+/// below; the level check is a single branch on the hot path.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  /// printf-style emission; prepends the level tag.
+  static void logf(LogLevel lvl, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+};
+
+}  // namespace fgqos::sim
+
+#define FGQOS_LOG(lvl, ...)                                       \
+  do {                                                            \
+    if (static_cast<int>(lvl) <=                                  \
+        static_cast<int>(::fgqos::sim::Logger::level())) {        \
+      ::fgqos::sim::Logger::logf((lvl), __VA_ARGS__);             \
+    }                                                             \
+  } while (false)
+
+#define FGQOS_LOG_WARN(...) \
+  FGQOS_LOG(::fgqos::sim::LogLevel::kWarn, __VA_ARGS__)
+#define FGQOS_LOG_INFO(...) \
+  FGQOS_LOG(::fgqos::sim::LogLevel::kInfo, __VA_ARGS__)
+#define FGQOS_LOG_DEBUG(...) \
+  FGQOS_LOG(::fgqos::sim::LogLevel::kDebug, __VA_ARGS__)

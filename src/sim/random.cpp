@@ -1,0 +1,95 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fgqos::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) {
+    w = splitmix64(sm);
+  }
+  // All-zero state is invalid for xoshiro; splitmix cannot produce four
+  // zeros from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 1;
+  }
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  FGQOS_ASSERT(bound > 0, "next_below: bound must be positive");
+  // Lemire's method with rejection for exact uniformity.
+  while (true) {
+    const std::uint64_t x = next();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+    const auto lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= std::uint64_t(-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::uint64_t Xoshiro256::next_in(std::uint64_t lo, std::uint64_t hi) {
+  FGQOS_ASSERT(lo <= hi, "next_in: empty range");
+  const std::uint64_t span = hi - lo;
+  if (span == ~std::uint64_t{0}) {
+    return next();
+  }
+  return lo + next_below(span + 1);
+}
+
+double Xoshiro256::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::next_bool(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return next_double() < p;
+}
+
+std::uint64_t Xoshiro256::next_exponential(double mean) {
+  FGQOS_ASSERT(mean > 0.0, "next_exponential: mean must be positive");
+  const double u = 1.0 - next_double();  // in (0, 1]
+  const double v = -mean * std::log(u);
+  if (v < 1.0) {
+    return 1;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace fgqos::sim

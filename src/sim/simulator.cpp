@@ -1,0 +1,108 @@
+#include "sim/simulator.hpp"
+
+#include "util/assert.hpp"
+
+namespace fgqos::sim {
+
+Clocked::Clocked(Simulator& sim, const ClockDomain& clk, std::string name)
+    : sim_(sim), clk_(&clk), name_(std::move(name)) {
+  sim_.register_clocked(*this);
+}
+
+Clocked::~Clocked() {
+  FGQOS_ASSERT(!sim_.running_,
+               "Clocked destroyed while the simulator is running");
+  // Any stale heap entries referring to this component are discarded by the
+  // lazy-deletion check in run_until (scheduled_ is reset here).
+  scheduled_ = false;
+}
+
+void Clocked::wake_at(TimePs at) {
+  if (at < sim_.now()) {
+    at = sim_.now();
+  }
+  TimePs edge = clk_->next_edge_at_or_after(at);
+  if (has_ticked_ && edge <= last_tick_) {
+    // Never re-tick an edge that already fired: work that became visible
+    // during cycle N is processed at cycle N+1, as in hardware.
+    edge = last_tick_ + clk_->period_ps();
+  }
+  if (scheduled_ && next_tick_ <= edge) {
+    return;
+  }
+  // Re-scheduling to an earlier edge leaves a stale entry in the heap; the
+  // run loop discards entries whose time no longer matches next_tick_.
+  next_tick_ = edge;
+  scheduled_ = true;
+  sim_.push_tick(*this);
+}
+
+void Clocked::wake() { wake_at(sim_.now() + 1); }
+
+void Simulator::register_clocked(Clocked& c) {
+  c.order_ = next_order_++;
+  // Components start awake at their first edge at or after the current
+  // time; idle ones will put themselves to sleep on their first tick.
+  c.next_tick_ = c.clk_->next_edge_at_or_after(now_);
+  c.scheduled_ = true;
+  push_tick(c);
+}
+
+void Simulator::push_tick(Clocked& c) {
+  ticks_.push(TickEntry{c.next_tick_, c.order_, &c});
+}
+
+void Simulator::schedule_at(TimePs when, EventFn fn) {
+  FGQOS_ASSERT(when >= now_, "schedule_at: time in the past");
+  events_.schedule(when, std::move(fn));
+}
+
+void Simulator::run_until(TimePs t_end) {
+  FGQOS_ASSERT(!running_, "run_until: re-entrant call");
+  running_ = true;
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    const TimePs ev_t = events_.next_time();
+    const TimePs tk_t = ticks_.empty() ? kTimeNever : ticks_.top().when;
+    const TimePs next = ev_t < tk_t ? ev_t : tk_t;
+    if (next > t_end) {
+      break;
+    }
+    now_ = next;
+    // Events fire before ticks at equal timestamps.
+    if (ev_t <= tk_t && ev_t != kTimeNever) {
+      auto [when, fn] = events_.pop();
+      fn();
+      continue;
+    }
+    TickEntry e = ticks_.top();
+    ticks_.pop();
+    Clocked& c = *e.comp;
+    if (!c.scheduled_ || c.next_tick_ != e.when) {
+      continue;  // stale lazy-deleted entry
+    }
+    ++tick_count_;
+    c.has_ticked_ = true;
+    c.last_tick_ = e.when;
+    // Unschedule before ticking so the component may call wake_at() on
+    // itself (e.g. to fast-forward over a long compute phase) and then
+    // return false.
+    c.scheduled_ = false;
+    const Cycles cycle = c.clk_->cycles_at(e.when);
+    if (c.tick(cycle)) {
+      const TimePs next_edge = e.when + c.clk_->period_ps();
+      if (!c.scheduled_ || c.next_tick_ > next_edge) {
+        c.next_tick_ = next_edge;
+        c.scheduled_ = true;
+        push_tick(c);
+      }
+    }
+    // When tick() returned false, any wake_at() it performed stands.
+  }
+  if (!stop_requested_ && now_ < t_end) {
+    now_ = t_end;
+  }
+  running_ = false;
+}
+
+}  // namespace fgqos::sim

@@ -1,0 +1,5 @@
+#include "sim/time.hpp"
+
+// Header-only; this translation unit exists so the module shows up in the
+// library and to anchor future non-inline additions.
+namespace fgqos::sim {}

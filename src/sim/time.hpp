@@ -1,0 +1,41 @@
+/// \file time.hpp
+/// \brief Global time base of the simulator.
+///
+/// All component clocks are derived from a single picosecond timeline so
+/// that multiple clock domains (CPU cluster, FPGA fabric, DDR controller)
+/// can interact without accumulating rounding error.
+#pragma once
+
+#include <cstdint>
+
+namespace fgqos::sim {
+
+/// Absolute simulation time in picoseconds.
+using TimePs = std::uint64_t;
+
+/// Cycle count within one clock domain.
+using Cycles = std::uint64_t;
+
+inline constexpr TimePs kPsPerNs = 1'000;
+inline constexpr TimePs kPsPerUs = 1'000'000;
+inline constexpr TimePs kPsPerMs = 1'000'000'000;
+inline constexpr TimePs kPsPerS = 1'000'000'000'000;
+
+/// A sentinel meaning "never" for optional deadlines.
+inline constexpr TimePs kTimeNever = ~TimePs{0};
+
+/// Converts a frequency in MHz to a clock period in ps (rounded to the
+/// nearest picosecond). E.g. 1200 MHz -> 833 ps.
+constexpr TimePs period_ps_from_mhz(std::uint64_t mhz) {
+  return (kPsPerUs + mhz / 2) / mhz;
+}
+
+/// Bytes-per-second bandwidth given bytes moved over a ps interval.
+constexpr double bytes_per_second(std::uint64_t bytes, TimePs interval_ps) {
+  if (interval_ps == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) * 1e12 / static_cast<double>(interval_ps);
+}
+
+}  // namespace fgqos::sim

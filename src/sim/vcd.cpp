@@ -1,0 +1,112 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::sim {
+
+VcdWriter::VcdWriter(const std::string& path, TimePs timescale_ps)
+    : os_(path), timescale_ps_(timescale_ps) {
+  config_check(static_cast<bool>(os_), "VcdWriter: cannot open " + path);
+  config_check(timescale_ps_ > 0, "VcdWriter: timescale must be > 0");
+}
+
+VcdWriter::~VcdWriter() { finish(); }
+
+std::string VcdWriter::id_of(VcdSignal s) const {
+  // Printable short identifiers: base-94 over '!'..'~'.
+  std::string id;
+  std::size_t v = s;
+  do {
+    id += static_cast<char>('!' + v % 94);
+    v /= 94;
+  } while (v != 0);
+  return id;
+}
+
+VcdSignal VcdWriter::add_signal(const std::string& scope,
+                                const std::string& name,
+                                std::uint32_t width) {
+  config_check(!header_written_,
+               "VcdWriter: signals must be defined before sampling");
+  config_check(width >= 1 && width <= 64,
+               "VcdWriter: width must be in [1,64]");
+  signals_.push_back(Signal{scope, name, width});
+  return signals_.size() - 1;
+}
+
+void VcdWriter::write_header() {
+  os_ << "$version fgqos simulator $end\n";
+  os_ << "$timescale " << timescale_ps_ / 1'000 << "ns $end\n";
+  // Group signals by scope (single level, dotted names kept verbatim).
+  std::map<std::string, std::vector<VcdSignal>> by_scope;
+  for (VcdSignal s = 0; s < signals_.size(); ++s) {
+    by_scope[signals_[s].scope].push_back(s);
+  }
+  for (const auto& [scope, sigs] : by_scope) {
+    os_ << "$scope module " << (scope.empty() ? "top" : scope) << " $end\n";
+    for (const VcdSignal s : sigs) {
+      os_ << "$var wire " << signals_[s].width << ' ' << id_of(s) << ' '
+          << signals_[s].name << " $end\n";
+    }
+    os_ << "$upscope $end\n";
+  }
+  os_ << "$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::advance_time(TimePs now) {
+  const TimePs tick = now / timescale_ps_;
+  if (current_tick_ == tick) {
+    return;
+  }
+  FGQOS_ASSERT(current_tick_ == ~TimePs{0} || tick > current_tick_,
+               "VcdWriter: time went backwards");
+  current_tick_ = tick;
+  os_ << '#' << tick << '\n';
+}
+
+void VcdWriter::sample(VcdSignal signal, std::uint64_t value, TimePs now) {
+  if (finished_) {
+    return;
+  }
+  FGQOS_ASSERT(signal < signals_.size(), "VcdWriter: unknown signal");
+  Signal& s = signals_[signal];
+  if (s.ever_sampled && s.last_value == value) {
+    return;
+  }
+  if (!header_written_) {
+    write_header();
+  }
+  advance_time(now);
+  s.ever_sampled = true;
+  s.last_value = value;
+  if (s.width == 1) {
+    os_ << (value & 1) << id_of(signal) << '\n';
+    return;
+  }
+  os_ << 'b';
+  bool leading = true;
+  for (int bit = static_cast<int>(s.width) - 1; bit >= 0; --bit) {
+    const bool v = (value >> bit) & 1;
+    if (v || !leading || bit == 0) {
+      os_ << (v ? '1' : '0');
+      leading = false;
+    }
+  }
+  os_ << ' ' << id_of(signal) << '\n';
+}
+
+void VcdWriter::finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  os_.flush();
+  os_.close();
+}
+
+}  // namespace fgqos::sim

@@ -1,0 +1,71 @@
+/// \file vcd.hpp
+/// \brief Value-change-dump (IEEE 1364 VCD) writer.
+///
+/// Lets any simulation entity export signals viewable in GTKWave &co —
+/// the natural debug medium for the hardware audience this library
+/// targets. Define all signals first, then sample(); the header is
+/// emitted lazily at the first sample.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fgqos::sim {
+
+/// Handle to a defined signal.
+using VcdSignal = std::size_t;
+
+/// The writer. One VCD file per instance.
+class VcdWriter {
+ public:
+  /// \param path         output file (truncated)
+  /// \param timescale_ps dump resolution; times are divided by this
+  ///                     (default 1000 = 1 ns ticks)
+  explicit VcdWriter(const std::string& path, TimePs timescale_ps = 1'000);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Defines a signal. Must be called before the first sample().
+  /// \param scope dotted module path ("soc.hp0"), flattened into VCD
+  ///        scopes; \param width bits (1 = wire, >1 = vector).
+  VcdSignal add_signal(const std::string& scope, const std::string& name,
+                       std::uint32_t width);
+
+  /// Records a value change at time \p now. Unchanged values are
+  /// de-duplicated. Times must be non-decreasing.
+  void sample(VcdSignal signal, std::uint64_t value, TimePs now);
+
+  /// Flushes and closes; further samples are ignored. Called by the
+  /// destructor.
+  void finish();
+
+  [[nodiscard]] bool header_written() const { return header_written_; }
+
+ private:
+  void write_header();
+  void advance_time(TimePs now);
+  [[nodiscard]] std::string id_of(VcdSignal s) const;
+
+  struct Signal {
+    std::string scope;
+    std::string name;
+    std::uint32_t width;
+    std::uint64_t last_value = ~std::uint64_t{0};
+    bool ever_sampled = false;
+  };
+
+  std::ofstream os_;
+  TimePs timescale_ps_;
+  std::vector<Signal> signals_;
+  bool header_written_ = false;
+  bool finished_ = false;
+  TimePs current_tick_ = ~TimePs{0};
+};
+
+}  // namespace fgqos::sim

@@ -1,0 +1,31 @@
+#include "soc/config.hpp"
+
+#include "util/config_error.hpp"
+
+namespace fgqos::soc {
+
+void SocConfig::validate() const {
+  config_check(cpu_mhz > 0 && fabric_mhz > 0 && xbar_mhz > 0,
+               "SocConfig: clock frequencies must be > 0");
+  config_check(accel_ports >= 1, "SocConfig: need at least one accel port");
+  config_check(accel_ports <= 16, "SocConfig: too many accel ports (max 16)");
+  config_check(dram_channels >= 1 && dram_channels <= 8,
+               "SocConfig: dram_channels must be in [1,8]");
+  config_check(channel_stride_bytes >= cpu_port.line_bytes &&
+                   (channel_stride_bytes & (channel_stride_bytes - 1)) == 0,
+               "SocConfig: channel stride must be a power of two >= line");
+  dram.validate();
+  cpu_port_check();
+}
+
+// Separate helper so the header stays declaration-only.
+void SocConfig::cpu_port_check() const {
+  config_check(cpu_port.line_bytes == accel_port.line_bytes,
+               "SocConfig: all ports must share one line size");
+  config_check(cpu_port.line_bytes == cluster.l2.line_bytes,
+               "SocConfig: L2 line size must match the port line size");
+  config_check(cpu_port.line_bytes <= dram.timing.burst_bytes,
+               "SocConfig: line must fit in one DRAM burst");
+}
+
+}  // namespace fgqos::soc

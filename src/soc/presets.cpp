@@ -1,0 +1,73 @@
+#include "soc/presets.hpp"
+
+#include "util/config_error.hpp"
+
+namespace fgqos::soc {
+
+SocConfig preset_zcu102() {
+  SocConfig cfg;
+  cfg.name = "zcu102";
+  return cfg;
+}
+
+SocConfig preset_kria_k26() {
+  SocConfig cfg;
+  cfg.name = "kria_k26";
+  cfg.cpu_mhz = 1000;
+  cfg.accel_ports = 2;
+  cfg.cluster.l2.size_bytes = 512 * 1024;
+  cfg.dram.timing.clock_mhz = 933;  // DDR4-1866
+  cfg.dram.timing.tCL = 13;
+  cfg.dram.timing.tCWL = 10;
+  cfg.dram.timing.tRCD = 13;
+  cfg.dram.timing.tRP = 13;
+  cfg.dram.timing.tRAS = 32;
+  cfg.dram.timing.tRC = 45;
+  cfg.dram.timing.tRFC = 328;
+  cfg.dram.timing.tREFI = 7280;
+  return cfg;
+}
+
+SocConfig preset_ultra96() {
+  SocConfig cfg;
+  cfg.name = "ultra96";
+  cfg.cpu_mhz = 1000;
+  cfg.accel_ports = 2;
+  cfg.cluster.l2.size_bytes = 512 * 1024;
+  cfg.dram.timing.clock_mhz = 1066;  // DDR4-2133, 32-bit
+  cfg.dram.timing.data_bytes_per_cycle = 8;
+  cfg.dram.timing.tCL = 15;
+  cfg.dram.timing.tCWL = 11;
+  cfg.dram.timing.tRCD = 15;
+  cfg.dram.timing.tRP = 15;
+  cfg.dram.timing.tRAS = 35;
+  cfg.dram.timing.tRC = 50;
+  cfg.dram.timing.tRFC = 373;
+  cfg.dram.timing.tREFI = 8312;
+  // 32-bit bus: each 64 B burst is BL16-equivalent (8 bus cycles).
+  cfg.accel_port.port_bandwidth_bps = 2.4e9;  // 64-bit @ 300 MHz fabric / 2
+  cfg.cpu_port.port_bandwidth_bps = 8e9;
+  return cfg;
+}
+
+SocConfig preset_by_name(const std::string& name) {
+  if (name == "zcu102") {
+    return preset_zcu102();
+  }
+  if (name == "kria_k26") {
+    return preset_kria_k26();
+  }
+  if (name == "ultra96") {
+    return preset_ultra96();
+  }
+  throw ConfigError("unknown platform preset '" + name +
+                    "' (try: zcu102, kria_k26, ultra96)");
+}
+
+const std::vector<std::string>& preset_names() {
+  static const std::vector<std::string> kNames = {"zcu102", "kria_k26",
+                                                  "ultra96"};
+  return kNames;
+}
+
+}  // namespace fgqos::soc

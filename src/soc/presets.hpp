@@ -1,0 +1,36 @@
+/// \file presets.hpp
+/// \brief Named platform configurations.
+///
+/// The experiments default to a ZCU102-class device; the other presets
+/// let users (and the portability tests) check that results hold across
+/// platform scales, the way the paper's group evaluates on more than one
+/// board.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/config.hpp"
+
+namespace fgqos::soc {
+
+/// ZCU102-class: 4 HP ports, 64-bit DDR4-2400 (19.2 GB/s), 4-core
+/// 1.2 GHz cluster, 1 MiB L2. This is SocConfig's default.
+SocConfig preset_zcu102();
+
+/// Kria-K26-class: 2 HP ports, 64-bit DDR4-1866 (14.9 GB/s), 1 GHz
+/// cluster, 512 KiB L2 — a mid-size production module.
+SocConfig preset_kria_k26();
+
+/// Ultra96-class: 2 HP ports, 32-bit DDR4-2133 (8.5 GB/s), 1 GHz
+/// cluster, 512 KiB L2 — the small end of the family.
+SocConfig preset_ultra96();
+
+/// Looks a preset up by name ("zcu102", "kria_k26", "ultra96").
+/// Throws ConfigError for unknown names.
+SocConfig preset_by_name(const std::string& name);
+
+/// All preset names, for help text and sweep tests.
+const std::vector<std::string>& preset_names();
+
+}  // namespace fgqos::soc

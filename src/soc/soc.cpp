@@ -1,0 +1,166 @@
+#include "soc/soc.hpp"
+
+#include "util/config_error.hpp"
+
+namespace fgqos::soc {
+
+Soc::Soc(SocConfig cfg)
+    : cfg_(std::move(cfg)),
+      cpu_clk_(sim::ClockDomain::from_mhz("cpu", cfg_.cpu_mhz)),
+      fabric_clk_(sim::ClockDomain::from_mhz("fabric", cfg_.fabric_mhz)),
+      xbar_clk_(sim::ClockDomain::from_mhz("xbar", cfg_.xbar_mhz)),
+      dram_clk_(sim::ClockDomain::from_mhz("dram", cfg_.dram.timing.clock_mhz)) {
+  cfg_.validate();
+  xbar_ = std::make_unique<axi::Interconnect>(sim_, xbar_clk_, cfg_.xbar);
+
+  // Master 0: CPU cluster port.
+  axi::MasterPortConfig cpu_port_cfg = cfg_.cpu_port;
+  xbar_->add_master(cpu_port_cfg);
+  // Masters 1..N: accelerator HP ports.
+  for (std::size_t i = 0; i < cfg_.accel_ports; ++i) {
+    axi::MasterPortConfig pc = cfg_.accel_port;
+    pc.name = cfg_.accel_port.name + std::to_string(i);
+    xbar_->add_master(pc);
+  }
+
+  for (std::size_t ch = 0; ch < cfg_.dram_channels; ++ch) {
+    drams_.push_back(std::make_unique<dram::Controller>(sim_, dram_clk_,
+                                                        cfg_.dram, *xbar_));
+  }
+  if (cfg_.dram_channels == 1) {
+    xbar_->set_slave(*drams_[0]);
+  } else {
+    std::vector<axi::SlaveIf*> channels;
+    channels.reserve(drams_.size());
+    for (auto& d : drams_) {
+      channels.push_back(d.get());
+    }
+    channel_router_ = std::make_unique<axi::ChannelRouter>(
+        std::move(channels), cfg_.channel_stride_bytes);
+    xbar_->set_slave(*channel_router_);
+  }
+
+  cluster_ = std::make_unique<cpu::CpuCluster>(sim_, cpu_clk_, cfg_.cluster,
+                                               xbar_->master(0));
+
+  if (cfg_.qos_blocks) {
+    for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
+      QosBlock block;
+      qos::RegulatorConfig rc = cfg_.default_regulator;
+      rc.name = xbar_->master(m).name() + ".reg";
+      block.regulator = std::make_unique<qos::Regulator>(sim_, rc);
+      qos::MonitorConfig mc = cfg_.default_monitor;
+      mc.name = xbar_->master(m).name() + ".mon";
+      block.monitor = std::make_unique<qos::BandwidthMonitor>(sim_, mc);
+      block.regfile = std::make_unique<qos::QosRegFile>(block.regulator.get(),
+                                                        block.monitor.get());
+      xbar_->master(m).add_gate(*block.regulator);
+      xbar_->master(m).add_observer(*block.monitor);
+      qos_blocks_.push_back(std::move(block));
+    }
+  }
+}
+
+QosBlock& Soc::qos_block(std::size_t master_index) {
+  config_check(cfg_.qos_blocks, "Soc: QoS blocks disabled by configuration");
+  config_check(master_index < qos_blocks_.size(),
+               "Soc: master index out of range");
+  return qos_blocks_[master_index];
+}
+
+cpu::CpuCore& Soc::add_core(cpu::CoreConfig core_cfg,
+                            std::unique_ptr<cpu::Kernel> kernel) {
+  return cluster_->add_core(std::move(core_cfg), std::move(kernel));
+}
+
+wl::TrafficGen& Soc::add_traffic_gen(std::size_t accel_index,
+                                     wl::TrafficGenConfig tg_cfg) {
+  config_check(accel_index < cfg_.accel_ports,
+               "Soc: accel port index out of range");
+  traffic_gens_.push_back(std::make_unique<wl::TrafficGen>(
+      sim_, fabric_clk_, std::move(tg_cfg), accel_port(accel_index)));
+  return *traffic_gens_.back();
+}
+
+qos::DdrcThrottle& Soc::insert_ddrc_throttle(qos::DdrcThrottleConfig tc) {
+  config_check(ddrc_throttle_ == nullptr,
+               "Soc: DDRC throttle already inserted");
+  axi::SlaveIf& inner = channel_router_ != nullptr
+                            ? static_cast<axi::SlaveIf&>(*channel_router_)
+                            : static_cast<axi::SlaveIf&>(*drams_[0]);
+  ddrc_throttle_ =
+      std::make_unique<qos::DdrcThrottle>(sim_, std::move(tc), inner);
+  xbar_->set_slave(*ddrc_throttle_);
+  return *ddrc_throttle_;
+}
+
+bool Soc::run_until_cores_finished(sim::TimePs deadline, sim::TimePs poll_ps) {
+  while (sim_.now() < deadline) {
+    if (cluster_->all_finished()) {
+      return true;
+    }
+    const sim::TimePs step =
+        std::min<sim::TimePs>(poll_ps, deadline - sim_.now());
+    sim_.run_for(step);
+  }
+  return cluster_->all_finished();
+}
+
+double Soc::dram_bandwidth_bps() const {
+  std::uint64_t bytes = 0;
+  for (const auto& d : drams_) {
+    bytes += d->stats().payload_bytes.value();
+  }
+  return sim::bytes_per_second(bytes, sim_.now());
+}
+
+void Soc::collect_stats(sim::StatsRegistry& out) const {
+  // Aggregate over channels (single-channel platforms see one-to-one).
+  std::uint64_t reads = 0, writes = 0, payload = 0, bus = 0, hits = 0;
+  std::uint64_t acts = 0, conflicts = 0, refreshes = 0;
+  double util = 0;
+  for (const auto& d : drams_) {
+    const auto& ds = d->stats();
+    reads += ds.reads_serviced.value();
+    writes += ds.writes_serviced.value();
+    payload += ds.payload_bytes.value();
+    bus += ds.bus_bytes.value();
+    hits += ds.row_hits();
+    acts += ds.activations.value();
+    conflicts += ds.conflict_precharges.value();
+    refreshes += ds.refreshes.value();
+    util += d->bus_utilization(sim_.now());
+  }
+  out.set("dram.reads", reads);
+  out.set("dram.writes", writes);
+  out.set("dram.payload_bytes", payload);
+  out.set("dram.bus_bytes", bus);
+  out.set("dram.row_hits", hits);
+  out.set("dram.activations", acts);
+  out.set("dram.conflict_precharges", conflicts);
+  out.set("dram.refreshes", refreshes);
+  out.set("dram.bus_utilization",
+          util / static_cast<double>(drams_.size()));
+  for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
+    const axi::MasterPort& p = xbar_->master(m);
+    const std::string prefix = "port." + p.name() + ".";
+    out.set(prefix + "txns", p.stats().txns_completed.value());
+    out.set(prefix + "bytes", p.stats().bytes_granted.value());
+    out.set(prefix + "read_bytes", p.stats().read_bytes.value());
+    out.set(prefix + "write_bytes", p.stats().write_bytes.value());
+    out.set(prefix + "read_mean_ps", p.stats().read_latency.mean());
+    out.set(prefix + "read_p99_ps", p.stats().read_latency.p99());
+  }
+  out.set("cluster.l2_hit_rate", cluster_->l2().stats().hit_rate());
+  for (std::size_t c = 0; c < cluster_->core_count(); ++c) {
+    const cpu::CpuCore& core =
+        const_cast<cpu::CpuCluster&>(*cluster_).core(c);
+    const std::string prefix = "core." + core.config().name + ".";
+    out.set(prefix + "iterations", core.stats().iterations);
+    out.set(prefix + "iter_mean_ps", core.stats().iteration_ps.mean());
+    out.set(prefix + "iter_p99_ps", core.stats().iteration_ps.p99());
+    out.set(prefix + "l1_hit_rate", core.l1().stats().hit_rate());
+  }
+}
+
+}  // namespace fgqos::soc

@@ -1,0 +1,123 @@
+/// \file soc.hpp
+/// \brief The assembled platform: simulator + clocks + fabric + DRAM +
+///        CPU cluster + per-port QoS blocks.
+///
+/// This is the main entry point of the library: construct a Soc from a
+/// SocConfig, add CPU kernels and accelerator traffic generators, program
+/// QoS through the register files (directly or via qos::QosManager), and
+/// run. See examples/quickstart.cpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axi/channel_router.hpp"
+#include "axi/interconnect.hpp"
+#include "cpu/core.hpp"
+#include "dram/controller.hpp"
+#include "qos/ddrc_throttle.hpp"
+#include "qos/regfile.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "soc/config.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace fgqos::soc {
+
+/// Per-port QoS block: monitor + regulator behind a register file.
+struct QosBlock {
+  std::unique_ptr<qos::Regulator> regulator;
+  std::unique_ptr<qos::BandwidthMonitor> monitor;
+  std::unique_ptr<qos::QosRegFile> regfile;
+};
+
+/// The platform.
+class Soc {
+ public:
+  explicit Soc(SocConfig cfg);
+
+  Soc(const Soc&) = delete;
+  Soc& operator=(const Soc&) = delete;
+
+  [[nodiscard]] const SocConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::TimePs now() const { return sim_.now(); }
+
+  [[nodiscard]] axi::Interconnect& xbar() { return *xbar_; }
+  /// Channel \p i's memory controller (most platforms have just one).
+  [[nodiscard]] dram::Controller& dram(std::size_t i = 0) {
+    return *drams_.at(i);
+  }
+  [[nodiscard]] const dram::Controller& dram(std::size_t i = 0) const {
+    return *drams_.at(i);
+  }
+  [[nodiscard]] std::size_t dram_channel_count() const {
+    return drams_.size();
+  }
+  [[nodiscard]] cpu::CpuCluster& cluster() { return *cluster_; }
+
+  /// Master port 0 (the CPU cluster's path to memory).
+  [[nodiscard]] axi::MasterPort& cpu_port() { return xbar_->master(0); }
+  /// Accelerator port \p i in [0, accel_ports).
+  [[nodiscard]] axi::MasterPort& accel_port(std::size_t i) {
+    return xbar_->master(1 + i);
+  }
+  [[nodiscard]] std::size_t accel_port_count() const {
+    return cfg_.accel_ports;
+  }
+
+  /// QoS block of crossbar master \p master_index (0 = CPU, 1.. = HP).
+  /// Only available when cfg.qos_blocks.
+  [[nodiscard]] QosBlock& qos_block(std::size_t master_index);
+  [[nodiscard]] qos::QosRegFile& regfile(std::size_t master_index) {
+    return *qos_block(master_index).regfile;
+  }
+
+  /// Adds a CPU core running \p kernel.
+  cpu::CpuCore& add_core(cpu::CoreConfig cfg,
+                         std::unique_ptr<cpu::Kernel> kernel);
+
+  /// Adds a traffic generator on accelerator port \p accel_index.
+  wl::TrafficGen& add_traffic_gen(std::size_t accel_index,
+                                  wl::TrafficGenConfig cfg);
+
+  /// Inserts a DDRC-level global throttle between the crossbar and the
+  /// memory controller (the coarse commercial-knob baseline; EXP11).
+  /// Call at most once, before running.
+  qos::DdrcThrottle& insert_ddrc_throttle(qos::DdrcThrottleConfig cfg);
+
+  /// Runs for \p delta picoseconds.
+  void run_for(sim::TimePs delta) { sim_.run_for(delta); }
+  /// Runs until absolute time \p t.
+  void run_until(sim::TimePs t) { sim_.run_until(t); }
+
+  /// Runs until every bounded-iteration core halted, checking every
+  /// \p poll_ps, up to \p deadline. Returns true when all finished.
+  bool run_until_cores_finished(sim::TimePs deadline,
+                                sim::TimePs poll_ps = 10 * sim::kPsPerUs);
+
+  /// Dumps platform statistics ("dram.payload_bytes",
+  /// "port.cpu.read_p99_ps", ...) into \p out.
+  void collect_stats(sim::StatsRegistry& out) const;
+
+  /// Measured DRAM payload bandwidth since t=0 (bytes/second).
+  [[nodiscard]] double dram_bandwidth_bps() const;
+
+ private:
+  SocConfig cfg_;
+  sim::Simulator sim_;
+  sim::ClockDomain cpu_clk_;
+  sim::ClockDomain fabric_clk_;
+  sim::ClockDomain xbar_clk_;
+  sim::ClockDomain dram_clk_;
+  std::unique_ptr<axi::Interconnect> xbar_;
+  std::vector<std::unique_ptr<dram::Controller>> drams_;
+  std::unique_ptr<axi::ChannelRouter> channel_router_;
+  std::unique_ptr<qos::DdrcThrottle> ddrc_throttle_;
+  std::unique_ptr<cpu::CpuCluster> cluster_;
+  std::vector<QosBlock> qos_blocks_;
+  std::vector<std::unique_ptr<wl::TrafficGen>> traffic_gens_;
+};
+
+}  // namespace fgqos::soc

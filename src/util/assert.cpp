@@ -1,0 +1,18 @@
+#include "util/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fgqos::util {
+
+void assert_fail(std::string_view cond, std::string_view file, int line,
+                 std::string_view msg) {
+  std::fprintf(stderr, "FGQOS_ASSERT failed: %.*s\n  at %.*s:%d\n  %.*s\n",
+               static_cast<int>(cond.size()), cond.data(),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(msg.size()), msg.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fgqos::util

@@ -1,0 +1,28 @@
+/// \file assert.hpp
+/// \brief Always-on invariant checking for the fgqos library.
+///
+/// Simulation correctness depends on internal invariants (FIFO occupancy,
+/// token-bucket non-negativity, DRAM timing windows, ...). Violations are
+/// programming errors, not recoverable conditions, so FGQOS_ASSERT aborts
+/// with a source location and message in every build type.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fgqos::util {
+
+/// Terminates the process after printing the failed condition, the source
+/// location and an optional message. Never returns.
+[[noreturn]] void assert_fail(std::string_view cond, std::string_view file,
+                              int line, std::string_view msg);
+
+}  // namespace fgqos::util
+
+/// Always-active assertion. \p cond must be side-effect free.
+#define FGQOS_ASSERT(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::fgqos::util::assert_fail(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/config_error.hpp"
+
+namespace fgqos::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string key = arg.substr(2);
+    config_check(!key.empty(), "ArgParser: empty option name");
+    const std::size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      values_[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not an option; bare flag else.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[key] = argv[++i];
+    } else {
+      values_[key] = "";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  used_[key] = true;
+  return values_.count(key) != 0;
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& def) const {
+  used_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& key,
+                                std::int64_t def) const {
+  const std::string v = get(key);
+  if (v.empty() && !has(key)) {
+    return def;
+  }
+  if (v.empty()) {
+    return def;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 0);
+  config_check(end != nullptr && *end == '\0',
+               "ArgParser: --" + key + " expects an integer, got '" + v + "'");
+  return parsed;
+}
+
+double ArgParser::get_double(const std::string& key, double def) const {
+  const std::string v = get(key);
+  if (v.empty()) {
+    return def;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  config_check(end != nullptr && *end == '\0',
+               "ArgParser: --" + key + " expects a number, got '" + v + "'");
+  return parsed;
+}
+
+bool ArgParser::get_bool(const std::string& key, bool def) const {
+  if (!has(key)) {
+    return def;
+  }
+  const std::string v = get(key);
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") {
+    return false;
+  }
+  throw ConfigError("ArgParser: --" + key + " expects a boolean, got '" + v +
+                    "'");
+}
+
+std::vector<std::string> ArgParser::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (!used_.count(k)) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+}  // namespace fgqos::util

@@ -1,0 +1,44 @@
+/// \file cli.hpp
+/// \brief Tiny --key=value / --flag command-line parser for the tools.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fgqos::util {
+
+/// Parses `--key=value`, `--key value` and bare `--flag` arguments.
+/// Unknown positional arguments are collected separately.
+class ArgParser {
+ public:
+  /// Parses argv; throws ConfigError on malformed input ("--" prefix with
+  /// empty key).
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Returns the value, or \p def when absent. A bare flag reads as "".
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def = "") const;
+
+  /// Typed getters; throw ConfigError when present but unparsable.
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  /// Keys that were never read via has()/get*(); used to reject typos.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fgqos::util

@@ -1,0 +1,11 @@
+#include "util/config_error.hpp"
+
+namespace fgqos {
+
+void config_check(bool ok, const std::string& message) {
+  if (!ok) {
+    throw ConfigError(message);
+  }
+}
+
+}  // namespace fgqos

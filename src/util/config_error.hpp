@@ -1,0 +1,22 @@
+/// \file config_error.hpp
+/// \brief Exception type for user-facing configuration mistakes.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fgqos {
+
+/// Thrown when a user-supplied configuration (SoC topology, QoS budget,
+/// DRAM timing, workload parameters) is inconsistent or out of range.
+/// Internal invariant violations use FGQOS_ASSERT instead.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Throws ConfigError with \p message when \p ok is false.
+void config_check(bool ok, const std::string& message);
+
+}  // namespace fgqos

@@ -1,0 +1,125 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "util/config_error.hpp"
+
+namespace fgqos::util {
+namespace {
+
+std::string format_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string cell_to_string(const Cell& cell) {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return v;
+        } else if constexpr (std::is_same_v<T, double>) {
+          return format_double(v);
+        } else {
+          return std::to_string(v);
+        }
+      },
+      cell);
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  config_check(!header_.empty(), "Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  config_check(row.size() == header_.size(),
+               "Table: row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    os << (i ? "," : "") << csv_escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? "," : "") << csv_escape(cell_to_string(row[i]));
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    width[i] = header_[i].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(cell_to_string(row[i]));
+      width[i] = std::max(width[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i ? "  " : "") << cells[i]
+         << std::string(width[i] - cells[i].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) {
+    total += w;
+  }
+  total += 2 * (width.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rendered) {
+    emit(r);
+  }
+}
+
+void Table::print() const { write_pretty(std::cout); }
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream os(path);
+  config_check(static_cast<bool>(os), "Table: cannot open " + path);
+  write_csv(os);
+  config_check(static_cast<bool>(os), "Table: write failed for " + path);
+}
+
+}  // namespace fgqos::util

@@ -1,0 +1,75 @@
+#include "util/string_util.hpp"
+
+#include <cstdio>
+
+namespace fgqos::util {
+
+std::string format_bandwidth(double bytes_per_second) {
+  char buf[64];
+  if (bytes_per_second >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", bytes_per_second / 1e9);
+  } else if (bytes_per_second >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1f MB/s", bytes_per_second / 1e6);
+  } else if (bytes_per_second >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f KB/s", bytes_per_second / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f B/s", bytes_per_second);
+  }
+  return buf;
+}
+
+std::string format_time_ps(std::uint64_t ps) {
+  char buf[64];
+  const auto v = static_cast<double>(ps);
+  if (ps < 1000) {
+    std::snprintf(buf, sizeof buf, "%llu ps",
+                  static_cast<unsigned long long>(ps));
+  } else if (ps < 1000ull * 1000) {
+    std::snprintf(buf, sizeof buf, "%.2f ns", v / 1e3);
+  } else if (ps < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof buf, "%.2f us", v / 1e6);
+  } else if (ps < 1000ull * 1000 * 1000 * 1000) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", v / 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", v / 1e12);
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const auto v = static_cast<double>(bytes);
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else if (bytes < 1024ull * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", v / 1024.0);
+  } else if (bytes < 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", v / (1024.0 * 1024));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", v / (1024.0 * 1024 * 1024));
+  }
+  return buf;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace fgqos::util

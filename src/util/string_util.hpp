@@ -1,0 +1,29 @@
+/// \file string_util.hpp
+/// \brief Small string helpers shared by reporting code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fgqos::util {
+
+/// Formats a byte/second rate with a binary-ish engineering suffix,
+/// e.g. 1536000000 -> "1536.0 MB/s". MB here is 1e6 bytes (the convention
+/// memory-bandwidth papers use).
+std::string format_bandwidth(double bytes_per_second);
+
+/// Formats a picosecond duration with an adaptive unit (ps/ns/us/ms/s).
+std::string format_time_ps(std::uint64_t ps);
+
+/// Formats a byte count with a power-of-two suffix (B/KiB/MiB/GiB).
+std::string format_bytes(std::uint64_t bytes);
+
+/// Splits \p s on \p sep; empty fields are preserved.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// printf-style float with fixed decimals, e.g. format_fixed(3.14159, 2)
+/// == "3.14".
+std::string format_fixed(double v, int decimals);
+
+}  // namespace fgqos::util

@@ -1,0 +1,481 @@
+#include "workload/cpu_workloads.hpp"
+
+#include "util/config_error.hpp"
+
+namespace fgqos::wl {
+namespace {
+
+using cpu::Kernel;
+using cpu::KernelStep;
+using cpu::MemOp;
+
+/// Dependent random loads.
+class PointerChaseKernel final : public Kernel {
+ public:
+  explicit PointerChaseKernel(PointerChaseConfig cfg) : cfg_(std::move(cfg)) {
+    config_check(cfg_.footprint_bytes >= cfg_.line_bytes,
+                 "pointer_chase: footprint too small");
+    config_check(cfg_.accesses_per_iteration > 0,
+                 "pointer_chase: needs at least one access per iteration");
+    lines_ = cfg_.footprint_bytes / cfg_.line_bytes;
+  }
+
+  KernelStep next(sim::Xoshiro256& rng) override {
+    KernelStep s;
+    s.compute_cycles = cfg_.compute_cycles_per_access;
+    s.op = MemOp{cfg_.base + rng.next_below(lines_) * cfg_.line_bytes,
+                 /*is_write=*/false, /*blocking=*/true};
+    ++pos_;
+    if (pos_ >= cfg_.accesses_per_iteration) {
+      pos_ = 0;
+      s.end_of_iteration = true;
+    }
+    return s;
+  }
+
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] const std::string& name() const override { return cfg_.name; }
+
+ private:
+  PointerChaseConfig cfg_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t pos_ = 0;
+};
+
+/// Streaming reads/writes/copy.
+class StreamKernel final : public Kernel {
+ public:
+  explicit StreamKernel(StreamConfig cfg) : cfg_(std::move(cfg)) {
+    config_check(cfg_.footprint_bytes >= cfg_.line_bytes,
+                 "stream: footprint too small");
+    config_check(cfg_.lines_per_iteration > 0,
+                 "stream: needs at least one line per iteration");
+    lines_ = cfg_.footprint_bytes / cfg_.line_bytes;
+  }
+
+  KernelStep next(sim::Xoshiro256&) override {
+    KernelStep s;
+    s.compute_cycles = cfg_.compute_cycles_per_line;
+    const axi::Addr addr = cfg_.base + (cursor_ % lines_) * cfg_.line_bytes;
+    switch (cfg_.mode) {
+      case StreamMode::kRead:
+        s.op = MemOp{addr, false, /*blocking=*/false};
+        ++cursor_;
+        break;
+      case StreamMode::kWrite:
+        s.op = MemOp{addr, true, false};
+        ++cursor_;
+        break;
+      case StreamMode::kCopy: {
+        // Alternate read lower half / write upper half.
+        const std::uint64_t half = lines_ / 2 == 0 ? 1 : lines_ / 2;
+        const std::uint64_t idx = cursor_ % half;
+        if (write_leg_) {
+          s.op = MemOp{cfg_.base + (half + idx) * cfg_.line_bytes, true, false};
+          ++cursor_;
+        } else {
+          s.op = MemOp{cfg_.base + idx * cfg_.line_bytes, false, false};
+        }
+        write_leg_ = !write_leg_;
+        break;
+      }
+    }
+    ++emitted_;
+    if (emitted_ >= cfg_.lines_per_iteration) {
+      emitted_ = 0;
+      s.end_of_iteration = true;
+    }
+    return s;
+  }
+
+  void reset() override {
+    cursor_ = 0;
+    emitted_ = 0;
+    write_leg_ = false;
+  }
+  [[nodiscard]] const std::string& name() const override { return cfg_.name; }
+
+ private:
+  StreamConfig cfg_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t emitted_ = 0;
+  bool write_leg_ = false;
+};
+
+/// Memory-phase / compute-phase alternation.
+class PhasedKernel final : public Kernel {
+ public:
+  explicit PhasedKernel(PhasedConfig cfg) : cfg_(std::move(cfg)) {
+    config_check(cfg_.lines_per_phase > 0, "phased: lines_per_phase must be > 0");
+    config_check(cfg_.phases_per_iteration > 0,
+                 "phased: phases_per_iteration must be > 0");
+    lines_ = cfg_.footprint_bytes / cfg_.line_bytes;
+  }
+
+  KernelStep next(sim::Xoshiro256&) override {
+    KernelStep s;
+    if (line_in_phase_ < cfg_.lines_per_phase) {
+      // Memory phase: sequential non-blocking reads.
+      s.op = MemOp{cfg_.base + (cursor_ % lines_) * cfg_.line_bytes, false,
+                   false};
+      ++cursor_;
+      ++line_in_phase_;
+      return s;
+    }
+    // Compute phase closes the phase.
+    s.compute_cycles = cfg_.compute_cycles_per_phase;
+    line_in_phase_ = 0;
+    ++phase_;
+    if (phase_ >= cfg_.phases_per_iteration) {
+      phase_ = 0;
+      s.end_of_iteration = true;
+    }
+    return s;
+  }
+
+  void reset() override {
+    cursor_ = 0;
+    line_in_phase_ = 0;
+    phase_ = 0;
+  }
+  [[nodiscard]] const std::string& name() const override { return cfg_.name; }
+
+ private:
+  PhasedConfig cfg_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t line_in_phase_ = 0;
+  std::uint64_t phase_ = 0;
+};
+
+/// Random read-modify-write.
+class RandomRmwKernel final : public Kernel {
+ public:
+  explicit RandomRmwKernel(RandomRmwConfig cfg) : cfg_(std::move(cfg)) {
+    config_check(cfg_.accesses_per_iteration > 0,
+                 "random_rmw: needs accesses per iteration");
+    lines_ = cfg_.footprint_bytes / cfg_.line_bytes;
+  }
+
+  KernelStep next(sim::Xoshiro256& rng) override {
+    KernelStep s;
+    s.compute_cycles = cfg_.compute_cycles_per_access;
+    if (!store_leg_) {
+      pending_addr_ = cfg_.base + rng.next_below(lines_) * cfg_.line_bytes;
+      s.op = MemOp{pending_addr_, false, true};
+      store_leg_ = true;
+      return s;
+    }
+    s.op = MemOp{pending_addr_, true, false};
+    store_leg_ = false;
+    ++pos_;
+    if (pos_ >= cfg_.accesses_per_iteration) {
+      pos_ = 0;
+      s.end_of_iteration = true;
+    }
+    return s;
+  }
+
+  void reset() override {
+    pos_ = 0;
+    store_leg_ = false;
+  }
+  [[nodiscard]] const std::string& name() const override { return cfg_.name; }
+
+ private:
+  RandomRmwConfig cfg_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t pos_ = 0;
+  bool store_leg_ = false;
+  axi::Addr pending_addr_ = 0;
+};
+
+/// Blocked matmul.
+class TiledMatmulKernel final : public Kernel {
+ public:
+  explicit TiledMatmulKernel(TiledMatmulConfig cfg) : cfg_(std::move(cfg)) {
+    config_check(cfg_.tile_dim > 0 && cfg_.matrix_dim % cfg_.tile_dim == 0,
+                 "matmul: tile must divide the matrix dimension");
+    tiles_per_edge_ = cfg_.matrix_dim / cfg_.tile_dim;
+    // Lines per tile: tile_dim rows of tile_dim * 4 bytes each.
+    const std::uint32_t row_bytes = cfg_.tile_dim * 4;
+    lines_per_tile_ = cfg_.tile_dim *
+                      ((row_bytes + cfg_.line_bytes - 1) / cfg_.line_bytes);
+  }
+
+  KernelStep next(sim::Xoshiro256&) override {
+    KernelStep s;
+    // Phase order per tile-step: A lines, B lines, compute, C writes.
+    if (phase_ == 0) {  // A tile: sequential
+      s.op = MemOp{cfg_.base_a + tile_line_offset(ti_, kk_, false), false,
+                   false};
+      advance_line(lines_per_tile_);
+      return s;
+    }
+    if (phase_ == 1) {  // B tile: column-major -> stride matrix row
+      s.op = MemOp{cfg_.base_b + tile_line_offset(kk_, tj_, true), false,
+                   false};
+      advance_line(lines_per_tile_);
+      return s;
+    }
+    if (phase_ == 2) {  // compute: T^3 MACs
+      s.compute_cycles = cfg_.compute_cycles_per_mac * cfg_.tile_dim *
+                         cfg_.tile_dim * cfg_.tile_dim / 64;
+      ++phase_;
+      return s;
+    }
+    // phase 3: C tile writeback
+    s.op = MemOp{cfg_.base_c + tile_line_offset(ti_, tj_, false), true,
+                 false};
+    if (line_ + 1 >= lines_per_tile_) {
+      line_ = 0;
+      phase_ = 0;
+      // Advance (kk, then tj, then ti).
+      if (++kk_ >= tiles_per_edge_) {
+        kk_ = 0;
+        if (++tj_ >= tiles_per_edge_) {
+          tj_ = 0;
+          if (++ti_ >= tiles_per_edge_) {
+            ti_ = 0;
+            s.end_of_iteration = true;  // full matrix done
+          }
+        }
+      }
+    } else {
+      ++line_;
+    }
+    return s;
+  }
+
+  void reset() override {
+    phase_ = 0;
+    line_ = 0;
+    ti_ = tj_ = kk_ = 0;
+  }
+  [[nodiscard]] const std::string& name() const override { return cfg_.name; }
+
+ private:
+  axi::Addr tile_line_offset(std::uint32_t tr, std::uint32_t tc,
+                             bool column_major) const {
+    // Byte offset of the current line within tile (tr, tc) of the matrix.
+    const std::uint64_t elem_bytes = 4;
+    const std::uint64_t dim = cfg_.matrix_dim;
+    const std::uint64_t lines_per_row =
+        (cfg_.tile_dim * elem_bytes + cfg_.line_bytes - 1) / cfg_.line_bytes;
+    const std::uint64_t row_in_tile = line_ / lines_per_row;
+    const std::uint64_t line_in_row = line_ % lines_per_row;
+    const std::uint64_t r = column_major
+                                ? tr * cfg_.tile_dim + line_in_row
+                                : tr * cfg_.tile_dim + row_in_tile;
+    const std::uint64_t c = column_major
+                                ? tc * cfg_.tile_dim + row_in_tile
+                                : tc * cfg_.tile_dim;
+    return (r * dim + c) * elem_bytes +
+           (column_major ? 0 : line_in_row * cfg_.line_bytes);
+  }
+
+  void advance_line(std::uint64_t limit) {
+    if (++line_ >= limit) {
+      line_ = 0;
+      ++phase_;
+    }
+  }
+
+  TiledMatmulConfig cfg_;
+  std::uint32_t tiles_per_edge_ = 0;
+  std::uint64_t lines_per_tile_ = 0;
+  std::uint32_t phase_ = 0;
+  std::uint64_t line_ = 0;
+  std::uint32_t ti_ = 0, tj_ = 0, kk_ = 0;
+};
+
+/// 3x3 convolution.
+class Conv2dKernel final : public Kernel {
+ public:
+  explicit Conv2dKernel(Conv2dConfig cfg) : cfg_(std::move(cfg)) {
+    config_check(cfg_.width > 0, "conv2d: width must be > 0");
+    config_check(cfg_.rows_per_iteration > 0,
+                 "conv2d: rows_per_iteration must be > 0");
+    lines_per_row_ =
+        (cfg_.width * 4 + cfg_.line_bytes - 1) / cfg_.line_bytes;
+  }
+
+  KernelStep next(sim::Xoshiro256&) override {
+    KernelStep s;
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(lines_per_row_) * cfg_.line_bytes;
+    if (phase_ < 3) {  // read input rows y-1, y, y+1
+      const std::uint64_t in_row = row_ + phase_;
+      s.op = MemOp{cfg_.base_in + in_row * row_bytes +
+                       line_ * cfg_.line_bytes,
+                   false, false};
+      s.compute_cycles = cfg_.compute_cycles_per_line / 3;
+      step_line();
+      return s;
+    }
+    // phase 3: write the output row
+    s.op = MemOp{cfg_.base_out + row_ * row_bytes + line_ * cfg_.line_bytes,
+                 true, false};
+    if (line_ + 1 >= lines_per_row_) {
+      line_ = 0;
+      phase_ = 0;
+      ++row_;
+      if (row_ >= cfg_.rows_per_iteration) {
+        row_ = 0;
+        s.end_of_iteration = true;
+      }
+    } else {
+      ++line_;
+    }
+    return s;
+  }
+
+  void reset() override {
+    phase_ = 0;
+    line_ = 0;
+    row_ = 0;
+  }
+  [[nodiscard]] const std::string& name() const override { return cfg_.name; }
+
+ private:
+  void step_line() {
+    if (++line_ >= lines_per_row_) {
+      line_ = 0;
+      ++phase_;
+    }
+  }
+
+  Conv2dConfig cfg_;
+  std::uint64_t lines_per_row_ = 0;
+  std::uint32_t phase_ = 0;
+  std::uint64_t line_ = 0;
+  std::uint64_t row_ = 0;
+};
+
+/// FFT butterfly passes with doubling stride.
+class FftStrideKernel final : public Kernel {
+ public:
+  explicit FftStrideKernel(FftStrideConfig cfg) : cfg_(std::move(cfg)) {
+    config_check(cfg_.elements >= 2 &&
+                     (cfg_.elements & (cfg_.elements - 1)) == 0,
+                 "fft: elements must be a power of two >= 2");
+    passes_ = 0;
+    for (std::uint32_t n = cfg_.elements; n > 1; n >>= 1) {
+      ++passes_;
+    }
+  }
+
+  KernelStep next(sim::Xoshiro256&) override {
+    KernelStep s;
+    s.compute_cycles = cfg_.compute_cycles_per_butterfly;
+    // Butterfly pair (index_, index_ + stride); we touch both lines.
+    const std::uint64_t stride = std::uint64_t{1} << pass_;
+    const std::uint64_t idx = leg_ == 0 ? index_ : index_ + stride;
+    s.op = MemOp{cfg_.base + idx * 8, leg_ == 1, false};
+    if (leg_ == 0) {
+      leg_ = 1;
+      return s;
+    }
+    leg_ = 0;
+    index_ += 1;
+    if ((index_ & (stride - 1)) == 0) {
+      index_ += stride;  // skip the upper half of each butterfly block
+    }
+    if (index_ + stride > cfg_.elements) {
+      index_ = 0;
+      ++pass_;
+      if (pass_ >= passes_) {
+        pass_ = 0;
+        s.end_of_iteration = true;
+      }
+    }
+    return s;
+  }
+
+  void reset() override {
+    pass_ = 0;
+    index_ = 0;
+    leg_ = 0;
+  }
+  [[nodiscard]] const std::string& name() const override { return cfg_.name; }
+
+ private:
+  FftStrideConfig cfg_;
+  std::uint32_t passes_ = 0;
+  std::uint32_t pass_ = 0;
+  std::uint64_t index_ = 0;
+  std::uint32_t leg_ = 0;
+};
+
+/// L1-resident compute.
+class ComputeBoundKernel final : public Kernel {
+ public:
+  explicit ComputeBoundKernel(ComputeBoundConfig cfg) : cfg_(std::move(cfg)) {
+    config_check(cfg_.accesses_per_iteration > 0,
+                 "compute_bound: needs accesses per iteration");
+    lines_ = cfg_.footprint_bytes / cfg_.line_bytes;
+    config_check(lines_ > 0, "compute_bound: footprint too small");
+  }
+
+  KernelStep next(sim::Xoshiro256&) override {
+    KernelStep s;
+    s.compute_cycles = cfg_.compute_cycles_per_access;
+    s.op = MemOp{cfg_.base + (cursor_ % lines_) * cfg_.line_bytes, false, true};
+    ++cursor_;
+    ++pos_;
+    if (pos_ >= cfg_.accesses_per_iteration) {
+      pos_ = 0;
+      s.end_of_iteration = true;
+    }
+    return s;
+  }
+
+  void reset() override {
+    cursor_ = 0;
+    pos_ = 0;
+  }
+  [[nodiscard]] const std::string& name() const override { return cfg_.name; }
+
+ private:
+  ComputeBoundConfig cfg_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<cpu::Kernel> make_pointer_chase(PointerChaseConfig cfg) {
+  return std::make_unique<PointerChaseKernel>(std::move(cfg));
+}
+
+std::unique_ptr<cpu::Kernel> make_stream(StreamConfig cfg) {
+  return std::make_unique<StreamKernel>(std::move(cfg));
+}
+
+std::unique_ptr<cpu::Kernel> make_phased(PhasedConfig cfg) {
+  return std::make_unique<PhasedKernel>(std::move(cfg));
+}
+
+std::unique_ptr<cpu::Kernel> make_random_rmw(RandomRmwConfig cfg) {
+  return std::make_unique<RandomRmwKernel>(std::move(cfg));
+}
+
+std::unique_ptr<cpu::Kernel> make_tiled_matmul(TiledMatmulConfig cfg) {
+  return std::make_unique<TiledMatmulKernel>(std::move(cfg));
+}
+
+std::unique_ptr<cpu::Kernel> make_conv2d(Conv2dConfig cfg) {
+  return std::make_unique<Conv2dKernel>(std::move(cfg));
+}
+
+std::unique_ptr<cpu::Kernel> make_fft_stride(FftStrideConfig cfg) {
+  return std::make_unique<FftStrideKernel>(std::move(cfg));
+}
+
+std::unique_ptr<cpu::Kernel> make_compute_bound(ComputeBoundConfig cfg) {
+  return std::make_unique<ComputeBoundKernel>(std::move(cfg));
+}
+
+}  // namespace fgqos::wl

@@ -1,0 +1,126 @@
+/// \file cpu_workloads.hpp
+/// \brief Concrete synthetic kernels for the CPU cores.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cpu/kernel.hpp"
+
+namespace fgqos::wl {
+
+/// Latency benchmark: a chain of dependent loads at random lines within a
+/// footprint. Each iteration performs `accesses_per_iteration` loads with
+/// `compute_cycles_per_access` of work between them. With a footprint well
+/// beyond the LLC nearly every load is a DRAM access whose latency the
+/// core fully absorbs — the most interference-sensitive workload class.
+struct PointerChaseConfig {
+  std::string name = "pointer_chase";
+  axi::Addr base = 0x1000'0000;
+  std::uint64_t footprint_bytes = 16ull << 20;
+  std::uint32_t line_bytes = 64;
+  std::uint64_t accesses_per_iteration = 1024;
+  std::uint32_t compute_cycles_per_access = 4;
+};
+std::unique_ptr<cpu::Kernel> make_pointer_chase(PointerChaseConfig cfg);
+
+/// Bandwidth benchmark: streaming loads/stores over a footprint with
+/// non-blocking semantics (up to the MSHR limit in flight).
+enum class StreamMode : std::uint8_t { kRead, kWrite, kCopy };
+struct StreamConfig {
+  std::string name = "stream";
+  StreamMode mode = StreamMode::kRead;
+  axi::Addr base = 0x2000'0000;
+  std::uint64_t footprint_bytes = 8ull << 20;
+  std::uint32_t line_bytes = 64;
+  /// Lines touched per iteration.
+  std::uint64_t lines_per_iteration = 4096;
+  std::uint32_t compute_cycles_per_line = 1;
+};
+std::unique_ptr<cpu::Kernel> make_stream(StreamConfig cfg);
+
+/// Mixed compute/memory kernel: bursts of `lines_per_phase` sequential
+/// line reads followed by a pure compute phase — models PREM-style
+/// memory/compute phase structure and lets experiments dial the
+/// memory-intensity knob.
+struct PhasedConfig {
+  std::string name = "phased";
+  axi::Addr base = 0x3000'0000;
+  std::uint64_t footprint_bytes = 4ull << 20;
+  std::uint32_t line_bytes = 64;
+  std::uint64_t lines_per_phase = 256;
+  std::uint32_t compute_cycles_per_phase = 20'000;
+  std::uint64_t phases_per_iteration = 4;
+};
+std::unique_ptr<cpu::Kernel> make_phased(PhasedConfig cfg);
+
+/// Random-access read-modify-write kernel (histogram/update-style):
+/// blocking load then store to the same line, uniformly random lines.
+struct RandomRmwConfig {
+  std::string name = "random_rmw";
+  axi::Addr base = 0x5000'0000;
+  std::uint64_t footprint_bytes = 32ull << 20;
+  std::uint32_t line_bytes = 64;
+  std::uint64_t accesses_per_iteration = 512;
+  std::uint32_t compute_cycles_per_access = 8;
+};
+std::unique_ptr<cpu::Kernel> make_random_rmw(RandomRmwConfig cfg);
+
+/// Blocked matrix multiply C += A * B with square tiles sized to the L2:
+/// per tile-step it streams an A tile and a B tile (B column-major ->
+/// strided lines), runs the O(T^3) compute phase, then writes the C tile
+/// back. A realistic mixed compute/memory workload whose interference
+/// sensitivity sits between streaming and pointer chasing.
+struct TiledMatmulConfig {
+  std::string name = "matmul_tile";
+  axi::Addr base_a = 0x1000'0000;
+  axi::Addr base_b = 0x1400'0000;
+  axi::Addr base_c = 0x1800'0000;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t matrix_dim = 256;      ///< square matrices of floats
+  std::uint32_t tile_dim = 64;         ///< tile edge (elements)
+  std::uint32_t compute_cycles_per_mac = 1;
+};
+std::unique_ptr<cpu::Kernel> make_tiled_matmul(TiledMatmulConfig cfg);
+
+/// 3x3 2-D convolution over an image: per output row it reads three
+/// input rows (high spatial locality), computes, and writes one output
+/// row. Models the vision pipelines the paper's platform targets.
+struct Conv2dConfig {
+  std::string name = "conv2d";
+  axi::Addr base_in = 0x2000'0000;
+  axi::Addr base_out = 0x2800'0000;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t width = 1920;          ///< pixels per row (4 B each)
+  std::uint32_t rows_per_iteration = 32;
+  std::uint32_t compute_cycles_per_line = 36;  ///< 9 MACs x 16 px / 4
+};
+std::unique_ptr<cpu::Kernel> make_conv2d(Conv2dConfig cfg);
+
+/// FFT-style passes: log2(N) sweeps over an N-element array with the
+/// butterfly stride doubling each pass — locality degrades from perfectly
+/// sequential to cache-line-hostile as the passes progress.
+struct FftStrideConfig {
+  std::string name = "fft_stride";
+  axi::Addr base = 0x3800'0000;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t elements = 1u << 16;   ///< 8 B per element (complex float)
+  std::uint32_t compute_cycles_per_butterfly = 4;
+};
+std::unique_ptr<cpu::Kernel> make_fft_stride(FftStrideConfig cfg);
+
+/// Cache-resident compute kernel (control case): small footprint that fits
+/// in the L1/L2, long compute phases — should be insensitive to memory
+/// interference.
+struct ComputeBoundConfig {
+  std::string name = "compute_bound";
+  axi::Addr base = 0x6000'0000;
+  std::uint64_t footprint_bytes = 16ull << 10;  // L1-resident
+  std::uint32_t line_bytes = 64;
+  std::uint64_t accesses_per_iteration = 256;
+  std::uint32_t compute_cycles_per_access = 64;
+};
+std::unique_ptr<cpu::Kernel> make_compute_bound(ComputeBoundConfig cfg);
+
+}  // namespace fgqos::wl

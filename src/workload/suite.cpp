@@ -1,0 +1,121 @@
+#include "workload/suite.hpp"
+
+#include "util/config_error.hpp"
+#include "workload/cpu_workloads.hpp"
+
+namespace fgqos::wl {
+
+const std::vector<SuiteEntry>& benchmark_suite() {
+  static const std::vector<SuiteEntry> kSuite = [] {
+    std::vector<SuiteEntry> s;
+    s.push_back(SuiteEntry{
+        "memread",
+        "streaming reads, 8 MiB footprint (DRAM-bound bandwidth)",
+        [] {
+          StreamConfig c;
+          c.name = "memread";
+          c.mode = StreamMode::kRead;
+          return make_stream(c);
+        },
+        120});
+    s.push_back(SuiteEntry{
+        "memcpy",
+        "streaming copy, read+write halves of 8 MiB",
+        [] {
+          StreamConfig c;
+          c.name = "memcpy";
+          c.mode = StreamMode::kCopy;
+          return make_stream(c);
+        },
+        40});
+    s.push_back(SuiteEntry{
+        "memwrite",
+        "streaming writes, 8 MiB footprint (write-drain pressure)",
+        [] {
+          StreamConfig c;
+          c.name = "memwrite";
+          c.mode = StreamMode::kWrite;
+          return make_stream(c);
+        },
+        24});
+    s.push_back(SuiteEntry{
+        "latency",
+        "dependent random loads over 16 MiB (latency-critical)",
+        [] {
+          PointerChaseConfig c;
+          c.name = "latency";
+          return make_pointer_chase(c);
+        },
+        24});
+    s.push_back(SuiteEntry{
+        "update",
+        "random read-modify-write over 32 MiB",
+        [] {
+          RandomRmwConfig c;
+          c.name = "update";
+          return make_random_rmw(c);
+        },
+        40});
+    s.push_back(SuiteEntry{
+        "phased",
+        "PREM-style alternation of memory and compute phases",
+        [] {
+          PhasedConfig c;
+          c.name = "phased";
+          return make_phased(c);
+        },
+        40});
+    s.push_back(SuiteEntry{
+        "compute",
+        "L1-resident compute control (interference-insensitive)",
+        [] {
+          ComputeBoundConfig c;
+          c.name = "compute";
+          return make_compute_bound(c);
+        },
+        170});
+    s.push_back(SuiteEntry{
+        "matmul",
+        "blocked 384x384 matmul, 64x64 tiles (compute/memory mix)",
+        [] {
+          TiledMatmulConfig c;
+          c.name = "matmul";
+          c.matrix_dim = 384;
+          return make_tiled_matmul(c);
+        },
+        2});
+    s.push_back(SuiteEntry{
+        "conv2d",
+        "3x3 convolution over 1920x256 rows (vision pipeline)",
+        [] {
+          Conv2dConfig c;
+          c.name = "conv2d";
+          c.rows_per_iteration = 256;
+          return make_conv2d(c);
+        },
+        4});
+    s.push_back(SuiteEntry{
+        "fft",
+        "butterfly passes with doubling stride over 1 MiB",
+        [] {
+          FftStrideConfig c;
+          c.name = "fft";
+          c.elements = 1u << 17;
+          return make_fft_stride(c);
+        },
+        2});
+    return s;
+  }();
+  return kSuite;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+  for (const auto& e : benchmark_suite()) {
+    if (e.name == name) {
+      return e;
+    }
+  }
+  throw ConfigError("suite_entry: unknown workload '" + name + "'");
+}
+
+}  // namespace fgqos::wl

@@ -1,0 +1,31 @@
+/// \file suite.hpp
+/// \brief Named benchmark suite used by the end-to-end experiments (EXP6).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/kernel.hpp"
+
+namespace fgqos::wl {
+
+/// A named kernel factory plus the iteration count that gives a
+/// measurement of reasonable length on the default platform.
+struct SuiteEntry {
+  std::string name;
+  std::string description;
+  std::function<std::unique_ptr<cpu::Kernel>()> make;
+  std::uint64_t iterations;
+};
+
+/// The suite: one entry per workload class the paper's group uses for
+/// worst-case characterisation (streaming, copy, random, phased,
+/// compute-bound control).
+const std::vector<SuiteEntry>& benchmark_suite();
+
+/// Finds an entry by name; throws ConfigError when absent.
+const SuiteEntry& suite_entry(const std::string& name);
+
+}  // namespace fgqos::wl

@@ -1,0 +1,107 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+
+#include "util/config_error.hpp"
+#include "util/string_util.hpp"
+
+namespace fgqos::wl {
+
+TraceRecorder::TraceRecorder(std::size_t max_events)
+    : max_events_(max_events) {}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  truncated_ = false;
+}
+
+void TraceRecorder::on_grant(const axi::LineRequest& line, sim::TimePs now) {
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(TraceEvent{now, line.txn->master, line.addr, line.bytes,
+                               line.is_write});
+}
+
+void TraceRecorder::save_csv(const std::string& path) const {
+  std::ofstream os(path);
+  config_check(static_cast<bool>(os), "TraceRecorder: cannot open " + path);
+  os << "time_ps,master,addr,bytes,is_write\n";
+  for (const auto& e : events_) {
+    os << e.time << ',' << e.master << ',' << e.addr << ',' << e.bytes << ','
+       << (e.is_write ? 1 : 0) << '\n';
+  }
+  config_check(static_cast<bool>(os), "TraceRecorder: write failed " + path);
+}
+
+std::vector<TraceEvent> TraceRecorder::load_csv(const std::string& path) {
+  std::ifstream is(path);
+  config_check(static_cast<bool>(is), "TraceRecorder: cannot open " + path);
+  std::string line;
+  config_check(static_cast<bool>(std::getline(is, line)),
+               "TraceRecorder: empty file " + path);
+  std::vector<TraceEvent> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto parts = util::split(line, ',');
+    config_check(parts.size() == 5, "TraceRecorder: bad row in " + path);
+    TraceEvent e;
+    e.time = std::stoull(parts[0]);
+    e.master = static_cast<axi::MasterId>(std::stoul(parts[1]));
+    e.addr = std::stoull(parts[2]);
+    e.bytes = static_cast<std::uint32_t>(std::stoul(parts[3]));
+    e.is_write = parts[4] == "1";
+    out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+
+class TraceReplayKernel final : public cpu::Kernel {
+ public:
+  TraceReplayKernel(std::string name, std::vector<TraceEvent> events,
+                    bool blocking_reads)
+      : name_(std::move(name)),
+        events_(std::move(events)),
+        blocking_reads_(blocking_reads) {
+    config_check(!events_.empty(), "trace replay: empty trace");
+  }
+
+  cpu::KernelStep next(sim::Xoshiro256&) override {
+    const TraceEvent& e = events_[pos_];
+    cpu::KernelStep s;
+    s.op = cpu::MemOp{e.addr, e.is_write,
+                      blocking_reads_ && !e.is_write};
+    ++pos_;
+    if (pos_ >= events_.size()) {
+      pos_ = 0;
+      s.end_of_iteration = true;
+    }
+    return s;
+  }
+
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<TraceEvent> events_;
+  bool blocking_reads_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<cpu::Kernel> make_trace_replay(std::string name,
+                                               std::vector<TraceEvent> events,
+                                               bool blocking_reads) {
+  return std::make_unique<TraceReplayKernel>(std::move(name),
+                                             std::move(events),
+                                             blocking_reads);
+}
+
+}  // namespace fgqos::wl

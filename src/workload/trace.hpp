@@ -1,0 +1,61 @@
+/// \file trace.hpp
+/// \brief Transaction trace capture and replay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axi/port.hpp"
+#include "cpu/kernel.hpp"
+
+namespace fgqos::wl {
+
+/// One captured event (a granted line).
+struct TraceEvent {
+  sim::TimePs time = 0;
+  axi::MasterId master = 0;
+  axi::Addr addr = 0;
+  std::uint32_t bytes = 0;
+  bool is_write = false;
+};
+
+/// Observer that records every granted line on the port(s) it is attached
+/// to. Useful for debugging and for building replayable workloads.
+class TraceRecorder final : public axi::TxnObserver {
+ public:
+  /// \param max_events recording stops silently after this many (bounds
+  ///        memory); 0 = unlimited.
+  explicit TraceRecorder(std::size_t max_events = 0);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  void clear();
+
+  /// Saves as CSV (time_ps,master,addr,bytes,is_write).
+  void save_csv(const std::string& path) const;
+  /// Loads a CSV produced by save_csv. Throws ConfigError on parse errors.
+  static std::vector<TraceEvent> load_csv(const std::string& path);
+
+  // TxnObserver
+  void on_issue(const axi::Transaction&, sim::TimePs) override {}
+  void on_grant(const axi::LineRequest& line, sim::TimePs now) override;
+  void on_complete(const axi::Transaction&, sim::TimePs) override {}
+
+ private:
+  std::size_t max_events_;
+  bool truncated_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+/// Kernel that replays the memory accesses of a captured trace (timestamps
+/// are ignored; ordering and addresses are preserved; all accesses are
+/// non-blocking reads/writes per the recorded direction).
+std::unique_ptr<cpu::Kernel> make_trace_replay(std::string name,
+                                               std::vector<TraceEvent> events,
+                                               bool blocking_reads = false);
+
+}  // namespace fgqos::wl

@@ -1,0 +1,170 @@
+// Unit tests for the CPU cluster: cores, L1/L2 interaction, MSHR merging,
+// blocking semantics and iteration accounting. Uses a full Soc for the
+// memory backend (the cheapest correct backend available).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "soc/soc.hpp"
+#include "workload/cpu_workloads.hpp"
+
+namespace fgqos::cpu {
+namespace {
+
+soc::SocConfig small_soc() {
+  soc::SocConfig cfg;
+  cfg.qos_blocks = false;
+  return cfg;
+}
+
+/// Kernel issuing a fixed list of ops, then idling forever.
+class ScriptKernel final : public Kernel {
+ public:
+  explicit ScriptKernel(std::vector<MemOp> ops) : ops_(std::move(ops)) {}
+
+  KernelStep next(sim::Xoshiro256&) override {
+    KernelStep s;
+    if (pos_ < ops_.size()) {
+      s.op = ops_[pos_++];
+      if (pos_ == ops_.size()) {
+        s.end_of_iteration = true;
+      }
+    } else {
+      // Idle tail: long compute, never ends an iteration.
+      s.compute_cycles = 1'000'000;
+    }
+    return s;
+  }
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_ = "script";
+  std::vector<MemOp> ops_;
+  std::size_t pos_ = 0;
+};
+
+TEST(CpuCore, FinishesBoundedIterations) {
+  soc::Soc chip(small_soc());
+  wl::PointerChaseConfig pc;
+  pc.accesses_per_iteration = 64;
+  pc.footprint_bytes = 1 << 20;
+  CoreConfig cc;
+  cc.max_iterations = 3;
+  CpuCore& core = chip.add_core(cc, wl::make_pointer_chase(pc));
+  EXPECT_TRUE(chip.run_until_cores_finished(20 * sim::kPsPerMs));
+  EXPECT_TRUE(core.finished());
+  EXPECT_EQ(core.stats().iterations, 3u);
+  EXPECT_EQ(core.stats().iteration_ps.count(), 3u);
+  EXPECT_EQ(core.stats().loads, 3u * 64u);
+  EXPECT_LT(core.stats().finished_at, 20 * sim::kPsPerMs);
+}
+
+TEST(CpuCore, CacheHitsAvoidMemoryTraffic) {
+  soc::Soc chip(small_soc());
+  // Footprint fits in L1: after the first iteration everything hits.
+  wl::ComputeBoundConfig cb;
+  cb.footprint_bytes = 8 << 10;
+  cb.accesses_per_iteration = 128;
+  CoreConfig cc;
+  cc.max_iterations = 10;
+  CpuCore& core = chip.add_core(cc, wl::make_compute_bound(cb));
+  ASSERT_TRUE(chip.run_until_cores_finished(50 * sim::kPsPerMs));
+  // Memory reads are bounded by the number of distinct lines (cold misses).
+  const std::uint64_t lines = cb.footprint_bytes / 64;
+  EXPECT_LE(chip.cpu_port().stats().txns_completed.value(), lines + 4);
+  EXPECT_GT(core.l1().stats().hit_rate(), 0.85);
+}
+
+TEST(CpuCore, BlockingLoadStallsUntilFill) {
+  soc::Soc chip(small_soc());
+  std::vector<MemOp> ops = {{0x100000, false, true}};
+  CoreConfig cc;
+  cc.max_iterations = 1;
+  CpuCore& core = chip.add_core(cc, std::make_unique<ScriptKernel>(ops));
+  ASSERT_TRUE(chip.run_until_cores_finished(sim::kPsPerMs));
+  // The iteration time must cover a full memory round trip (>= 100 ns on
+  // the default platform).
+  EXPECT_GE(core.stats().iteration_ps.max(), 100'000u);
+}
+
+TEST(CpuCore, NonBlockingLoadsOverlap) {
+  soc::Soc chip(small_soc());
+  // 8 independent loads to distinct lines.
+  std::vector<MemOp> blocking, nonblocking;
+  for (int i = 0; i < 8; ++i) {
+    const axi::Addr a = 0x200000 + static_cast<axi::Addr>(i) * 4096;
+    blocking.push_back({a, false, true});
+    nonblocking.push_back({a, false, false});
+  }
+  CoreConfig cc;
+  cc.max_iterations = 1;
+  cc.name = "blk";
+  soc::Soc chip2(small_soc());
+  CpuCore& cb = chip.add_core(cc, std::make_unique<ScriptKernel>(blocking));
+  cc.name = "nbl";
+  CpuCore& cn = chip2.add_core(cc, std::make_unique<ScriptKernel>(nonblocking));
+  ASSERT_TRUE(chip.run_until_cores_finished(sim::kPsPerMs));
+  ASSERT_TRUE(chip2.run_until_cores_finished(sim::kPsPerMs));
+  // Overlapped misses must finish the iteration substantially faster.
+  EXPECT_LT(cn.stats().iteration_ps.max() * 2,
+            cb.stats().iteration_ps.max());
+}
+
+TEST(CpuCluster, MshrMergesSameLine) {
+  soc::Soc chip(small_soc());
+  // Two cores read the same line at the same time: only one memory txn.
+  std::vector<MemOp> ops = {{0x300000, false, true}};
+  CoreConfig cc;
+  cc.max_iterations = 1;
+  cc.name = "c0";
+  chip.add_core(cc, std::make_unique<ScriptKernel>(ops));
+  cc.name = "c1";
+  chip.add_core(cc, std::make_unique<ScriptKernel>(ops));
+  ASSERT_TRUE(chip.run_until_cores_finished(sim::kPsPerMs));
+  EXPECT_EQ(chip.cpu_port().stats().txns_completed.value(), 1u);
+  EXPECT_GE(chip.cluster().mshr().merges(), 0u);  // merge or L2 hit
+}
+
+TEST(CpuCluster, DirtyL2EvictionsProduceWritebacks) {
+  soc::Soc chip(small_soc());
+  // Write-stream a footprint much larger than the L2: dirty lines must be
+  // written back to memory.
+  wl::StreamConfig sc;
+  sc.mode = wl::StreamMode::kWrite;
+  sc.footprint_bytes = 4ull << 20;  // 4x the 1 MiB L2
+  sc.lines_per_iteration = (4ull << 20) / 64;
+  CoreConfig cc;
+  cc.max_iterations = 2;
+  chip.add_core(cc, wl::make_stream(sc));
+  ASSERT_TRUE(chip.run_until_cores_finished(200 * sim::kPsPerMs));
+  EXPECT_GT(chip.cpu_port().stats().write_bytes.value(), 1u << 20);
+}
+
+TEST(CpuCore, RestartMeasurementClearsIterationStats) {
+  soc::Soc chip(small_soc());
+  wl::ComputeBoundConfig cb;
+  CoreConfig cc;
+  cc.max_iterations = 2;
+  CpuCore& core = chip.add_core(cc, wl::make_compute_bound(cb));
+  ASSERT_TRUE(chip.run_until_cores_finished(50 * sim::kPsPerMs));
+  EXPECT_EQ(core.stats().iterations, 2u);
+  core.restart_measurement(3);
+  EXPECT_EQ(core.stats().iterations, 0u);
+  EXPECT_FALSE(core.finished());
+  ASSERT_TRUE(chip.run_until_cores_finished(chip.now() + 50 * sim::kPsPerMs));
+  EXPECT_EQ(core.stats().iterations, 3u);
+}
+
+TEST(CpuCluster, AllFinishedFalseWithoutBoundedCores) {
+  soc::Soc chip(small_soc());
+  wl::ComputeBoundConfig cb;
+  CoreConfig cc;
+  cc.max_iterations = 0;  // unbounded
+  chip.add_core(cc, wl::make_compute_bound(cb));
+  chip.run_for(sim::kPsPerUs);
+  EXPECT_FALSE(chip.cluster().all_finished());
+}
+
+}  // namespace
+}  // namespace fgqos::cpu

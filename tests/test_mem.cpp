@@ -1,0 +1,139 @@
+// Unit tests for the cache model and MSHR file.
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/mshr.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::mem {
+namespace {
+
+CacheConfig small_cache() {
+  CacheConfig c;
+  c.name = "t";
+  c.size_bytes = 4096;  // 16 sets x 4 ways x 64B... actually 4096/(64*4)=16
+  c.line_bytes = 64;
+  c.ways = 4;
+  return c;
+}
+
+TEST(CacheConfig, Validation) {
+  CacheConfig c = small_cache();
+  EXPECT_NO_THROW(c.validate());
+  c.line_bytes = 48;
+  EXPECT_THROW(c.validate(), fgqos::ConfigError);
+  c = small_cache();
+  c.size_bytes = 4000;
+  EXPECT_THROW(c.validate(), fgqos::ConfigError);
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1020, false).hit);  // same line
+  EXPECT_EQ(c.stats().hits.value(), 2u);
+  EXPECT_EQ(c.stats().misses.value(), 1u);
+}
+
+TEST(Cache, ProbeDoesNotAllocate) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.probe(0x2000));
+  EXPECT_FALSE(c.access(0x2000, false).hit);
+  EXPECT_TRUE(c.probe(0x2000));
+  EXPECT_EQ(c.stats().hits.value(), 0u);  // probe doesn't count
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache c(small_cache());
+  const std::uint64_t sets = c.config().sets();
+  const std::uint64_t way_stride = sets * 64;  // same set, different tags
+  // Fill all 4 ways of set 0.
+  for (std::uint64_t w = 0; w < 4; ++w) {
+    c.access(w * way_stride, false);
+  }
+  // Touch way 0 so way 1 becomes LRU.
+  c.access(0, false);
+  // Allocate a 5th tag: way 1 (addr way_stride) must be evicted.
+  c.access(4 * way_stride, false);
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(way_stride));
+  EXPECT_TRUE(c.probe(2 * way_stride));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback) {
+  Cache c(small_cache());
+  const std::uint64_t sets = c.config().sets();
+  const std::uint64_t way_stride = sets * 64;
+  c.access(0, true);  // dirty
+  for (std::uint64_t w = 1; w < 4; ++w) {
+    c.access(w * way_stride, false);
+  }
+  const auto r = c.access(4 * way_stride, false);  // evicts dirty way 0
+  ASSERT_TRUE(r.writeback_addr.has_value());
+  EXPECT_EQ(*r.writeback_addr, 0u);
+  EXPECT_EQ(c.stats().writebacks.value(), 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  Cache c(small_cache());
+  const std::uint64_t sets = c.config().sets();
+  const std::uint64_t way_stride = sets * 64;
+  for (std::uint64_t w = 0; w < 5; ++w) {
+    const auto r = c.access(w * way_stride, false);
+    EXPECT_FALSE(r.writeback_addr.has_value());
+  }
+}
+
+TEST(Cache, WriteHitMarksDirty) {
+  Cache c(small_cache());
+  const std::uint64_t sets = c.config().sets();
+  const std::uint64_t way_stride = sets * 64;
+  c.access(0, false);        // clean fill
+  c.access(0, true);         // hit, now dirty
+  for (std::uint64_t w = 1; w < 4; ++w) {
+    c.access(w * way_stride, false);
+  }
+  const auto r = c.access(4 * way_stride, false);
+  ASSERT_TRUE(r.writeback_addr.has_value());
+}
+
+TEST(Cache, FlushDropsEverything) {
+  Cache c(small_cache());
+  c.access(0x40, true);
+  c.flush();
+  EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Cache, HitRateStat) {
+  Cache c(small_cache());
+  c.access(0, false);
+  c.access(0, false);
+  c.access(0, false);
+  c.access(0, false);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.75);
+}
+
+TEST(Mshr, AllocateAndComplete) {
+  MshrFile m(2);
+  EXPECT_TRUE(m.allocate(0x1000));
+  EXPECT_TRUE(m.present(0x1000));
+  EXPECT_EQ(m.in_flight(), 1u);
+  EXPECT_TRUE(m.allocate(0x2000));
+  EXPECT_TRUE(m.full());
+  EXPECT_FALSE(m.allocate(0x3000));  // full, new line
+  EXPECT_TRUE(m.allocate(0x1000));   // merge always allowed
+  EXPECT_EQ(m.waiters(0x1000), 2u);
+  EXPECT_EQ(m.merges(), 1u);
+  EXPECT_EQ(m.complete(0x1000), 2u);
+  EXPECT_FALSE(m.present(0x1000));
+  EXPECT_FALSE(m.full());
+}
+
+TEST(Mshr, WaitersOfUnknownLineIsZero) {
+  MshrFile m(2);
+  EXPECT_EQ(m.waiters(0xdead), 0u);
+}
+
+}  // namespace
+}  // namespace fgqos::mem

@@ -1,0 +1,206 @@
+// Tests for multi-channel DRAM routing, MemGuard reclaim, and
+// demand-proportional QosManager redistribution.
+#include <gtest/gtest.h>
+
+#include "fgqos.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos {
+namespace {
+
+// --------------------------------------------------------------------------
+// ChannelRouter (unit)
+// --------------------------------------------------------------------------
+
+struct CountingSlave final : axi::SlaveIf {
+  int accepted = 0;
+  bool full = false;
+  [[nodiscard]] bool can_accept(const axi::LineRequest&,
+                                sim::TimePs) const override {
+    return !full;
+  }
+  void accept(axi::LineRequest, sim::TimePs) override { ++accepted; }
+};
+
+TEST(ChannelRouter, RoutesByStride) {
+  CountingSlave a, b;
+  axi::ChannelRouter router({&a, &b}, 4096);
+  EXPECT_EQ(router.route(0), 0u);
+  EXPECT_EQ(router.route(4095), 0u);
+  EXPECT_EQ(router.route(4096), 1u);
+  EXPECT_EQ(router.route(8192), 0u);
+  axi::Transaction txn;
+  axi::LineRequest l;
+  l.txn = &txn;
+  l.addr = 4096;
+  l.bytes = 64;
+  EXPECT_TRUE(router.can_accept(l, 0));
+  router.accept(l, 0);
+  EXPECT_EQ(b.accepted, 1);
+  EXPECT_EQ(a.accepted, 0);
+  EXPECT_EQ(router.routed(1), 1u);
+  // Backpressure is per channel.
+  b.full = true;
+  EXPECT_FALSE(router.can_accept(l, 0));
+  l.addr = 0;
+  EXPECT_TRUE(router.can_accept(l, 0));
+}
+
+TEST(ChannelRouter, RejectsBadConfig) {
+  CountingSlave a;
+  EXPECT_THROW(axi::ChannelRouter({}, 4096), ConfigError);
+  EXPECT_THROW(axi::ChannelRouter({&a}, 4095), ConfigError);
+  EXPECT_THROW(axi::ChannelRouter({&a, nullptr}, 4096), ConfigError);
+}
+
+// --------------------------------------------------------------------------
+// Multi-channel platform
+// --------------------------------------------------------------------------
+
+TEST(MultiChannel, DoublesSequentialBandwidth) {
+  auto run = [](std::size_t channels) {
+    soc::SocConfig cfg;
+    cfg.qos_blocks = false;
+    cfg.dram_channels = channels;
+    // Uncap the ports so the channels are the bottleneck.
+    cfg.accel_port.port_bandwidth_bps = 40e9;
+    cfg.accel_port.max_outstanding_reads = 32;
+    cfg.accel_port.request_queue_depth = 32;
+    soc::Soc chip(cfg);
+    for (std::size_t i = 0; i < 4; ++i) {
+      wl::TrafficGenConfig tg;
+      tg.name = "g" + std::to_string(i);
+      tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+      tg.seed = 3 + i;
+      tg.max_outstanding = 16;
+      chip.add_traffic_gen(i, tg);
+    }
+    chip.run_for(3 * sim::kPsPerMs);
+    return chip.dram_bandwidth_bps();
+  };
+  const double one = run(1);
+  const double two = run(2);
+  EXPECT_GT(two, one * 1.5);
+}
+
+TEST(MultiChannel, BytesConservedAcrossChannels) {
+  soc::SocConfig cfg;
+  cfg.dram_channels = 2;
+  soc::Soc chip(cfg);
+  wl::TrafficGenConfig tg;
+  tg.max_bytes = 1 << 20;
+  wl::TrafficGen& gen = chip.add_traffic_gen(0, tg);
+  chip.run_for(10 * sim::kPsPerMs);
+  ASSERT_TRUE(gen.drained());
+  const std::uint64_t ch0 = chip.dram(0).stats().payload_bytes.value();
+  const std::uint64_t ch1 = chip.dram(1).stats().payload_bytes.value();
+  EXPECT_EQ(ch0 + ch1, 1u << 20);
+  // Sequential footprint spreads roughly evenly at 4 KiB stride.
+  EXPECT_NEAR(static_cast<double>(ch0), static_cast<double>(ch1),
+              static_cast<double>(ch0 + ch1) * 0.1);
+}
+
+TEST(MultiChannel, RegulationStillExact) {
+  soc::SocConfig cfg;
+  cfg.dram_channels = 2;
+  soc::Soc chip(cfg);
+  wl::TrafficGenConfig tg;
+  chip.add_traffic_gen(0, tg);
+  chip.qos_block(1).regulator->set_rate(600e6);
+  chip.qos_block(1).regulator->set_enabled(true);
+  chip.run_for(5 * sim::kPsPerMs);
+  const double bps = sim::bytes_per_second(
+      chip.accel_port(0).stats().bytes_granted.value(), chip.now());
+  EXPECT_NEAR(bps, 600e6, 30e6);
+}
+
+// --------------------------------------------------------------------------
+// SoftMemguard reclaim
+// --------------------------------------------------------------------------
+
+TEST(MemguardReclaim, HungryMasterDrawsFromIdleDonation) {
+  soc::SocConfig cfg;
+  cfg.qos_blocks = false;
+  soc::Soc chip(cfg);
+  qos::SoftMemguardConfig mc;
+  mc.reclaim_enabled = true;
+  qos::SoftMemguard mg(chip.sim(), mc);
+  // Master on port 0: hungry, budget 400 MB/s.
+  wl::TrafficGenConfig hungry;
+  hungry.name = "hungry";
+  hungry.seed = 1;
+  chip.add_traffic_gen(0, hungry);
+  mg.set_rate(chip.accel_port(0).id(), 400e6);
+  chip.accel_port(0).add_gate(mg);
+  // Master on port 1: registered with a big budget but completely idle.
+  mg.set_rate(chip.accel_port(1).id(), 2e9);
+  chip.accel_port(1).add_gate(mg);
+  chip.run_for(20 * sim::kPsPerMs);
+  const double bps = sim::bytes_per_second(
+      chip.accel_port(0).stats().bytes_granted.value(), chip.now());
+  // Far beyond its own 400 MB/s thanks to the idle master's donation...
+  EXPECT_GT(bps, 1.5e9);
+  // ...but bounded by the sum of both budgets (+ overshoot allowance).
+  EXPECT_LT(bps, 2.6e9);
+  EXPECT_GT(mg.reclaimed_total_bytes(), 10u << 20);
+}
+
+TEST(MemguardReclaim, DisabledKeepsStrictBudgets) {
+  soc::SocConfig cfg;
+  cfg.qos_blocks = false;
+  soc::Soc chip(cfg);
+  qos::SoftMemguard mg(chip.sim(), qos::SoftMemguardConfig{});
+  wl::TrafficGenConfig hungry;
+  hungry.seed = 1;
+  chip.add_traffic_gen(0, hungry);
+  mg.set_rate(chip.accel_port(0).id(), 400e6);
+  chip.accel_port(0).add_gate(mg);
+  mg.set_rate(chip.accel_port(1).id(), 2e9);  // idle donor (unused)
+  chip.accel_port(1).add_gate(mg);
+  chip.run_for(20 * sim::kPsPerMs);
+  const double bps = sim::bytes_per_second(
+      chip.accel_port(0).stats().bytes_granted.value(), chip.now());
+  EXPECT_NEAR(bps, 414e6, 30e6);  // budget + ISR overshoot only
+  EXPECT_EQ(mg.reclaimed_total_bytes(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Proportional QosManager redistribution
+// --------------------------------------------------------------------------
+
+TEST(ProportionalReclaim, FollowsDemand) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  qos::QosManagerConfig mc;
+  mc.capacity_bps = 8e9;
+  mc.reclaim_period_ps = 100 * sim::kPsPerUs;
+  mc.reclaim_policy = qos::ReclaimPolicy::kProportional;
+  mc.best_effort_floor_bps = 100e6;
+  qos::QosManager mgr(chip.sim(), mc);
+  // Port 1: hungry saturating reader. Port 2: modest paced consumer.
+  wl::TrafficGenConfig hungry;
+  hungry.name = "hungry";
+  hungry.seed = 1;
+  chip.add_traffic_gen(0, hungry);
+  wl::TrafficGenConfig modest;
+  modest.name = "modest";
+  modest.base = 0x9000'0000;
+  modest.target_bps = 500e6;
+  modest.seed = 2;
+  chip.add_traffic_gen(1, modest);
+  mgr.add_port("hungry", 1, chip.regfile(1));
+  mgr.add_port("modest", 2, chip.regfile(2));
+  mgr.start_reclamation();
+  chip.run_for(20 * sim::kPsPerMs);
+  const double hungry_bps = sim::bytes_per_second(
+      chip.accel_port(0).stats().bytes_granted.value(), chip.now());
+  const double modest_bps = sim::bytes_per_second(
+      chip.accel_port(1).stats().bytes_granted.value(), chip.now());
+  // The modest port gets what it asks for; the hungry one gets the rest
+  // (well above an even split of 4 GB/s each would allow it).
+  EXPECT_NEAR(modest_bps, 500e6, 100e6);
+  EXPECT_GT(hungry_bps, 4.2e9);
+}
+
+}  // namespace
+}  // namespace fgqos

@@ -1,0 +1,434 @@
+// Unit tests for the QoS module: token buckets, the tightly-coupled
+// monitor and regulator, register file, SoftMemguard, PREM/CMRI and the
+// lagged (loosely-coupled) regulator. Gates and observers are driven
+// directly with synthetic line requests; no interconnect involved.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "qos/bandwidth_monitor.hpp"
+#include "qos/cmri.hpp"
+#include "qos/polling_monitor.hpp"
+#include "qos/prem_arbiter.hpp"
+#include "qos/regfile.hpp"
+#include "qos/regulator.hpp"
+#include "qos/soft_memguard.hpp"
+#include "qos/window.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+namespace {
+
+/// Builds a synthetic line request owned by the fixture.
+class LineFactory {
+ public:
+  axi::LineRequest make(axi::MasterId master, std::uint32_t bytes,
+                        bool is_write = false) {
+    auto txn = std::make_unique<axi::Transaction>();
+    txn->master = master;
+    txn->dir = is_write ? axi::Dir::kWrite : axi::Dir::kRead;
+    txn->bytes = bytes;
+    axi::LineRequest l;
+    l.txn = txn.get();
+    l.bytes = bytes;
+    l.is_write = is_write;
+    txns_.push_back(std::move(txn));
+    return l;
+  }
+
+ private:
+  std::vector<std::unique_ptr<axi::Transaction>> txns_;
+};
+
+// --------------------------------------------------------------------------
+// TokenBucket
+// --------------------------------------------------------------------------
+
+TEST(TokenBucket, CreditSemanticsWithOverdraft) {
+  TokenBucket b(100, ReplenishKind::kFixedWindow);
+  EXPECT_TRUE(b.can_spend());
+  b.spend(80);
+  EXPECT_EQ(b.tokens(), 20);
+  EXPECT_TRUE(b.can_spend());  // positive credit admits any grant
+  b.spend(30);                 // overdraft
+  EXPECT_EQ(b.tokens(), -10);
+  EXPECT_FALSE(b.can_spend());
+  b.replenish();
+  EXPECT_EQ(b.tokens(), 90);  // debt repaid out of the new window
+}
+
+TEST(TokenBucket, FixedWindowDiscardsSurplus) {
+  TokenBucket b(100, ReplenishKind::kFixedWindow);
+  b.spend(10);
+  b.replenish();
+  EXPECT_EQ(b.tokens(), 100);  // reset, not 190
+}
+
+TEST(TokenBucket, TokenBucketAccumulatesToCap) {
+  TokenBucket b(100, ReplenishKind::kTokenBucket, 3);
+  b.replenish();
+  b.replenish();
+  b.replenish();
+  b.replenish();
+  EXPECT_EQ(b.tokens(), 300);  // capped at 3 windows
+}
+
+TEST(TokenBucket, SetBudgetClampsTokens) {
+  TokenBucket b(100, ReplenishKind::kFixedWindow);
+  b.set_budget(50);
+  EXPECT_EQ(b.tokens(), 50);
+  b.replenish();
+  EXPECT_EQ(b.tokens(), 50);
+}
+
+TEST(BudgetForRate, RoundsAndFloorsToOne) {
+  EXPECT_EQ(budget_for_rate(0.0, sim::kPsPerUs), 0u);
+  EXPECT_EQ(budget_for_rate(1e9, sim::kPsPerUs), 1000u);  // 1 GB/s, 1 us
+  EXPECT_EQ(budget_for_rate(1.0, sim::kPsPerUs), 1u);     // floor to 1
+  EXPECT_EQ(budget_for_rate(400e6, sim::kPsPerUs), 400u);
+}
+
+// --------------------------------------------------------------------------
+// BandwidthMonitor
+// --------------------------------------------------------------------------
+
+TEST(Monitor, CountsPerWindowAndTotal) {
+  sim::Simulator s;
+  MonitorConfig mc;
+  mc.window_ps = 1000;
+  mc.keep_window_trace = true;
+  BandwidthMonitor mon(s, mc);
+  LineFactory lf;
+  s.schedule_at(100, [&] { mon.on_grant(lf.make(0, 64), 100); });
+  s.schedule_at(200, [&] { mon.on_grant(lf.make(0, 64), 200); });
+  s.schedule_at(1500, [&] { mon.on_grant(lf.make(0, 32), 1500); });
+  s.run_until(3000);
+  EXPECT_EQ(mon.total_bytes(), 160u);
+  ASSERT_GE(mon.window_trace().size(), 2u);
+  EXPECT_EQ(mon.window_trace()[0], 128u);
+  EXPECT_EQ(mon.window_trace()[1], 32u);
+  EXPECT_EQ(mon.windows_closed(), 3u);
+}
+
+TEST(Monitor, ThresholdFiresSameCycleOncePerWindow) {
+  sim::Simulator s;
+  MonitorConfig mc;
+  mc.window_ps = 1000;
+  BandwidthMonitor mon(s, mc);
+  LineFactory lf;
+  std::vector<sim::TimePs> fires;
+  mon.set_threshold(100, [&](sim::TimePs t, std::uint64_t) {
+    fires.push_back(t);
+  });
+  s.schedule_at(50, [&] { mon.on_grant(lf.make(0, 64), 50); });
+  s.schedule_at(60, [&] { mon.on_grant(lf.make(0, 64), 60); });   // crosses
+  s.schedule_at(70, [&] { mon.on_grant(lf.make(0, 64), 70); });   // no refire
+  s.schedule_at(1200, [&] { mon.on_grant(lf.make(0, 128), 1200); });  // new win
+  s.run_until(2000);
+  ASSERT_EQ(fires.size(), 2u);
+  EXPECT_EQ(fires[0], 60u);   // the same "cycle" the budget was crossed
+  EXPECT_EQ(fires[1], 1200u);
+}
+
+TEST(Monitor, DirectionFiltering) {
+  sim::Simulator s;
+  MonitorConfig mc;
+  mc.count_writes = false;
+  BandwidthMonitor mon(s, mc);
+  LineFactory lf;
+  mon.on_grant(lf.make(0, 64, /*is_write=*/true), 0);
+  mon.on_grant(lf.make(0, 64, /*is_write=*/false), 0);
+  EXPECT_EQ(mon.total_bytes(), 64u);
+}
+
+TEST(Monitor, SetWindowRestartsCleanly) {
+  sim::Simulator s;
+  MonitorConfig mc;
+  mc.window_ps = 1000;
+  BandwidthMonitor mon(s, mc);
+  LineFactory lf;
+  s.schedule_at(100, [&] {
+    mon.on_grant(lf.make(0, 64), 100);
+    mon.set_window(500);
+  });
+  s.run_until(5000);
+  // After reconfiguration window counts restart; totals survive.
+  EXPECT_EQ(mon.total_bytes(), 64u);
+  EXPECT_EQ(mon.window_bytes(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Regulator
+// --------------------------------------------------------------------------
+
+TEST(Regulator, GatesWhenBudgetExhausted) {
+  sim::Simulator s;
+  RegulatorConfig rc;
+  rc.budget_bytes = 128;
+  rc.window_ps = 1000;
+  Regulator reg(s, rc);
+  LineFactory lf;
+  const auto l64 = lf.make(0, 64);
+  EXPECT_TRUE(reg.allow(l64, 0));
+  reg.on_grant(l64, 0);
+  EXPECT_TRUE(reg.allow(l64, 0));
+  reg.on_grant(l64, 0);
+  EXPECT_FALSE(reg.allow(l64, 0));  // 128 spent
+  EXPECT_TRUE(reg.exhausted());
+  s.run_until(1500);  // one replenish at t=1000
+  EXPECT_TRUE(reg.allow(l64, s.now()));
+  EXPECT_FALSE(reg.exhausted());
+  EXPECT_EQ(reg.stats().exhausted_windows, 1u);
+  EXPECT_EQ(reg.stats().throttled_ps, 1000u);  // from t=0 grant to t=1000
+}
+
+TEST(Regulator, DisabledIsTransparent) {
+  sim::Simulator s;
+  RegulatorConfig rc;
+  rc.budget_bytes = 0;
+  rc.enabled = false;
+  Regulator reg(s, rc);
+  LineFactory lf;
+  EXPECT_TRUE(reg.allow(lf.make(0, 4096), 0));
+  reg.on_grant(lf.make(0, 4096), 0);
+  EXPECT_EQ(reg.stats().regulated_bytes, 0u);
+}
+
+TEST(Regulator, DirectionSelective) {
+  sim::Simulator s;
+  RegulatorConfig rc;
+  rc.budget_bytes = 64;
+  rc.gate_writes = false;
+  Regulator reg(s, rc);
+  LineFactory lf;
+  reg.on_grant(lf.make(0, 64), 0);  // read: spends budget
+  EXPECT_FALSE(reg.allow(lf.make(0, 64), 0));
+  EXPECT_TRUE(reg.allow(lf.make(0, 64, true), 0));  // writes unrestricted
+}
+
+TEST(Regulator, SetRateProgramsBudget) {
+  sim::Simulator s;
+  RegulatorConfig rc;
+  rc.window_ps = sim::kPsPerUs;
+  Regulator reg(s, rc);
+  reg.set_rate(800e6);  // 800 MB/s in 1 us windows
+  EXPECT_EQ(reg.config().budget_bytes, 800u);
+  EXPECT_NEAR(reg.programmed_rate_bps(), 800e6, 1.0);
+}
+
+TEST(Regulator, TokenBucketCarriesUnusedBudget) {
+  sim::Simulator s;
+  RegulatorConfig rc;
+  rc.budget_bytes = 100;
+  rc.window_ps = 1000;
+  rc.kind = ReplenishKind::kTokenBucket;
+  rc.max_accumulation_windows = 2;
+  Regulator reg(s, rc);
+  s.run_until(3500);  // several idle windows
+  EXPECT_EQ(reg.tokens(), 200);  // capped at 2x
+}
+
+// --------------------------------------------------------------------------
+// QosRegFile
+// --------------------------------------------------------------------------
+
+TEST(RegFile, ProgramsRegulatorThroughRegisters) {
+  sim::Simulator s;
+  Regulator reg(s, RegulatorConfig{});
+  BandwidthMonitor mon(s, MonitorConfig{});
+  QosRegFile rf(&reg, &mon);
+  rf.write(Reg::kWindowNs, 2000);
+  rf.write(Reg::kBudget, 512);
+  rf.write(Reg::kCtrl, 0);
+  EXPECT_EQ(reg.config().window_ps, 2000 * sim::kPsPerNs);
+  EXPECT_EQ(reg.config().budget_bytes, 512u);
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_EQ(rf.read(Reg::kBudget), 512u);
+  EXPECT_EQ(rf.read(Reg::kWindowNs), 2000u);
+  EXPECT_EQ(rf.read(Reg::kCtrl), 0u);
+  rf.write(Reg::kCtrl, 1);
+  EXPECT_TRUE(reg.enabled());
+}
+
+TEST(RegFile, MonitorCountersReadable) {
+  sim::Simulator s;
+  BandwidthMonitor mon(s, MonitorConfig{});
+  QosRegFile rf(nullptr, &mon);
+  LineFactory lf;
+  mon.on_grant(lf.make(0, 0x1234), 0);
+  EXPECT_EQ(rf.monitor_total_bytes(), 0x1234u);
+  // Read-only registers ignore writes.
+  rf.write(Reg::kMonTotalLo, 0);
+  EXPECT_EQ(rf.monitor_total_bytes(), 0x1234u);
+}
+
+TEST(RegFile, RequiresAtLeastOneBlock) {
+  EXPECT_THROW(QosRegFile(nullptr, nullptr), fgqos::ConfigError);
+}
+
+// --------------------------------------------------------------------------
+// SoftMemguard
+// --------------------------------------------------------------------------
+
+TEST(SoftMemguard, StallsAfterIsrLatencyAndReleasesAtPeriod) {
+  sim::Simulator s;
+  SoftMemguardConfig mc;
+  mc.period_ps = 100'000;      // 100 ns period (short for the test)
+  mc.isr_latency_ps = 10'000;  // 10 ns ISR path
+  SoftMemguard mg(s, mc);
+  mg.set_budget(3, 128);
+  LineFactory lf;
+  // Burn the budget at t=0..1: overflow at the 3rd grant.
+  s.schedule_at(0, [&] {
+    mg.on_grant(lf.make(3, 64), 0);
+    mg.on_grant(lf.make(3, 64), 0);
+    EXPECT_TRUE(mg.allow(lf.make(3, 64), 0));  // not yet stalled
+    mg.on_grant(lf.make(3, 64), 0);            // 192 > 128: overflow
+  });
+  // Before the ISR lands the master is still free (violation window).
+  s.schedule_at(5'000, [&] {
+    EXPECT_TRUE(mg.allow(lf.make(3, 64), 5'000));
+    mg.on_grant(lf.make(3, 64), 5'000);  // more violation bytes
+  });
+  s.schedule_at(15'000, [&] {
+    EXPECT_FALSE(mg.allow(lf.make(3, 64), 15'000));  // stalled now
+    EXPECT_TRUE(mg.stalled(3));
+  });
+  s.schedule_at(105'000, [&] {
+    EXPECT_FALSE(mg.stalled(3));  // released at the period boundary
+    EXPECT_TRUE(mg.allow(lf.make(3, 64), 105'000));
+  });
+  s.run_until(200'000);
+  EXPECT_EQ(mg.master_stats(3).periods_throttled, 1u);
+  // Violation: 64 over budget at overflow + 64 granted before the stall.
+  EXPECT_EQ(mg.master_stats(3).violation_bytes, 128u);
+  EXPECT_EQ(mg.master_stats(3).throttled_ps, 100'000u - 10'000u);
+}
+
+TEST(SoftMemguard, UnregulatedMasterUnaffected) {
+  sim::Simulator s;
+  SoftMemguard mg(s, SoftMemguardConfig{});
+  LineFactory lf;
+  EXPECT_TRUE(mg.allow(lf.make(9, 4096), 0));
+  mg.on_grant(lf.make(9, 4096), 0);
+  EXPECT_TRUE(mg.allow(lf.make(9, 4096), 0));
+}
+
+TEST(SoftMemguard, PollingModeNeverStallsButCountsViolations) {
+  sim::Simulator s;
+  SoftMemguardConfig mc;
+  mc.period_ps = 100'000;
+  mc.isr_latency_ps = 10'000;
+  mc.use_overflow_irq = false;
+  SoftMemguard mg(s, mc);
+  mg.set_budget(1, 64);
+  LineFactory lf;
+  s.schedule_at(0, [&] {
+    for (int i = 0; i < 4; ++i) {
+      mg.on_grant(lf.make(1, 64), 0);
+    }
+    EXPECT_TRUE(mg.allow(lf.make(1, 64), 0));
+  });
+  s.run_until(50'000);
+  EXPECT_FALSE(mg.stalled(1));
+  EXPECT_EQ(mg.master_stats(1).violation_bytes, 192u);
+}
+
+// --------------------------------------------------------------------------
+// PremArbiter + CMRI
+// --------------------------------------------------------------------------
+
+TEST(Prem, OnlyOwnerPasses) {
+  sim::Simulator s;
+  PremConfig pc;
+  pc.schedule = {0, 1, 2};
+  pc.slot_ps = 1000;
+  PremArbiter prem(s, pc);
+  LineFactory lf;
+  EXPECT_EQ(prem.owner(), 0);
+  EXPECT_TRUE(prem.allow(lf.make(0, 64), 0));
+  EXPECT_FALSE(prem.allow(lf.make(1, 64), 0));
+  s.run_until(1500);
+  EXPECT_EQ(prem.owner(), 1);
+  EXPECT_FALSE(prem.allow(lf.make(0, 64), s.now()));
+  EXPECT_TRUE(prem.allow(lf.make(1, 64), s.now()));
+  s.run_until(3500);
+  EXPECT_EQ(prem.owner(), 0);  // wrapped around
+  EXPECT_EQ(prem.slots_elapsed(), 3u);
+}
+
+TEST(Cmri, NonOwnerInjectsUpToBudget) {
+  sim::Simulator s;
+  PremConfig pc;
+  pc.schedule = {0, 1};
+  pc.slot_ps = 1000;
+  PremArbiter prem(s, pc);
+  CmriConfig cc;
+  cc.injection_budget_bytes = 128;
+  CmriInjector cmri(prem, cc);
+  LineFactory lf;
+  // Owner (0) is never limited.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(cmri.allow(lf.make(0, 64), 0));
+    cmri.on_grant(lf.make(0, 64), 0);
+  }
+  // Non-owner (1) gets 128 bytes.
+  EXPECT_TRUE(cmri.allow(lf.make(1, 64), 0));
+  cmri.on_grant(lf.make(1, 64), 0);
+  cmri.on_grant(lf.make(1, 64), 0);
+  EXPECT_FALSE(cmri.allow(lf.make(1, 64), 0));
+  EXPECT_EQ(cmri.remaining(1), 0u);
+  EXPECT_EQ(cmri.injected_bytes(), 128u);
+  // Next slot: budget refills (and master 1 becomes owner anyway).
+  s.run_until(1100);
+  EXPECT_EQ(prem.owner(), 1);
+  EXPECT_TRUE(cmri.allow(lf.make(1, 64), s.now()));
+  EXPECT_TRUE(cmri.allow(lf.make(0, 64), s.now()));  // 0 injects now
+  EXPECT_EQ(cmri.remaining(0), 128u);
+}
+
+// --------------------------------------------------------------------------
+// LaggedRegulator (coupling ablation)
+// --------------------------------------------------------------------------
+
+TEST(LaggedRegulator, ZeroLagBehavesLikeTight) {
+  sim::Simulator s;
+  LaggedRegulatorConfig lc;
+  lc.budget_bytes = 128;
+  lc.window_ps = 1000;
+  lc.observation_latency_ps = 0;
+  LaggedRegulator reg(s, lc);
+  LineFactory lf;
+  reg.on_grant(lf.make(0, 64), 0);
+  reg.on_grant(lf.make(0, 64), 0);
+  EXPECT_FALSE(reg.allow(lf.make(0, 64), 0));
+  EXPECT_EQ(reg.max_overshoot_bytes(), 0u);
+}
+
+TEST(LaggedRegulator, LagAllowsOvershoot) {
+  sim::Simulator s;
+  LaggedRegulatorConfig lc;
+  lc.budget_bytes = 128;
+  lc.window_ps = 10'000;
+  lc.observation_latency_ps = 5'000;  // half a window blind
+  LaggedRegulator reg(s, lc);
+  LineFactory lf;
+  // Grants at t=0 are observed only at t=5000, so the gate stays open.
+  s.schedule_at(0, [&] {
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_TRUE(reg.allow(lf.make(0, 64), s.now()));
+      reg.on_grant(lf.make(0, 64), s.now());
+    }
+  });
+  s.schedule_at(6'000, [&] {
+    // Observations arrived: gate is now shut.
+    EXPECT_FALSE(reg.allow(lf.make(0, 64), s.now()));
+  });
+  s.run_until(20'000);
+  // 384 granted vs 128 budget: 256 overshoot recorded at window close.
+  EXPECT_EQ(reg.max_overshoot_bytes(), 256u);
+}
+
+}  // namespace
+}  // namespace fgqos::qos

@@ -1,0 +1,227 @@
+// Unit tests for the simulation kernel: events, clocks, sleep/wake,
+// determinism, histogram and stats.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock_domain.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/histogram.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace fgqos::sim {
+namespace {
+
+TEST(ClockDomain, PeriodFromMhz) {
+  const auto clk = ClockDomain::from_mhz("cpu", 1000);
+  EXPECT_EQ(clk.period_ps(), 1000u);
+  EXPECT_EQ(ClockDomain::from_mhz("d", 1200).period_ps(), 833u);
+}
+
+TEST(ClockDomain, EdgeMath) {
+  ClockDomain clk("c", 100);
+  EXPECT_EQ(clk.edge_time(3), 300u);
+  EXPECT_EQ(clk.cycles_at(299), 2u);
+  EXPECT_EQ(clk.next_edge_at_or_after(0), 0u);
+  EXPECT_EQ(clk.next_edge_at_or_after(1), 100u);
+  EXPECT_EQ(clk.next_edge_at_or_after(100), 100u);
+  EXPECT_EQ(clk.ps_to_cycles_ceil(101), 2u);
+}
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(20, [&] { fired.push_back(2); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(3); });
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunsEventsUpToDeadline) {
+  Simulator s;
+  int hits = 0;
+  s.schedule_at(100, [&] { ++hits; });
+  s.schedule_at(200, [&] { ++hits; });
+  s.schedule_at(201, [&] { ++hits; });
+  s.run_until(200);
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(s.now(), 200u);
+  s.run_until(300);
+  EXPECT_EQ(hits, 3);
+  EXPECT_EQ(s.now(), 300u);
+}
+
+/// Ticks for a fixed number of cycles then sleeps until woken.
+class TickNTimes final : public Clocked {
+ public:
+  TickNTimes(Simulator& s, const ClockDomain& clk, int n)
+      : Clocked(s, clk, "ticker"), remaining_(n) {}
+  std::vector<TimePs> tick_times;
+
+  bool tick(Cycles) override {
+    tick_times.push_back(simulator().now());
+    return --remaining_ > 0;
+  }
+  void rearm(int n) {
+    remaining_ = n;
+    wake();
+  }
+
+ private:
+  int remaining_;
+};
+
+TEST(Simulator, ClockedTicksOnEdges) {
+  Simulator s;
+  ClockDomain clk("c", 100);
+  TickNTimes t(s, clk, 3);
+  s.run_until(10'000);
+  EXPECT_EQ(t.tick_times, (std::vector<TimePs>{0, 100, 200}));
+}
+
+TEST(Simulator, WakeResumesAtNextEdgeStrictlyAfterNow) {
+  Simulator s;
+  ClockDomain clk("c", 100);
+  TickNTimes t(s, clk, 1);  // ticks once at t=0, then sleeps
+  s.schedule_at(250, [&] { t.rearm(2); });
+  s.run_until(10'000);
+  EXPECT_EQ(t.tick_times, (std::vector<TimePs>{0, 300, 400}));
+}
+
+TEST(Simulator, WakeOnOwnTickEdgeDoesNotDoubleTick) {
+  Simulator s;
+  ClockDomain clk("c", 100);
+  TickNTimes t(s, clk, 1);  // ticks at 0 then sleeps
+  // Event at exactly t=0 fires before the tick; wake_at(0) while the
+  // component is still scheduled must not add a second tick at 0.
+  s.schedule_at(0, [&] { t.wake_at(0); });
+  s.run_until(500);
+  EXPECT_EQ(t.tick_times, (std::vector<TimePs>{0}));
+}
+
+TEST(Simulator, TickCountAdvances) {
+  Simulator s;
+  ClockDomain clk("c", 10);
+  TickNTimes t(s, clk, 5);
+  s.run_until(1'000);
+  EXPECT_EQ(s.tick_count(), 5u);
+}
+
+TEST(Xoshiro, DeterministicForEqualSeeds) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool all_equal = true;
+  bool any_diff_seed = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    all_equal = all_equal && (va == b.next());
+    any_diff_seed = any_diff_seed || (va != c.next());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Xoshiro, BoundsRespected) {
+  Xoshiro256 r(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const auto v = r.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformishMean) {
+  Xoshiro256 r(7);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    sum += r.next_double();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Histogram, ExactForSmallValues) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.5);
+  EXPECT_EQ(h.quantile(0.5), 15u);
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100'000; ++v) {
+    h.record(v);
+  }
+  const auto p50 = static_cast<double>(h.p50());
+  const auto p99 = static_cast<double>(h.p99());
+  EXPECT_NEAR(p50, 50'000.0, 50'000.0 * 0.04);
+  EXPECT_NEAR(p99, 99'000.0, 99'000.0 * 0.04);
+  EXPECT_EQ(h.quantile(1.0), 100'000u);
+}
+
+TEST(Histogram, MergeAccumulates) {
+  Histogram a, b;
+  a.record_n(10, 5);
+  b.record_n(1000, 5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(Histogram, CdfIsMonotone) {
+  Histogram h;
+  Xoshiro256 r(3);
+  for (int i = 0; i < 10'000; ++i) {
+    h.record(r.next_below(1'000'000));
+  }
+  const auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].cumulative, cdf[i - 1].cumulative);
+  }
+  EXPECT_EQ(cdf.back().cumulative, h.count());
+}
+
+TEST(WindowedBytes, SplitsIntoWindows) {
+  WindowedBytes w(100);
+  w.add(10, 7);
+  w.add(50, 3);
+  w.add(150, 5);   // closes window [0,100) with 10 bytes
+  w.flush(400);    // closes [100,200)=5, [200,300)=0, [300,400)=0
+  const auto& s = w.samples();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], 10u);
+  EXPECT_EQ(s[1], 5u);
+  EXPECT_EQ(s[2], 0u);
+  EXPECT_EQ(s[3], 0u);
+  EXPECT_EQ(w.total_bytes(), 15u);
+  EXPECT_EQ(w.max_window_bytes(), 10u);
+}
+
+TEST(StatsRegistry, SetGet) {
+  StatsRegistry r;
+  r.set("a.b", 1.5);
+  r.set("c", std::uint64_t{7});
+  EXPECT_TRUE(r.contains("a.b"));
+  EXPECT_DOUBLE_EQ(r.get("a.b"), 1.5);
+  EXPECT_DOUBLE_EQ(r.get("c"), 7.0);
+  EXPECT_FALSE(r.contains("zz"));
+}
+
+}  // namespace
+}  // namespace fgqos::sim

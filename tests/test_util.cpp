@@ -1,0 +1,83 @@
+// Unit tests for src/util: tables, formatting, config errors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/config_error.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace fgqos {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(util::Table({}), ConfigError);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("x")}), ConfigError);
+}
+
+TEST(Table, WritesCsvWithQuoting) {
+  util::Table t({"name", "v"});
+  t.add_row({std::string("plain"), std::int64_t{42}});
+  t.add_row({std::string("with,comma"), 1.5});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name,v\nplain,42\n\"with,comma\",1.5\n");
+}
+
+TEST(Table, PrettyAlignsColumns) {
+  util::Table t({"x", "longhdr"});
+  t.add_row({std::string("aaaa"), std::uint64_t{7}});
+  std::ostringstream os;
+  t.write_pretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("x     longhdr"), std::string::npos);
+  EXPECT_NE(out.find("aaaa  7"), std::string::npos);
+}
+
+TEST(CellToString, IntegralDoubleHasNoFraction) {
+  EXPECT_EQ(util::cell_to_string(util::Cell{3.0}), "3");
+  EXPECT_EQ(util::cell_to_string(util::Cell{2.5}), "2.5");
+}
+
+TEST(FormatBandwidth, PicksUnit) {
+  EXPECT_EQ(util::format_bandwidth(19.2e9), "19.20 GB/s");
+  EXPECT_EQ(util::format_bandwidth(150e6), "150.0 MB/s");
+  EXPECT_EQ(util::format_bandwidth(999.0), "999 B/s");
+}
+
+TEST(FormatTime, PicksUnit) {
+  EXPECT_EQ(util::format_time_ps(500), "500 ps");
+  EXPECT_EQ(util::format_time_ps(1500), "1.50 ns");
+  EXPECT_EQ(util::format_time_ps(2'500'000), "2.50 us");
+  EXPECT_EQ(util::format_time_ps(3'000'000'000ull), "3.00 ms");
+}
+
+TEST(FormatBytes, PicksUnit) {
+  EXPECT_EQ(util::format_bytes(512), "512 B");
+  EXPECT_EQ(util::format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(util::format_bytes(3u << 20), "3.0 MiB");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = util::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(ConfigCheck, ThrowsWithMessage) {
+  try {
+    config_check(false, "broken knob");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_STREQ(e.what(), "broken knob");
+  }
+}
+
+}  // namespace
+}  // namespace fgqos

@@ -1,0 +1,271 @@
+// Tests for the VCD writer/tap, cross-scheme determinism, runtime
+// reconfiguration of QoS blocks, multi-master SoftMemguard, weighted
+// fabric arbitration under load and the umbrella header.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fgqos.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// --------------------------------------------------------------------------
+// VcdWriter
+// --------------------------------------------------------------------------
+
+TEST(Vcd, HeaderAndSamples) {
+  const std::string path = "/tmp/fgqos_vcd_test.vcd";
+  {
+    sim::VcdWriter w(path, 1000);
+    const auto a = w.add_signal("top", "a", 1);
+    const auto b = w.add_signal("top", "counter", 8);
+    w.sample(a, 1, 0);
+    w.sample(b, 5, 0);
+    w.sample(a, 1, 2000);  // unchanged: deduplicated
+    w.sample(a, 0, 3000);
+    w.sample(b, 6, 3000);
+    w.finish();
+  }
+  const std::string out = slurp(path);
+  EXPECT_NE(out.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! a $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 8 \" counter $end"), std::string::npos);
+  EXPECT_NE(out.find("#0\n"), std::string::npos);
+  EXPECT_NE(out.find("#3\n"), std::string::npos);
+  // Deduplicated: no #2 timestamp block.
+  EXPECT_EQ(out.find("#2\n"), std::string::npos);
+  EXPECT_NE(out.find("b101 \""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vcd, RejectsLateSignalDefinition) {
+  const std::string path = "/tmp/fgqos_vcd_test2.vcd";
+  sim::VcdWriter w(path);
+  const auto a = w.add_signal("t", "a", 1);
+  w.sample(a, 1, 0);
+  EXPECT_THROW(w.add_signal("t", "late", 1), ConfigError);
+  w.finish();
+  std::remove(path.c_str());
+}
+
+TEST(Vcd, TapProducesNonTrivialDump) {
+  const std::string path = "/tmp/fgqos_vcd_tap.vcd";
+  {
+    soc::SocConfig cfg;
+    soc::Soc chip(cfg);
+    wl::TrafficGenConfig tg;
+    chip.add_traffic_gen(0, tg);
+    qos::Regulator& reg = *chip.qos_block(1).regulator;
+    reg.set_rate(500e6);
+    reg.set_enabled(true);
+    qos::QosVcdTap tap(chip.sim(), path);
+    tap.attach_port(chip.accel_port(0));
+    tap.attach_regulator(reg);
+    chip.run_for(50 * sim::kPsPerUs);
+    tap.finish();
+  }
+  const std::string out = slurp(path);
+  EXPECT_NE(out.find("port_hp0"), std::string::npos);
+  EXPECT_NE(out.find("granted_kib"), std::string::npos);
+  EXPECT_NE(out.find("tokens"), std::string::npos);
+  EXPECT_GT(out.size(), 2000u);  // real activity recorded
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------------
+// Determinism across every scheme (parameterised)
+// --------------------------------------------------------------------------
+
+class SchemeDeterminism : public ::testing::TestWithParam<int> {};
+
+std::map<std::string, double> run_scheme(int scheme_id) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  cpu::CoreConfig cc;
+  cc.max_iterations = 3;
+  wl::PointerChaseConfig pc;
+  pc.accesses_per_iteration = 256;
+  chip.add_core(cc, wl::make_pointer_chase(pc));
+  std::unique_ptr<qos::SoftMemguard> mg;
+  std::unique_ptr<qos::PremArbiter> prem;
+  for (std::size_t i = 0; i < 2; ++i) {
+    wl::TrafficGenConfig tg;
+    tg.name = "g" + std::to_string(i);
+    tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.seed = 7 + i;
+    chip.add_traffic_gen(i, tg);
+  }
+  switch (scheme_id) {
+    case 0:
+      break;  // unregulated
+    case 1:
+      for (std::size_t i = 0; i < 2; ++i) {
+        chip.qos_block(1 + i).regulator->set_rate(400e6);
+        chip.qos_block(1 + i).regulator->set_enabled(true);
+      }
+      break;
+    case 2: {
+      mg = std::make_unique<qos::SoftMemguard>(chip.sim(),
+                                               qos::SoftMemguardConfig{});
+      for (std::size_t i = 0; i < 2; ++i) {
+        mg->set_rate(chip.accel_port(i).id(), 400e6);
+        chip.accel_port(i).add_gate(*mg);
+      }
+      break;
+    }
+    case 3: {
+      qos::PremConfig pcfg;
+      pcfg.schedule = {chip.cpu_port().id(), qos::kAllMasters};
+      prem = std::make_unique<qos::PremArbiter>(chip.sim(), pcfg);
+      for (std::size_t i = 0; i < 2; ++i) {
+        chip.accel_port(i).add_gate(*prem);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  chip.run_until_cores_finished(200 * sim::kPsPerMs);
+  sim::StatsRegistry r;
+  chip.collect_stats(r);
+  return r.all();
+}
+
+TEST_P(SchemeDeterminism, BitIdenticalRuns) {
+  const auto a = run_scheme(GetParam());
+  const auto b = run_scheme(GetParam());
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeDeterminism,
+                         ::testing::Values(0, 1, 2, 3));
+
+// --------------------------------------------------------------------------
+// Runtime reconfiguration
+// --------------------------------------------------------------------------
+
+TEST(RuntimeReconfig, BudgetChangeTakesEffectMidRun) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  wl::TrafficGenConfig tg;
+  chip.add_traffic_gen(0, tg);
+  qos::Regulator& reg = *chip.qos_block(1).regulator;
+  reg.set_rate(200e6);
+  reg.set_enabled(true);
+  chip.run_for(5 * sim::kPsPerMs);
+  const std::uint64_t phase1 = chip.accel_port(0).stats().bytes_granted.value();
+  reg.set_rate(1e9);
+  chip.run_for(5 * sim::kPsPerMs);
+  const std::uint64_t phase2 =
+      chip.accel_port(0).stats().bytes_granted.value() - phase1;
+  const double bps1 = sim::bytes_per_second(phase1, 5 * sim::kPsPerMs);
+  const double bps2 = sim::bytes_per_second(phase2, 5 * sim::kPsPerMs);
+  EXPECT_NEAR(bps1, 200e6, 20e6);
+  EXPECT_NEAR(bps2, 1e9, 60e6);
+}
+
+TEST(RuntimeReconfig, WindowChangeMidRunIsSafe) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  wl::TrafficGenConfig tg;
+  chip.add_traffic_gen(0, tg);
+  qos::Regulator& reg = *chip.qos_block(1).regulator;
+  reg.set_rate(500e6);
+  reg.set_enabled(true);
+  chip.run_for(2 * sim::kPsPerMs);
+  reg.set_window(100 * sim::kPsPerUs);
+  reg.set_rate(500e6);  // rebudget for the new window
+  chip.run_for(4 * sim::kPsPerMs);
+  const double bps = sim::bytes_per_second(
+      chip.accel_port(0).stats().bytes_granted.value(), chip.now());
+  EXPECT_NEAR(bps, 500e6, 40e6);
+}
+
+TEST(RuntimeReconfig, DisableRestoresFullThroughput) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  wl::TrafficGenConfig tg;
+  chip.add_traffic_gen(0, tg);
+  qos::Regulator& reg = *chip.qos_block(1).regulator;
+  reg.set_rate(100e6);
+  reg.set_enabled(true);
+  chip.run_for(2 * sim::kPsPerMs);
+  reg.set_enabled(false);
+  const std::uint64_t before = chip.accel_port(0).stats().bytes_granted.value();
+  chip.run_for(2 * sim::kPsPerMs);
+  const double free_bps = sim::bytes_per_second(
+      chip.accel_port(0).stats().bytes_granted.value() - before,
+      2 * sim::kPsPerMs);
+  EXPECT_GT(free_bps, 4e9);
+}
+
+// --------------------------------------------------------------------------
+// Multi-master SoftMemguard
+// --------------------------------------------------------------------------
+
+TEST(SoftMemguardMulti, IndependentBudgetsPerMaster) {
+  soc::SocConfig cfg;
+  cfg.qos_blocks = false;
+  soc::Soc chip(cfg);
+  qos::SoftMemguard mg(chip.sim(), qos::SoftMemguardConfig{});
+  const double budgets[3] = {200e6, 400e6, 800e6};
+  for (std::size_t i = 0; i < 3; ++i) {
+    wl::TrafficGenConfig tg;
+    tg.name = "g" + std::to_string(i);
+    tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.seed = 31 + i;
+    chip.add_traffic_gen(i, tg);
+    mg.set_rate(chip.accel_port(i).id(), budgets[i]);
+    chip.accel_port(i).add_gate(mg);
+  }
+  chip.run_for(20 * sim::kPsPerMs);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double bps = sim::bytes_per_second(
+        chip.accel_port(i).stats().bytes_granted.value(), chip.now());
+    // Within budget + the ~14 MB/s ISR overshoot.
+    EXPECT_NEAR(bps, budgets[i] + 14.4e6, budgets[i] * 0.1) << "master " << i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Weighted fabric arbitration end to end
+// --------------------------------------------------------------------------
+
+TEST(WeightedFabric, SharesFollowWeightsUnderSaturation) {
+  soc::SocConfig cfg;
+  cfg.qos_blocks = false;
+  // Make the DRAM the only bottleneck: generous ports.
+  cfg.accel_port.port_bandwidth_bps = 20e9;
+  soc::Soc chip(cfg);
+  // CPU port unused; weights: hp0 gets 3x hp1's share.
+  chip.xbar().set_arbiter(std::make_unique<axi::WeightedRRArbiter>(
+      std::vector<std::uint32_t>{1, 3, 1, 1, 1}));
+  for (std::size_t i = 0; i < 2; ++i) {
+    wl::TrafficGenConfig tg;
+    tg.name = "g" + std::to_string(i);
+    tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.seed = 41 + i;
+    tg.max_outstanding = 8;
+    chip.add_traffic_gen(i, tg);
+  }
+  chip.run_for(5 * sim::kPsPerMs);
+  const double a = static_cast<double>(
+      chip.accel_port(0).stats().bytes_granted.value());
+  const double b = static_cast<double>(
+      chip.accel_port(1).stats().bytes_granted.value());
+  EXPECT_NEAR(a / b, 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace fgqos

@@ -1,0 +1,154 @@
+/// \file fgqos_sweep.cpp
+/// \brief Parameter-sweep driver: vary one knob, collect the outcome CSV.
+///
+/// Sweeps one of {budget, window, aggressors, isr} for a fixed scenario
+/// (latency-critical CPU task + N regulated aggressors) and writes one
+/// CSV row per point: knob value, critical mean/p99 iteration time,
+/// critical read p99 and aggregate aggressor bandwidth. The building
+/// block for custom plots beyond the canned bench_exp* binaries.
+///
+/// Examples:
+///   fgqos_sweep --knob budget --values 100,200,400,800,1600 --csv b.csv
+///   fgqos_sweep --knob window --values 0.2,1,10,100,1000 --scheme hw
+///   fgqos_sweep --knob aggressors --values 0,1,2,3,4 --scheme none
+///   fgqos_sweep --knob isr --values 1,3,10,50 --scheme sw
+#include <cstdio>
+
+#include "fgqos.hpp"
+#include "util/cli.hpp"
+#include "util/config_error.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+using namespace fgqos;
+
+namespace {
+
+struct Outcome {
+  double iter_mean_us;
+  double iter_p99_us;
+  double read_p99_ns;
+  double aggr_gbps;
+};
+
+struct SweepPoint {
+  std::string scheme = "hw";
+  std::size_t aggressors = 3;
+  double budget_mbps = 400;
+  double window_us = 1;
+  double isr_us = 3;
+  std::uint64_t iterations = 20;
+};
+
+Outcome run_point(const SweepPoint& p) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  cpu::CoreConfig cc;
+  cc.name = "critical";
+  cc.max_iterations = p.iterations;
+  wl::PointerChaseConfig pc;
+  chip.add_core(cc, wl::make_pointer_chase(pc));
+  std::unique_ptr<qos::SoftMemguard> mg;
+  if (p.scheme == "sw") {
+    qos::SoftMemguardConfig mc;
+    mc.isr_latency_ps = static_cast<sim::TimePs>(p.isr_us * 1e6);
+    mg = std::make_unique<qos::SoftMemguard>(chip.sim(), mc);
+  }
+  for (std::size_t i = 0; i < p.aggressors; ++i) {
+    wl::TrafficGenConfig tg;
+    tg.name = "agg" + std::to_string(i);
+    tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.seed = 100 + i;
+    const std::size_t port = i % cfg.accel_ports;
+    chip.add_traffic_gen(port, tg);
+    if (p.scheme == "hw") {
+      qos::Regulator& reg = *chip.qos_block(1 + port).regulator;
+      reg.set_window(static_cast<sim::TimePs>(p.window_us * 1e6));
+      reg.set_rate(p.budget_mbps * 1e6);
+      reg.set_enabled(true);
+    } else if (p.scheme == "sw") {
+      axi::MasterPort& mp = chip.accel_port(port);
+      mg->set_rate(mp.id(), p.budget_mbps * 1e6);
+      mp.add_gate(*mg);
+    }
+  }
+  chip.run_until_cores_finished(2000 * sim::kPsPerMs);
+  Outcome o;
+  const auto& h = chip.cluster().core(0).stats().iteration_ps;
+  o.iter_mean_us = h.mean() / 1e6;
+  o.iter_p99_us = static_cast<double>(h.p99()) / 1e6;
+  o.read_p99_ns =
+      static_cast<double>(chip.cpu_port().stats().read_latency.p99()) / 1e3;
+  double aggr = 0;
+  for (std::size_t i = 0; i < std::min(p.aggressors, cfg.accel_ports); ++i) {
+    aggr += sim::bytes_per_second(
+        chip.accel_port(i).stats().bytes_granted.value(), chip.now());
+  }
+  o.aggr_gbps = aggr / 1e9;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::ArgParser args(argc, argv);
+    if (args.has("help")) {
+      std::printf(
+          "fgqos_sweep --knob budget|window|aggressors|isr "
+          "--values v1,v2,... [--scheme hw|sw|none] [--aggressors N]\n"
+          "            [--budget-mbps B] [--window-us W] [--isr-us I]\n"
+          "            [--iterations N] [--csv FILE]\n");
+      return 0;
+    }
+    const std::string knob = args.get("knob", "budget");
+    const std::string values_arg = args.get("values", "100,200,400,800,1600");
+    SweepPoint base;
+    base.scheme = args.get("scheme", "hw");
+    base.aggressors =
+        static_cast<std::size_t>(args.get_int("aggressors", 3));
+    base.budget_mbps = args.get_double("budget-mbps", 400);
+    base.window_us = args.get_double("window-us", 1);
+    base.isr_us = args.get_double("isr-us", 3);
+    base.iterations =
+        static_cast<std::uint64_t>(args.get_int("iterations", 20));
+    const std::string csv = args.get("csv", "");
+    for (const auto& k : args.unused_keys()) {
+      throw ConfigError("unknown option --" + k + " (see --help)");
+    }
+
+    util::Table table({knob, "iter_mean_us", "iter_p99_us", "read_p99_ns",
+                       "aggressor_GB/s"});
+    for (const std::string& v : util::split(values_arg, ',')) {
+      SweepPoint p = base;
+      const double value = std::stod(v);
+      if (knob == "budget") {
+        p.budget_mbps = value;
+      } else if (knob == "window") {
+        p.window_us = value;
+      } else if (knob == "aggressors") {
+        p.aggressors = static_cast<std::size_t>(value);
+      } else if (knob == "isr") {
+        p.isr_us = value;
+      } else {
+        throw ConfigError("unknown knob '" + knob + "'");
+      }
+      const Outcome o = run_point(p);
+      table.add_row({v, util::format_fixed(o.iter_mean_us, 1),
+                     util::format_fixed(o.iter_p99_us, 1),
+                     util::format_fixed(o.read_p99_ns, 0),
+                     util::format_fixed(o.aggr_gbps, 2)});
+      std::printf("%s=%s done\n", knob.c_str(), v.c_str());
+    }
+    std::printf("\n");
+    table.print();
+    if (!csv.empty()) {
+      table.save_csv(csv);
+      std::printf("\nCSV written to %s\n", csv.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
