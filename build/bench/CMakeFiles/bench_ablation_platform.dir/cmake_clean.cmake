@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_platform.dir/bench_ablation_platform.cpp.o"
+  "CMakeFiles/bench_ablation_platform.dir/bench_ablation_platform.cpp.o.d"
+  "bench_ablation_platform"
+  "bench_ablation_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp10_fabric_priority.dir/bench_exp10_fabric_priority.cpp.o"
+  "CMakeFiles/bench_exp10_fabric_priority.dir/bench_exp10_fabric_priority.cpp.o.d"
+  "bench_exp10_fabric_priority"
+  "bench_exp10_fabric_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp10_fabric_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_exp10_fabric_priority.
+# This may be replaced when dependencies are built.

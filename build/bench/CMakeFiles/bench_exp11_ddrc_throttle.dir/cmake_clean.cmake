@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp11_ddrc_throttle.dir/bench_exp11_ddrc_throttle.cpp.o"
+  "CMakeFiles/bench_exp11_ddrc_throttle.dir/bench_exp11_ddrc_throttle.cpp.o.d"
+  "bench_exp11_ddrc_throttle"
+  "bench_exp11_ddrc_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp11_ddrc_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_exp11_ddrc_throttle.
+# This may be replaced when dependencies are built.

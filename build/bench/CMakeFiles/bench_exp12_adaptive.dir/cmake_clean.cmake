@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp12_adaptive.dir/bench_exp12_adaptive.cpp.o"
+  "CMakeFiles/bench_exp12_adaptive.dir/bench_exp12_adaptive.cpp.o.d"
+  "bench_exp12_adaptive"
+  "bench_exp12_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp12_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3_granularity.dir/bench_exp3_granularity.cpp.o"
+  "CMakeFiles/bench_exp3_granularity.dir/bench_exp3_granularity.cpp.o.d"
+  "bench_exp3_granularity"
+  "bench_exp3_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp6_workloads.dir/bench_exp6_workloads.cpp.o"
+  "CMakeFiles/bench_exp6_workloads.dir/bench_exp6_workloads.cpp.o.d"
+  "bench_exp6_workloads"
+  "bench_exp6_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp6_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

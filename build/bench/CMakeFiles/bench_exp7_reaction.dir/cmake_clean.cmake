@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp7_reaction.dir/bench_exp7_reaction.cpp.o"
+  "CMakeFiles/bench_exp7_reaction.dir/bench_exp7_reaction.cpp.o.d"
+  "bench_exp7_reaction"
+  "bench_exp7_reaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp7_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

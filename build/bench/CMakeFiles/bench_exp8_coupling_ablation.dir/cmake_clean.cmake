@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp8_coupling_ablation.dir/bench_exp8_coupling_ablation.cpp.o"
+  "CMakeFiles/bench_exp8_coupling_ablation.dir/bench_exp8_coupling_ablation.cpp.o.d"
+  "bench_exp8_coupling_ablation"
+  "bench_exp8_coupling_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp8_coupling_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

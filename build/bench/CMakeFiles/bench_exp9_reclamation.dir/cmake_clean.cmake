@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp9_reclamation.dir/bench_exp9_reclamation.cpp.o"
+  "CMakeFiles/bench_exp9_reclamation.dir/bench_exp9_reclamation.cpp.o.d"
+  "bench_exp9_reclamation"
+  "bench_exp9_reclamation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp9_reclamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/axi/address_map.cpp" "src/CMakeFiles/fgqos.dir/axi/address_map.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/axi/address_map.cpp.o.d"
+  "/root/repo/src/axi/arbiter.cpp" "src/CMakeFiles/fgqos.dir/axi/arbiter.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/axi/arbiter.cpp.o.d"
+  "/root/repo/src/axi/channel_router.cpp" "src/CMakeFiles/fgqos.dir/axi/channel_router.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/axi/channel_router.cpp.o.d"
+  "/root/repo/src/axi/interconnect.cpp" "src/CMakeFiles/fgqos.dir/axi/interconnect.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/axi/interconnect.cpp.o.d"
+  "/root/repo/src/axi/port.cpp" "src/CMakeFiles/fgqos.dir/axi/port.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/axi/port.cpp.o.d"
+  "/root/repo/src/axi/transaction.cpp" "src/CMakeFiles/fgqos.dir/axi/transaction.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/axi/transaction.cpp.o.d"
+  "/root/repo/src/cpu/core.cpp" "src/CMakeFiles/fgqos.dir/cpu/core.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/cpu/core.cpp.o.d"
+  "/root/repo/src/dram/address_mapper.cpp" "src/CMakeFiles/fgqos.dir/dram/address_mapper.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/dram/address_mapper.cpp.o.d"
+  "/root/repo/src/dram/bank.cpp" "src/CMakeFiles/fgqos.dir/dram/bank.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/dram/bank.cpp.o.d"
+  "/root/repo/src/dram/command_queue.cpp" "src/CMakeFiles/fgqos.dir/dram/command_queue.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/dram/command_queue.cpp.o.d"
+  "/root/repo/src/dram/controller.cpp" "src/CMakeFiles/fgqos.dir/dram/controller.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/dram/controller.cpp.o.d"
+  "/root/repo/src/dram/timing.cpp" "src/CMakeFiles/fgqos.dir/dram/timing.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/dram/timing.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/fgqos.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/mshr.cpp" "src/CMakeFiles/fgqos.dir/mem/mshr.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/mem/mshr.cpp.o.d"
+  "/root/repo/src/qos/adaptive_controller.cpp" "src/CMakeFiles/fgqos.dir/qos/adaptive_controller.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/adaptive_controller.cpp.o.d"
+  "/root/repo/src/qos/analysis.cpp" "src/CMakeFiles/fgqos.dir/qos/analysis.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/analysis.cpp.o.d"
+  "/root/repo/src/qos/bandwidth_monitor.cpp" "src/CMakeFiles/fgqos.dir/qos/bandwidth_monitor.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/bandwidth_monitor.cpp.o.d"
+  "/root/repo/src/qos/cmri.cpp" "src/CMakeFiles/fgqos.dir/qos/cmri.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/cmri.cpp.o.d"
+  "/root/repo/src/qos/ddrc_throttle.cpp" "src/CMakeFiles/fgqos.dir/qos/ddrc_throttle.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/ddrc_throttle.cpp.o.d"
+  "/root/repo/src/qos/latency_monitor.cpp" "src/CMakeFiles/fgqos.dir/qos/latency_monitor.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/latency_monitor.cpp.o.d"
+  "/root/repo/src/qos/polling_monitor.cpp" "src/CMakeFiles/fgqos.dir/qos/polling_monitor.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/polling_monitor.cpp.o.d"
+  "/root/repo/src/qos/prem_arbiter.cpp" "src/CMakeFiles/fgqos.dir/qos/prem_arbiter.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/prem_arbiter.cpp.o.d"
+  "/root/repo/src/qos/qos_manager.cpp" "src/CMakeFiles/fgqos.dir/qos/qos_manager.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/qos_manager.cpp.o.d"
+  "/root/repo/src/qos/regfile.cpp" "src/CMakeFiles/fgqos.dir/qos/regfile.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/regfile.cpp.o.d"
+  "/root/repo/src/qos/regulator.cpp" "src/CMakeFiles/fgqos.dir/qos/regulator.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/regulator.cpp.o.d"
+  "/root/repo/src/qos/soft_memguard.cpp" "src/CMakeFiles/fgqos.dir/qos/soft_memguard.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/soft_memguard.cpp.o.d"
+  "/root/repo/src/qos/vcd_tap.cpp" "src/CMakeFiles/fgqos.dir/qos/vcd_tap.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/vcd_tap.cpp.o.d"
+  "/root/repo/src/qos/window.cpp" "src/CMakeFiles/fgqos.dir/qos/window.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/qos/window.cpp.o.d"
+  "/root/repo/src/sim/clock_domain.cpp" "src/CMakeFiles/fgqos.dir/sim/clock_domain.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/sim/clock_domain.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/fgqos.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/histogram.cpp" "src/CMakeFiles/fgqos.dir/sim/histogram.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/sim/histogram.cpp.o.d"
+  "/root/repo/src/sim/logger.cpp" "src/CMakeFiles/fgqos.dir/sim/logger.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/sim/logger.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/fgqos.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/fgqos.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/fgqos.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/CMakeFiles/fgqos.dir/sim/time.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/sim/time.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/fgqos.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/sim/vcd.cpp.o.d"
+  "/root/repo/src/soc/config.cpp" "src/CMakeFiles/fgqos.dir/soc/config.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/soc/config.cpp.o.d"
+  "/root/repo/src/soc/presets.cpp" "src/CMakeFiles/fgqos.dir/soc/presets.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/soc/presets.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "src/CMakeFiles/fgqos.dir/soc/soc.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/soc/soc.cpp.o.d"
+  "/root/repo/src/util/assert.cpp" "src/CMakeFiles/fgqos.dir/util/assert.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/util/assert.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/fgqos.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/config_error.cpp" "src/CMakeFiles/fgqos.dir/util/config_error.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/util/config_error.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/fgqos.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/CMakeFiles/fgqos.dir/util/string_util.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/util/string_util.cpp.o.d"
+  "/root/repo/src/workload/cpu_workloads.cpp" "src/CMakeFiles/fgqos.dir/workload/cpu_workloads.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/workload/cpu_workloads.cpp.o.d"
+  "/root/repo/src/workload/suite.cpp" "src/CMakeFiles/fgqos.dir/workload/suite.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/workload/suite.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/fgqos.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/workload/trace.cpp.o.d"
+  "/root/repo/src/workload/traffic_gen.cpp" "src/CMakeFiles/fgqos.dir/workload/traffic_gen.cpp.o" "gcc" "src/CMakeFiles/fgqos.dir/workload/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive_analysis.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_adaptive_analysis.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_adaptive_analysis.cpp.o.d"
+  "/root/repo/tests/test_axi.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_axi.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_axi.cpp.o.d"
+  "/root/repo/tests/test_coverage_extra.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_coverage_extra.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_coverage_extra.cpp.o.d"
+  "/root/repo/tests/test_cpu.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_cpu.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_cpu.cpp.o.d"
+  "/root/repo/tests/test_dram.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_dram.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_dram.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_final_paths.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_final_paths.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_final_paths.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_multichannel_reclaim.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_multichannel_reclaim.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_multichannel_reclaim.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_qos.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_qos.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_qos.cpp.o.d"
+  "/root/repo/tests/test_sim_kernel.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_sim_kernel.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_sim_kernel.cpp.o.d"
+  "/root/repo/tests/test_soc_integration.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_soc_integration.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_soc_integration.cpp.o.d"
+  "/root/repo/tests/test_timing_details.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_timing_details.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_timing_details.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vcd_and_misc.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_vcd_and_misc.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_vcd_and_misc.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/fgqos_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/fgqos_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fgqos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

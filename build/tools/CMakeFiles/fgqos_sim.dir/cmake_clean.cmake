@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgqos_sim.dir/fgqos_sim.cpp.o"
+  "CMakeFiles/fgqos_sim.dir/fgqos_sim.cpp.o.d"
+  "fgqos_sim"
+  "fgqos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgqos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgqos_sweep.dir/fgqos_sweep.cpp.o"
+  "CMakeFiles/fgqos_sweep.dir/fgqos_sweep.cpp.o.d"
+  "fgqos_sweep"
+  "fgqos_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgqos_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
