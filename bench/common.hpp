@@ -7,6 +7,8 @@
 /// aggressors, under one of the regulation schemes being compared.
 #pragma once
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -114,6 +116,25 @@ struct ScenarioParams {
   std::function<void(soc::SocConfig&)> tweak_config;
 };
 
+/// Opt-in bench tracing: when FGQOS_TRACE=<path> is set in the
+/// environment, every scenario built by build_scenario() writes a Chrome
+/// trace there (a .1, .2, ... suffix keeps repeated builds apart).
+/// FGQOS_TRACE_FILTER selects categories.
+inline void maybe_open_env_trace(soc::Soc& chip) {
+  const char* path = std::getenv("FGQOS_TRACE");
+  if (path == nullptr || *path == '\0') {
+    return;
+  }
+  const char* filter_env = std::getenv("FGQOS_TRACE_FILTER");
+  static std::atomic<int> scenario_seq{0};
+  const int seq = scenario_seq.fetch_add(1);
+  std::string out = path;
+  if (seq > 0) {
+    out += "." + std::to_string(seq);
+  }
+  chip.open_trace(out, filter_env != nullptr ? filter_env : "");
+}
+
 /// Builds the scenario: platform + critical core + aggressors + scheme.
 inline Scenario build_scenario(const ScenarioParams& p) {
   Scenario s;
@@ -123,6 +144,7 @@ inline Scenario build_scenario(const ScenarioParams& p) {
   }
   s.chip = std::make_unique<soc::Soc>(cfg);
   soc::Soc& chip = *s.chip;
+  maybe_open_env_trace(chip);
 
   if (p.critical_iterations > 0) {
     cpu::CoreConfig cc;

@@ -6,11 +6,15 @@ Usage:
     cd build/bench && for b in ./bench_exp*; do $b; done
     python3 ../../scripts/plot_experiments.py build/bench --out plots/
 
+    # per-hop latency breakdown from a --metrics-json snapshot
+    python3 scripts/plot_experiments.py hops metrics.json --out plots/
+
 Produces one PNG per known experiment CSV. Only matplotlib is required;
 files that are absent are skipped, so partial runs plot fine.
 """
 import argparse
 import csv
+import json
 import os
 import sys
 
@@ -95,18 +99,79 @@ KNOWN = {
     "exp8_coupling_ablation.csv": plot_exp8,
 }
 
+# Hop order matches the transaction lifecycle: issue -> grant -> xbar ->
+# DRAM queue -> DRAM service -> response.
+HOPS = ["gate", "xbar", "dram_queue", "dram_service", "response"]
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("csv_dir", help="directory containing exp*.csv")
-    ap.add_argument("--out", default="plots", help="output directory")
-    args = ap.parse_args()
+
+def load_hop_breakdown(path, stat):
+    """Reads a --metrics-json snapshot; returns {port: [stat per hop in ns]}."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    ports = {}
+    for name, m in doc["metrics"].items():
+        parts = name.split(".")
+        # port.<name>.hop.<hop>_ps
+        if (len(parts) == 4 and parts[0] == "port" and parts[2] == "hop"
+                and m.get("type") == "histogram"):
+            hop = parts[3][:-len("_ps")]
+            if hop in HOPS:
+                ports.setdefault(parts[1], {})[hop] = m.get(stat, 0) / 1e3
+    return {p: [hops.get(h, 0.0) for h in HOPS] for p, hops in ports.items()}
+
+
+def plot_hops(args, plt):
+    stat = args.stat
+    breakdown = load_hop_breakdown(args.metrics_json, stat)
+    if not breakdown:
+        sys.exit(f"no port.<name>.hop.* histograms in {args.metrics_json} "
+                 "(run with --metrics-json and lifecycle metrics enabled)")
+    fig, ax = plt.subplots(figsize=(6, 4))
+    port_names = sorted(breakdown)
+    bottoms = [0.0] * len(port_names)
+    for i, hop in enumerate(HOPS):
+        vals = [breakdown[p][i] for p in port_names]
+        ax.bar(port_names, vals, bottom=bottoms, label=hop)
+        bottoms = [b + v for b, v in zip(bottoms, vals)]
+    ax.set_ylabel(f"read latency {stat} (ns)")
+    ax.set_title("Per-hop latency breakdown")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    os.makedirs(args.out, exist_ok=True)
+    out = os.path.join(args.out, f"hops_{stat}.png")
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
+def import_pyplot():
     try:
         import matplotlib
         matplotlib.use("Agg")
         import matplotlib.pyplot as plt
+        return plt
     except ImportError:
         sys.exit("matplotlib is required: pip install matplotlib")
+
+
+def main():
+    # "hops" subcommand; anything else is the legacy csv_dir form.
+    if len(sys.argv) > 1 and sys.argv[1] == "hops":
+        ap = argparse.ArgumentParser(
+            prog="plot_experiments.py hops",
+            description="per-hop latency breakdown from a --metrics-json file")
+        ap.add_argument("metrics_json", help="metrics JSON snapshot")
+        ap.add_argument("--stat", default="mean",
+                        choices=["mean", "p50", "p90", "p99", "p999", "max"])
+        ap.add_argument("--out", default="plots", help="output directory")
+        args = ap.parse_args(sys.argv[2:])
+        plot_hops(args, import_pyplot())
+        return
+
+    ap = argparse.ArgumentParser()
+    ap.add_argument("csv_dir", help="directory containing exp*.csv")
+    ap.add_argument("--out", default="plots", help="output directory")
+    args = ap.parse_args()
+    plt = import_pyplot()
 
     os.makedirs(args.out, exist_ok=True)
     made = 0

@@ -26,6 +26,14 @@ struct Transaction {
   sim::TimePs granted = 0;        ///< time the interconnect first serviced it
   sim::TimePs completed = 0;      ///< time the response reached the master
 
+  // Memory-system lifecycle stamps (telemetry): filled by the DRAM
+  // controller as the transaction's lines move through it. 0 = not yet
+  // reached (time-0 arrivals are indistinguishable, which is harmless for
+  // latency attribution).
+  sim::TimePs dram_enqueued = 0;      ///< first line arrived at a controller
+  sim::TimePs dram_service_start = 0; ///< first CAS data burst began
+  sim::TimePs dram_service_end = 0;   ///< last CAS data burst finished
+
   std::uint32_t lines_total = 0;  ///< line requests this burst splits into
   std::uint32_t lines_left = 0;   ///< still outstanding in the memory system
 

@@ -58,9 +58,24 @@ bool Controller::can_accept(const axi::LineRequest& line,
   return line.is_write ? !write_q_.full() : !read_q_.full();
 }
 
+void Controller::set_trace(telemetry::TraceWriter* writer,
+                           const std::string& track_name) {
+  trace_ = writer;
+  track_ = telemetry::TrackId{};
+  if (trace_ != nullptr) {
+    track_ = trace_->track(telemetry::Cat::kDram, track_name);
+    if (!track_.valid()) {
+      trace_ = nullptr;  // dram category filtered out
+    }
+  }
+}
+
 void Controller::accept(axi::LineRequest line, sim::TimePs now) {
   FGQOS_ASSERT(line.bytes <= cfg_.timing.burst_bytes,
                "Controller: line larger than one burst");
+  if (line.txn != nullptr && line.txn->dram_enqueued == 0) {
+    line.txn->dram_enqueued = now;
+  }
   QueueEntry e;
   e.where = mapper_.decode(line.addr);
   e.visible_at = now + cfg_.frontend_latency_ps;
@@ -172,7 +187,25 @@ void Controller::issue_cas(QueueEntry entry, Cycle c, bool auto_precharge) {
   }
   master_bytes_[m] += entry.line.bytes;
 
+  const sim::TimePs data_start_ps = data_start * clock().period_ps();
   const sim::TimePs done_ps = data_end * clock().period_ps();
+  if (axi::Transaction* txn = entry.line.txn; txn != nullptr) {
+    if (txn->dram_service_start == 0) {
+      txn->dram_service_start = data_start_ps;
+    }
+    if (done_ps > txn->dram_service_end) {
+      txn->dram_service_end = done_ps;
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->complete(track_, is_write ? "wr" : "rd", data_start_ps,
+                     done_ps - data_start_ps);
+    const sim::TimePs now = simulator().now();
+    trace_->counter(track_, "read_q", now,
+                    static_cast<double>(read_q_.size()));
+    trace_->counter(track_, "write_q", now,
+                    static_cast<double>(write_q_.size()));
+  }
   axi::ResponseSink* sink = sink_;
   const axi::LineRequest line = entry.line;
   simulator().schedule_at(done_ps,

@@ -21,6 +21,7 @@
 #include "dram/timing.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/trace.hpp"
 
 namespace fgqos::dram {
 
@@ -96,6 +97,11 @@ class Controller final : public sim::Clocked, public axi::SlaveIf {
   }
   [[nodiscard]] bool draining_writes() const { return draining_writes_; }
 
+  /// Attaches the Chrome-trace sink (nullptr detaches). Each CAS data
+  /// burst becomes a duration event ("rd"/"wr") and the queue occupancies
+  /// counter series on a track named \p track_name.
+  void set_trace(telemetry::TraceWriter* writer, const std::string& track_name);
+
   // SlaveIf
   [[nodiscard]] bool can_accept(const axi::LineRequest& line,
                                 sim::TimePs now) const override;
@@ -152,6 +158,9 @@ class Controller final : public sim::Clocked, public axi::SlaveIf {
 
   ControllerStats stats_;
   std::vector<std::uint64_t> master_bytes_;
+
+  telemetry::TraceWriter* trace_ = nullptr;
+  telemetry::TrackId track_;
 };
 
 }  // namespace fgqos::dram

@@ -31,6 +31,10 @@ void BandwidthMonitor::on_boundary(std::uint64_t epoch) {
   threshold_fired_ = false;
   ++windows_closed_;
   window_start_ = sim_.now();
+  if (trace_writer_ != nullptr) {
+    trace_writer_->counter(track_, "window_bytes", sim_.now(),
+                           static_cast<double>(last_window_bytes_));
+  }
   schedule_boundary();
 }
 
@@ -64,6 +68,17 @@ void BandwidthMonitor::reset_totals() {
   windows_closed_ = 0;
 }
 
+void BandwidthMonitor::set_trace(telemetry::TraceWriter* writer) {
+  trace_writer_ = writer;
+  track_ = telemetry::TrackId{};
+  if (trace_writer_ != nullptr) {
+    track_ = trace_writer_->track(telemetry::Cat::kQos, cfg_.name);
+    if (!track_.valid()) {
+      trace_writer_ = nullptr;  // qos category filtered out
+    }
+  }
+}
+
 void BandwidthMonitor::on_issue(const axi::Transaction&, sim::TimePs) {}
 
 void BandwidthMonitor::on_grant(const axi::LineRequest& line,
@@ -76,6 +91,9 @@ void BandwidthMonitor::on_grant(const axi::LineRequest& line,
   if (threshold_ > 0 && !threshold_fired_ && window_bytes_ >= threshold_ &&
       threshold_fn_) {
     threshold_fired_ = true;
+    if (trace_writer_ != nullptr) {
+      trace_writer_->instant(track_, "threshold", now);
+    }
     // Same-cycle delivery: this is the tightly-coupled observation path.
     threshold_fn_(now, window_bytes_);
   }

@@ -18,6 +18,7 @@
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "telemetry/trace.hpp"
 
 namespace fgqos::qos {
 
@@ -76,6 +77,11 @@ class BandwidthMonitor final : public axi::TxnObserver {
   /// Clears totals and the trace (window phase is preserved).
   void reset_totals();
 
+  /// Attaches the Chrome-trace sink (nullptr detaches): each window close
+  /// samples a "window_bytes" counter series and each threshold crossing
+  /// emits an instant event, on a track named after this monitor.
+  void set_trace(telemetry::TraceWriter* writer);
+
   // TxnObserver
   void on_issue(const axi::Transaction& txn, sim::TimePs now) override;
   void on_grant(const axi::LineRequest& line, sim::TimePs now) override;
@@ -97,6 +103,8 @@ class BandwidthMonitor final : public axi::TxnObserver {
   std::vector<std::uint64_t> trace_;
   std::uint64_t epoch_ = 0;  ///< invalidates boundary events on set_window
   sim::TimePs window_start_ = 0;
+  telemetry::TraceWriter* trace_writer_ = nullptr;
+  telemetry::TrackId track_;
 };
 
 }  // namespace fgqos::qos

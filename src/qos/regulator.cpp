@@ -1,5 +1,6 @@
 #include "qos/regulator.hpp"
 
+#include "sim/logger.hpp"
 #include "util/config_error.hpp"
 
 namespace fgqos::qos {
@@ -27,19 +28,51 @@ void Regulator::on_replenish(std::uint64_t epoch) {
   }
   if (exhausted_) {
     stats_.throttled_ps += sim_.now() - exhausted_since_;
+    trace_throttle_end(sim_.now());
     exhausted_ = false;
   }
   bucket_.replenish();
   window_start_ = sim_.now();
+  if (trace_ != nullptr) {
+    trace_->counter(track_, "tokens", sim_.now(),
+                    static_cast<double>(bucket_.tokens()));
+  }
   schedule_replenish();
 }
 
 void Regulator::set_enabled(bool enabled) {
   if (cfg_.enabled && !enabled && exhausted_) {
     stats_.throttled_ps += sim_.now() - exhausted_since_;
+    trace_throttle_end(sim_.now());
     exhausted_ = false;
   }
   cfg_.enabled = enabled;
+}
+
+void Regulator::set_trace(telemetry::TraceWriter* writer) {
+  trace_ = writer;
+  track_ = telemetry::TrackId{};
+  if (trace_ != nullptr) {
+    track_ = trace_->track(telemetry::Cat::kQos, cfg_.name);
+    if (!track_.valid()) {
+      trace_ = nullptr;  // qos category filtered out
+    }
+  }
+}
+
+void Regulator::trace_throttle_end(sim::TimePs now) {
+  if (trace_ != nullptr) {
+    trace_->complete(track_, "throttled", exhausted_since_,
+                     now - exhausted_since_);
+    trace_->counter(track_, "tokens", now,
+                    static_cast<double>(bucket_.tokens()));
+  }
+}
+
+void Regulator::flush_trace(sim::TimePs now) {
+  if (exhausted_) {
+    trace_throttle_end(now);
+  }
 }
 
 void Regulator::set_budget(std::uint64_t budget_bytes) {
@@ -84,6 +117,13 @@ void Regulator::on_grant(const axi::LineRequest& line, sim::TimePs now) {
     exhausted_since_ = now;
     ++stats_.exhausted_windows;
     stats_.last_exhausted_at = now;
+    FGQOS_LOG_TRACE("%s: budget exhausted at %llu ps (credit %lld)",
+                    cfg_.name.c_str(), static_cast<unsigned long long>(now),
+                    static_cast<long long>(bucket_.tokens()));
+    if (trace_ != nullptr) {
+      trace_->counter(track_, "tokens", now,
+                      static_cast<double>(bucket_.tokens()));
+    }
   }
 }
 

@@ -17,6 +17,7 @@
 #include "qos/window.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "telemetry/trace.hpp"
 
 namespace fgqos::qos {
 
@@ -80,6 +81,15 @@ class Regulator final : public axi::TxnGate {
   /// Effective programmed rate in bytes/second.
   [[nodiscard]] double programmed_rate_bps() const;
 
+  /// Attaches the Chrome-trace sink (nullptr detaches): throttle
+  /// intervals become duration events and the token credit a counter
+  /// track, both on a track named after this regulator.
+  void set_trace(telemetry::TraceWriter* writer);
+
+  /// Emits the trailing throttle span when the gate is still shut at the
+  /// end of a run (call before TraceWriter::finish()).
+  void flush_trace(sim::TimePs now);
+
   // TxnGate
   [[nodiscard]] bool allow(const axi::LineRequest& line,
                            sim::TimePs now) const override;
@@ -92,6 +102,8 @@ class Regulator final : public axi::TxnGate {
     return is_write ? cfg_.gate_writes : cfg_.gate_reads;
   }
 
+  void trace_throttle_end(sim::TimePs now);
+
   sim::Simulator& sim_;
   RegulatorConfig cfg_;
   TokenBucket bucket_;
@@ -100,6 +112,8 @@ class Regulator final : public axi::TxnGate {
   sim::TimePs exhausted_since_ = 0;
   std::uint64_t epoch_ = 0;
   sim::TimePs window_start_ = 0;
+  telemetry::TraceWriter* trace_ = nullptr;
+  telemetry::TrackId track_;
 };
 
 }  // namespace fgqos::qos

@@ -1,6 +1,7 @@
 #include "qos/soft_memguard.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "qos/window.hpp"
 #include "util/assert.hpp"
@@ -48,6 +49,35 @@ std::uint64_t SoftMemguard::period_bytes(axi::MasterId master) const {
 
 bool SoftMemguard::stalled(axi::MasterId master) const {
   return master < masters_.size() && masters_[master].stalled;
+}
+
+void SoftMemguard::set_trace(telemetry::TraceWriter* writer) {
+  trace_ = writer;
+  track_ = telemetry::TrackId{};
+  if (trace_ != nullptr) {
+    track_ = trace_->track(telemetry::Cat::kQos, cfg_.name);
+    if (!track_.valid()) {
+      trace_ = nullptr;  // qos category filtered out
+    }
+  }
+}
+
+void SoftMemguard::trace_stall_end(axi::MasterId master,
+                                   const MasterState& st, sim::TimePs now) {
+  if (trace_ != nullptr) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "stall m%u",
+                  static_cast<unsigned>(master));
+    trace_->complete(track_, name, st.stalled_since, now - st.stalled_since);
+  }
+}
+
+void SoftMemguard::flush_trace(sim::TimePs now) {
+  for (axi::MasterId m = 0; m < masters_.size(); ++m) {
+    if (masters_[m].stalled) {
+      trace_stall_end(m, masters_[m], now);
+    }
+  }
 }
 
 bool SoftMemguard::allow(const axi::LineRequest& line, sim::TimePs) const {
@@ -108,6 +138,12 @@ void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period) {
   st.overflow_pending = false;
   st.stalled = true;
   st.stalled_since = sim_.now();
+  if (trace_ != nullptr) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "overflow_irq m%u",
+                  static_cast<unsigned>(m));
+    trace_->instant(track_, name, sim_.now());
+  }
   if (st.period_of_last_stall != period_index_) {
     st.period_of_last_stall = period_index_;
     ++st.stats.periods_throttled;
@@ -117,9 +153,11 @@ void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period) {
 void SoftMemguard::on_period_tick() {
   const sim::TimePs now = sim_.now();
   pool_ = 0;
-  for (auto& st : masters_) {
+  for (axi::MasterId m = 0; m < masters_.size(); ++m) {
+    MasterState& st = masters_[m];
     if (st.stalled) {
       st.stats.throttled_ps += now - st.stalled_since;
+      trace_stall_end(m, st, now);
       st.stalled = false;
     }
     st.overflow_pending = false;

@@ -22,6 +22,7 @@
 #include "axi/port.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "telemetry/trace.hpp"
 
 namespace fgqos::qos {
 
@@ -78,6 +79,15 @@ class SoftMemguard final : public axi::TxnGate {
     return reclaimed_total_;
   }
 
+  /// Attaches the Chrome-trace sink (nullptr detaches): overflow IRQs
+  /// become instant events and each park a "stall m<N>" duration event,
+  /// on a track named after this instance.
+  void set_trace(telemetry::TraceWriter* writer);
+
+  /// Emits trailing stall spans for masters still parked at the end of a
+  /// run (call before TraceWriter::finish()).
+  void flush_trace(sim::TimePs now);
+
   // TxnGate: a stalled master may not be granted.
   [[nodiscard]] bool allow(const axi::LineRequest& line,
                            sim::TimePs now) const override;
@@ -100,6 +110,8 @@ class SoftMemguard final : public axi::TxnGate {
   void ensure(axi::MasterId master);
   void on_period_tick();
   void deliver_stall(axi::MasterId master, std::uint64_t period);
+  void trace_stall_end(axi::MasterId master, const MasterState& st,
+                       sim::TimePs now);
 
   sim::Simulator& sim_;
   SoftMemguardConfig cfg_;
@@ -107,6 +119,8 @@ class SoftMemguard final : public axi::TxnGate {
   std::uint64_t period_index_ = 0;
   std::uint64_t pool_ = 0;
   std::uint64_t reclaimed_total_ = 0;
+  telemetry::TraceWriter* trace_ = nullptr;
+  telemetry::TrackId track_;
 };
 
 }  // namespace fgqos::qos

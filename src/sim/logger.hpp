@@ -31,9 +31,13 @@ class Logger {
     }                                                             \
   } while (false)
 
+#define FGQOS_LOG_ERROR(...) \
+  FGQOS_LOG(::fgqos::sim::LogLevel::kError, __VA_ARGS__)
 #define FGQOS_LOG_WARN(...) \
   FGQOS_LOG(::fgqos::sim::LogLevel::kWarn, __VA_ARGS__)
 #define FGQOS_LOG_INFO(...) \
   FGQOS_LOG(::fgqos::sim::LogLevel::kInfo, __VA_ARGS__)
 #define FGQOS_LOG_DEBUG(...) \
   FGQOS_LOG(::fgqos::sim::LogLevel::kDebug, __VA_ARGS__)
+#define FGQOS_LOG_TRACE(...) \
+  FGQOS_LOG(::fgqos::sim::LogLevel::kTrace, __VA_ARGS__)

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <chrono>
+
 #include "util/assert.hpp"
 
 namespace fgqos::sim {
@@ -57,11 +59,22 @@ void Simulator::schedule_at(TimePs when, EventFn fn) {
   events_.schedule(when, std::move(fn));
 }
 
+double Simulator::wall_s_per_sim_s() const {
+  if (now_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(wall_ns_) * 1e3 / static_cast<double>(now_);
+}
+
 void Simulator::run_until(TimePs t_end) {
   FGQOS_ASSERT(!running_, "run_until: re-entrant call");
   running_ = true;
   stop_requested_ = false;
+  const auto wall_start = std::chrono::steady_clock::now();
   while (!stop_requested_) {
+    if (events_.size() > max_event_queue_) {
+      max_event_queue_ = events_.size();
+    }
     const TimePs ev_t = events_.next_time();
     const TimePs tk_t = ticks_.empty() ? kTimeNever : ticks_.top().when;
     const TimePs next = ev_t < tk_t ? ev_t : tk_t;
@@ -72,6 +85,7 @@ void Simulator::run_until(TimePs t_end) {
     // Events fire before ticks at equal timestamps.
     if (ev_t <= tk_t && ev_t != kTimeNever) {
       auto [when, fn] = events_.pop();
+      ++events_dispatched_;
       fn();
       continue;
     }
@@ -82,6 +96,7 @@ void Simulator::run_until(TimePs t_end) {
       continue;  // stale lazy-deleted entry
     }
     ++tick_count_;
+    ++c.ticks_fired_;
     c.has_ticked_ = true;
     c.last_tick_ = e.when;
     // Unschedule before ticking so the component may call wake_at() on
@@ -102,6 +117,10 @@ void Simulator::run_until(TimePs t_end) {
   if (!stop_requested_ && now_ < t_end) {
     now_ = t_end;
   }
+  wall_ns_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
   running_ = false;
 }
 

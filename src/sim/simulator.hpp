@@ -57,12 +57,17 @@ class Clocked {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Simulator& simulator() const { return sim_; }
 
+  /// Number of tick() invocations this component has executed (telemetry:
+  /// per-component dispatch attribution).
+  [[nodiscard]] std::uint64_t ticks_fired() const { return ticks_fired_; }
+
  private:
   friend class Simulator;
   Simulator& sim_;
   const ClockDomain* clk_;
   std::string name_;
   std::uint64_t order_ = 0;   ///< registration order, for deterministic ties
+  std::uint64_t ticks_fired_ = 0;
   bool scheduled_ = false;
   bool has_ticked_ = false;
   TimePs next_tick_ = 0;      ///< valid iff scheduled_
@@ -104,6 +109,26 @@ class Simulator {
   /// Number of tick invocations executed so far (for micro-benchmarks).
   [[nodiscard]] std::uint64_t tick_count() const { return tick_count_; }
 
+  // --- kernel self-profiling (telemetry) ---------------------------------
+
+  /// One-shot events dispatched so far.
+  [[nodiscard]] std::uint64_t events_dispatched() const {
+    return events_dispatched_;
+  }
+  /// Current one-shot event-queue occupancy.
+  [[nodiscard]] std::size_t event_queue_size() const {
+    return events_.size();
+  }
+  /// Largest event-queue occupancy observed during run_until().
+  [[nodiscard]] std::size_t max_event_queue() const {
+    return max_event_queue_;
+  }
+  /// Wall-clock nanoseconds spent inside run_until() so far.
+  [[nodiscard]] std::uint64_t wall_ns() const { return wall_ns_; }
+  /// Wall-clock seconds per simulated second so far (simulation slowdown;
+  /// 0 before the first run).
+  [[nodiscard]] double wall_s_per_sim_s() const;
+
  private:
   friend class Clocked;
 
@@ -129,6 +154,9 @@ class Simulator {
   TimePs now_ = 0;
   std::uint64_t next_order_ = 0;
   std::uint64_t tick_count_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::size_t max_event_queue_ = 0;
+  std::uint64_t wall_ns_ = 0;
   bool running_ = false;
   bool stop_requested_ = false;
 };

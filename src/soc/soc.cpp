@@ -79,7 +79,42 @@ wl::TrafficGen& Soc::add_traffic_gen(std::size_t accel_index,
                "Soc: accel port index out of range");
   traffic_gens_.push_back(std::make_unique<wl::TrafficGen>(
       sim_, fabric_clk_, std::move(tg_cfg), accel_port(accel_index)));
+  if (telemetry_.tracing()) {
+    traffic_gens_.back()->set_trace(telemetry_.trace());
+  }
   return *traffic_gens_.back();
+}
+
+void Soc::open_trace(const std::string& path, const std::string& filter) {
+  telemetry_.open_trace(path, filter);
+  enable_lifecycle_metrics();
+  telemetry::TraceWriter* tw = telemetry_.trace();
+  for (std::size_t ch = 0; ch < drams_.size(); ++ch) {
+    drams_[ch]->set_trace(tw, "ch" + std::to_string(ch));
+  }
+  for (auto& block : qos_blocks_) {
+    block.regulator->set_trace(tw);
+    block.monitor->set_trace(tw);
+  }
+  for (auto& tg : traffic_gens_) {
+    tg->set_trace(tw);
+  }
+  telemetry_.start_kernel_sampling(sim_);
+}
+
+void Soc::enable_lifecycle_metrics() {
+  for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
+    telemetry_.lifecycle(xbar_->master(m));
+  }
+}
+
+void Soc::finish_telemetry() {
+  if (telemetry_.tracing()) {
+    for (auto& block : qos_blocks_) {
+      block.regulator->flush_trace(sim_.now());
+    }
+  }
+  telemetry_.finish();
 }
 
 qos::DdrcThrottle& Soc::insert_ddrc_throttle(qos::DdrcThrottleConfig tc) {
@@ -114,13 +149,25 @@ double Soc::dram_bandwidth_bps() const {
   return sim::bytes_per_second(bytes, sim_.now());
 }
 
-void Soc::collect_stats(sim::StatsRegistry& out) const {
-  // Aggregate over channels (single-channel platforms see one-to-one).
+telemetry::MetricsRegistry& Soc::collect_metrics() {
+  telemetry::MetricsRegistry& reg = telemetry_.metrics();
+  // Snapshot semantics: reset-then-add keeps counters idempotent across
+  // repeated collections while preserving their type in exports.
+  const auto set_counter = [&reg](const std::string& name, std::uint64_t v) {
+    telemetry::Counter& c = reg.counter(name);
+    c.reset();
+    c.add(v);
+  };
+  const auto set_gauge = [&reg](const std::string& name, double v) {
+    reg.gauge(name).set(v);
+  };
+
+  // DRAM: aggregate plus per-channel hierarchy (dram.ch0.row_hits, ...).
   std::uint64_t reads = 0, writes = 0, payload = 0, bus = 0, hits = 0;
   std::uint64_t acts = 0, conflicts = 0, refreshes = 0;
   double util = 0;
-  for (const auto& d : drams_) {
-    const auto& ds = d->stats();
+  for (std::size_t ch = 0; ch < drams_.size(); ++ch) {
+    const auto& ds = drams_[ch]->stats();
     reads += ds.reads_serviced.value();
     writes += ds.writes_serviced.value();
     payload += ds.payload_bytes.value();
@@ -129,38 +176,89 @@ void Soc::collect_stats(sim::StatsRegistry& out) const {
     acts += ds.activations.value();
     conflicts += ds.conflict_precharges.value();
     refreshes += ds.refreshes.value();
-    util += d->bus_utilization(sim_.now());
+    util += drams_[ch]->bus_utilization(sim_.now());
+    const std::string prefix = "dram.ch" + std::to_string(ch) + ".";
+    set_counter(prefix + "reads", ds.reads_serviced.value());
+    set_counter(prefix + "writes", ds.writes_serviced.value());
+    set_counter(prefix + "payload_bytes", ds.payload_bytes.value());
+    set_counter(prefix + "row_hits", ds.row_hits());
+    set_counter(prefix + "activations", ds.activations.value());
+    set_gauge(prefix + "bus_utilization",
+              drams_[ch]->bus_utilization(sim_.now()));
   }
-  out.set("dram.reads", reads);
-  out.set("dram.writes", writes);
-  out.set("dram.payload_bytes", payload);
-  out.set("dram.bus_bytes", bus);
-  out.set("dram.row_hits", hits);
-  out.set("dram.activations", acts);
-  out.set("dram.conflict_precharges", conflicts);
-  out.set("dram.refreshes", refreshes);
-  out.set("dram.bus_utilization",
-          util / static_cast<double>(drams_.size()));
+  set_counter("dram.reads", reads);
+  set_counter("dram.writes", writes);
+  set_counter("dram.payload_bytes", payload);
+  set_counter("dram.bus_bytes", bus);
+  set_counter("dram.row_hits", hits);
+  set_counter("dram.activations", acts);
+  set_counter("dram.conflict_precharges", conflicts);
+  set_counter("dram.refreshes", refreshes);
+  set_gauge("dram.bus_utilization", util / static_cast<double>(drams_.size()));
+
   for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
     const axi::MasterPort& p = xbar_->master(m);
     const std::string prefix = "port." + p.name() + ".";
-    out.set(prefix + "txns", p.stats().txns_completed.value());
-    out.set(prefix + "bytes", p.stats().bytes_granted.value());
-    out.set(prefix + "read_bytes", p.stats().read_bytes.value());
-    out.set(prefix + "write_bytes", p.stats().write_bytes.value());
-    out.set(prefix + "read_mean_ps", p.stats().read_latency.mean());
-    out.set(prefix + "read_p99_ps", p.stats().read_latency.p99());
+    set_counter(prefix + "txns", p.stats().txns_completed.value());
+    set_counter(prefix + "bytes", p.stats().bytes_granted.value());
+    set_counter(prefix + "read_bytes", p.stats().read_bytes.value());
+    set_counter(prefix + "write_bytes", p.stats().write_bytes.value());
+    set_gauge(prefix + "read_mean_ps", p.stats().read_latency.mean());
+    set_gauge(prefix + "read_p99_ps",
+              static_cast<double>(p.stats().read_latency.p99()));
   }
-  out.set("cluster.l2_hit_rate", cluster_->l2().stats().hit_rate());
+
+  for (const auto& block : qos_blocks_) {
+    const auto& rs = block.regulator->stats();
+    const std::string rp = "qos." + block.regulator->config().name + ".";
+    set_counter(rp + "exhausted_windows", rs.exhausted_windows);
+    set_counter(rp + "throttled_ps", rs.throttled_ps);
+    set_counter(rp + "regulated_bytes", rs.regulated_bytes);
+    const std::string mp = "qos." + block.monitor->config().name + ".";
+    set_counter(mp + "total_bytes", block.monitor->total_bytes());
+    set_counter(mp + "windows_closed", block.monitor->windows_closed());
+  }
+
+  for (const auto& tg : traffic_gens_) {
+    const std::string prefix = "tg." + tg->config().name + ".";
+    set_counter(prefix + "issued_bytes", tg->stats().issued_bytes);
+    set_counter(prefix + "completed_bytes", tg->stats().completed_bytes);
+    set_counter(prefix + "transactions", tg->stats().transactions);
+  }
+
+  set_gauge("cluster.l2_hit_rate", cluster_->l2().stats().hit_rate());
   for (std::size_t c = 0; c < cluster_->core_count(); ++c) {
-    const cpu::CpuCore& core =
-        const_cast<cpu::CpuCluster&>(*cluster_).core(c);
+    const cpu::CpuCore& core = cluster_->core(c);
     const std::string prefix = "core." + core.config().name + ".";
-    out.set(prefix + "iterations", core.stats().iterations);
-    out.set(prefix + "iter_mean_ps", core.stats().iteration_ps.mean());
-    out.set(prefix + "iter_p99_ps", core.stats().iteration_ps.p99());
-    out.set(prefix + "l1_hit_rate", core.l1().stats().hit_rate());
+    set_counter(prefix + "iterations", core.stats().iterations);
+    set_gauge(prefix + "iter_mean_ps", core.stats().iteration_ps.mean());
+    set_gauge(prefix + "iter_p99_ps",
+              static_cast<double>(core.stats().iteration_ps.p99()));
+    set_gauge(prefix + "l1_hit_rate", core.l1().stats().hit_rate());
   }
+
+  // Kernel self-profiling.
+  set_counter("sim.events_dispatched", sim_.events_dispatched());
+  set_counter("sim.ticks", sim_.tick_count());
+  set_gauge("sim.max_event_queue",
+            static_cast<double>(sim_.max_event_queue()));
+  set_counter("sim.wall_ns", sim_.wall_ns());
+  set_gauge("sim.wall_s_per_sim_s", sim_.wall_s_per_sim_s());
+  return reg;
+}
+
+void Soc::collect_stats(sim::StatsRegistry& out) const {
+  // Legacy scalar view, derived from the metrics registry so both exports
+  // agree; histograms are only visible through the registry. Host-side
+  // wall-clock metrics are excluded: this view must stay bit-identical
+  // across runs of the same configuration.
+  const_cast<Soc*>(this)->collect_metrics().for_each_scalar(
+      [&out](const std::string& name, double value) {
+        if (name.rfind("sim.wall", 0) == 0) {
+          return;
+        }
+        out.set(name, value);
+      });
 }
 
 }  // namespace fgqos::soc

@@ -21,6 +21,7 @@
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "soc/config.hpp"
+#include "telemetry/hub.hpp"
 #include "workload/traffic_gen.hpp"
 
 namespace fgqos::soc {
@@ -97,8 +98,36 @@ class Soc {
   bool run_until_cores_finished(sim::TimePs deadline,
                                 sim::TimePs poll_ps = 10 * sim::kPsPerUs);
 
+  // --- telemetry ---------------------------------------------------------
+
+  /// The platform's telemetry hub (metrics registry + optional trace
+  /// sink + per-port lifecycle tracers).
+  [[nodiscard]] telemetry::Hub& telemetry() { return telemetry_; }
+
+  /// Opens the Chrome-trace sink at \p path and wires every component to
+  /// it: ports (per-transaction spans), DRAM channels (CAS bursts, queue
+  /// occupancy), QoS blocks (throttle intervals, token credit, window
+  /// bandwidth) and traffic generators, plus the simulation-kernel
+  /// self-profiling sampler. \p filter selects categories
+  /// (see telemetry::parse_categories; "" = everything).
+  void open_trace(const std::string& path, const std::string& filter = "");
+
+  /// Attaches per-hop latency histograms to every master port (implied by
+  /// open_trace; call directly for lifecycle metrics without a trace).
+  void enable_lifecycle_metrics();
+
+  /// Refreshes the hub's registry with a full platform snapshot (DRAM,
+  /// ports, QoS, cores, generators, kernel self-profiling) and returns it.
+  telemetry::MetricsRegistry& collect_metrics();
+
+  /// Flushes trailing trace spans (still-shut regulator gates, parked
+  /// masters) and closes the trace sink. Idempotent; call before reading
+  /// the trace file.
+  void finish_telemetry();
+
   /// Dumps platform statistics ("dram.payload_bytes",
-  /// "port.cpu.read_p99_ps", ...) into \p out.
+  /// "port.cpu.read_p99_ps", ...) into \p out. Legacy view: flattens the
+  /// scalar metrics of collect_metrics().
   void collect_stats(sim::StatsRegistry& out) const;
 
   /// Measured DRAM payload bandwidth since t=0 (bytes/second).
@@ -107,6 +136,7 @@ class Soc {
  private:
   SocConfig cfg_;
   sim::Simulator sim_;
+  telemetry::Hub telemetry_;
   sim::ClockDomain cpu_clk_;
   sim::ClockDomain fabric_clk_;
   sim::ClockDomain xbar_clk_;

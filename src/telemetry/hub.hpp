@@ -1,0 +1,73 @@
+/// \file hub.hpp
+/// \brief Per-platform telemetry hub: registry + trace sink + lifecycle.
+///
+/// One Hub per Soc (or per hand-assembled platform) owns the metrics
+/// registry, the optional Chrome-trace sink and the per-port lifecycle
+/// tracers, and runs the simulation-kernel self-profiling sampler. All
+/// instrumentation is opt-in and near-zero cost when disabled: components
+/// carry a nullable TraceWriter pointer, and lifecycle observers are only
+/// attached to ports on request.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axi/port.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/lifecycle.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fgqos::telemetry {
+
+/// The hub.
+class Hub {
+ public:
+  Hub() = default;
+
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Opens the Chrome-trace sink. \p filter is a comma-separated category
+  /// list (see parse_categories; "" = everything). At most one trace per
+  /// hub; throws ConfigError on a second call.
+  void open_trace(const std::string& path, const std::string& filter = "");
+
+  /// The sink, or nullptr when tracing is disabled.
+  [[nodiscard]] TraceWriter* trace() { return trace_.get(); }
+  [[nodiscard]] bool tracing() const { return trace_ != nullptr; }
+
+  /// Returns the lifecycle tracer observing \p port, attaching one on
+  /// first use; wires it to the trace sink when open.
+  TxnLifecycleTracer& lifecycle(axi::MasterPort& port);
+  /// True when \p port already has a lifecycle tracer attached.
+  [[nodiscard]] bool has_lifecycle(const axi::MasterPort& port) const;
+
+  /// Starts the kernel self-profiling sampler: every \p period_ps it
+  /// records event-queue occupancy and event/tick dispatch rates as
+  /// counter tracks (category "kernel") and registry metrics.
+  void start_kernel_sampling(sim::Simulator& sim,
+                             sim::TimePs period_ps = 100 * sim::kPsPerUs);
+
+  /// Flushes and closes the trace sink (idempotent). Lifecycle metrics
+  /// stay available afterwards.
+  void finish();
+
+ private:
+  void kernel_sample(sim::Simulator& sim, sim::TimePs period_ps);
+
+  MetricsRegistry metrics_;
+  std::unique_ptr<TraceWriter> trace_;
+  std::vector<std::unique_ptr<TxnLifecycleTracer>> lifecycles_;
+  std::vector<const axi::MasterPort*> lifecycle_ports_;
+  TrackId kernel_track_;
+  bool kernel_sampling_ = false;
+  std::uint64_t last_events_ = 0;
+  std::uint64_t last_ticks_ = 0;
+};
+
+}  // namespace fgqos::telemetry

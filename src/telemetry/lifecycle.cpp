@@ -1,0 +1,78 @@
+#include "telemetry/lifecycle.hpp"
+
+#include <cstdio>
+
+namespace fgqos::telemetry {
+
+namespace {
+
+/// Stamps may be missing (0) when a transaction bypassed a stage; clamp
+/// instead of underflowing.
+std::uint64_t hop(sim::TimePs from, sim::TimePs to) {
+  return to > from ? to - from : 0;
+}
+
+}  // namespace
+
+TxnLifecycleTracer::TxnLifecycleTracer(MetricsRegistry& metrics,
+                                       std::string port_name)
+    : name_(std::move(port_name)),
+      gate_(metrics.histogram("port." + name_ + ".hop.gate_ps")),
+      xbar_(metrics.histogram("port." + name_ + ".hop.xbar_ps")),
+      dram_queue_(metrics.histogram("port." + name_ + ".hop.dram_queue_ps")),
+      dram_service_(
+          metrics.histogram("port." + name_ + ".hop.dram_service_ps")),
+      response_(metrics.histogram("port." + name_ + ".hop.response_ps")),
+      total_(metrics.histogram("port." + name_ + ".hop.total_ps")) {}
+
+void TxnLifecycleTracer::set_trace(TraceWriter* writer) {
+  trace_ = writer;
+  track_ = TrackId{};
+  if (trace_ != nullptr) {
+    track_ = trace_->track(Cat::kPort, name_);
+    if (!track_.valid()) {
+      trace_ = nullptr;  // category filtered out
+    }
+  }
+}
+
+void TxnLifecycleTracer::on_issue(const axi::Transaction&, sim::TimePs) {}
+
+void TxnLifecycleTracer::on_grant(const axi::LineRequest&, sim::TimePs) {}
+
+void TxnLifecycleTracer::on_complete(const axi::Transaction& txn,
+                                     sim::TimePs) {
+  const std::uint64_t gate = hop(txn.created, txn.granted);
+  const std::uint64_t xbar = hop(txn.granted, txn.dram_enqueued);
+  const std::uint64_t dq = hop(txn.dram_enqueued, txn.dram_service_start);
+  const std::uint64_t svc =
+      hop(txn.dram_service_start, txn.dram_service_end);
+  const std::uint64_t resp = hop(txn.dram_service_end, txn.completed);
+  gate_.record(gate);
+  xbar_.record(xbar);
+  dram_queue_.record(dq);
+  dram_service_.record(svc);
+  response_.record(resp);
+  total_.record(hop(txn.created, txn.completed));
+
+  if (trace_ != nullptr) {
+    // The whole span is emitted at completion (timestamps lie in the
+    // past; viewers sort by ts), so aborted/in-flight transactions never
+    // leave unbalanced events.
+    trace_->async_begin(track_, name_.c_str(), txn.id, txn.created);
+    char args[256];
+    std::snprintf(args, sizeof args,
+                  "{\"dir\":\"%s\",\"bytes\":%u,\"gate_ns\":%.3f,"
+                  "\"xbar_ns\":%.3f,\"dram_queue_ns\":%.3f,"
+                  "\"dram_service_ns\":%.3f,\"response_ns\":%.3f}",
+                  txn.dir == axi::Dir::kRead ? "rd" : "wr", txn.bytes,
+                  static_cast<double>(gate) / 1e3,
+                  static_cast<double>(xbar) / 1e3,
+                  static_cast<double>(dq) / 1e3,
+                  static_cast<double>(svc) / 1e3,
+                  static_cast<double>(resp) / 1e3);
+    trace_->async_end(track_, name_.c_str(), txn.id, txn.completed, args);
+  }
+}
+
+}  // namespace fgqos::telemetry

@@ -1,0 +1,62 @@
+/// \file lifecycle.hpp
+/// \brief Per-port transaction-lifecycle tracer: hop histograms + spans.
+///
+/// One TxnLifecycleTracer observes one MasterPort (attached with
+/// port.add_observer). At completion every transaction carries the full
+/// set of lifecycle stamps (issue -> grant -> DRAM enqueue -> DRAM service
+/// -> response), so the tracer attributes its end-to-end latency to hops:
+///
+///   gate_ps          issue -> first grant (request queue, QoS gates,
+///                    crossbar arbitration)
+///   xbar_ps          first grant -> first line at the DRAM controller
+///                    (crossbar forward + controller front-end)
+///   dram_queue_ps    controller arrival -> first data burst (FR-FCFS
+///                    queueing, bank prep)
+///   dram_service_ps  first -> last data burst (service proper)
+///   response_ps      last data burst -> response at the master
+///
+/// Each hop feeds a registry histogram "port.<name>.hop.<hop>"; when a
+/// TraceWriter is attached, the whole transaction is additionally emitted
+/// as an async span (id = transaction id) with the hop breakdown in the
+/// end event's args.
+#pragma once
+
+#include <string>
+
+#include "axi/port.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fgqos::telemetry {
+
+/// The per-port tracer. Near-zero cost: five saturating subtractions and
+/// six histogram records per *transaction* (not per line); span emission
+/// only when a trace sink is attached.
+class TxnLifecycleTracer final : public axi::TxnObserver {
+ public:
+  TxnLifecycleTracer(MetricsRegistry& metrics, std::string port_name);
+
+  /// Attaches (or detaches, nullptr) the trace sink; registers this
+  /// port's track on attach.
+  void set_trace(TraceWriter* writer);
+
+  [[nodiscard]] const std::string& port_name() const { return name_; }
+
+  // TxnObserver
+  void on_issue(const axi::Transaction& txn, sim::TimePs now) override;
+  void on_grant(const axi::LineRequest& line, sim::TimePs now) override;
+  void on_complete(const axi::Transaction& txn, sim::TimePs now) override;
+
+ private:
+  std::string name_;
+  Histogram& gate_;
+  Histogram& xbar_;
+  Histogram& dram_queue_;
+  Histogram& dram_service_;
+  Histogram& response_;
+  Histogram& total_;
+  TraceWriter* trace_ = nullptr;
+  TrackId track_;
+};
+
+}  // namespace fgqos::telemetry

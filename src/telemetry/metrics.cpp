@@ -1,0 +1,134 @@
+#include "telemetry/metrics.hpp"
+
+#include <fstream>
+
+#include "util/config_error.hpp"
+#include "util/json.hpp"
+
+namespace fgqos::telemetry {
+
+namespace {
+
+const char* kind_name(std::uint8_t k) {
+  switch (k) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
+MetricsRegistry::Metric& MetricsRegistry::fetch(const std::string& name,
+                                                Kind kind) {
+  config_check(!name.empty(), "MetricsRegistry: empty metric name");
+  auto [it, inserted] = metrics_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+  } else {
+    config_check(it->second.kind == kind,
+                 "MetricsRegistry: metric '" + name +
+                     "' already registered as " +
+                     kind_name(static_cast<std::uint8_t>(it->second.kind)));
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return fetch(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return fetch(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return fetch(name, Kind::kHistogram).histogram;
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  return metrics_.count(name) != 0;
+}
+
+double MetricsRegistry::scalar(const std::string& name) const {
+  auto it = metrics_.find(name);
+  config_check(it != metrics_.end(),
+               "MetricsRegistry: unknown metric '" + name + "'");
+  const Metric& m = it->second;
+  config_check(m.kind != Kind::kHistogram,
+               "MetricsRegistry: '" + name + "' is a histogram, not a scalar");
+  return m.kind == Kind::kCounter ? static_cast<double>(m.counter.value())
+                                  : m.gauge.value();
+}
+
+void MetricsRegistry::write_json(std::ostream& os, sim::TimePs now) const {
+  os << "{\"time_ps\":" << now << ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, m] : metrics_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\"" << util::json_escape(name) << "\":{";
+    switch (m.kind) {
+      case Kind::kCounter:
+        os << "\"type\":\"counter\",\"value\":" << m.counter.value();
+        break;
+      case Kind::kGauge:
+        os << "\"type\":\"gauge\",\"value\":" << m.gauge.value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = m.histogram;
+        os << "\"type\":\"histogram\",\"count\":" << h.count();
+        if (h.count() > 0) {
+          os << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+             << ",\"mean\":" << h.mean() << ",\"stddev\":" << h.stddev()
+             << ",\"p50\":" << h.p50() << ",\"p90\":" << h.p90()
+             << ",\"p99\":" << h.p99() << ",\"p999\":" << h.p999();
+        }
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << "}}\n";
+}
+
+void MetricsRegistry::save_json(const std::string& path,
+                                sim::TimePs now) const {
+  std::ofstream os(path);
+  config_check(os.good(), "MetricsRegistry: cannot write " + path);
+  write_json(os, now);
+  config_check(os.good(), "MetricsRegistry: error writing " + path);
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "name,type,count,value,p50,p90,p99,p999,max\n";
+  for (const auto& [name, m] : metrics_) {
+    os << name << ",";
+    switch (m.kind) {
+      case Kind::kCounter:
+        os << "counter,," << m.counter.value() << ",,,,,\n";
+        break;
+      case Kind::kGauge:
+        os << "gauge,," << m.gauge.value() << ",,,,,\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = m.histogram;
+        os << "histogram," << h.count() << "," << h.mean() << "," << h.p50()
+           << "," << h.p90() << "," << h.p99() << "," << h.p999() << ","
+           << h.max() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::save_csv(const std::string& path) const {
+  std::ofstream os(path);
+  config_check(os.good(), "MetricsRegistry: cannot write " + path);
+  write_csv(os);
+  config_check(os.good(), "MetricsRegistry: error writing " + path);
+}
+
+}  // namespace fgqos::telemetry

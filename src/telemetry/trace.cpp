@@ -1,0 +1,161 @@
+#include "telemetry/trace.hpp"
+
+#include "util/config_error.hpp"
+#include "util/json.hpp"
+#include "util/string_util.hpp"
+
+namespace fgqos::telemetry {
+
+namespace {
+
+constexpr double kPsPerUsD = 1e6;
+
+}  // namespace
+
+const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::kPort: return "port";
+    case Cat::kDram: return "dram";
+    case Cat::kQos: return "qos";
+    case Cat::kWorkload: return "workload";
+    case Cat::kKernel: return "kernel";
+  }
+  return "?";
+}
+
+std::uint32_t parse_categories(const std::string& filter) {
+  if (filter.empty() || filter == "all") {
+    return kAllCategories;
+  }
+  std::uint32_t mask = 0;
+  for (const std::string& part : util::split(filter, ',')) {
+    bool found = false;
+    for (const Cat c : {Cat::kPort, Cat::kDram, Cat::kQos, Cat::kWorkload,
+                        Cat::kKernel}) {
+      if (part == cat_name(c)) {
+        mask |= cat_bit(c);
+        found = true;
+        break;
+      }
+    }
+    config_check(found, "unknown trace category '" + part +
+                            "' (expected port,dram,qos,workload,kernel)");
+  }
+  return mask;
+}
+
+TraceWriter::TraceWriter(const std::string& path,
+                         std::uint32_t category_mask)
+    : mask_(category_mask) {
+  file_ = std::fopen(path.c_str(), "w");
+  config_check(file_ != nullptr, "TraceWriter: cannot open " + path);
+  std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", file_);
+}
+
+TraceWriter::~TraceWriter() { finish(); }
+
+TrackId TraceWriter::track(Cat c, const std::string& name) {
+  TrackId t;
+  t.cat = c;
+  if (!enabled(c) || file_ == nullptr) {
+    return t;
+  }
+  t.id = static_cast<std::int32_t>(track_names_.size());
+  track_names_.push_back(util::json_escape(name));
+  // First track of a category also names the synthetic process.
+  if ((procs_named_ & cat_bit(c)) == 0) {
+    procs_named_ |= cat_bit(c);
+    std::fprintf(file_,
+                 "%s{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":"
+                 "\"process_name\",\"args\":{\"name\":\"%s\"}}",
+                 events_ == 0 ? "" : ",\n", pid_of(c), cat_name(c));
+    ++events_;
+  }
+  std::fprintf(file_,
+               "%s{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":"
+               "\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+               events_ == 0 ? "" : ",\n", pid_of(c), t.id,
+               track_names_.back().c_str());
+  ++events_;
+  return t;
+}
+
+void TraceWriter::emit_prefix(TrackId t, const char ph, const char* name,
+                              sim::TimePs ts) {
+  std::fprintf(file_,
+               "%s{\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"cat\":\"%s\","
+               "\"name\":\"%s\",\"ts\":%.6f",
+               events_ == 0 ? "" : ",\n", ph, pid_of(t.cat), t.id,
+               cat_name(t.cat), name,
+               static_cast<double>(ts) / kPsPerUsD);
+  ++events_;
+}
+
+void TraceWriter::complete(TrackId t, const char* name, sim::TimePs ts,
+                           sim::TimePs dur) {
+  if (!t.valid() || file_ == nullptr) {
+    return;
+  }
+  emit_prefix(t, 'X', name, ts);
+  std::fprintf(file_, ",\"dur\":%.6f}", static_cast<double>(dur) / kPsPerUsD);
+}
+
+void TraceWriter::instant(TrackId t, const char* name, sim::TimePs ts) {
+  if (!t.valid() || file_ == nullptr) {
+    return;
+  }
+  emit_prefix(t, 'i', name, ts);
+  std::fputs(",\"s\":\"t\"}", file_);
+}
+
+void TraceWriter::counter(TrackId t, const char* series, sim::TimePs ts,
+                          double value) {
+  if (!t.valid() || file_ == nullptr) {
+    return;
+  }
+  // Counter tracks are identified by (pid, name): qualify the series with
+  // the owning track's name so every component gets its own track.
+  const std::string& owner = track_names_[static_cast<std::size_t>(t.id)];
+  std::fprintf(file_,
+               "%s{\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"cat\":\"%s\","
+               "\"name\":\"%s.%s\",\"ts\":%.6f,\"args\":{\"%s\":%g}}",
+               events_ == 0 ? "" : ",\n", pid_of(t.cat), t.id,
+               cat_name(t.cat), owner.c_str(), series,
+               static_cast<double>(ts) / kPsPerUsD, series, value);
+  ++events_;
+}
+
+void TraceWriter::async_begin(TrackId t, const char* name, std::uint64_t id,
+                              sim::TimePs ts) {
+  if (!t.valid() || file_ == nullptr) {
+    return;
+  }
+  emit_prefix(t, 'b', name, ts);
+  std::fprintf(file_, ",\"id\":\"%llu\"}",
+               static_cast<unsigned long long>(id));
+}
+
+void TraceWriter::async_end(TrackId t, const char* name, std::uint64_t id,
+                            sim::TimePs ts, const std::string& args_json) {
+  if (!t.valid() || file_ == nullptr) {
+    return;
+  }
+  emit_prefix(t, 'e', name, ts);
+  std::fprintf(file_, ",\"id\":\"%llu\"",
+               static_cast<unsigned long long>(id));
+  if (!args_json.empty()) {
+    std::fprintf(file_, ",\"args\":%s", args_json.c_str());
+  }
+  std::fputs("}", file_);
+}
+
+void TraceWriter::finish() {
+  if (file_ == nullptr) {
+    return;
+  }
+  std::fputs("\n]}\n", file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace fgqos::telemetry

@@ -1,0 +1,72 @@
+/// \file json.hpp
+/// \brief Minimal JSON document model and recursive-descent parser.
+///
+/// Used to round-trip-validate the telemetry exporters (Chrome trace and
+/// metrics snapshots) in tests and tools without an external dependency.
+/// Supports the full JSON grammar (RFC 8259) except that numbers are
+/// stored as double and \uXXXX escapes outside the BMP are kept as the
+/// two raw surrogate code units encoded in UTF-8.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fgqos::util {
+
+/// One parsed JSON value (recursive sum type).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  /// Parses \p text as one JSON document; throws ConfigError (with byte
+  /// offset) on malformed input or trailing garbage.
+  static JsonValue parse(const std::string& text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw ConfigError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member access; throws ConfigError when absent or not an object.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Array element access; throws ConfigError when out of range.
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  /// Array / object element count (0 otherwise).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+/// Escapes \p s for embedding inside a JSON string literal (no quotes
+/// added). Shared by every JSON emitter in the codebase.
+std::string json_escape(const std::string& s);
+
+}  // namespace fgqos::util

@@ -33,8 +33,23 @@ TrafficGen::TrafficGen(sim::Simulator& sim, const sim::ClockDomain& clk,
     --outstanding_;
     stats_.completed_bytes += txn.bytes;
     stats_.last_completion_at = txn.completed;
+    if (trace_ != nullptr) {
+      trace_->counter(track_, "outstanding", txn.completed,
+                      static_cast<double>(outstanding_));
+    }
     wake();
   });
+}
+
+void TrafficGen::set_trace(telemetry::TraceWriter* writer) {
+  trace_ = writer;
+  track_ = telemetry::TrackId{};
+  if (trace_ != nullptr) {
+    track_ = trace_->track(telemetry::Cat::kWorkload, cfg_.name);
+    if (!track_.valid()) {
+      trace_ = nullptr;  // workload category filtered out
+    }
+  }
 }
 
 bool TrafficGen::drained() const {
@@ -140,6 +155,10 @@ bool TrafficGen::tick(sim::Cycles /*cycle*/) {
   ++outstanding_;
   ++stats_.transactions;
   stats_.issued_bytes += cfg_.burst_bytes;
+  if (trace_ != nullptr) {
+    trace_->counter(track_, "outstanding", now,
+                    static_cast<double>(outstanding_));
+  }
   if (stats_.first_issue_at == sim::kTimeNever) {
     stats_.first_issue_at = now;
   }

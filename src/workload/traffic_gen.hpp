@@ -14,6 +14,7 @@
 #include "axi/interconnect.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/trace.hpp"
 
 namespace fgqos::wl {
 
@@ -81,6 +82,11 @@ class TrafficGen final : public sim::Clocked {
   /// Changes the pacing target at runtime (0 = saturate).
   void set_target_bps(double bps) { cfg_.target_bps = bps; }
 
+  /// Attaches the Chrome-trace sink (nullptr detaches): the in-flight
+  /// transaction count becomes a counter series on a track named after
+  /// this generator.
+  void set_trace(telemetry::TraceWriter* writer);
+
   bool tick(sim::Cycles cycle) override;
 
  private:
@@ -100,6 +106,8 @@ class TrafficGen final : public sim::Clocked {
   bool copy_phase_write_ = false;
   std::size_t outstanding_ = 0;
   sim::TimePs next_paced_issue_ = 0;
+  telemetry::TraceWriter* trace_ = nullptr;
+  telemetry::TrackId track_;
 };
 
 }  // namespace fgqos::wl

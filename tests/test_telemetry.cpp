@@ -1,0 +1,406 @@
+// Telemetry subsystem tests: metrics registry (collisions, percentiles,
+// exports), the JSON parser, the Chrome-trace writer (round-trip parse),
+// transaction-lifecycle hop attribution on a full platform, kernel
+// self-profiling counters, WindowedBytes trailing-window flush and the
+// error/trace log macros.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logger.hpp"
+#include "sim/stats.hpp"
+#include "soc/soc.hpp"
+#include "telemetry/hub.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "util/config_error.hpp"
+#include "util/json.hpp"
+#include "workload/cpu_workloads.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace fgqos {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+TEST(MetricsRegistry, HandlesAreStableAndTyped) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter& c = reg.counter("dram.ch0.row_hits");
+  c.add(3);
+  reg.counter("zzz.other");  // later registration must not move handles
+  reg.gauge("dram.bus_utilization").set(0.5);
+  EXPECT_EQ(reg.counter("dram.ch0.row_hits").value(), 3u);
+  EXPECT_EQ(&reg.counter("dram.ch0.row_hits"), &c);
+  EXPECT_TRUE(reg.contains("dram.bus_utilization"));
+  EXPECT_FALSE(reg.contains("absent"));
+  EXPECT_DOUBLE_EQ(reg.scalar("dram.ch0.row_hits"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.scalar("dram.bus_utilization"), 0.5);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, NameCollisionAcrossTypesThrows) {
+  telemetry::MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), ConfigError);
+  EXPECT_THROW(reg.histogram("x"), ConfigError);
+  reg.histogram("h");
+  EXPECT_THROW(reg.counter("h"), ConfigError);
+  EXPECT_THROW((void)reg.scalar("h"), ConfigError);  // histogram is not a scalar
+  EXPECT_THROW((void)reg.scalar("absent"), ConfigError);
+  EXPECT_THROW(reg.counter(""), ConfigError);
+}
+
+TEST(MetricsRegistry, HistogramPercentiles) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Histogram& h = reg.histogram("lat");
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  // Log-linear buckets: bounded relative error.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 500.0, 500.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.p90()), 900.0, 900.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 990.0, 990.0 * 0.05);
+  EXPECT_NEAR(h.mean(), 500.5, 1.0);
+}
+
+TEST(MetricsRegistry, JsonSnapshotRoundTrips) {
+  telemetry::MetricsRegistry reg;
+  reg.counter("a.count").add(42);
+  reg.gauge("b.gauge").set(2.5);
+  telemetry::Histogram& h = reg.histogram("c.hist");
+  h.record(10);
+  h.record(20);
+  std::ostringstream os;
+  reg.write_json(os, 12345);
+
+  const util::JsonValue doc = util::JsonValue::parse(os.str());
+  EXPECT_DOUBLE_EQ(doc.at("time_ps").as_number(), 12345.0);
+  const util::JsonValue& m = doc.at("metrics");
+  EXPECT_EQ(m.at("a.count").at("type").as_string(), "counter");
+  EXPECT_DOUBLE_EQ(m.at("a.count").at("value").as_number(), 42.0);
+  EXPECT_EQ(m.at("b.gauge").at("type").as_string(), "gauge");
+  EXPECT_DOUBLE_EQ(m.at("b.gauge").at("value").as_number(), 2.5);
+  EXPECT_EQ(m.at("c.hist").at("type").as_string(), "histogram");
+  EXPECT_DOUBLE_EQ(m.at("c.hist").at("count").as_number(), 2.0);
+  EXPECT_TRUE(m.at("c.hist").contains("p99"));
+}
+
+TEST(MetricsRegistry, CsvSnapshotHasHeaderAndRows) {
+  telemetry::MetricsRegistry reg;
+  reg.counter("a").add(1);
+  reg.histogram("b").record(5);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("name,type,count,value,p50,p90,p99,p999,max"),
+            std::string::npos);
+  EXPECT_NE(csv.find("a,counter"), std::string::npos);
+  EXPECT_NE(csv.find("b,histogram"), std::string::npos);
+}
+
+// --- JSON parser ----------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndNesting) {
+  const util::JsonValue v = util::JsonValue::parse(
+      R"({"a": [1, -2.5e2, true, false, null], "b": {"c": "x\n\"y\""}})");
+  EXPECT_DOUBLE_EQ(v.at("a").at(0).as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("a").at(1).as_number(), -250.0);
+  EXPECT_TRUE(v.at("a").at(2).as_bool());
+  EXPECT_FALSE(v.at("a").at(3).as_bool());
+  EXPECT_TRUE(v.at("a").at(4).is_null());
+  EXPECT_EQ(v.at("a").size(), 5u);
+  EXPECT_EQ(v.at("b").at("c").as_string(), "x\n\"y\"");
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  const util::JsonValue v = util::JsonValue::parse("[\"A\\u00e9\\u2192\"]");
+  EXPECT_EQ(v.at(std::size_t{0}).as_string(), "A\xc3\xa9\xe2\x86\x92");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(util::JsonValue::parse(""), ConfigError);
+  EXPECT_THROW(util::JsonValue::parse("{"), ConfigError);
+  EXPECT_THROW(util::JsonValue::parse("[1,]"), ConfigError);
+  EXPECT_THROW(util::JsonValue::parse("{\"a\":1} garbage"), ConfigError);
+  EXPECT_THROW(util::JsonValue::parse("nul"), ConfigError);
+  EXPECT_THROW(util::JsonValue::parse("\"unterminated"), ConfigError);
+}
+
+TEST(Json, AccessorsThrowOnKindMismatch) {
+  const util::JsonValue v = util::JsonValue::parse("[1]");
+  EXPECT_THROW((void)v.as_object(), ConfigError);
+  EXPECT_THROW((void)v.at("k"), ConfigError);
+  EXPECT_THROW((void)v.at(std::size_t{5}), ConfigError);
+  EXPECT_THROW((void)v.at(std::size_t{0}).as_string(), ConfigError);
+}
+
+TEST(Json, EscapeProducesValidStrings) {
+  const std::string escaped = util::json_escape("a\"b\\c\n\t\x01");
+  const util::JsonValue v = util::JsonValue::parse("\"" + escaped + "\"");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\n\t\x01");
+}
+
+// --- Trace categories and writer ------------------------------------------
+
+TEST(Trace, ParseCategories) {
+  EXPECT_EQ(telemetry::parse_categories(""), telemetry::kAllCategories);
+  EXPECT_EQ(telemetry::parse_categories("all"), telemetry::kAllCategories);
+  EXPECT_EQ(telemetry::parse_categories("port"),
+            telemetry::cat_bit(telemetry::Cat::kPort));
+  EXPECT_EQ(telemetry::parse_categories("dram,qos"),
+            telemetry::cat_bit(telemetry::Cat::kDram) |
+                telemetry::cat_bit(telemetry::Cat::kQos));
+  EXPECT_THROW((void)telemetry::parse_categories("bogus"), ConfigError);
+}
+
+TEST(Trace, WriterRoundTripsThroughParser) {
+  const std::string path = "test_trace_writer.json";
+  {
+    telemetry::TraceWriter w(path, telemetry::kAllCategories);
+    const telemetry::TrackId dram =
+        w.track(telemetry::Cat::kDram, "ch0");
+    const telemetry::TrackId port =
+        w.track(telemetry::Cat::kPort, "cpu");
+    w.complete(dram, "rd", 1'000'000, 2'000'000);  // 1 us at 2 us dur
+    w.counter(dram, "read_q", 3'000'000, 7.0);
+    w.instant(port, "mark", 4'000'000);
+    w.async_begin(port, "txn", 42, 1'000'000);
+    w.async_end(port, "txn", 42, 5'000'000, "{\"bytes\":64}");
+    w.finish();
+    EXPECT_EQ(w.events_written(), 9u);  // 4 metadata + 5 events
+  }
+  const util::JsonValue doc = util::JsonValue::parse(slurp(path));
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 9u);
+
+  int meta = 0, complete = 0, counters = 0, instants = 0, asyncs = 0;
+  for (const auto& e : events) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "M") {
+      ++meta;
+    } else if (ph == "X") {
+      ++complete;
+      EXPECT_EQ(e.at("name").as_string(), "rd");
+      EXPECT_DOUBLE_EQ(e.at("ts").as_number(), 1.0);   // ps -> us
+      EXPECT_DOUBLE_EQ(e.at("dur").as_number(), 2.0);
+    } else if (ph == "C") {
+      ++counters;
+      // Series name is qualified with the owning track.
+      EXPECT_EQ(e.at("name").as_string(), "ch0.read_q");
+      EXPECT_DOUBLE_EQ(e.at("args").at("read_q").as_number(), 7.0);
+    } else if (ph == "i") {
+      ++instants;
+    } else if (ph == "b" || ph == "e") {
+      ++asyncs;
+      EXPECT_EQ(e.at("id").as_string(), "42");
+      if (ph == "e") {
+        EXPECT_DOUBLE_EQ(e.at("args").at("bytes").as_number(), 64.0);
+      }
+    }
+  }
+  EXPECT_EQ(meta, 4);  // 2 process_name + 2 thread_name
+  EXPECT_EQ(complete, 1);
+  EXPECT_EQ(counters, 1);
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(asyncs, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, CategoryFilterSuppressesTracks) {
+  const std::string path = "test_trace_filter.json";
+  {
+    telemetry::TraceWriter w(path, telemetry::parse_categories("dram"));
+    const telemetry::TrackId qos = w.track(telemetry::Cat::kQos, "reg");
+    const telemetry::TrackId dram = w.track(telemetry::Cat::kDram, "ch0");
+    EXPECT_FALSE(qos.valid());
+    EXPECT_TRUE(dram.valid());
+    w.complete(qos, "throttled", 0, 100);  // silently dropped
+    w.complete(dram, "rd", 0, 100);
+    w.finish();
+  }
+  const util::JsonValue doc = util::JsonValue::parse(slurp(path));
+  for (const auto& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "M") {
+      continue;  // metadata events carry no category
+    }
+    EXPECT_NE(e.at("cat").as_string(), "qos");
+  }
+  std::remove(path.c_str());
+}
+
+// --- Full-platform round trip ---------------------------------------------
+
+TEST(Telemetry, SocTraceAndLifecycleRoundTrip) {
+  const std::string path = "test_soc_trace.json";
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  cpu::CoreConfig cc;
+  cc.name = "critical";
+  cc.max_iterations = 2;
+  wl::PointerChaseConfig pc;
+  pc.accesses_per_iteration = 256;
+  chip.add_core(cc, wl::make_pointer_chase(pc));
+  wl::TrafficGenConfig tg;
+  tg.name = "agg0";
+  tg.base = 0x8000'0000;
+  chip.add_traffic_gen(0, tg);
+  // Tight budget so the regulator actually throttles.
+  chip.qos_block(1).regulator->set_rate(50e6);
+  chip.qos_block(1).regulator->set_enabled(true);
+
+  chip.open_trace(path);
+  EXPECT_TRUE(chip.run_until_cores_finished(200 * sim::kPsPerMs));
+  chip.finish_telemetry();
+
+  // Per-hop histograms were filled for every completed transaction.
+  telemetry::MetricsRegistry& reg = chip.collect_metrics();
+  const telemetry::Histogram& total =
+      reg.histogram("port.cpu.hop.total_ps");
+  EXPECT_EQ(total.count(),
+            static_cast<std::uint64_t>(reg.scalar("port.cpu.txns")));
+  EXPECT_GT(total.count(), 0u);
+  EXPECT_GT(reg.histogram("port.hp0.hop.dram_service_ps").count(), 0u);
+  EXPECT_GT(reg.scalar("sim.events_dispatched"), 0.0);
+  EXPECT_GT(reg.scalar("qos.hp0.reg.exhausted_windows"), 0.0);
+
+  // The trace file parses and contains all span families.
+  const util::JsonValue doc = util::JsonValue::parse(slurp(path));
+  bool port_span = false, dram_burst = false, throttled = false;
+  bool kernel_counter = false;
+  for (const auto& e : doc.at("traceEvents").as_array()) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "M") {
+      continue;
+    }
+    const std::string cat = e.at("cat").as_string();
+    if (cat == "port" && ph == "e") {
+      port_span = true;
+      EXPECT_TRUE(e.at("args").contains("dram_service_ns"));
+    } else if (cat == "dram" && ph == "X") {
+      dram_burst = true;
+      EXPECT_GT(e.at("dur").as_number(), 0.0);
+    } else if (cat == "qos" && ph == "X" &&
+               e.at("name").as_string() == "throttled") {
+      throttled = true;
+    } else if (cat == "kernel" && ph == "C") {
+      kernel_counter = true;
+    }
+  }
+  EXPECT_TRUE(port_span);
+  EXPECT_TRUE(dram_burst);
+  EXPECT_TRUE(throttled);
+  EXPECT_TRUE(kernel_counter);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, MetricsJsonFromSocParses) {
+  const std::string path = "test_soc_metrics.json";
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  wl::TrafficGenConfig tg;
+  tg.name = "agg0";
+  tg.base = 0x8000'0000;
+  chip.add_traffic_gen(0, tg);
+  chip.enable_lifecycle_metrics();
+  chip.run_for(2 * sim::kPsPerMs);
+  chip.collect_metrics().save_json(path, chip.now());
+
+  const util::JsonValue doc = util::JsonValue::parse(slurp(path));
+  const util::JsonValue& m = doc.at("metrics");
+  EXPECT_EQ(m.at("dram.reads").at("type").as_string(), "counter");
+  EXPECT_EQ(m.at("port.hp0.hop.total_ps").at("type").as_string(),
+            "histogram");
+  EXPECT_GT(m.at("port.hp0.hop.total_ps").at("count").as_number(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, HubRejectsSecondTrace) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  chip.open_trace("test_hub_first.json");
+  EXPECT_THROW(chip.open_trace("test_hub_second.json"), ConfigError);
+  chip.finish_telemetry();
+  std::remove("test_hub_first.json");
+}
+
+// --- Kernel self-profiling -------------------------------------------------
+
+namespace {
+class TickerOnce final : public sim::Clocked {
+ public:
+  using sim::Clocked::Clocked;
+  bool tick(sim::Cycles) override { return ++n_ < 5; }
+  int n_ = 0;
+};
+}  // namespace
+
+TEST(Telemetry, KernelProfilingCounters) {
+  sim::Simulator sim;
+  const sim::ClockDomain clk = sim::ClockDomain::from_mhz("clk", 100);
+  TickerOnce t(sim, clk, "ticker");
+  int fired = 0;
+  sim.schedule_at(1000, [&]() { ++fired; });
+  sim.schedule_at(2000, [&]() { ++fired; });
+  sim.run_until(sim::kPsPerUs);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.events_dispatched(), 2u);
+  EXPECT_EQ(t.ticks_fired(), 5u);
+  EXPECT_GE(sim.max_event_queue(), 2u);
+  EXPECT_EQ(sim.event_queue_size(), 0u);
+  EXPECT_GT(sim.wall_ns(), 0u);
+  EXPECT_GT(sim.wall_s_per_sim_s(), 0.0);
+}
+
+// --- WindowedBytes trailing-window flush -----------------------------------
+
+TEST(WindowedBytes, FlushClosesTrailingWindows) {
+  sim::WindowedBytes wb(1000);
+  wb.add(100, 500);    // window [0,1000)
+  wb.add(2500, 300);   // closes [0,1000) and [1000,2000)
+  ASSERT_EQ(wb.samples().size(), 2u);
+  EXPECT_EQ(wb.samples()[0], 500u);
+  EXPECT_EQ(wb.samples()[1], 0u);
+  // The trailing partial window is only visible after flush().
+  wb.flush(3000);  // boundary exactly at a window end
+  ASSERT_EQ(wb.samples().size(), 3u);
+  EXPECT_EQ(wb.samples()[2], 300u);
+  EXPECT_EQ(wb.total_bytes(), 800u);
+  // Idempotent at the same time; advances further on a later flush.
+  wb.flush(3000);
+  EXPECT_EQ(wb.samples().size(), 3u);
+  // A partial trailing window stays open: only complete windows close.
+  wb.flush(5500);
+  EXPECT_EQ(wb.samples().size(), 5u);
+  wb.flush(6000);
+  EXPECT_EQ(wb.samples().size(), 6u);
+  EXPECT_EQ(wb.max_window_bytes(), 500u);
+}
+
+// --- Log macros -------------------------------------------------------------
+
+TEST(Logger, ErrorAndTraceMacros) {
+  const sim::LogLevel before = sim::Logger::level();
+  sim::Logger::set_level(sim::LogLevel::kTrace);
+  FGQOS_LOG_ERROR("telemetry test error %d", 1);
+  FGQOS_LOG_TRACE("telemetry test trace %s", "msg");
+  sim::Logger::set_level(sim::LogLevel::kError);
+  FGQOS_LOG_TRACE("suppressed %d", 2);  // level branch: not emitted
+  sim::Logger::set_level(before);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fgqos

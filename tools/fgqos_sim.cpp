@@ -39,7 +39,11 @@ void usage() {
       "  --window-us W       HW regulation window (default 1)\n"
       "  --duration-ms D     simulated time (default 20)\n"
       "  --seed N            base RNG seed (default 100)\n"
-      "  --csv FILE          also write the stats table as CSV\n");
+      "  --csv FILE          also write the stats table as CSV\n"
+      "  --trace FILE        write a Chrome trace_event JSON timeline\n"
+      "  --trace-filter C    categories: port,dram,qos,workload,kernel\n"
+      "  --metrics-json FILE metrics snapshot (per-hop histograms) as JSON\n"
+      "  --metrics-csv FILE  metrics snapshot as CSV\n");
 }
 
 wl::Pattern pattern_from(const std::string& s) {
@@ -79,6 +83,13 @@ int main(int argc, char** argv) {
     const double duration_ms = args.get_double("duration-ms", 20);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 100));
     const std::string csv = args.get("csv", "");
+    const std::string trace_path = args.get("trace", "");
+    const std::string trace_filter = args.get("trace-filter", "");
+    const std::string metrics_json = args.get("metrics-json", "");
+    const std::string metrics_csv = args.get("metrics-csv", "");
+    if (trace_path.empty() && !trace_filter.empty()) {
+      throw ConfigError("--trace-filter requires --trace");
+    }
     for (const auto& k : args.unused_keys()) {
       throw ConfigError("unknown option --" + k + " (see --help)");
     }
@@ -126,7 +137,21 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!trace_path.empty()) {
+      chip.open_trace(trace_path, trace_filter);
+      if (memguard != nullptr) {
+        memguard->set_trace(chip.telemetry().trace());
+      }
+    } else if (!metrics_json.empty() || !metrics_csv.empty()) {
+      chip.enable_lifecycle_metrics();  // per-hop histograms without a trace
+    }
+
     chip.run_for(static_cast<sim::TimePs>(duration_ms * 1e9));
+
+    if (memguard != nullptr) {
+      memguard->flush_trace(chip.now());
+    }
+    chip.finish_telemetry();
 
     sim::StatsRegistry stats;
     chip.collect_stats(stats);
@@ -146,6 +171,18 @@ int main(int argc, char** argv) {
     if (!csv.empty()) {
       table.save_csv(csv);
       std::printf("\nCSV written to %s\n", csv.c_str());
+    }
+    if (!metrics_json.empty()) {
+      chip.collect_metrics().save_json(metrics_json, chip.now());
+      std::printf("\nmetrics JSON written to %s\n", metrics_json.c_str());
+    }
+    if (!metrics_csv.empty()) {
+      chip.collect_metrics().save_csv(metrics_csv);
+      std::printf("\nmetrics CSV written to %s\n", metrics_csv.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::printf("\ntrace written to %s (%zu events)\n", trace_path.c_str(),
+                  chip.telemetry().trace()->events_written());
     }
     return 0;
   } catch (const ConfigError& e) {

@@ -38,7 +38,26 @@ struct SweepPoint {
   double window_us = 1;
   double isr_us = 3;
   std::uint64_t iterations = 20;
+  /// Per-point telemetry outputs (empty = off); already suffixed with the
+  /// knob value so sweep points do not overwrite each other.
+  std::string trace_path;
+  std::string trace_filter;
+  std::string metrics_json;
 };
+
+/// "out.json" + budget=400 -> "out.budget400.json".
+std::string point_path(const std::string& path, const std::string& knob,
+                       const std::string& value) {
+  if (path.empty()) {
+    return path;
+  }
+  const std::string tag = "." + knob + value;
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos || dot == 0) {
+    return path + tag;
+  }
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
 
 Outcome run_point(const SweepPoint& p) {
   soc::SocConfig cfg;
@@ -72,7 +91,22 @@ Outcome run_point(const SweepPoint& p) {
       mp.add_gate(*mg);
     }
   }
+  if (!p.trace_path.empty()) {
+    chip.open_trace(p.trace_path, p.trace_filter);
+    if (mg != nullptr) {
+      mg->set_trace(chip.telemetry().trace());
+    }
+  } else if (!p.metrics_json.empty()) {
+    chip.enable_lifecycle_metrics();
+  }
   chip.run_until_cores_finished(2000 * sim::kPsPerMs);
+  if (mg != nullptr) {
+    mg->flush_trace(chip.now());
+  }
+  chip.finish_telemetry();
+  if (!p.metrics_json.empty()) {
+    chip.collect_metrics().save_json(p.metrics_json, chip.now());
+  }
   Outcome o;
   const auto& h = chip.cluster().core(0).stats().iteration_ps;
   o.iter_mean_us = h.mean() / 1e6;
@@ -98,7 +132,11 @@ int main(int argc, char** argv) {
           "fgqos_sweep --knob budget|window|aggressors|isr "
           "--values v1,v2,... [--scheme hw|sw|none] [--aggressors N]\n"
           "            [--budget-mbps B] [--window-us W] [--isr-us I]\n"
-          "            [--iterations N] [--csv FILE]\n");
+          "            [--iterations N] [--csv FILE]\n"
+          "            [--trace FILE] [--trace-filter CATS] "
+          "[--metrics-json FILE]\n"
+          "Telemetry files get a per-point suffix: out.json -> "
+          "out.budget400.json\n");
       return 0;
     }
     const std::string knob = args.get("knob", "budget");
@@ -113,6 +151,12 @@ int main(int argc, char** argv) {
     base.iterations =
         static_cast<std::uint64_t>(args.get_int("iterations", 20));
     const std::string csv = args.get("csv", "");
+    const std::string trace_path = args.get("trace", "");
+    const std::string trace_filter = args.get("trace-filter", "");
+    const std::string metrics_json = args.get("metrics-json", "");
+    if (trace_path.empty() && !trace_filter.empty()) {
+      throw ConfigError("--trace-filter requires --trace");
+    }
     for (const auto& k : args.unused_keys()) {
       throw ConfigError("unknown option --" + k + " (see --help)");
     }
@@ -133,6 +177,9 @@ int main(int argc, char** argv) {
       } else {
         throw ConfigError("unknown knob '" + knob + "'");
       }
+      p.trace_path = point_path(trace_path, knob, v);
+      p.trace_filter = trace_filter;
+      p.metrics_json = point_path(metrics_json, knob, v);
       const Outcome o = run_point(p);
       table.add_row({v, util::format_fixed(o.iter_mean_us, 1),
                      util::format_fixed(o.iter_p99_us, 1),
