@@ -58,7 +58,7 @@ Row run_one(const std::string& workload, wl::Pattern pattern,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "EXP1 (Fig.1): unregulated interference on the critical CPU task\n"
       "platform: %zu HP ports, DDR4-2400 64-bit (19.2 GB/s peak)\n\n",
@@ -68,29 +68,46 @@ int main() {
   const std::vector<wl::Pattern> patterns = {
       wl::Pattern::kSeqRead, wl::Pattern::kSeqWrite, wl::Pattern::kRandomRead};
 
-  util::Table table({"workload", "aggressor", "n_gens", "iter_mean",
-                     "slowdown", "cpu_read_p99", "aggr_GB/s"});
+  // Every (workload, pattern, gens) cell is an independent simulation:
+  // flatten the grid, fan out, merge rows back in grid order.
+  struct Point {
+    std::string workload;
+    wl::Pattern pattern;
+    std::size_t gens;
+  };
+  std::vector<Point> grid;
   for (const auto& w : workloads) {
     for (const auto pat : patterns) {
-      double solo_mean = 0;
       for (std::size_t gens = 0; gens <= 4; ++gens) {
-        const Row r = run_one(w, pat, gens);
-        if (gens == 0) {
-          solo_mean = r.iter_mean_ps;
-        }
-        table.add_row({r.workload, r.pattern,
-                       static_cast<std::uint64_t>(r.gens),
-                       util::format_time_ps(
-                           static_cast<sim::TimePs>(r.iter_mean_ps)),
-                       util::format_fixed(r.iter_mean_ps / solo_mean, 2) + "x",
-                       util::format_time_ps(
-                           static_cast<sim::TimePs>(r.read_p99_ps)),
-                       util::format_fixed(r.aggressor_gbps, 2)});
+        grid.push_back({w, pat, gens});
       }
     }
+  }
+  exec::ScenarioRunner runner(bench_exec_config(argc, argv));
+  const std::vector<Row> rows =
+      runner.map(grid.size(), [&](const exec::JobContext& ctx) {
+        const Point& pt = grid[ctx.index];
+        return run_one(pt.workload, pt.pattern, pt.gens);
+      });
+
+  util::Table table({"workload", "aggressor", "n_gens", "iter_mean",
+                     "slowdown", "cpu_read_p99", "aggr_GB/s"});
+  double solo_mean = 0;
+  for (const Row& r : rows) {
+    if (r.gens == 0) {
+      solo_mean = r.iter_mean_ps;
+    }
+    table.add_row({r.workload, r.pattern, static_cast<std::uint64_t>(r.gens),
+                   util::format_time_ps(
+                       static_cast<sim::TimePs>(r.iter_mean_ps)),
+                   util::format_fixed(r.iter_mean_ps / solo_mean, 2) + "x",
+                   util::format_time_ps(
+                       static_cast<sim::TimePs>(r.read_p99_ps)),
+                   util::format_fixed(r.aggressor_gbps, 2)});
   }
   table.print();
   table.save_csv("exp1_interference.csv");
   std::printf("\nCSV written to exp1_interference.csv\n");
+  print_exec_summary(runner);
   return 0;
 }

@@ -45,7 +45,7 @@ Point run_point(ScenarioParams p, std::string knob) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "EXP5 (Fig.4): critical-task slowdown vs. best-effort bandwidth "
       "(guarantee: p99 slowdown <= 1.15x)\n\n");
@@ -61,48 +61,55 @@ int main() {
 
   util::Table table({"scheme", "knob", "slowdown_mean", "slowdown_p99",
                      "best_effort_GB/s", "vs_unregulated_%"});
-  std::vector<Point> points;
 
+  // Every point is an independent scenario; declare them all, then fan
+  // out. The solo baseline above ran first because run_point reads it.
+  std::vector<std::pair<ScenarioParams, std::string>> specs;
   {
     ScenarioParams p;
     p.scheme = Scheme::kUnregulated;
-    points.push_back(run_point(p, "-"));
+    specs.emplace_back(p, "-");
   }
-  const double unreg_be = points[0].be_gbps;
-
   // Strict PREM: accelerators fully blocked while the critical task runs.
   {
     ScenarioParams p;
     p.scheme = Scheme::kPremStrict;
-    points.push_back(run_point(p, "-"));
+    specs.emplace_back(p, "-");
   }
   // PREM: 50/50 TDMA frame.
   {
     ScenarioParams p;
     p.scheme = Scheme::kPrem;
-    points.push_back(run_point(p, "slot 10us"));
+    specs.emplace_back(p, "slot 10us");
   }
   // PREM + CMRI: injection budget sweep.
   for (const std::uint64_t inj : {1024u, 4096u, 16384u, 65536u}) {
     ScenarioParams p;
     p.scheme = Scheme::kPremCmri;
     p.cmri_injection_bytes = inj;
-    points.push_back(run_point(p, util::format_bytes(inj) + "/slot"));
+    specs.emplace_back(p, util::format_bytes(inj) + "/slot");
   }
   // Software MemGuard: per-master budget sweep.
   for (const double b : {200e6, 400e6, 800e6}) {
     ScenarioParams p;
     p.scheme = Scheme::kSoftMemguard;
     p.per_aggressor_budget_bps = b;
-    points.push_back(run_point(p, util::format_bandwidth(b) + "/master"));
+    specs.emplace_back(p, util::format_bandwidth(b) + "/master");
   }
   // Tightly-coupled HW regulators: per-master budget sweep.
   for (const double b : {200e6, 400e6, 800e6, 1200e6, 1600e6}) {
     ScenarioParams p;
     p.scheme = Scheme::kHwQos;
     p.per_aggressor_budget_bps = b;
-    points.push_back(run_point(p, util::format_bandwidth(b) + "/master"));
+    specs.emplace_back(p, util::format_bandwidth(b) + "/master");
   }
+
+  exec::ScenarioRunner runner(bench_exec_config(argc, argv));
+  const std::vector<Point> points =
+      runner.map(specs.size(), [&](const exec::JobContext& ctx) {
+        return run_point(specs[ctx.index].first, specs[ctx.index].second);
+      });
+  const double unreg_be = points[0].be_gbps;
 
   for (const auto& pt : points) {
     table.add_row({pt.scheme, pt.knob,
@@ -130,5 +137,6 @@ int main() {
                 best / unreg_be * 100.0);
   }
   std::printf("\nCSV written to exp5_utilization.csv\n");
+  print_exec_summary(runner);
   return 0;
 }

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/scenario_runner.hpp"
 #include "qos/cmri.hpp"
 #include "qos/prem_arbiter.hpp"
 #include "qos/regfile.hpp"
@@ -133,6 +135,32 @@ inline void maybe_open_env_trace(soc::Soc& chip) {
     out += "." + std::to_string(seq);
   }
   chip.open_trace(out, filter_env != nullptr ? filter_env : "");
+}
+
+/// Shared `--jobs N` handling for the bench binaries: the flag (0 = one
+/// worker per hardware thread) overrides the FGQOS_JOBS environment
+/// variable; the default is serial. Scenario points submitted through the
+/// returned runner merge in submission order, so every bench's table and
+/// CSV are byte-identical whatever the job count.
+inline exec::ExecConfig bench_exec_config(int argc, char** argv) {
+  exec::ExecConfig cfg;
+  cfg.jobs = exec::jobs_from_env(1);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--jobs=", 0) == 0) {
+      cfg.jobs = static_cast<std::size_t>(std::stoul(a.substr(7)));
+    } else if (a == "--jobs" && i + 1 < argc) {
+      cfg.jobs = static_cast<std::size_t>(std::stoul(argv[++i]));
+    }
+  }
+  return cfg;
+}
+
+/// Prints the runner's wall-clock summary when it actually ran parallel.
+inline void print_exec_summary(const exec::ScenarioRunner& runner) {
+  if (runner.worker_count() > 1) {
+    std::printf("\n%s\n", runner.summary().c_str());
+  }
 }
 
 /// Builds the scenario: platform + critical core + aggressors + scheme.

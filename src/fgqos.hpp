@@ -5,6 +5,7 @@
 /// the library itself); this header is for application convenience.
 #pragma once
 
+#include "exec/scenario_runner.hpp"      // IWYU pragma: export
 #include "qos/adaptive_controller.hpp"   // IWYU pragma: export
 #include "qos/analysis.hpp"              // IWYU pragma: export
 #include "qos/bandwidth_monitor.hpp"     // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "telemetry/metrics.hpp"
 
+#include <charconv>
 #include <fstream>
 
 #include "util/config_error.hpp"
@@ -15,6 +16,16 @@ const char* kind_name(std::uint8_t k) {
     case 1: return "gauge";
     default: return "histogram";
   }
+}
+
+/// Shortest representation that round-trips the exact double. Snapshots
+/// serve as golden masters for determinism checks, so the export must be
+/// canonical and lossless — ostream's default 6-significant-digit
+/// formatting would both drop information and hide real divergence.
+void write_number(std::ostream& os, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  os.write(buf, res.ptr - buf);
 }
 
 }  // namespace
@@ -61,6 +72,21 @@ double MetricsRegistry::scalar(const std::string& name) const {
                                   : m.gauge.value();
 }
 
+std::size_t MetricsRegistry::erase_prefix(const std::string& prefix) {
+  if (prefix.empty()) {
+    const std::size_t n = metrics_.size();
+    metrics_.clear();
+    return n;
+  }
+  std::size_t erased = 0;
+  for (auto it = metrics_.lower_bound(prefix);
+       it != metrics_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       it = metrics_.erase(it)) {
+    ++erased;
+  }
+  return erased;
+}
+
 void MetricsRegistry::write_json(std::ostream& os, sim::TimePs now) const {
   os << "{\"time_ps\":" << now << ",\"metrics\":{";
   bool first = true;
@@ -75,15 +101,19 @@ void MetricsRegistry::write_json(std::ostream& os, sim::TimePs now) const {
         os << "\"type\":\"counter\",\"value\":" << m.counter.value();
         break;
       case Kind::kGauge:
-        os << "\"type\":\"gauge\",\"value\":" << m.gauge.value();
+        os << "\"type\":\"gauge\",\"value\":";
+        write_number(os, m.gauge.value());
         break;
       case Kind::kHistogram: {
         const Histogram& h = m.histogram;
         os << "\"type\":\"histogram\",\"count\":" << h.count();
         if (h.count() > 0) {
           os << ",\"min\":" << h.min() << ",\"max\":" << h.max()
-             << ",\"mean\":" << h.mean() << ",\"stddev\":" << h.stddev()
-             << ",\"p50\":" << h.p50() << ",\"p90\":" << h.p90()
+             << ",\"mean\":";
+          write_number(os, h.mean());
+          os << ",\"stddev\":";
+          write_number(os, h.stddev());
+          os << ",\"p50\":" << h.p50() << ",\"p90\":" << h.p90()
              << ",\"p99\":" << h.p99() << ",\"p999\":" << h.p999();
         }
         break;
@@ -111,13 +141,16 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
         os << "counter,," << m.counter.value() << ",,,,,\n";
         break;
       case Kind::kGauge:
-        os << "gauge,," << m.gauge.value() << ",,,,,\n";
+        os << "gauge,,";
+        write_number(os, m.gauge.value());
+        os << ",,,,,\n";
         break;
       case Kind::kHistogram: {
         const Histogram& h = m.histogram;
-        os << "histogram," << h.count() << "," << h.mean() << "," << h.p50()
-           << "," << h.p90() << "," << h.p99() << "," << h.p999() << ","
-           << h.max() << "\n";
+        os << "histogram," << h.count() << ",";
+        write_number(os, h.mean());
+        os << "," << h.p50() << "," << h.p90() << "," << h.p99() << ","
+           << h.p999() << "," << h.max() << "\n";
         break;
       }
     }

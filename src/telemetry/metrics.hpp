@@ -69,6 +69,13 @@ class MetricsRegistry {
   /// Discards every metric.
   void clear() { metrics_.clear(); }
 
+  /// Removes every metric whose name starts with \p prefix; returns the
+  /// number removed. Invalidates handles to the removed metrics — use
+  /// only between a collection pass and an export, e.g. to drop the
+  /// host-dependent `sim.wall*` numbers from snapshots that must be
+  /// bit-identical across runs.
+  std::size_t erase_prefix(const std::string& prefix);
+
   /// Writes the full snapshot as one JSON object:
   ///   {"time_ps": ..., "metrics": {"name": {"type": ..., ...}, ...}}
   /// Histograms export count/min/max/mean/stddev and the standard

@@ -14,8 +14,8 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
       continue;
     }
     std::string key = arg.substr(2);
-    config_check(!key.empty(), "ArgParser: empty option name");
     const std::size_t eq = key.find('=');
+    config_check(!key.empty() && eq != 0, "ArgParser: empty option name");
     if (eq != std::string::npos) {
       values_[key.substr(0, eq)] = key.substr(eq + 1);
       continue;

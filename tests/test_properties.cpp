@@ -1,12 +1,16 @@
 // Property-style parameterised sweeps over the core invariants:
 //  * regulation accuracy across budgets, windows and replenish kinds;
+//  * per-window overshoot and credit-overdraft bounds of the regulator
+//    under randomized budgets/windows (the tightly-coupled guarantee);
 //  * monotonicity of interference in the number of aggressors;
 //  * conservation of bytes across the fabric for every traffic pattern;
 //  * DRAM timing invariants under random traffic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
+#include "sim/random.hpp"
 #include "soc/soc.hpp"
 #include "workload/cpu_workloads.hpp"
 #include "workload/traffic_gen.hpp"
@@ -49,6 +53,105 @@ INSTANTIATE_TEST_SUITE_P(
                           sim::TimePs{10'000'000}),
         ::testing::Values(qos::ReplenishKind::kFixedWindow,
                           qos::ReplenishKind::kTokenBucket)));
+
+// --------------------------------------------------------------------------
+// Regulator hard bounds under randomized budgets and windows. The
+// credit-based design (window.hpp) admits a grant whenever the credit is
+// positive and debits the full cost afterwards, so the invariants are:
+//  * bytes granted inside any closed regulation window never exceed the
+//    replenish amount (budget, or the burst cap for token buckets) plus
+//    one transfer of overshoot;
+//  * the token credit never overdrafts by a full transfer or more, and
+//    never exceeds the burst cap.
+// --------------------------------------------------------------------------
+
+/// Watches one regulated port: window-aligned byte accounting plus the
+/// post-debit credit extrema. Observers run after gates, so tokens() here
+/// is the value the debit just left behind.
+class RegulatorProbe final : public axi::TxnObserver {
+ public:
+  RegulatorProbe(const qos::Regulator& reg, sim::TimePs window_ps)
+      : reg_(reg), windowed_(window_ps) {}
+
+  void on_issue(const axi::Transaction&, sim::TimePs) override {}
+  void on_grant(const axi::LineRequest& l, sim::TimePs now) override {
+    windowed_.add(now, l.bytes);
+    min_tokens_ = std::min(min_tokens_, reg_.tokens());
+    max_tokens_ = std::max(max_tokens_, reg_.tokens());
+    max_line_ = std::max<std::uint64_t>(max_line_, l.bytes);
+  }
+  void on_complete(const axi::Transaction&, sim::TimePs) override {}
+
+  void flush(sim::TimePs now) { windowed_.flush(now); }
+  [[nodiscard]] const sim::WindowedBytes& windows() const { return windowed_; }
+  [[nodiscard]] std::int64_t min_tokens() const { return min_tokens_; }
+  [[nodiscard]] std::int64_t max_tokens() const { return max_tokens_; }
+  [[nodiscard]] std::uint64_t max_line() const { return max_line_; }
+
+ private:
+  const qos::Regulator& reg_;
+  sim::WindowedBytes windowed_;
+  std::int64_t min_tokens_ = 0;
+  std::int64_t max_tokens_ = 0;
+  std::uint64_t max_line_ = 0;
+};
+
+class RegulatorBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegulatorBounds, WindowOvershootAndOverdraftBounded) {
+  // Each seed draws a fresh random (budget, window, kind, pattern) point;
+  // the bounds must hold at every single one.
+  sim::Xoshiro256 rng(GetParam());
+  const double rate_bps = 5e7 * static_cast<double>(rng.next_in(1, 60));
+  const sim::TimePs window_ps =
+      static_cast<sim::TimePs>(rng.next_in(200, 2000)) * sim::kPsPerNs *
+      (rng.next_bool(0.5) ? 1 : 50);
+  const auto kind = rng.next_bool(0.5) ? qos::ReplenishKind::kFixedWindow
+                                       : qos::ReplenishKind::kTokenBucket;
+  const auto pattern =
+      rng.next_bool(0.5) ? wl::Pattern::kSeqRead : wl::Pattern::kRandomRead;
+
+  soc::SocConfig cfg;
+  cfg.default_regulator.window_ps = window_ps;
+  cfg.default_regulator.kind = kind;
+  soc::Soc chip(cfg);
+  wl::TrafficGenConfig tg;
+  tg.pattern = pattern;
+  tg.seed = rng.next();
+  chip.add_traffic_gen(0, tg);
+  qos::Regulator& reg = *chip.qos_block(1).regulator;
+  reg.set_rate(rate_bps);
+  reg.set_enabled(true);
+  // Window-aligned with the regulator: both start counting at t=0 and
+  // replenish events fire before same-timestamp grant ticks.
+  RegulatorProbe probe(reg, window_ps);
+  chip.accel_port(0).add_observer(probe);
+
+  chip.run_for(3 * sim::kPsPerMs);
+  probe.flush(chip.now());
+
+  const std::uint64_t budget = reg.config().budget_bytes;
+  const std::uint64_t cap = budget * reg.config().max_accumulation_windows;
+  const std::uint64_t replenish_bound =
+      (kind == qos::ReplenishKind::kTokenBucket ? cap : budget);
+  SCOPED_TRACE("rate=" + std::to_string(rate_bps) +
+               " window=" + std::to_string(window_ps) +
+               " budget=" + std::to_string(budget));
+  ASSERT_GT(probe.windows().samples().size(), 2u);
+  for (const std::uint64_t bytes : probe.windows().samples()) {
+    EXPECT_LE(bytes, replenish_bound + probe.max_line());
+  }
+  // Overdraft strictly smaller than one transfer; credit never exceeds
+  // the burst cap.
+  EXPECT_GT(probe.min_tokens(),
+            -static_cast<std::int64_t>(probe.max_line()));
+  EXPECT_LE(probe.max_tokens(),
+            static_cast<std::int64_t>(budget *
+                                      reg.config().max_accumulation_windows));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedPoints, RegulatorBounds,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 // --------------------------------------------------------------------------
 // Interference monotonicity: more aggressors never make the critical task

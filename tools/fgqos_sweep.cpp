@@ -7,11 +7,19 @@
 /// critical read p99 and aggregate aggressor bandwidth. The building
 /// block for custom plots beyond the canned bench_exp* binaries.
 ///
+/// Points are independent simulations, so the sweep fans out over the
+/// exec::ScenarioRunner: `--jobs N` (or FGQOS_JOBS) runs N points
+/// concurrently, `--jobs 0` uses every hardware thread. Each point's RNG
+/// seeds derive only from `--seed` and the point's position, and rows
+/// are merged in submission order, so the CSV and the per-point metrics
+/// snapshots are byte-identical whatever the job count (the wall-clock
+/// `exec.*` metrics are the one place host timing shows up).
+///
 /// Examples:
 ///   fgqos_sweep --knob budget --values 100,200,400,800,1600 --csv b.csv
 ///   fgqos_sweep --knob window --values 0.2,1,10,100,1000 --scheme hw
 ///   fgqos_sweep --knob aggressors --values 0,1,2,3,4 --scheme none
-///   fgqos_sweep --knob isr --values 1,3,10,50 --scheme sw
+///   fgqos_sweep --knob isr --values 1,3,10,50 --scheme sw --jobs 4
 #include <cstdio>
 
 #include "fgqos.hpp"
@@ -25,10 +33,10 @@ using namespace fgqos;
 namespace {
 
 struct Outcome {
-  double iter_mean_us;
-  double iter_p99_us;
-  double read_p99_ns;
-  double aggr_gbps;
+  double iter_mean_us = 0;
+  double iter_p99_us = 0;
+  double read_p99_ns = 0;
+  double aggr_gbps = 0;
 };
 
 struct SweepPoint {
@@ -38,11 +46,15 @@ struct SweepPoint {
   double window_us = 1;
   double isr_us = 3;
   std::uint64_t iterations = 20;
+  /// Per-point base for the aggressor RNG streams; filled from the job
+  /// context so it depends only on --seed and the point index.
+  std::uint64_t seed = 0;
   /// Per-point telemetry outputs (empty = off); already suffixed with the
   /// knob value so sweep points do not overwrite each other.
   std::string trace_path;
   std::string trace_filter;
   std::string metrics_json;
+  std::string metrics_csv;
 };
 
 /// "out.json" + budget=400 -> "out.budget400.json".
@@ -77,7 +89,7 @@ Outcome run_point(const SweepPoint& p) {
     wl::TrafficGenConfig tg;
     tg.name = "agg" + std::to_string(i);
     tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
-    tg.seed = 100 + i;
+    tg.seed = p.seed + i;
     const std::size_t port = i % cfg.accel_ports;
     chip.add_traffic_gen(port, tg);
     if (p.scheme == "hw") {
@@ -96,7 +108,7 @@ Outcome run_point(const SweepPoint& p) {
     if (mg != nullptr) {
       mg->set_trace(chip.telemetry().trace());
     }
-  } else if (!p.metrics_json.empty()) {
+  } else if (!p.metrics_json.empty() || !p.metrics_csv.empty()) {
     chip.enable_lifecycle_metrics();
   }
   chip.run_until_cores_finished(2000 * sim::kPsPerMs);
@@ -104,8 +116,17 @@ Outcome run_point(const SweepPoint& p) {
     mg->flush_trace(chip.now());
   }
   chip.finish_telemetry();
-  if (!p.metrics_json.empty()) {
-    chip.collect_metrics().save_json(p.metrics_json, chip.now());
+  if (!p.metrics_json.empty() || !p.metrics_csv.empty()) {
+    telemetry::MetricsRegistry& reg = chip.collect_metrics();
+    // Host wall-clock self-profiling would make otherwise identical
+    // points differ between runs; drop it so snapshots stay reproducible.
+    reg.erase_prefix("sim.wall");
+    if (!p.metrics_json.empty()) {
+      reg.save_json(p.metrics_json, chip.now());
+    }
+    if (!p.metrics_csv.empty()) {
+      reg.save_csv(p.metrics_csv);
+    }
   }
   Outcome o;
   const auto& h = chip.cluster().core(0).stats().iteration_ps;
@@ -132,9 +153,14 @@ int main(int argc, char** argv) {
           "fgqos_sweep --knob budget|window|aggressors|isr "
           "--values v1,v2,... [--scheme hw|sw|none] [--aggressors N]\n"
           "            [--budget-mbps B] [--window-us W] [--isr-us I]\n"
-          "            [--iterations N] [--csv FILE]\n"
+          "            [--iterations N] [--csv FILE] [--jobs N] [--seed S]\n"
           "            [--trace FILE] [--trace-filter CATS] "
-          "[--metrics-json FILE]\n"
+          "[--metrics-json FILE] [--metrics-csv FILE]\n"
+          "            [--exec-metrics-json FILE]\n"
+          "--jobs N runs N sweep points concurrently (0 = all hardware\n"
+          "threads; FGQOS_JOBS sets the default); outcomes are merged in\n"
+          "point order, so CSV and metrics files are byte-identical for\n"
+          "any job count.\n"
           "Telemetry files get a per-point suffix: out.json -> "
           "out.budget400.json\n");
       return 0;
@@ -154,6 +180,12 @@ int main(int argc, char** argv) {
     const std::string trace_path = args.get("trace", "");
     const std::string trace_filter = args.get("trace-filter", "");
     const std::string metrics_json = args.get("metrics-json", "");
+    const std::string metrics_csv = args.get("metrics-csv", "");
+    const std::string exec_metrics_json = args.get("exec-metrics-json", "");
+    exec::ExecConfig ec;
+    ec.jobs = static_cast<std::size_t>(args.get_int(
+        "jobs", static_cast<std::int64_t>(exec::jobs_from_env(1))));
+    ec.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 100));
     if (trace_path.empty() && !trace_filter.empty()) {
       throw ConfigError("--trace-filter requires --trace");
     }
@@ -161,9 +193,11 @@ int main(int argc, char** argv) {
       throw ConfigError("unknown option --" + k + " (see --help)");
     }
 
-    util::Table table({knob, "iter_mean_us", "iter_p99_us", "read_p99_ns",
-                       "aggressor_GB/s"});
-    for (const std::string& v : util::split(values_arg, ',')) {
+    // Materialise every point first; jobs read only their own point.
+    std::vector<std::string> values = util::split(values_arg, ',');
+    std::vector<SweepPoint> points;
+    points.reserve(values.size());
+    for (const std::string& v : values) {
       SweepPoint p = base;
       const double value = std::stod(v);
       if (knob == "budget") {
@@ -180,18 +214,42 @@ int main(int argc, char** argv) {
       p.trace_path = point_path(trace_path, knob, v);
       p.trace_filter = trace_filter;
       p.metrics_json = point_path(metrics_json, knob, v);
-      const Outcome o = run_point(p);
-      table.add_row({v, util::format_fixed(o.iter_mean_us, 1),
+      p.metrics_csv = point_path(metrics_csv, knob, v);
+      points.push_back(std::move(p));
+    }
+
+    exec::ScenarioRunner runner(ec);
+    const std::vector<Outcome> outcomes =
+        runner.map(points.size(), [&](const exec::JobContext& ctx) {
+          SweepPoint p = points[ctx.index];
+          p.seed = ctx.seed;
+          const Outcome o = run_point(p);
+          std::printf("%s=%s done\n", knob.c_str(),
+                      values[ctx.index].c_str());
+          return o;
+        });
+
+    util::Table table({knob, "iter_mean_us", "iter_p99_us", "read_p99_ns",
+                       "aggressor_GB/s"});
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const Outcome& o = outcomes[i];
+      table.add_row({values[i], util::format_fixed(o.iter_mean_us, 1),
                      util::format_fixed(o.iter_p99_us, 1),
                      util::format_fixed(o.read_p99_ns, 0),
                      util::format_fixed(o.aggr_gbps, 2)});
-      std::printf("%s=%s done\n", knob.c_str(), v.c_str());
     }
     std::printf("\n");
     table.print();
     if (!csv.empty()) {
       table.save_csv(csv);
       std::printf("\nCSV written to %s\n", csv.c_str());
+    }
+    if (runner.worker_count() > 1) {
+      std::printf("\n%s\n", runner.summary().c_str());
+    }
+    if (!exec_metrics_json.empty()) {
+      runner.metrics().save_json(exec_metrics_json, 0);
+      std::printf("exec metrics written to %s\n", exec_metrics_json.c_str());
     }
     return 0;
   } catch (const std::exception& e) {
