@@ -132,7 +132,8 @@ inline void maybe_open_env_trace(soc::Soc& chip) {
   const int seq = scenario_seq.fetch_add(1);
   std::string out = path;
   if (seq > 0) {
-    out += "." + std::to_string(seq);
+    out += '.';
+    out += std::to_string(seq);
   }
   chip.open_trace(out, filter_env != nullptr ? filter_env : "");
 }

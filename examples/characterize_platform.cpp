@@ -31,7 +31,8 @@ Meas run_pattern(wl::Pattern pattern, std::size_t gens) {
   soc::Soc chip(cfg);
   for (std::size_t i = 0; i < gens; ++i) {
     wl::TrafficGenConfig tg;
-    tg.name = "g" + std::to_string(i);
+    tg.name = "g";
+    tg.name += std::to_string(i);
     tg.pattern = pattern;
     tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
     tg.seed = 60 + i;
@@ -87,7 +88,8 @@ int main() {
     chip.add_core(cc, wl::make_pointer_chase(pc));
     for (std::size_t i = 0; i < gens; ++i) {
       wl::TrafficGenConfig tg;
-      tg.name = "g" + std::to_string(i);
+      tg.name = "g";
+      tg.name += std::to_string(i);
       tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
       tg.seed = 80 + i;
       chip.add_traffic_gen(i, tg);

@@ -16,6 +16,7 @@
 #include "axi/arbiter.hpp"
 #include "axi/port.hpp"
 #include "axi/transaction.hpp"
+#include "sim/pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace fgqos::axi {
@@ -83,6 +84,11 @@ class Interconnect final : public sim::Clocked, public ResponseSink {
   /// Next transaction id (unique per interconnect).
   TxnId next_txn_id() { return ++txn_seq_; }
 
+  /// Arena for in-flight transactions: ports create() on issue and
+  /// destroy() on completion, so the per-burst hot path never touches the
+  /// global allocator.
+  [[nodiscard]] sim::ObjectPool<Transaction>& txn_pool() { return txn_pool_; }
+
   bool tick(sim::Cycles cycle) override;
   void line_done(const LineRequest& line, sim::TimePs now) override;
 
@@ -90,6 +96,7 @@ class Interconnect final : public sim::Clocked, public ResponseSink {
   InterconnectConfig cfg_;
   std::vector<std::unique_ptr<MasterPort>> ports_;
   std::unique_ptr<Arbiter> arbiter_;
+  sim::ObjectPool<Transaction> txn_pool_;
   SlaveIf* slave_ = nullptr;
   TxnId txn_seq_ = 0;
   std::vector<bool> eligible_;  ///< scratch, sized to master count

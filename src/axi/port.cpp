@@ -38,7 +38,7 @@ bool MasterPort::issue(Dir dir, Addr addr, std::uint32_t bytes,
     return false;
   }
   const sim::TimePs now = owner_.simulator().now();
-  auto txn = std::make_unique<Transaction>();
+  Transaction* txn = owner_.txn_pool().create();
   txn->id = owner_.next_txn_id();
   txn->master = id_;
   txn->dir = dir;
@@ -55,8 +55,7 @@ bool MasterPort::issue(Dir dir, Addr addr, std::uint32_t bytes,
       static_cast<std::uint32_t>((last_line - first_line) / cfg_.line_bytes + 1);
   txn->lines_left = txn->lines_total;
 
-  Transaction* raw = txn.get();
-  in_flight_.emplace(raw->id, std::move(txn));
+  ++in_flight_;
   if (dir == Dir::kRead) {
     ++out_reads_;
   } else {
@@ -64,9 +63,9 @@ bool MasterPort::issue(Dir dir, Addr addr, std::uint32_t bytes,
   }
   stats_.txns_issued.add();
   for (auto* obs : observers_) {
-    obs->on_issue(*raw, now);
+    obs->on_issue(*txn, now);
   }
-  queue_.push(raw, now);
+  queue_.push(txn, now);
   owner_.notify_work(queue_.head_ready_at());
   return true;
 }
@@ -104,7 +103,7 @@ MasterPort::BlockReason MasterPort::grant_block_reason(
 }
 
 bool MasterPort::has_pending_work() const {
-  return !queue_.empty() || !in_flight_.empty();
+  return !queue_.empty() || in_flight_ != 0;
 }
 
 LineRequest MasterPort::peek_line(sim::TimePs now) const {
@@ -170,9 +169,12 @@ void MasterPort::complete_txn(Transaction& txn, sim::TimePs now) {
   // Deliver to the client last: it may immediately issue a new transaction
   // into the slot just released.
   const CompletionFn& fn = on_complete_;
-  // Copy the transaction out before erasing so the callback sees stable data.
+  // Copy the transaction out before recycling so the callback sees stable
+  // data (the pool may hand the slot to a transaction issued from fn).
   const Transaction snapshot = txn;
-  in_flight_.erase(txn.id);
+  FGQOS_ASSERT(in_flight_ > 0, "complete_txn without in-flight transaction");
+  --in_flight_;
+  owner_.txn_pool().destroy(&txn);
   if (fn) {
     fn(snapshot);
   }

@@ -9,9 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "axi/timed_fifo.hpp"
@@ -150,7 +148,7 @@ class MasterPort {
   MasterId id_;
   MasterPortConfig cfg_;
   TimedFifo<Transaction*> queue_;
-  std::unordered_map<TxnId, std::unique_ptr<Transaction>> in_flight_;
+  std::size_t in_flight_ = 0;  ///< issued, not yet completed (pool-owned)
   std::vector<TxnGate*> gates_;
   std::vector<TxnObserver*> observers_;
   CompletionFn on_complete_;

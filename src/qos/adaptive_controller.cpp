@@ -27,6 +27,8 @@ AdaptiveQosController::AdaptiveQosController(
     config_check(r != nullptr, "AdaptiveQosController: null regulator");
   }
   stats_.current_bps = cfg_.initial_bps;
+  tick_event_ = sim_.make_recurring_event(
+      [this](std::uint64_t epoch) { control_tick(epoch); });
 }
 
 void AdaptiveQosController::apply(double per_port_bps) {
@@ -43,9 +45,7 @@ void AdaptiveQosController::start() {
   }
   active_ = true;
   apply(stats_.current_bps);
-  const std::uint64_t epoch = ++epoch_;
-  sim_.schedule_at(sim_.now() + cfg_.period_ps,
-                   [this, epoch]() { control_tick(epoch); });
+  sim_.schedule_recurring(tick_event_, sim_.now() + cfg_.period_ps, ++epoch_);
 }
 
 void AdaptiveQosController::stop() {
@@ -70,8 +70,7 @@ void AdaptiveQosController::control_tick(std::uint64_t epoch) {
   }
   rate = std::clamp(rate, cfg_.min_bps, cfg_.max_bps);
   apply(rate);
-  sim_.schedule_at(sim_.now() + cfg_.period_ps,
-                   [this, epoch]() { control_tick(epoch); });
+  sim_.schedule_recurring(tick_event_, sim_.now() + cfg_.period_ps, epoch);
 }
 
 }  // namespace fgqos::qos

@@ -80,6 +80,7 @@ class AdaptiveQosController {
 
   sim::Simulator& sim_;
   AdaptiveControllerConfig cfg_;
+  sim::EventQueue::RecurringId tick_event_ = 0;
   LatencyMonitor* critical_;
   std::vector<Regulator*> best_effort_;
   AdaptiveControllerStats stats_;

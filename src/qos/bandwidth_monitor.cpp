@@ -10,19 +10,17 @@ BandwidthMonitor::BandwidthMonitor(sim::Simulator& sim, MonitorConfig cfg)
   config_check(cfg_.count_reads || cfg_.count_writes,
                "BandwidthMonitor: must count at least one direction");
   window_start_ = sim_.now();
+  boundary_event_ = sim_.make_recurring_event(
+      [this](std::uint64_t epoch) { on_boundary(epoch); });
   schedule_boundary();
 }
 
 void BandwidthMonitor::schedule_boundary() {
-  const std::uint64_t epoch = epoch_;
-  sim_.schedule_at(window_start_ + cfg_.window_ps,
-                   [this, epoch]() { on_boundary(epoch); });
+  sim_.schedule_recurring(boundary_event_, window_start_ + cfg_.window_ps,
+                          epoch_);
 }
 
-void BandwidthMonitor::on_boundary(std::uint64_t epoch) {
-  if (epoch != epoch_) {
-    return;  // stale event from before a set_window() reconfiguration
-  }
+void BandwidthMonitor::close_window(sim::TimePs now) {
   last_window_bytes_ = window_bytes_;
   if (cfg_.keep_window_trace) {
     trace_.push_back(window_bytes_);
@@ -30,11 +28,18 @@ void BandwidthMonitor::on_boundary(std::uint64_t epoch) {
   window_bytes_ = 0;
   threshold_fired_ = false;
   ++windows_closed_;
-  window_start_ = sim_.now();
+  window_start_ = now;
   if (trace_writer_ != nullptr) {
-    trace_writer_->counter(track_, "window_bytes", sim_.now(),
+    trace_writer_->counter(track_, "window_bytes", now,
                            static_cast<double>(last_window_bytes_));
   }
+}
+
+void BandwidthMonitor::on_boundary(std::uint64_t epoch) {
+  if (epoch != epoch_) {
+    return;  // stale event from before a set_window() reconfiguration
+  }
+  close_window(sim_.now());
   schedule_boundary();
 }
 
@@ -48,9 +53,15 @@ void BandwidthMonitor::set_window(sim::TimePs window_ps) {
   config_check(window_ps > 0, "BandwidthMonitor: window must be > 0");
   cfg_.window_ps = window_ps;
   ++epoch_;
-  window_start_ = sim_.now();
-  window_bytes_ = 0;
-  threshold_fired_ = false;
+  // Bytes counted in the partially-elapsed window must not silently
+  // vanish: close the partial window (fold it into last_window_bytes_,
+  // the trace and the counter series) rather than zeroing the count.
+  if (window_bytes_ > 0) {
+    close_window(sim_.now());
+  } else {
+    window_start_ = sim_.now();
+    threshold_fired_ = false;
+  }
   schedule_boundary();
 }
 

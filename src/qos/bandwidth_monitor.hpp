@@ -90,6 +90,7 @@ class BandwidthMonitor final : public axi::TxnObserver {
  private:
   void schedule_boundary();
   void on_boundary(std::uint64_t epoch);
+  void close_window(sim::TimePs now);
 
   sim::Simulator& sim_;
   MonitorConfig cfg_;
@@ -103,6 +104,7 @@ class BandwidthMonitor final : public axi::TxnObserver {
   std::vector<std::uint64_t> trace_;
   std::uint64_t epoch_ = 0;  ///< invalidates boundary events on set_window
   sim::TimePs window_start_ = 0;
+  sim::EventQueue::RecurringId boundary_event_ = 0;
   telemetry::TraceWriter* trace_writer_ = nullptr;
   telemetry::TrackId track_;
 };

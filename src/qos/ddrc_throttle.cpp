@@ -14,13 +14,15 @@ DdrcThrottle::DdrcThrottle(sim::Simulator& sim, DdrcThrottleConfig cfg,
       write_bucket_(budget_for_rate(cfg_.write_bps, cfg_.window_ps),
                     ReplenishKind::kFixedWindow) {
   config_check(cfg_.window_ps > 0, "DdrcThrottle: window must be > 0");
-  sim_.schedule_at(sim_.now() + cfg_.window_ps, [this]() { on_window(); });
+  window_event_ =
+      sim_.make_recurring_event([this](std::uint64_t) { on_window(); });
+  sim_.schedule_recurring(window_event_, sim_.now() + cfg_.window_ps);
 }
 
 void DdrcThrottle::on_window() {
   read_bucket_.replenish();
   write_bucket_.replenish();
-  sim_.schedule_at(sim_.now() + cfg_.window_ps, [this]() { on_window(); });
+  sim_.schedule_recurring(window_event_, sim_.now() + cfg_.window_ps);
 }
 
 void DdrcThrottle::set_rates(double read_bps, double write_bps) {

@@ -59,6 +59,7 @@ class DdrcThrottle final : public axi::SlaveIf {
 
   sim::Simulator& sim_;
   DdrcThrottleConfig cfg_;
+  sim::EventQueue::RecurringId window_event_ = 0;
   axi::SlaveIf* inner_;
   TokenBucket read_bucket_;
   TokenBucket write_bucket_;

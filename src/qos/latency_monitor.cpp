@@ -9,13 +9,14 @@ LatencyMonitor::LatencyMonitor(sim::Simulator& sim, LatencyMonitorConfig cfg)
   config_check(cfg_.window_ps > 0, "LatencyMonitor: window must be > 0");
   config_check(cfg_.track_reads || cfg_.track_writes,
                "LatencyMonitor: must track at least one direction");
+  boundary_event_ = sim_.make_recurring_event(
+      [this](std::uint64_t epoch) { on_boundary(epoch); });
   schedule_boundary();
 }
 
 void LatencyMonitor::schedule_boundary() {
-  const std::uint64_t epoch = epoch_;
-  sim_.schedule_at(sim_.now() + cfg_.window_ps,
-                   [this, epoch]() { on_boundary(epoch); });
+  sim_.schedule_recurring(boundary_event_, sim_.now() + cfg_.window_ps,
+                          epoch_);
 }
 
 void LatencyMonitor::on_boundary(std::uint64_t epoch) {

@@ -68,6 +68,7 @@ class LatencyMonitor final : public axi::TxnObserver {
 
   sim::Simulator& sim_;
   LatencyMonitorConfig cfg_;
+  sim::EventQueue::RecurringId boundary_event_ = 0;
   sim::Histogram hist_;
   sim::TimePs window_max_ = 0;
   std::uint64_t window_count_ = 0;

@@ -8,7 +8,9 @@ LaggedRegulator::LaggedRegulator(sim::Simulator& sim,
                                  LaggedRegulatorConfig cfg)
     : sim_(sim), cfg_(std::move(cfg)) {
   config_check(cfg_.window_ps > 0, "LaggedRegulator: window must be > 0");
-  sim_.schedule_at(sim_.now() + cfg_.window_ps, [this]() { on_window(); });
+  window_event_ =
+      sim_.make_recurring_event([this](std::uint64_t) { on_window(); });
+  sim_.schedule_recurring(window_event_, sim_.now() + cfg_.window_ps);
 }
 
 void LaggedRegulator::on_window() {
@@ -21,7 +23,7 @@ void LaggedRegulator::on_window() {
   true_bytes_ = 0;
   observed_bytes_ = 0;
   ++epoch_;  // pending observations from the old window are dropped
-  sim_.schedule_at(sim_.now() + cfg_.window_ps, [this]() { on_window(); });
+  sim_.schedule_recurring(window_event_, sim_.now() + cfg_.window_ps);
 }
 
 void LaggedRegulator::on_observe(std::uint64_t bytes, std::uint64_t epoch) {

@@ -8,7 +8,9 @@ PremArbiter::PremArbiter(sim::Simulator& sim, PremConfig cfg)
     : sim_(sim), cfg_(std::move(cfg)) {
   config_check(!cfg_.schedule.empty(), "PremArbiter: empty schedule");
   config_check(cfg_.slot_ps > 0, "PremArbiter: slot length must be > 0");
-  sim_.schedule_at(sim_.now() + cfg_.slot_ps, [this]() { on_slot_boundary(); });
+  slot_event_ =
+      sim_.make_recurring_event([this](std::uint64_t) { on_slot_boundary(); });
+  sim_.schedule_recurring(slot_event_, sim_.now() + cfg_.slot_ps);
 }
 
 void PremArbiter::add_slot_listener(SlotChangeFn fn) {
@@ -22,7 +24,7 @@ void PremArbiter::on_slot_boundary() {
   for (const auto& fn : listeners_) {
     fn(owner(), now);
   }
-  sim_.schedule_at(now + cfg_.slot_ps, [this]() { on_slot_boundary(); });
+  sim_.schedule_recurring(slot_event_, now + cfg_.slot_ps);
 }
 
 bool PremArbiter::allow(const axi::LineRequest& line, sim::TimePs) const {

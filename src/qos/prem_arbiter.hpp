@@ -61,6 +61,7 @@ class PremArbiter final : public axi::TxnGate {
 
   sim::Simulator& sim_;
   PremConfig cfg_;
+  sim::EventQueue::RecurringId slot_event_ = 0;
   std::size_t slot_ = 0;
   std::uint64_t slots_elapsed_ = 0;
   std::vector<SlotChangeFn> listeners_;

@@ -93,9 +93,13 @@ void QosManager::start_reclamation() {
     return;
   }
   reclaiming_ = true;
-  const std::uint64_t epoch = ++reclaim_epoch_;
-  sim_.schedule_at(sim_.now() + cfg_.reclaim_period_ps,
-                   [this, epoch]() { reclaim_tick(epoch); });
+  if (!reclaim_event_made_) {
+    reclaim_event_made_ = true;
+    reclaim_event_ = sim_.make_recurring_event(
+        [this](std::uint64_t epoch) { reclaim_tick(epoch); });
+  }
+  sim_.schedule_recurring(reclaim_event_, sim_.now() + cfg_.reclaim_period_ps,
+                          ++reclaim_epoch_);
 }
 
 void QosManager::stop_reclamation() {
@@ -165,8 +169,8 @@ void QosManager::reclaim_tick(std::uint64_t epoch) {
       program_rate(p, p.reserved_bps);
     }
   }
-  sim_.schedule_at(sim_.now() + cfg_.reclaim_period_ps,
-                   [this, epoch]() { reclaim_tick(epoch); });
+  sim_.schedule_recurring(reclaim_event_, sim_.now() + cfg_.reclaim_period_ps,
+                          epoch);
 }
 
 }  // namespace fgqos::qos

@@ -99,6 +99,8 @@ class QosManager {
   std::vector<ManagedPort> ports_;
   std::map<axi::MasterId, std::uint64_t> last_total_bytes_;
   bool reclaiming_ = false;
+  sim::EventQueue::RecurringId reclaim_event_ = 0;
+  bool reclaim_event_made_ = false;
   std::uint64_t reclaim_epoch_ = 0;
   std::uint64_t reclaim_iterations_ = 0;
 };

@@ -13,13 +13,14 @@ Regulator::Regulator(sim::Simulator& sim, RegulatorConfig cfg)
   config_check(cfg_.gate_reads || cfg_.gate_writes,
                "Regulator: must gate at least one direction");
   window_start_ = sim_.now();
+  replenish_event_ = sim_.make_recurring_event(
+      [this](std::uint64_t epoch) { on_replenish(epoch); });
   schedule_replenish();
 }
 
 void Regulator::schedule_replenish() {
-  const std::uint64_t epoch = epoch_;
-  sim_.schedule_at(window_start_ + cfg_.window_ps,
-                   [this, epoch]() { on_replenish(epoch); });
+  sim_.schedule_recurring(replenish_event_, window_start_ + cfg_.window_ps,
+                          epoch_);
 }
 
 void Regulator::on_replenish(std::uint64_t epoch) {
@@ -78,6 +79,7 @@ void Regulator::flush_trace(sim::TimePs now) {
 void Regulator::set_budget(std::uint64_t budget_bytes) {
   bucket_.set_budget(budget_bytes);
   cfg_.budget_bytes = budget_bytes;
+  reevaluate_exhaustion();
 }
 
 void Regulator::set_window(sim::TimePs window_ps) {
@@ -86,6 +88,34 @@ void Regulator::set_window(sim::TimePs window_ps) {
   ++epoch_;
   window_start_ = sim_.now();
   schedule_replenish();
+  reevaluate_exhaustion();
+}
+
+void Regulator::reevaluate_exhaustion() {
+  // Reprogramming BUDGET/WINDOW while the gate is shut must not let the
+  // open throttle interval straddle the configuration change: the time
+  // throttled under the old configuration is accounted (and traced) now,
+  // and if the gate is still shut under the new configuration a fresh
+  // interval starts at the reconfiguration edge. Without this, a window
+  // restart while exhausted extends the pending interval by a full new
+  // window and attributes it to the wrong configuration.
+  const sim::TimePs now = sim_.now();
+  const bool was_exhausted = exhausted_;
+  if (exhausted_) {
+    stats_.throttled_ps += now - exhausted_since_;
+    trace_throttle_end(now);
+    exhausted_ = false;
+  }
+  if (cfg_.enabled && !bucket_.can_spend()) {
+    exhausted_ = true;
+    exhausted_since_ = now;
+    stats_.last_exhausted_at = now;
+    if (!was_exhausted) {
+      // Newly shut by the reconfiguration itself (e.g. budget lowered
+      // below the bytes already granted this window).
+      ++stats_.exhausted_windows;
+    }
+  }
 }
 
 void Regulator::set_rate(double bytes_per_second) {

@@ -98,6 +98,7 @@ class Regulator final : public axi::TxnGate {
  private:
   void schedule_replenish();
   void on_replenish(std::uint64_t epoch);
+  void reevaluate_exhaustion();
   [[nodiscard]] bool gates_dir(bool is_write) const {
     return is_write ? cfg_.gate_writes : cfg_.gate_reads;
   }
@@ -112,6 +113,7 @@ class Regulator final : public axi::TxnGate {
   sim::TimePs exhausted_since_ = 0;
   std::uint64_t epoch_ = 0;
   sim::TimePs window_start_ = 0;
+  sim::EventQueue::RecurringId replenish_event_ = 0;
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;
 };

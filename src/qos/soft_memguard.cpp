@@ -14,7 +14,9 @@ SoftMemguard::SoftMemguard(sim::Simulator& sim, SoftMemguardConfig cfg)
   config_check(cfg_.period_ps > 0, "SoftMemguard: period must be > 0");
   config_check(cfg_.isr_latency_ps < cfg_.period_ps,
                "SoftMemguard: ISR latency must be below the period");
-  sim_.schedule_at(sim_.now() + cfg_.period_ps, [this]() { on_period_tick(); });
+  period_event_ =
+      sim_.make_recurring_event([this](std::uint64_t) { on_period_tick(); });
+  sim_.schedule_recurring(period_event_, sim_.now() + cfg_.period_ps);
 }
 
 void SoftMemguard::ensure(axi::MasterId master) {
@@ -25,9 +27,38 @@ void SoftMemguard::ensure(axi::MasterId master) {
 
 void SoftMemguard::set_budget(axi::MasterId master, std::uint64_t budget_bytes) {
   ensure(master);
-  masters_[master].budget = budget_bytes;
-  masters_[master].quota = budget_bytes;
-  masters_[master].last_usage = budget_bytes;  // optimistic first period
+  MasterState& st = masters_[master];
+  st.budget = budget_bytes;
+  st.quota = budget_bytes;
+  st.last_usage = budget_bytes;  // optimistic first period
+  // Mid-period reprogramming must re-evaluate the throttle state against
+  // the new quota. Leaving stalled/overflow_pending untouched either keeps
+  // a master parked under a budget it no longer exceeds, or lets a
+  // previously-scheduled deliver_stall land on a master whose overflow was
+  // cancelled by the reconfiguration.
+  const sim::TimePs now = sim_.now();
+  if (budget_bytes == 0 || st.bytes <= st.quota) {
+    st.overflow_pending = false;  // in-flight ISRs see this and back off
+    if (st.stalled) {
+      st.stats.throttled_ps += now - st.stalled_since;
+      trace_stall_end(master, st, now);
+      st.stalled = false;
+    }
+  } else if (!st.stalled && !st.overflow_pending) {
+    // Budget lowered below the bytes already granted this period: raise
+    // the overflow interrupt now. The overage itself was granted
+    // legitimately under the old budget, so it is not a violation;
+    // violation accounting starts with grants made while the IRQ is in
+    // flight (handled in on_grant).
+    st.overflow_pending = true;
+    if (cfg_.use_overflow_irq) {
+      const std::uint64_t period = period_index_;
+      sim_.schedule_at(now + cfg_.isr_latency_ps,
+                       [this, master, period]() {
+                         deliver_stall(master, period);
+                       });
+    }
+  }
 }
 
 void SoftMemguard::set_rate(axi::MasterId master, double bytes_per_second) {
@@ -134,7 +165,10 @@ void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period) {
   if (period != period_index_) {
     return;  // the period ended before the ISR landed; budget was reset
   }
-  FGQOS_ASSERT(st.overflow_pending, "deliver_stall without overflow");
+  if (!st.overflow_pending) {
+    return;  // overflow cancelled by a set_budget() while the ISR was in
+             // flight
+  }
   st.overflow_pending = false;
   st.stalled = true;
   st.stalled_since = sim_.now();
@@ -174,7 +208,7 @@ void SoftMemguard::on_period_tick() {
     }
   }
   ++period_index_;
-  sim_.schedule_at(now + cfg_.period_ps, [this]() { on_period_tick(); });
+  sim_.schedule_recurring(period_event_, now + cfg_.period_ps);
 }
 
 }  // namespace fgqos::qos

@@ -116,6 +116,7 @@ class SoftMemguard final : public axi::TxnGate {
   sim::Simulator& sim_;
   SoftMemguardConfig cfg_;
   std::vector<MasterState> masters_;
+  sim::EventQueue::RecurringId period_event_ = 0;
   std::uint64_t period_index_ = 0;
   std::uint64_t pool_ = 0;
   std::uint64_t reclaimed_total_ = 0;

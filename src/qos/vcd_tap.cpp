@@ -62,8 +62,12 @@ void QosVcdTap::attach_regulator(const Regulator& reg) {
   regs_.push_back(rs);
   if (!polling_) {
     polling_ = true;
-    const std::uint64_t epoch = ++epoch_;
-    sim_.schedule_at(sim_.now() + period_, [this, epoch]() { poll(epoch); });
+    if (!poll_event_made_) {
+      poll_event_made_ = true;
+      poll_event_ = sim_.make_recurring_event(
+          [this](std::uint64_t epoch) { poll(epoch); });
+    }
+    sim_.schedule_recurring(poll_event_, sim_.now() + period_, ++epoch_);
   }
 }
 
@@ -79,7 +83,7 @@ void QosVcdTap::poll(std::uint64_t epoch) {
                    now);
     writer_.sample(rs.exhausted, rs.reg->exhausted() ? 1 : 0, now);
   }
-  sim_.schedule_at(now + period_, [this, epoch]() { poll(epoch); });
+  sim_.schedule_recurring(poll_event_, now + period_, epoch);
 }
 
 void QosVcdTap::finish() {

@@ -49,6 +49,8 @@ class QosVcdTap {
   sim::Simulator& sim_;
   sim::VcdWriter writer_;
   sim::TimePs period_;
+  sim::EventQueue::RecurringId poll_event_ = 0;
+  bool poll_event_made_ = false;
   std::vector<std::unique_ptr<PortObserver>> observers_;
   struct RegSignals {
     const Regulator* reg;

@@ -38,6 +38,11 @@ class ClockDomain {
     return ((t + period_ps_ - 1) / period_ps_) * period_ps_;
   }
 
+  /// Index of the first edge at or after \p t (edge_time() inverts this).
+  [[nodiscard]] Cycles edge_index_at_or_after(TimePs t) const {
+    return (t + period_ps_ - 1) / period_ps_;
+  }
+
   /// Duration of \p n cycles in ps.
   [[nodiscard]] TimePs cycles_to_ps(Cycles n) const { return n * period_ps_; }
 

@@ -1,0 +1,92 @@
+/// \file dheap.hpp
+/// \brief Indexed d-ary min-heap (default 4-ary) for the kernel queues.
+///
+/// Replaces std::priority_queue in the event and tick queues. A 4-ary
+/// implicit heap halves the tree depth of a binary heap, so push/pop touch
+/// fewer cache lines, and the hole-based sift routines move elements once
+/// instead of swapping. Both kernel queues order by a strict total order
+/// (time, then insertion sequence), so any correct heap pops the exact
+/// same sequence — determinism does not depend on heap shape.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace fgqos::sim {
+
+/// Min-heap: Before(a, b) == true means a is dispatched before b. Before
+/// must define a strict weak ordering; for deterministic pop order across
+/// heap implementations it should be a strict total order.
+template <typename T, typename Before, unsigned Arity = 4>
+class DHeap {
+  static_assert(Arity >= 2, "DHeap: arity must be >= 2");
+
+ public:
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  [[nodiscard]] const T& top() const { return v_.front(); }
+
+  void reserve(std::size_t n) { v_.reserve(n); }
+  void clear() { v_.clear(); }
+
+  void push(T x) {
+    v_.push_back(std::move(x));
+    sift_up(v_.size() - 1);
+  }
+
+  /// Removes and returns the minimum. Pre: !empty().
+  T pop() {
+    T out = std::move(v_.front());
+    T tail = std::move(v_.back());
+    v_.pop_back();
+    if (!v_.empty()) {
+      sift_down_from_root(std::move(tail));
+    }
+    return out;
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    T x = std::move(v_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!before_(x, v_[parent])) {
+        break;
+      }
+      v_[i] = std::move(v_[parent]);
+      i = parent;
+    }
+    v_[i] = std::move(x);
+  }
+
+  void sift_down_from_root(T x) {
+    const std::size_t n = v_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = i * Arity + 1;
+      if (first >= n) {
+        break;
+      }
+      std::size_t best = first;
+      const std::size_t last = std::min(first + Arity, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before_(v_[c], v_[best])) {
+          best = c;
+        }
+      }
+      if (!before_(v_[best], x)) {
+        break;
+      }
+      v_[i] = std::move(v_[best]);
+      i = best;
+    }
+    v_[i] = std::move(x);
+  }
+
+  std::vector<T> v_;
+  [[no_unique_address]] Before before_;
+};
+
+}  // namespace fgqos::sim

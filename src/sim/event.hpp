@@ -1,0 +1,147 @@
+/// \file event.hpp
+/// \brief Small-buffer-optimized event callable (the kernel's hot path).
+///
+/// Every scheduled event used to pay a `std::function` heap allocation;
+/// with millions of events per simulated millisecond that dominated kernel
+/// time. InlineEvent stores the closure inline in a fixed 48-byte buffer:
+/// scheduling never allocates, moving an event is (at worst) a memcpy plus
+/// a relocate call for non-trivial captures, and dispatch is one indirect
+/// call.
+///
+/// Contract for event callables:
+///  * captures must fit in kInlineBytes (48 B) — enforced by static_assert
+///    at the schedule site. If a closure legitimately needs more state,
+///    move it behind a pointer (capture `this` or a raw pointer) instead
+///    of growing the buffer: the limit is what keeps the queue compact.
+///  * the callable must be nothrow-move-constructible (std::function,
+///    plain captures and POD aggregates all qualify);
+///  * signature `void()` or `void(std::uint64_t)` — the latter receives
+///    the per-schedule payload of recurring events (e.g. a config epoch).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fgqos::sim {
+
+/// Move-only type-erased `void(std::uint64_t)` callable with inline
+/// storage and no heap fallback.
+class InlineEvent {
+ public:
+  /// Maximum capture size stored inline. Closures above this limit are a
+  /// compile error at the schedule site (see file comment).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineEvent() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineEvent>>>
+  InlineEvent(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  InlineEvent(InlineEvent&& other) noexcept { move_from(other); }
+
+  InlineEvent& operator=(InlineEvent&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineEvent(const InlineEvent&) = delete;
+  InlineEvent& operator=(const InlineEvent&) = delete;
+
+  ~InlineEvent() { reset(); }
+
+  /// True when a callable is stored.
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Invokes the stored callable. \p arg reaches callables that accept a
+  /// std::uint64_t (recurring-event payload); others ignore it.
+  /// Pre: operator bool().
+  void operator()(std::uint64_t arg = 0) { invoke_(buf_, arg); }
+
+  /// Destroys the stored callable (no-op when empty).
+  void reset() {
+    if (destroy_ != nullptr) {
+      destroy_(buf_);
+    }
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  /// Stores \p fn, destroying any previous callable.
+  template <typename F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "event capture exceeds InlineEvent::kInlineBytes; capture "
+                  "a pointer to external state instead of growing the event");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "event capture is over-aligned");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event callables must be nothrow-move-constructible");
+    reset();
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+    if constexpr (std::is_invocable_v<Fn&, std::uint64_t>) {
+      invoke_ = [](void* p, std::uint64_t arg) {
+        (*std::launder(reinterpret_cast<Fn*>(p)))(arg);
+      };
+    } else {
+      static_assert(std::is_invocable_v<Fn&>,
+                    "event callables must be invocable as void() or "
+                    "void(std::uint64_t)");
+      invoke_ = [](void* p, std::uint64_t) {
+        (*std::launder(reinterpret_cast<Fn*>(p)))();
+      };
+    }
+    // Trivially-copyable captures relocate by memcpy (the common case:
+    // a couple of pointers and integers); only non-trivial ones pay for
+    // a move-construct + destroy pair.
+    if constexpr (!(std::is_trivially_copyable_v<Fn> &&
+                    std::is_trivially_destructible_v<Fn>)) {
+      relocate_ = [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      };
+    }
+    if constexpr (!std::is_trivially_destructible_v<Fn>) {
+      destroy_ = [](void* p) {
+        std::launder(reinterpret_cast<Fn*>(p))->~Fn();
+      };
+    }
+  }
+
+ private:
+  void move_from(InlineEvent& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    if (other.invoke_ != nullptr) {
+      if (other.relocate_ != nullptr) {
+        other.relocate_(buf_, other.buf_);
+      } else {
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  void (*invoke_)(void*, std::uint64_t) = nullptr;
+  void (*relocate_)(void*, void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace fgqos::sim

@@ -1,56 +1,151 @@
 /// \file event_queue.hpp
-/// \brief Deterministic time-ordered callback queue.
+/// \brief Deterministic time-ordered callback queue (allocation-free).
+///
+/// The queue is an indexed 4-ary heap of (time, sequence) keys over
+/// small-buffer-optimized events (see event.hpp): scheduling never touches
+/// the global allocator. Dispatch moves a one-shot closure out of its slot
+/// before invoking it (the callback may schedule and reallocate the slot
+/// vector); recurring closures live in a deque and are invoked in place.
+/// Two events at the same time fire in schedule order, which makes runs
+/// deterministic.
+///
+/// Recurring events — per-window replenish/boundary/period ticks that
+/// re-arm themselves forever — register their closure once with
+/// make_recurring() and re-enter the heap via schedule_recurring(), which
+/// pushes a 32-byte heap entry and constructs nothing. The per-schedule
+/// std::uint64_t payload carries cheap state that used to live in the
+/// closure (typically a config epoch used to invalidate stale events).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/dheap.hpp"
+#include "sim/event.hpp"
 #include "sim/time.hpp"
+#include "util/assert.hpp"
 
 namespace fgqos::sim {
 
-/// Callback executed when its scheduled time is reached.
+/// Callback type accepted by convenience APIs; any callable obeying the
+/// InlineEvent contract (capture <= 48 B) schedules without allocation.
 using EventFn = std::function<void()>;
 
-/// Min-heap of (time, insertion sequence) -> callback. Two events at the
-/// same time fire in insertion order, which makes runs deterministic.
+/// The queue.
 class EventQueue {
  public:
+  /// Maximum inline capture size for scheduled callables (see event.hpp).
+  static constexpr std::size_t kMaxInlineCaptureBytes =
+      InlineEvent::kInlineBytes;
+
+  /// Handle to a recurring event's registered closure.
+  using RecurringId = std::uint32_t;
+
   /// Schedules \p fn at absolute time \p when. \p when may equal the time
   /// of the event currently executing (fires in the same delta step).
-  void schedule(TimePs when, EventFn fn);
+  /// One-shot: the closure is dropped after it fires.
+  template <typename F>
+  void schedule(TimePs when, F&& fn) {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      FGQOS_ASSERT(slot < kRecurringBit, "EventQueue: slot space exhausted");
+      slots_.emplace_back();
+    }
+    slots_[slot].emplace(std::forward<F>(fn));
+    FGQOS_ASSERT(static_cast<bool>(slots_[slot]),
+                 "EventQueue: null callback");
+    push_entry(when, slot);
+  }
+
+  /// Registers a recurring closure; it fires every time a
+  /// schedule_recurring() entry for it reaches the head of the queue. The
+  /// closure may take a std::uint64_t to receive the per-schedule payload.
+  template <typename F>
+  RecurringId make_recurring(F&& fn) {
+    FGQOS_ASSERT(recurring_.size() < kRecurringBit,
+                 "EventQueue: recurring id space exhausted");
+    recurring_.emplace_back(std::forward<F>(fn));
+    return static_cast<RecurringId>(recurring_.size() - 1);
+  }
+
+  /// Arms recurring event \p id at absolute time \p when. Multiple
+  /// outstanding arms of the same id are allowed (each fires once) — the
+  /// closure disambiguates via \p arg, e.g. an epoch counter.
+  void schedule_recurring(RecurringId id, TimePs when, std::uint64_t arg = 0) {
+    FGQOS_ASSERT(id < recurring_.size(), "EventQueue: bad recurring id");
+    push_entry(when, id | kRecurringBit, arg);
+  }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  /// Largest occupancy ever observed (kernel self-profiling).
+  [[nodiscard]] std::size_t max_size() const { return max_size_; }
 
   /// Time of the earliest pending event; kTimeNever when empty.
-  [[nodiscard]] TimePs next_time() const;
+  [[nodiscard]] TimePs next_time() const {
+    return heap_.empty() ? kTimeNever : heap_.top().when();
+  }
 
-  /// Removes and returns the earliest event. Pre: !empty().
-  struct Popped {
-    TimePs when;
-    EventFn fn;
-  };
-  Popped pop();
+  /// Removes and dispatches the earliest event; returns its time.
+  /// Pre: !empty(). Defined inline: this is the kernel's innermost call
+  /// and inlining it into the run loop saves a call per event.
+  TimePs run_next() {
+    FGQOS_ASSERT(!heap_.empty(), "run_next on empty EventQueue");
+    const Entry e = heap_.pop();
+    const TimePs when = e.when();
+    if ((e.slot & kRecurringBit) != 0) {
+      recurring_[e.slot & ~kRecurringBit](e.arg);
+      return when;
+    }
+    // One-shot: move the closure out of its slot before invoking — the
+    // callback may schedule new events and reallocate slots_.
+    InlineEvent fn = std::move(slots_[e.slot]);
+    free_slots_.push_back(e.slot);
+    fn(e.arg);
+    return when;
+  }
 
  private:
+  /// High bit of Entry::slot marks a recurring event.
+  static constexpr std::uint32_t kRecurringBit = 0x8000'0000u;
+
   struct Entry {
-    TimePs when;
-    std::uint64_t seq;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
+    /// (when << 64) | seq: one 128-bit compare orders by time then by
+    /// schedule order, with no tie-breaking branch on the compare path.
+    unsigned __int128 key;
+    std::uint64_t arg;  ///< payload for recurring closures
+    std::uint32_t slot;
+    [[nodiscard]] TimePs when() const {
+      return static_cast<TimePs>(key >> 64);
     }
   };
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  struct Earlier {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.key < b.key;
+    }
+  };
+
+  void push_entry(TimePs when, std::uint32_t slot, std::uint64_t arg = 0) {
+    const auto key =
+        (static_cast<unsigned __int128>(when) << 64) | next_seq_++;
+    heap_.push(Entry{key, arg, slot});
+    if (heap_.size() > max_size_) {
+      max_size_ = heap_.size();
+    }
+  }
+
+  DHeap<Entry, Earlier, 4> heap_;
+  std::vector<InlineEvent> slots_;        ///< one-shot closures
+  std::vector<std::uint32_t> free_slots_;
+  std::deque<InlineEvent> recurring_;     ///< stable registered closures
   std::uint64_t next_seq_ = 0;
+  std::size_t max_size_ = 0;
 };
 
 }  // namespace fgqos::sim

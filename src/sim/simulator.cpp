@@ -23,18 +23,20 @@ void Clocked::wake_at(TimePs at) {
   if (at < sim_.now()) {
     at = sim_.now();
   }
-  TimePs edge = clk_->next_edge_at_or_after(at);
-  if (has_ticked_ && edge <= last_tick_) {
+  Cycles cyc = clk_->edge_index_at_or_after(at);
+  if (has_ticked_ && cyc <= last_cycle_) {
     // Never re-tick an edge that already fired: work that became visible
     // during cycle N is processed at cycle N+1, as in hardware.
-    edge = last_tick_ + clk_->period_ps();
+    cyc = last_cycle_ + 1;
   }
+  const TimePs edge = clk_->edge_time(cyc);
   if (scheduled_ && next_tick_ <= edge) {
     return;
   }
   // Re-scheduling to an earlier edge leaves a stale entry in the heap; the
   // run loop discards entries whose time no longer matches next_tick_.
   next_tick_ = edge;
+  next_cycle_ = cyc;
   scheduled_ = true;
   sim_.push_tick(*this);
 }
@@ -45,18 +47,14 @@ void Simulator::register_clocked(Clocked& c) {
   c.order_ = next_order_++;
   // Components start awake at their first edge at or after the current
   // time; idle ones will put themselves to sleep on their first tick.
-  c.next_tick_ = c.clk_->next_edge_at_or_after(now_);
+  c.next_cycle_ = c.clk_->edge_index_at_or_after(now_);
+  c.next_tick_ = c.clk_->edge_time(c.next_cycle_);
   c.scheduled_ = true;
   push_tick(c);
 }
 
 void Simulator::push_tick(Clocked& c) {
   ticks_.push(TickEntry{c.next_tick_, c.order_, &c});
-}
-
-void Simulator::schedule_at(TimePs when, EventFn fn) {
-  FGQOS_ASSERT(when >= now_, "schedule_at: time in the past");
-  events_.schedule(when, std::move(fn));
 }
 
 double Simulator::wall_s_per_sim_s() const {
@@ -72,9 +70,6 @@ void Simulator::run_until(TimePs t_end) {
   stop_requested_ = false;
   const auto wall_start = std::chrono::steady_clock::now();
   while (!stop_requested_) {
-    if (events_.size() > max_event_queue_) {
-      max_event_queue_ = events_.size();
-    }
     const TimePs ev_t = events_.next_time();
     const TimePs tk_t = ticks_.empty() ? kTimeNever : ticks_.top().when;
     const TimePs next = ev_t < tk_t ? ev_t : tk_t;
@@ -84,13 +79,11 @@ void Simulator::run_until(TimePs t_end) {
     now_ = next;
     // Events fire before ticks at equal timestamps.
     if (ev_t <= tk_t && ev_t != kTimeNever) {
-      auto [when, fn] = events_.pop();
       ++events_dispatched_;
-      fn();
+      events_.run_next();
       continue;
     }
-    TickEntry e = ticks_.top();
-    ticks_.pop();
+    const TickEntry e = ticks_.pop();
     Clocked& c = *e.comp;
     if (!c.scheduled_ || c.next_tick_ != e.when) {
       continue;  // stale lazy-deleted entry
@@ -98,16 +91,17 @@ void Simulator::run_until(TimePs t_end) {
     ++tick_count_;
     ++c.ticks_fired_;
     c.has_ticked_ = true;
-    c.last_tick_ = e.when;
+    const Cycles cycle = c.next_cycle_;
+    c.last_cycle_ = cycle;
     // Unschedule before ticking so the component may call wake_at() on
     // itself (e.g. to fast-forward over a long compute phase) and then
     // return false.
     c.scheduled_ = false;
-    const Cycles cycle = c.clk_->cycles_at(e.when);
     if (c.tick(cycle)) {
       const TimePs next_edge = e.when + c.clk_->period_ps();
       if (!c.scheduled_ || c.next_tick_ > next_edge) {
         c.next_tick_ = next_edge;
+        c.next_cycle_ = cycle + 1;
         c.scheduled_ = true;
         push_tick(c);
       }

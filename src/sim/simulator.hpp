@@ -2,8 +2,8 @@
 /// \brief Event-driven simulator with clocked components and sleep/wake.
 ///
 /// The kernel merges two sources of work on one picosecond timeline:
-///  * one-shot events scheduled through EventQueue (timers, interrupts,
-///    window boundaries), and
+///  * one-shot and recurring events scheduled through EventQueue (timers,
+///    interrupts, window boundaries), and
 ///  * per-cycle ticks of Clocked components.
 ///
 /// Clocked components may sleep when idle (tick() returns false) and are
@@ -12,19 +12,26 @@
 /// every producer of pending work wakes its consumer with the time at which
 /// the work becomes visible.
 ///
-/// Determinism: at equal timestamps, one-shot events fire before ticks, and
-/// ticks fire in component-registration order. Two runs with identical
-/// configuration and seeds are bit-identical.
+/// Determinism: at equal timestamps, events fire before ticks (events in
+/// schedule order, ticks in component-registration order). Two runs with
+/// identical configuration and seeds are bit-identical.
+///
+/// Hot path: both queues are allocation-free 4-ary heaps (see dheap.hpp);
+/// event closures are stored inline (see event.hpp); per-window periodic
+/// work should use the recurring-event API so re-arming a timer costs one
+/// heap push and no closure construction.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/clock_domain.hpp"
+#include "sim/dheap.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "util/assert.hpp"
 
 namespace fgqos::sim {
 
@@ -71,7 +78,10 @@ class Clocked {
   bool scheduled_ = false;
   bool has_ticked_ = false;
   TimePs next_tick_ = 0;      ///< valid iff scheduled_
-  TimePs last_tick_ = 0;      ///< valid iff has_ticked_
+  // Cached edge indices so the run loop never divides by the clock period:
+  // each tick costs an increment instead of a 64-bit division.
+  Cycles next_cycle_ = 0;     ///< edge index of next_tick_; valid iff scheduled_
+  Cycles last_cycle_ = 0;     ///< edge index last ticked; valid iff has_ticked_
 };
 
 /// The simulation kernel. Owns the timeline; does not own components.
@@ -87,11 +97,35 @@ class Simulator {
   [[nodiscard]] TimePs now() const { return now_; }
 
   /// Schedules a one-shot callback at absolute time \p when (>= now).
-  void schedule_at(TimePs when, EventFn fn);
+  /// The callable must fit the InlineEvent contract (capture <= 48 B,
+  /// nothrow-movable); oversized captures are a compile error.
+  template <typename F>
+  void schedule_at(TimePs when, F&& fn) {
+    FGQOS_ASSERT(when >= now_, "schedule_at: time in the past");
+    events_.schedule(when, std::forward<F>(fn));
+  }
 
   /// Schedules a one-shot callback \p delay after the current time.
-  void schedule_after(TimePs delay, EventFn fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  void schedule_after(TimePs delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Registers a recurring closure (see EventQueue::make_recurring).
+  /// Periodic work — window boundaries, replenish ticks, refresh — should
+  /// register once and re-arm via schedule_recurring(): re-arming pushes a
+  /// plain heap entry and constructs no closure.
+  template <typename F>
+  EventQueue::RecurringId make_recurring_event(F&& fn) {
+    return events_.make_recurring(std::forward<F>(fn));
+  }
+
+  /// Arms recurring event \p id at absolute time \p when (>= now). \p arg
+  /// is delivered to the closure (commonly a config epoch).
+  void schedule_recurring(EventQueue::RecurringId id, TimePs when,
+                          std::uint64_t arg = 0) {
+    FGQOS_ASSERT(when >= now_, "schedule_recurring: time in the past");
+    events_.schedule_recurring(id, when, arg);
   }
 
   /// Runs until the timeline is exhausted or time would exceed \p t_end.
@@ -111,17 +145,17 @@ class Simulator {
 
   // --- kernel self-profiling (telemetry) ---------------------------------
 
-  /// One-shot events dispatched so far.
+  /// Events dispatched so far (one-shot and recurring).
   [[nodiscard]] std::uint64_t events_dispatched() const {
     return events_dispatched_;
   }
-  /// Current one-shot event-queue occupancy.
+  /// Current event-queue occupancy.
   [[nodiscard]] std::size_t event_queue_size() const {
     return events_.size();
   }
-  /// Largest event-queue occupancy observed during run_until().
+  /// Largest event-queue occupancy observed so far.
   [[nodiscard]] std::size_t max_event_queue() const {
-    return max_event_queue_;
+    return events_.max_size();
   }
   /// Wall-clock nanoseconds spent inside run_until() so far.
   [[nodiscard]] std::uint64_t wall_ns() const { return wall_ns_; }
@@ -140,22 +174,21 @@ class Simulator {
     std::uint64_t order;
     Clocked* comp;
   };
-  struct Later {
+  struct TickBefore {
     bool operator()(const TickEntry& a, const TickEntry& b) const {
       if (a.when != b.when) {
-        return a.when > b.when;
+        return a.when < b.when;
       }
-      return a.order > b.order;
+      return a.order < b.order;
     }
   };
 
   EventQueue events_;
-  std::priority_queue<TickEntry, std::vector<TickEntry>, Later> ticks_;
+  DHeap<TickEntry, TickBefore, 4> ticks_;
   TimePs now_ = 0;
   std::uint64_t next_order_ = 0;
   std::uint64_t tick_count_ = 0;
   std::uint64_t events_dispatched_ = 0;
-  std::size_t max_event_queue_ = 0;
   std::uint64_t wall_ns_ = 0;
   bool running_ = false;
   bool stop_requested_ = false;

@@ -47,6 +47,8 @@ void Hub::start_kernel_sampling(sim::Simulator& sim, sim::TimePs period_ps) {
   if (trace_ != nullptr) {
     kernel_track_ = trace_->track(Cat::kKernel, "sim");
   }
+  sample_event_ = sim.make_recurring_event(
+      [this, &sim, period_ps](std::uint64_t) { kernel_sample(sim, period_ps); });
   last_events_ = sim.events_dispatched();
   last_ticks_ = sim.tick_count();
   // Baseline sample so even runs shorter than one period get the counter
@@ -67,9 +69,7 @@ void Hub::kernel_sample(sim::Simulator& sim, sim::TimePs period_ps) {
   }
   last_events_ = events;
   last_ticks_ = ticks;
-  sim.schedule_after(period_ps, [this, &sim, period_ps]() {
-    kernel_sample(sim, period_ps);
-  });
+  sim.schedule_recurring(sample_event_, sim.now() + period_ps);
 }
 
 void Hub::finish() {

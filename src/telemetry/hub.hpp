@@ -65,6 +65,7 @@ class Hub {
   std::vector<std::unique_ptr<TxnLifecycleTracer>> lifecycles_;
   std::vector<const axi::MasterPort*> lifecycle_ports_;
   TrackId kernel_track_;
+  sim::EventQueue::RecurringId sample_event_ = 0;
   bool kernel_sampling_ = false;
   std::uint64_t last_events_ = 0;
   std::uint64_t last_ticks_ = 0;

@@ -91,28 +91,19 @@ void TraceWriter::emit_prefix(TrackId t, const char ph, const char* name,
   ++events_;
 }
 
-void TraceWriter::complete(TrackId t, const char* name, sim::TimePs ts,
-                           sim::TimePs dur) {
-  if (!t.valid() || file_ == nullptr) {
-    return;
-  }
+void TraceWriter::complete_impl(TrackId t, const char* name, sim::TimePs ts,
+                                sim::TimePs dur) {
   emit_prefix(t, 'X', name, ts);
   std::fprintf(file_, ",\"dur\":%.6f}", static_cast<double>(dur) / kPsPerUsD);
 }
 
-void TraceWriter::instant(TrackId t, const char* name, sim::TimePs ts) {
-  if (!t.valid() || file_ == nullptr) {
-    return;
-  }
+void TraceWriter::instant_impl(TrackId t, const char* name, sim::TimePs ts) {
   emit_prefix(t, 'i', name, ts);
   std::fputs(",\"s\":\"t\"}", file_);
 }
 
-void TraceWriter::counter(TrackId t, const char* series, sim::TimePs ts,
-                          double value) {
-  if (!t.valid() || file_ == nullptr) {
-    return;
-  }
+void TraceWriter::counter_impl(TrackId t, const char* series, sim::TimePs ts,
+                               double value) {
   // Counter tracks are identified by (pid, name): qualify the series with
   // the owning track's name so every component gets its own track.
   const std::string& owner = track_names_[static_cast<std::size_t>(t.id)];
@@ -125,21 +116,16 @@ void TraceWriter::counter(TrackId t, const char* series, sim::TimePs ts,
   ++events_;
 }
 
-void TraceWriter::async_begin(TrackId t, const char* name, std::uint64_t id,
-                              sim::TimePs ts) {
-  if (!t.valid() || file_ == nullptr) {
-    return;
-  }
+void TraceWriter::async_begin_impl(TrackId t, const char* name,
+                                   std::uint64_t id, sim::TimePs ts) {
   emit_prefix(t, 'b', name, ts);
   std::fprintf(file_, ",\"id\":\"%llu\"}",
                static_cast<unsigned long long>(id));
 }
 
-void TraceWriter::async_end(TrackId t, const char* name, std::uint64_t id,
-                            sim::TimePs ts, const std::string& args_json) {
-  if (!t.valid() || file_ == nullptr) {
-    return;
-  }
+void TraceWriter::async_end_impl(TrackId t, const char* name,
+                                 std::uint64_t id, sim::TimePs ts,
+                                 const std::string& args_json) {
   emit_prefix(t, 'e', name, ts);
   std::fprintf(file_, ",\"id\":\"%llu\"",
                static_cast<unsigned long long>(id));

@@ -83,21 +83,47 @@ class TraceWriter {
   /// metadata. Returns an invalid TrackId when the category is filtered.
   TrackId track(Cat c, const std::string& name);
 
+  // The emit calls below are on simulation hot paths (instrumented
+  // components call them per grant/completion). The disabled check is
+  // inlined here so a filtered track or closed file costs one
+  // well-predicted branch and no function call; only live events pay for
+  // the out-of-line formatting in the _impl functions.
+
   /// Non-overlapping interval [ts, ts+dur] on \p t.
-  void complete(TrackId t, const char* name, sim::TimePs ts, sim::TimePs dur);
+  void complete(TrackId t, const char* name, sim::TimePs ts, sim::TimePs dur) {
+    if (live(t)) {
+      complete_impl(t, name, ts, dur);
+    }
+  }
   /// Point event at \p ts.
-  void instant(TrackId t, const char* name, sim::TimePs ts);
+  void instant(TrackId t, const char* name, sim::TimePs ts) {
+    if (live(t)) {
+      instant_impl(t, name, ts);
+    }
+  }
   /// Counter sample: series \p series of counter track \p t gets \p value.
-  void counter(TrackId t, const char* series, sim::TimePs ts, double value);
+  void counter(TrackId t, const char* series, sim::TimePs ts, double value) {
+    if (live(t)) {
+      counter_impl(t, series, ts, value);
+    }
+  }
 
   /// Async span begin/end, correlated by \p id within \p t's category.
   /// Overlapping ids each get their own lane in the viewer.
   void async_begin(TrackId t, const char* name, std::uint64_t id,
-                   sim::TimePs ts);
+                   sim::TimePs ts) {
+    if (live(t)) {
+      async_begin_impl(t, name, id, ts);
+    }
+  }
   /// \p args_json, when non-empty, is a pre-rendered JSON object placed in
   /// the event's "args" field (e.g. per-hop latency breakdown).
   void async_end(TrackId t, const char* name, std::uint64_t id,
-                 sim::TimePs ts, const std::string& args_json = "");
+                 sim::TimePs ts, const std::string& args_json = "") {
+    if (live(t)) {
+      async_end_impl(t, name, id, ts, args_json);
+    }
+  }
 
   /// Number of events written so far (diagnostics and tests).
   [[nodiscard]] std::uint64_t events_written() const { return events_; }
@@ -106,6 +132,21 @@ class TraceWriter {
   void finish();
 
  private:
+  /// True when an emit call on \p t will actually write something.
+  [[nodiscard]] bool live(TrackId t) const {
+    return t.valid() && file_ != nullptr;
+  }
+
+  void complete_impl(TrackId t, const char* name, sim::TimePs ts,
+                     sim::TimePs dur);
+  void instant_impl(TrackId t, const char* name, sim::TimePs ts);
+  void counter_impl(TrackId t, const char* series, sim::TimePs ts,
+                    double value);
+  void async_begin_impl(TrackId t, const char* name, std::uint64_t id,
+                        sim::TimePs ts);
+  void async_end_impl(TrackId t, const char* name, std::uint64_t id,
+                      sim::TimePs ts, const std::string& args_json);
+
   void emit_prefix(TrackId t, const char ph, const char* name,
                    sim::TimePs ts);
   void emit_suffix();

@@ -69,7 +69,8 @@ TEST(MultiChannel, DoublesSequentialBandwidth) {
     soc::Soc chip(cfg);
     for (std::size_t i = 0; i < 4; ++i) {
       wl::TrafficGenConfig tg;
-      tg.name = "g" + std::to_string(i);
+      tg.name = "g";
+      tg.name += std::to_string(i);
       tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
       tg.seed = 3 + i;
       tg.max_outstanding = 16;

@@ -430,5 +430,191 @@ TEST(LaggedRegulator, LagAllowsOvershoot) {
   EXPECT_EQ(reg.max_overshoot_bytes(), 256u);
 }
 
+// --------------------------------------------------------------------------
+// Reconfiguration while throttled (regression tests)
+// --------------------------------------------------------------------------
+
+TEST(Regulator, SetWindowWhileExhaustedClosesThrottleInterval) {
+  sim::Simulator s;
+  RegulatorConfig rc;
+  rc.budget_bytes = 128;
+  rc.window_ps = 1000;
+  Regulator reg(s, rc);
+  LineFactory lf;
+  s.schedule_at(0, [&] { reg.on_grant(lf.make(0, 128), 0); });  // exhausts
+  s.schedule_at(300, [&] {
+    reg.set_window(5000);
+    // Time throttled under the old window is accounted at the change, and
+    // a fresh interval starts; the shut window is not counted twice.
+    EXPECT_EQ(reg.stats().throttled_ps, 300u);
+    EXPECT_TRUE(reg.exhausted());
+    EXPECT_EQ(reg.stats().exhausted_windows, 1u);
+    EXPECT_EQ(reg.stats().last_exhausted_at, 300u);
+  });
+  s.run_until(6000);  // new-window replenish lands at t=5300
+  EXPECT_FALSE(reg.exhausted());
+  EXPECT_TRUE(reg.allow(lf.make(0, 64), s.now()));
+  EXPECT_EQ(reg.stats().throttled_ps, 5300u);
+  EXPECT_EQ(reg.stats().exhausted_windows, 1u);
+}
+
+TEST(Regulator, SetBudgetWhileExhaustedRestartsInterval) {
+  sim::Simulator s;
+  RegulatorConfig rc;
+  rc.budget_bytes = 128;
+  rc.window_ps = 1000;
+  Regulator reg(s, rc);
+  LineFactory lf;
+  s.schedule_at(0, [&] { reg.on_grant(lf.make(0, 192), 0); });  // overdraft
+  s.schedule_at(400, [&] {
+    reg.set_budget(256);  // credit stays negative: gate remains shut
+    EXPECT_TRUE(reg.exhausted());
+    EXPECT_EQ(reg.stats().throttled_ps, 400u);
+    EXPECT_EQ(reg.stats().last_exhausted_at, 400u);
+    EXPECT_EQ(reg.stats().exhausted_windows, 1u);
+  });
+  s.run_until(1500);  // replenish at t=1000 repays the debt from 256
+  EXPECT_FALSE(reg.exhausted());
+  EXPECT_EQ(reg.tokens(), 192);
+  EXPECT_EQ(reg.stats().throttled_ps, 1000u);
+}
+
+TEST(Regulator, SetBudgetToZeroShutsGateMidWindow) {
+  sim::Simulator s;
+  RegulatorConfig rc;
+  rc.budget_bytes = 256;
+  rc.window_ps = 1000;
+  Regulator reg(s, rc);
+  LineFactory lf;
+  s.schedule_at(0, [&] { reg.on_grant(lf.make(0, 100), 0); });
+  s.schedule_at(250, [&] {
+    EXPECT_TRUE(reg.allow(lf.make(0, 64), 250));
+    reg.set_budget(0);  // clamps credit to zero: newly exhausted
+  });
+  s.schedule_at(600, [&] {
+    EXPECT_FALSE(reg.allow(lf.make(0, 64), 600));
+    EXPECT_TRUE(reg.exhausted());
+    EXPECT_EQ(reg.stats().exhausted_windows, 1u);
+    EXPECT_EQ(reg.stats().last_exhausted_at, 250u);
+  });
+  s.run_until(800);
+}
+
+TEST(Monitor, SetWindowFoldsPartialWindowIntoStats) {
+  sim::Simulator s;
+  MonitorConfig mc;
+  mc.window_ps = 1000;
+  mc.keep_window_trace = true;
+  BandwidthMonitor mon(s, mc);
+  LineFactory lf;
+  s.schedule_at(100, [&] { mon.on_grant(lf.make(0, 64), 100); });
+  s.schedule_at(300, [&] { mon.on_grant(lf.make(0, 32), 300); });
+  s.schedule_at(400, [&] {
+    mon.set_window(500);
+    // The partially-elapsed window is closed, not discarded.
+    EXPECT_EQ(mon.last_window_bytes(), 96u);
+    EXPECT_EQ(mon.windows_closed(), 1u);
+    EXPECT_EQ(mon.window_bytes(), 0u);
+    ASSERT_EQ(mon.window_trace().size(), 1u);
+    EXPECT_EQ(mon.window_trace()[0], 96u);
+  });
+  s.schedule_at(700, [&] { mon.on_grant(lf.make(0, 16), 700); });
+  s.run_until(950);  // first new-length boundary at t=900
+  EXPECT_EQ(mon.last_window_bytes(), 16u);
+  EXPECT_EQ(mon.windows_closed(), 2u);
+  EXPECT_EQ(mon.total_bytes(), 112u);
+}
+
+TEST(Monitor, SetWindowWithNoBytesClosesNothing) {
+  sim::Simulator s;
+  MonitorConfig mc;
+  mc.window_ps = 1000;
+  mc.keep_window_trace = true;
+  BandwidthMonitor mon(s, mc);
+  s.schedule_at(400, [&] { mon.set_window(500); });
+  s.run_until(450);
+  // An empty partial window is restarted silently, not recorded.
+  EXPECT_EQ(mon.windows_closed(), 0u);
+  EXPECT_TRUE(mon.window_trace().empty());
+}
+
+TEST(SoftMemguard, RaisingBudgetMidPeriodReleasesStall) {
+  sim::Simulator s;
+  SoftMemguardConfig mc;
+  mc.period_ps = 100'000;
+  mc.isr_latency_ps = 10'000;
+  SoftMemguard mg(s, mc);
+  mg.set_budget(3, 128);
+  LineFactory lf;
+  s.schedule_at(0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      mg.on_grant(lf.make(3, 64), 0);  // 192 > 128: overflow IRQ raised
+    }
+  });
+  s.schedule_at(20'000, [&] {
+    EXPECT_TRUE(mg.stalled(3));  // ISR landed at t=10'000
+    mg.set_budget(3, 1000);      // now within quota: release immediately
+    EXPECT_FALSE(mg.stalled(3));
+    EXPECT_TRUE(mg.allow(lf.make(3, 64), 20'000));
+    EXPECT_EQ(mg.master_stats(3).throttled_ps, 10'000u);
+  });
+  s.run_until(150'000);
+  // No further stall time accrued after the release.
+  EXPECT_EQ(mg.master_stats(3).throttled_ps, 10'000u);
+}
+
+TEST(SoftMemguard, SetBudgetCancelsInFlightOverflowIrq) {
+  sim::Simulator s;
+  SoftMemguardConfig mc;
+  mc.period_ps = 100'000;
+  mc.isr_latency_ps = 10'000;
+  SoftMemguard mg(s, mc);
+  mg.set_budget(3, 128);
+  LineFactory lf;
+  s.schedule_at(0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      mg.on_grant(lf.make(3, 64), 0);  // overflow: ISR in flight
+    }
+  });
+  s.schedule_at(5'000, [&] {
+    mg.set_budget(3, 1000);  // cancels the pending overflow
+  });
+  s.schedule_at(15'000, [&] {
+    // The ISR landed at t=10'000 on a master whose overflow was cancelled;
+    // it must back off instead of stalling (or tripping an assert).
+    EXPECT_FALSE(mg.stalled(3));
+    EXPECT_TRUE(mg.allow(lf.make(3, 64), 15'000));
+  });
+  s.run_until(150'000);
+  EXPECT_EQ(mg.master_stats(3).periods_throttled, 0u);
+  EXPECT_EQ(mg.master_stats(3).throttled_ps, 0u);
+}
+
+TEST(SoftMemguard, LoweringBudgetBelowUsageRaisesOverflow) {
+  sim::Simulator s;
+  SoftMemguardConfig mc;
+  mc.period_ps = 100'000;
+  mc.isr_latency_ps = 10'000;
+  SoftMemguard mg(s, mc);
+  mg.set_budget(3, 1000);
+  LineFactory lf;
+  s.schedule_at(0, [&] { mg.on_grant(lf.make(3, 500), 0); });  // within budget
+  s.schedule_at(1'000, [&] {
+    mg.set_budget(3, 256);  // already 500 granted: overflow IRQ raised now
+    // The overage was granted legitimately under the old budget.
+    EXPECT_EQ(mg.master_stats(3).violation_bytes, 0u);
+  });
+  s.schedule_at(5'000, [&] {
+    mg.on_grant(lf.make(3, 64), 5'000);  // granted while the IRQ is in flight
+  });
+  s.schedule_at(15'000, [&] {
+    EXPECT_TRUE(mg.stalled(3));  // ISR landed at t=11'000
+  });
+  s.run_until(150'000);
+  EXPECT_EQ(mg.master_stats(3).periods_throttled, 1u);
+  EXPECT_EQ(mg.master_stats(3).violation_bytes, 64u);
+  EXPECT_EQ(mg.master_stats(3).throttled_ps, 100'000u - 11'000u);
+}
+
 }  // namespace
 }  // namespace fgqos::qos

@@ -2,11 +2,14 @@
 // determinism, histogram and stats.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/clock_domain.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/histogram.hpp"
+#include "sim/pool.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -37,9 +40,105 @@ TEST(EventQueue, OrdersByTimeThenInsertion) {
   q.schedule(10, [&] { fired.push_back(1); });
   q.schedule(20, [&] { fired.push_back(3); });
   while (!q.empty()) {
-    q.pop().fn();
+    q.run_next();
   }
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, NonTrivialCaptureDestroyedAfterDispatch) {
+  EventQueue q;
+  auto token = std::make_shared<int>(7);
+  std::string out;
+  q.schedule(5, [token, s = std::string("hello")]() mutable {
+    s += "!";  // exercises the relocated (moved) closure state
+  });
+  q.schedule(10, [&out, tag = std::string("fired")] { out = tag; });
+  EXPECT_EQ(token.use_count(), 2);
+  while (!q.empty()) {
+    q.run_next();
+  }
+  EXPECT_EQ(out, "fired");
+  // The one-shot closure (and its shared_ptr capture) is destroyed after
+  // dispatch, not parked in the recycled slot.
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, RecurringFiresPerArmWithPayload) {
+  EventQueue q;
+  std::vector<std::uint64_t> args;
+  const EventQueue::RecurringId id =
+      q.make_recurring([&](std::uint64_t arg) { args.push_back(arg); });
+  // Multiple outstanding arms of the same id each fire once, in time order,
+  // delivering their per-schedule payload.
+  q.schedule_recurring(id, 30, 3);
+  q.schedule_recurring(id, 10, 1);
+  q.schedule_recurring(id, 20, 2);
+  while (!q.empty()) {
+    q.run_next();
+  }
+  EXPECT_EQ(args, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(EventQueue, OneShotAndRecurringShareScheduleOrderAtEqualTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventQueue::RecurringId id =
+      q.make_recurring([&](std::uint64_t) { fired.push_back(2); });
+  q.schedule(100, [&] { fired.push_back(1); });
+  q.schedule_recurring(id, 100);
+  q.schedule(100, [&] { fired.push_back(3); });
+  while (!q.empty()) {
+    q.run_next();
+  }
+  // Ties at equal time resolve by schedule order across both kinds.
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleDuringDispatchRecyclesSlots) {
+  EventQueue q;
+  int fired = 0;
+  for (TimePs i = 0; i < 64; ++i) {
+    // Each event reschedules a follow-up from inside its own dispatch.
+    q.schedule(i, [&q, &fired, i] {
+      ++fired;
+      q.schedule(100 + i, [&fired] { ++fired; });
+    });
+  }
+  while (!q.empty()) {
+    q.run_next();
+  }
+  EXPECT_EQ(fired, 128);
+  // Follow-ups reuse slots freed by the first wave: occupancy never
+  // exceeded the initial 64 plus the in-dispatch overlap.
+  EXPECT_LE(q.max_size(), 65u);
+}
+
+TEST(ObjectPool, RecyclesSlotsAndTracksLiveCount) {
+  ObjectPool<int> pool(4);
+  EXPECT_EQ(pool.capacity(), 0u);
+  int* a = pool.create(1);
+  int* b = pool.create(2);
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_EQ(pool.live(), 2u);
+  EXPECT_EQ(pool.capacity(), 4u);
+  pool.destroy(b);
+  EXPECT_EQ(pool.live(), 1u);
+  // LIFO free list: the freed slot is handed out again (cache-warm reuse).
+  int* c = pool.create(3);
+  EXPECT_EQ(c, b);
+  // Growth adds whole slabs; existing pointers stay valid.
+  std::vector<int*> more;
+  for (int i = 0; i < 10; ++i) {
+    more.push_back(pool.create(i));
+  }
+  EXPECT_EQ(pool.capacity(), 12u);
+  EXPECT_EQ(pool.live(), 12u);
+  EXPECT_EQ(*a, 1);
+  for (int* p : more) {
+    pool.destroy(p);
+  }
+  EXPECT_EQ(pool.live(), 2u);
 }
 
 TEST(Simulator, RunsEventsUpToDeadline) {
@@ -195,6 +294,52 @@ TEST(Histogram, CdfIsMonotone) {
     EXPECT_GE(cdf[i].cumulative, cdf[i - 1].cumulative);
   }
   EXPECT_EQ(cdf.back().cumulative, h.count());
+}
+
+TEST(Histogram, MergeEmptyIsNoOp) {
+  Histogram a;
+  Histogram b;
+  a.merge(b);  // empty into empty
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_EQ(a.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  a.record(10);
+  a.record(20);
+  a.merge(b);  // empty into non-empty: stats unchanged
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 20u);
+  EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+  b.merge(a);  // non-empty into empty: stats adopted (min not poisoned
+               // by the empty histogram's sentinel)
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 10u);
+  EXPECT_EQ(b.max(), 20u);
+  EXPECT_EQ(b.p50(), 10u);
+}
+
+TEST(Histogram, QuantileAtExactBucketBoundaries) {
+  // sub_bucket_bits = 5: values 0..31 land in exact single-value buckets,
+  // so quantiles at exact rank boundaries are fully determined.
+  Histogram h(5);
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.quantile(0.0), 0u);   // q <= 0 returns the minimum
+  EXPECT_EQ(h.quantile(1.0), 31u);  // q >= 1 returns the maximum
+  // q = k/32 needs ceil(k) samples: exactly the k-th smallest value.
+  EXPECT_EQ(h.quantile(1.0 / 32.0), 0u);
+  EXPECT_EQ(h.quantile(16.0 / 32.0), 15u);
+  EXPECT_EQ(h.quantile(17.0 / 32.0), 16u);
+  EXPECT_EQ(h.quantile(32.0 / 32.0), 31u);
+  // Quantiles never exceed the recorded maximum even though the bucket
+  // upper bound may (approximate region).
+  Histogram g(5);
+  g.record(1000);
+  EXPECT_EQ(g.quantile(0.5), 1000u);
+  EXPECT_EQ(g.p999(), 1000u);
 }
 
 TEST(WindowedBytes, SplitsIntoWindows) {

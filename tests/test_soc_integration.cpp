@@ -33,7 +33,8 @@ TEST(SocIntegration, InterferenceSlowsCriticalTask) {
     chip.add_core(cc, wl::make_pointer_chase(pc));
     for (std::size_t i = 0; i < n_gens; ++i) {
       wl::TrafficGenConfig tg;
-      tg.name = "g" + std::to_string(i);
+      tg.name = "g";
+      tg.name += std::to_string(i);
       tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
       tg.seed = 7 + i;
       chip.add_traffic_gen(i, tg);
@@ -57,7 +58,8 @@ TEST(SocIntegration, RegulationRestoresCriticalLatency) {
     chip.add_core(cc, wl::make_pointer_chase(pc));
     for (std::size_t i = 0; i < 4; ++i) {
       wl::TrafficGenConfig tg;
-      tg.name = "g" + std::to_string(i);
+      tg.name = "g";
+      tg.name += std::to_string(i);
       tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
       tg.seed = 7 + i;
       chip.add_traffic_gen(i, tg);

@@ -26,7 +26,8 @@ TEST(DramTimingEffects, FawLimitsRandomThroughput) {
   soc::Soc chip(cfg);
   for (std::size_t i = 0; i < 4; ++i) {
     wl::TrafficGenConfig tg;
-    tg.name = "g" + std::to_string(i);
+    tg.name = "g";
+    tg.name += std::to_string(i);
     tg.pattern = wl::Pattern::kRandomRead;
     tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
     tg.seed = 70 + i;
@@ -185,7 +186,8 @@ TEST(BoundPortability, HoldsOnEveryPreset) {
     const std::size_t gens = std::min<std::size_t>(cfg.accel_ports, 2);
     for (std::size_t i = 0; i < gens; ++i) {
       wl::TrafficGenConfig tg;
-      tg.name = "g" + std::to_string(i);
+      tg.name = "g";
+      tg.name += std::to_string(i);
       tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
       tg.seed = 50 + i;
       chip.add_traffic_gen(i, tg);
