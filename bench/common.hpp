@@ -138,6 +138,43 @@ inline void maybe_open_env_trace(soc::Soc& chip) {
   chip.open_trace(out, filter_env != nullptr ? filter_env : "");
 }
 
+/// Opt-in bench interference attribution: when FGQOS_BLAME=<path> is set
+/// in the environment, every scenario built by build_scenario() runs with
+/// the attribution engine on (window FGQOS_BLAME_WINDOW_US, default 100)
+/// and run_critical() writes the blame matrices there as CSV (a .1, .2,
+/// ... suffix keeps repeated scenarios apart).
+inline const char* env_blame_path() {
+  const char* path = std::getenv("FGQOS_BLAME");
+  return (path != nullptr && *path != '\0') ? path : nullptr;
+}
+
+inline void maybe_enable_env_blame(soc::Soc& chip) {
+  if (env_blame_path() == nullptr) {
+    return;
+  }
+  double window_us = 100;
+  if (const char* w = std::getenv("FGQOS_BLAME_WINDOW_US")) {
+    window_us = std::atof(w);
+  }
+  chip.enable_attribution(static_cast<sim::TimePs>(window_us * 1e6));
+}
+
+inline void maybe_dump_env_blame(soc::Soc& chip) {
+  const char* path = env_blame_path();
+  if (path == nullptr || chip.attribution() == nullptr) {
+    return;
+  }
+  static std::atomic<int> blame_seq{0};
+  const int seq = blame_seq.fetch_add(1);
+  std::string out = path;
+  if (seq > 0) {
+    out += '.';
+    out += std::to_string(seq);
+  }
+  chip.attribution()->finish(chip.now());
+  chip.attribution()->save_csv(out);
+}
+
 /// Shared `--jobs N` handling for the bench binaries: the flag (0 = one
 /// worker per hardware thread) overrides the FGQOS_JOBS environment
 /// variable; the default is serial. Scenario points submitted through the
@@ -174,6 +211,7 @@ inline Scenario build_scenario(const ScenarioParams& p) {
   s.chip = std::make_unique<soc::Soc>(cfg);
   soc::Soc& chip = *s.chip;
   maybe_open_env_trace(chip);
+  maybe_enable_env_blame(chip);
 
   if (p.critical_iterations > 0) {
     cpu::CoreConfig cc;
@@ -268,6 +306,7 @@ inline Scenario build_scenario(const ScenarioParams& p) {
 inline double run_critical(Scenario& s, sim::TimePs deadline) {
   if (s.critical == nullptr) {
     s.chip->run_for(deadline);
+    maybe_dump_env_blame(*s.chip);
     return 0.0;
   }
   const bool ok = s.chip->run_until_cores_finished(deadline);
@@ -275,6 +314,7 @@ inline double run_critical(Scenario& s, sim::TimePs deadline) {
     std::fprintf(stderr,
                  "WARN: critical task missed the simulation deadline\n");
   }
+  maybe_dump_env_blame(*s.chip);
   return s.critical->stats().iteration_ps.mean();
 }
 

@@ -9,6 +9,10 @@ Usage:
     # per-hop latency breakdown from a --metrics-json snapshot
     python3 scripts/plot_experiments.py hops metrics.json --out plots/
 
+    # victim x aggressor interference heatmap from a --blame-csv file
+    python3 scripts/plot_experiments.py blame blame.csv --out plots/
+    python3 scripts/plot_experiments.py blame blame.csv --cause dram_refresh
+
 Produces one PNG per known experiment CSV. Only matplotlib is required;
 files that are absent are skipped, so partial runs plot fine.
 """
@@ -143,6 +147,62 @@ def plot_hops(args, plt):
     print("wrote", out)
 
 
+def load_blame(path, cause=None, point=None):
+    """Reads a --blame-csv file; returns (victims, aggressors, matrix).
+
+    Sums the cumulative `total` rows over causes (or one cause), so both
+    fgqos_sim output and one point of a merged fgqos_sweep file (selected
+    with --point) plot the same way. The matrix is stall in ms.
+    """
+    victims, aggressors = [], []
+    cells = {}
+    for r in read_csv(path):
+        if r["scope"] != "total":
+            continue
+        if point is not None and r.get("point") != point:
+            continue
+        if cause is not None and r["cause"] != cause:
+            continue
+        v, a = r["victim"], r["aggressor"]
+        if v not in victims:
+            victims.append(v)
+        if a not in aggressors:
+            aggressors.append(a)
+        cells[(v, a)] = cells.get((v, a), 0.0) + float(r["stall_ps"]) / 1e9
+    matrix = [[cells.get((v, a), 0.0) for a in aggressors] for v in victims]
+    return victims, aggressors, matrix
+
+
+def plot_blame(args, plt):
+    victims, aggressors, matrix = load_blame(args.blame_csv, args.cause,
+                                             args.point)
+    if not victims:
+        sys.exit(f"no matching blame rows in {args.blame_csv} "
+                 "(run with --blame-csv; check --cause/--point spelling)")
+    fig, ax = plt.subplots(figsize=(5.5, 4.5))
+    im = ax.imshow(matrix, cmap="YlOrRd", aspect="auto")
+    ax.set_xticks(range(len(aggressors)), aggressors, rotation=30, fontsize=8)
+    ax.set_yticks(range(len(victims)), victims, fontsize=8)
+    ax.set_xlabel("aggressor (blamed)")
+    ax.set_ylabel("victim (stalled)")
+    title = "Interference blame (stall ms)"
+    if args.cause:
+        title += f" — {args.cause}"
+    ax.set_title(title, fontsize=10)
+    for i, row in enumerate(matrix):
+        for j, val in enumerate(row):
+            if val > 0:
+                ax.text(j, i, f"{val:.2f}", ha="center", va="center",
+                        fontsize=7)
+    fig.colorbar(im, ax=ax, shrink=0.8)
+    fig.tight_layout()
+    os.makedirs(args.out, exist_ok=True)
+    tag = f"_{args.cause}" if args.cause else ""
+    out = os.path.join(args.out, f"blame{tag}.png")
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
 def import_pyplot():
     try:
         import matplotlib
@@ -154,7 +214,22 @@ def import_pyplot():
 
 
 def main():
-    # "hops" subcommand; anything else is the legacy csv_dir form.
+    # "hops"/"blame" subcommands; anything else is the legacy csv_dir form.
+    if len(sys.argv) > 1 and sys.argv[1] == "blame":
+        ap = argparse.ArgumentParser(
+            prog="plot_experiments.py blame",
+            description="victim x aggressor stall heatmap from a "
+                        "--blame-csv file")
+        ap.add_argument("blame_csv", help="fgqos_sim/fgqos_sweep --blame-csv")
+        ap.add_argument("--cause", default=None,
+                        help="restrict to one cause (e.g. dram_bus_turnaround)")
+        ap.add_argument("--point", default=None,
+                        help="sweep point to plot (merged sweep CSVs only)")
+        ap.add_argument("--out", default="plots", help="output directory")
+        args = ap.parse_args(sys.argv[2:])
+        plot_blame(args, import_pyplot())
+        return
+
     if len(sys.argv) > 1 and sys.argv[1] == "hops":
         ap = argparse.ArgumentParser(
             prog="plot_experiments.py hops",

@@ -33,12 +33,25 @@ std::uint64_t Interconnect::total_bytes_granted() const {
   return total;
 }
 
+void Interconnect::set_attribution(telemetry::AttributionEngine* engine) {
+  attr_ = engine;
+  last_accepted_master_ = telemetry::kNoOwner;
+  for (const auto& p : ports_) {
+    p->set_attribution(engine);
+  }
+}
+
 void Interconnect::notify_work(sim::TimePs ready_at) { wake_at(ready_at); }
 
 bool Interconnect::tick(sim::Cycles /*cycle*/) {
   FGQOS_ASSERT(slave_ != nullptr, "Interconnect: slave not wired");
   const sim::TimePs now = simulator().now();
-  for (std::size_t grant = 0; grant < cfg_.issue_width; ++grant) {
+  // Single exit: the grant loop only ever breaks (never returns) so the
+  // end-of-tick attribution pass runs on every tick, including the
+  // locked-burst stall paths.
+  int first_granted = -1;
+  bool hold = false;
+  for (std::size_t grant = 0; grant < cfg_.issue_width && !hold; ++grant) {
     int pick = -1;
     if (locked_master_ >= 0) {
       // kTransaction: the burst in progress keeps the crossbar.
@@ -47,19 +60,24 @@ bool Interconnect::tick(sim::Cycles /*cycle*/) {
         case MasterPort::BlockReason::kNone:
           if (!slave_->can_accept(p.peek_line(now), now)) {
             // Head-of-line blocked at the slave: hold everyone.
-            return true;
+            hold = true;
+          } else {
+            pick = locked_master_;
           }
-          pick = locked_master_;
           break;
         case MasterPort::BlockReason::kRateLimit:
           // Transient pace gap within the burst: keep the lock, stall.
-          return true;
+          hold = true;
+          break;
         case MasterPort::BlockReason::kGate:
         case MasterPort::BlockReason::kEmpty:
           // The port withdrew (QoS gate shut the handshake): release so
           // a throttled burst cannot stall unrelated masters.
           locked_master_ = -1;
           break;
+      }
+      if (hold) {
+        break;
       }
     }
     if (pick < 0) {
@@ -84,9 +102,21 @@ bool Interconnect::tick(sim::Cycles /*cycle*/) {
     LineRequest line =
         ports_[static_cast<std::size_t>(pick)]->commit_grant(now);
     slave_->accept(line, now);
+    if (attr_ != nullptr) {
+      if (first_granted < 0) {
+        first_granted = pick;
+      }
+      last_accepted_master_ = line.txn->master;
+    }
     if (cfg_.granularity == ArbGranularity::kTransaction) {
       locked_master_ = line.last_of_txn ? -1 : pick;
     }
+  }
+  if (attr_ != nullptr) {
+    attribution_pass(now, first_granted);
+  }
+  if (hold) {
+    return true;
   }
   // Keep ticking while any port has queued or in-flight work; requests that
   // are currently gate-blocked still need periodic re-evaluation.
@@ -96,6 +126,37 @@ bool Interconnect::tick(sim::Cycles /*cycle*/) {
     }
   }
   return false;
+}
+
+void Interconnect::attribution_pass(sim::TimePs now, int first_granted) {
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    MasterPort& p = *ports_[i];
+    telemetry::WaitState& w = p.attr_wait();
+    if (!w.open || w.last > now) {
+      continue;  // no head, or the head is not visible yet
+    }
+    const auto victim = static_cast<MasterId>(i);
+    switch (p.grant_block_reason(now)) {
+      case MasterPort::BlockReason::kEmpty:
+        break;  // unreachable while the wait is open and started
+      case MasterPort::BlockReason::kRateLimit:
+      case MasterPort::BlockReason::kGate:
+        // The port's own data-path pacing or its own QoS gate: self.
+        attr_->charge(w, victim, victim, telemetry::Cause::kSelf, now,
+                      p.attr_head(now));
+        break;
+      case MasterPort::BlockReason::kNone: {
+        // Grantable but not granted: lost arbitration / issue width /
+        // downstream backpressure. Blame whoever got the fabric instead.
+        const MasterId aggressor =
+            first_granted >= 0 ? static_cast<MasterId>(first_granted)
+                               : last_accepted_master_;
+        attr_->charge(w, victim, aggressor, telemetry::Cause::kFabricArb, now,
+                      p.attr_head(now));
+        break;
+      }
+    }
+  }
 }
 
 void Interconnect::line_done(const LineRequest& line, sim::TimePs now) {

@@ -66,6 +66,12 @@ class Interconnect final : public sim::Clocked, public ResponseSink {
   /// Replaces the arbitration policy (default: round robin).
   void set_arbiter(std::unique_ptr<Arbiter> arb);
 
+  /// Wires the interference-attribution engine into the crossbar and all
+  /// its ports (nullptr disables; the default). When enabled, every
+  /// crossbar cycle classifies why each waiting head could not be granted
+  /// and charges the elapsed slice to the responsible master.
+  void set_attribution(telemetry::AttributionEngine* engine);
+
   [[nodiscard]] std::size_t master_count() const { return ports_.size(); }
   [[nodiscard]] MasterPort& master(std::size_t i) { return *ports_.at(i); }
   [[nodiscard]] const MasterPort& master(std::size_t i) const {
@@ -93,6 +99,11 @@ class Interconnect final : public sim::Clocked, public ResponseSink {
   void line_done(const LineRequest& line, sim::TimePs now) override;
 
  private:
+  /// Per-cycle blame pass: charges every port whose head waited this
+  /// cycle. \p first_granted is the first master granted this tick (-1
+  /// when none) — the one that actually beat the waiters to the fabric.
+  void attribution_pass(sim::TimePs now, int first_granted);
+
   InterconnectConfig cfg_;
   std::vector<std::unique_ptr<MasterPort>> ports_;
   std::unique_ptr<Arbiter> arbiter_;
@@ -101,6 +112,10 @@ class Interconnect final : public sim::Clocked, public ResponseSink {
   TxnId txn_seq_ = 0;
   std::vector<bool> eligible_;  ///< scratch, sized to master count
   int locked_master_ = -1;      ///< kTransaction: burst in progress
+  telemetry::AttributionEngine* attr_ = nullptr;
+  /// Master whose line most recently entered the slave; the default blame
+  /// target when a grantable head stalls with no grant this cycle.
+  MasterId last_accepted_master_ = telemetry::kNoOwner;
 };
 
 }  // namespace fgqos::axi

@@ -65,7 +65,14 @@ bool MasterPort::issue(Dir dir, Addr addr, std::uint32_t bytes,
   for (auto* obs : observers_) {
     obs->on_issue(*txn, now);
   }
+  const bool becomes_head = queue_.empty();
   queue_.push(txn, now);
+  if (attr_ != nullptr && becomes_head) {
+    // Fresh head: its head-of-line wait starts the instant it turns
+    // visible (now + request latency). Charged by the interconnect's
+    // per-cycle attribution pass, closed in commit_grant().
+    attr_->begin_wait(attr_wait_, queue_.head_ready_at());
+  }
   owner_.notify_work(queue_.head_ready_at());
   return true;
 }
@@ -124,11 +131,35 @@ LineRequest MasterPort::commit_grant(sim::TimePs now) {
   if (head_offset_ == 0) {
     txn->granted = now;
   }
+  if (attr_ != nullptr && attr_wait_.open) {
+    if (line.last_of_txn) {
+      // The burst leaves the fabric stage: close its head-of-line wait
+      // (final slice goes to the last observed blocker) and record the
+      // independently measured wait for the conservation check.
+      attr_->end_wait(attr_wait_, id_, txn->bytes, now, txn);
+      txn->attr_measured_ps += now - (txn->created + cfg_.request_latency_ps);
+    } else {
+      // Intermediate line: settle the slice up to this grant against the
+      // last observed blocker; the wait stays open for the next line.
+      attr_->charge(attr_wait_, id_, attr_wait_.last_aggressor,
+                    attr_wait_.last_cause, now, txn);
+    }
+  }
   head_offset_ += line.bytes;
   if (line.last_of_txn) {
     FGQOS_ASSERT(head_offset_ == txn->bytes, "line split accounting broken");
     queue_.pop(now);
     head_offset_ = 0;
+    if (attr_ != nullptr && !queue_.empty()) {
+      // Successor becomes head. Any time it already spent visible behind
+      // this burst is the victim's own queueing: charge it wholesale.
+      const sim::TimePs visible = queue_.head_ready_at();
+      if (visible < now) {
+        attr_->charge_span(id_, id_, telemetry::Cause::kSelf, visible, now,
+                           queue_.front(now));
+      }
+      attr_->begin_wait(attr_wait_, std::max(visible, now));
+    }
   }
   // Port data-path occupancy: a granted line occupies the physical port for
   // bytes * ps_per_byte.
@@ -166,6 +197,18 @@ void MasterPort::complete_txn(Transaction& txn, sim::TimePs now) {
   for (auto* obs : observers_) {
     obs->on_complete(txn, now);
   }
+  if (attr_ != nullptr) {
+    // Conservation bugcheck: every measured waited picosecond must have
+    // been charged to exactly one blame cell (and nothing else).
+    FGQOS_DEBUG_ASSERT(txn.attr_measured_ps == txn.attr_charged_ps,
+                       "attribution conservation violated");
+    const sim::TimePs d = txn.attr_measured_ps > txn.attr_charged_ps
+                              ? txn.attr_measured_ps - txn.attr_charged_ps
+                              : txn.attr_charged_ps - txn.attr_measured_ps;
+    if (d != 0) [[unlikely]] {
+      attr_->note_residual(d);
+    }
+  }
   // Deliver to the client last: it may immediately issue a new transaction
   // into the slot just released.
   const CompletionFn& fn = on_complete_;
@@ -178,6 +221,13 @@ void MasterPort::complete_txn(Transaction& txn, sim::TimePs now) {
   if (fn) {
     fn(snapshot);
   }
+}
+
+void MasterPort::set_attribution(telemetry::AttributionEngine* engine) {
+  FGQOS_ASSERT(engine == nullptr || queue_.empty(),
+               "MasterPort::set_attribution: enable before issuing");
+  attr_ = engine;
+  attr_wait_ = telemetry::WaitState{};
 }
 
 }  // namespace fgqos::axi

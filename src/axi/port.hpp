@@ -18,6 +18,7 @@
 #include "sim/histogram.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "telemetry/attribution.hpp"
 
 namespace fgqos::axi {
 
@@ -141,6 +142,19 @@ class MasterPort {
   /// and the response latency elapsed.
   void complete_txn(Transaction& txn, sim::TimePs now);
 
+  /// Wires the interference-attribution engine (nullptr disables; the
+  /// default). Must be set before the first issue() so the head-of-line
+  /// wait accounting starts from a clean queue.
+  void set_attribution(telemetry::AttributionEngine* engine);
+
+  /// Head-of-line wait bookkeeping, charged by the interconnect's
+  /// per-cycle attribution pass.
+  [[nodiscard]] telemetry::WaitState& attr_wait() { return attr_wait_; }
+  /// The transaction currently waiting at the head. Pre: head visible.
+  [[nodiscard]] Transaction* attr_head(sim::TimePs now) const {
+    return queue_.front(now);
+  }
+
  private:
   [[nodiscard]] std::uint32_t head_line_bytes(const Transaction& txn) const;
 
@@ -158,6 +172,8 @@ class MasterPort {
   sim::TimePs data_free_at_ = 0;     ///< port rate limiter
   double ps_per_byte_;
   PortStats stats_;
+  telemetry::AttributionEngine* attr_ = nullptr;
+  telemetry::WaitState attr_wait_;   ///< current head's head-of-line wait
 };
 
 }  // namespace fgqos::axi

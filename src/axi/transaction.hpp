@@ -37,6 +37,14 @@ struct Transaction {
   std::uint32_t lines_total = 0;  ///< line requests this burst splits into
   std::uint32_t lines_left = 0;   ///< still outstanding in the memory system
 
+  // Interference-attribution conservation ledger (telemetry): the wait
+  // time the hooks measured from lifecycle stamps vs. the picoseconds the
+  // AttributionEngine actually charged to blame-matrix cells. Equal at
+  // completion when the bookkeeping is sound (FGQOS_DEBUG_ASSERT); any
+  // difference feeds the telemetry.attribution.residual_ps gauge.
+  sim::TimePs attr_measured_ps = 0;
+  sim::TimePs attr_charged_ps = 0;
+
   /// End-to-end latency; valid once completed.
   [[nodiscard]] sim::TimePs latency() const { return completed - created; }
 };

@@ -8,6 +8,7 @@
 #include "axi/transaction.hpp"
 #include "dram/address_mapper.hpp"
 #include "sim/time.hpp"
+#include "telemetry/attribution.hpp"
 
 namespace fgqos::dram {
 
@@ -17,6 +18,8 @@ struct QueueEntry {
   Decoded where;
   sim::TimePs visible_at = 0;  ///< front-end pipeline delay
   std::uint64_t seq = 0;       ///< arrival order (FCFS tie-break)
+  /// Queueing-delay blame bookkeeping (open only when attribution is on).
+  telemetry::WaitState wait;
 };
 
 /// FIFO-ordered bounded queue; the scheduler scans visible entries and
@@ -37,6 +40,9 @@ class RequestQueue {
   [[nodiscard]] const std::deque<QueueEntry>& entries() const {
     return entries_;
   }
+  /// Mutable view for the attribution pass (updates per-entry WaitStates
+  /// without perturbing order or contents).
+  [[nodiscard]] std::deque<QueueEntry>& mutable_entries() { return entries_; }
 
   /// Removes the entry at \p index and returns it.
   QueueEntry remove_at(std::size_t index);

@@ -81,6 +81,12 @@ void Controller::accept(axi::LineRequest line, sim::TimePs now) {
   e.visible_at = now + cfg_.frontend_latency_ps;
   e.seq = ++arrival_seq_;
   e.line = line;
+  if (attr_ != nullptr) {
+    // The line's queueing wait starts once the front-end pipeline makes it
+    // schedulable; charged per cycle by attribution_pass(), closed at CAS
+    // issue.
+    attr_->begin_wait(e.wait, e.visible_at);
+  }
   const sim::TimePs visible_at = e.visible_at;
   if (line.is_write) {
     write_q_.push(std::move(e));
@@ -94,6 +100,9 @@ void Controller::do_refresh(Cycle c) {
   const Cycle ready = c + cfg_.timing.tRFC;
   for (auto& b : banks_) {
     b.refresh_block(ready);
+  }
+  if (attr_ != nullptr) {
+    refresh_busy_until_ = ready;
   }
   stats_.refreshes.add();
   // Catch up the schedule (idle periods may have skipped several tREFI
@@ -186,6 +195,22 @@ void Controller::issue_cas(QueueEntry entry, Cycle c, bool auto_precharge) {
     master_bytes_.resize(m + 1, 0);
   }
   master_bytes_[m] += entry.line.bytes;
+  if (attr_ != nullptr) {
+    if (entry.wait.open) {
+      const sim::TimePs now_ps = simulator().now();
+      attr_->end_wait(entry.wait, m, entry.line.bytes, now_ps,
+                      entry.line.txn);
+      entry.line.txn->attr_measured_ps += now_ps - entry.visible_at;
+    }
+    // This CAS now occupies the shared resources: remember who to blame
+    // for the bus, and for the direction-turnaround window it just pushed.
+    bus_owner_ = m;
+    if (is_write) {
+      read_block_owner_ = m;  // tWTR holds reads back
+    } else {
+      write_block_owner_ = m;  // tRTW holds writes back
+    }
+  }
 
   const sim::TimePs data_start_ps = data_start * clock().period_ps();
   const sim::TimePs done_ps = data_end * clock().period_ps();
@@ -257,6 +282,9 @@ bool Controller::try_prep(const std::vector<const QueueEntry*>& order,
         b.activate(e->where.row, c, cfg_.timing.tRCD, cfg_.timing.tRAS,
                    cfg_.timing.tRC);
         note_act(c, group);
+        if (attr_ != nullptr) {
+          bank_owner_[e->where.bank] = e->line.txn->master;
+        }
         stats_.activations.add();
         return true;
       }
@@ -280,7 +308,20 @@ bool Controller::try_prep(const std::vector<const QueueEntry*>& order,
 bool Controller::tick(sim::Cycles cycle) {
   const sim::TimePs now = simulator().now();
   const Cycle c = cycle;
+  // Scheduling proper lives in schedule(); splitting it out gives the
+  // attribution pass a single point that runs on every tick, including the
+  // refresh and CAS-issued early exits.
+  bool serve_reads = true;
+  bool serve_writes = true;
+  const bool keep_ticking = schedule(c, now, serve_reads, serve_writes);
+  if (attr_ != nullptr) {
+    attribution_pass(c, now, serve_reads, serve_writes);
+  }
+  return keep_ticking;
+}
 
+bool Controller::schedule(Cycle c, sim::TimePs now, bool& serve_reads,
+                          bool& serve_writes) {
   if (c >= next_refresh_) {
     do_refresh(c);
     return true;  // refresh occupies the command bus this cycle
@@ -292,8 +333,8 @@ bool Controller::tick(sim::Cycles cycle) {
   } else if (write_q_.size() <= cfg_.write_low_watermark) {
     draining_writes_ = false;
   }
-  bool serve_writes = draining_writes_ || read_q_.empty();
-  bool serve_reads = !draining_writes_ || write_q_.empty();
+  serve_writes = draining_writes_ || read_q_.empty();
+  serve_reads = !draining_writes_ || write_q_.empty();
   // Aging in both directions bounds worst-case service:
   //  * a sustained write flood can hold the drain above the low watermark
   //    forever — aged reads re-enter the scan;
@@ -403,6 +444,61 @@ bool Controller::tick(sim::Cycles cycle) {
   // still need future ticks; wake_at in accept() covers new arrivals, and
   // we remain awake while anything is queued).
   return !(read_q_.empty() && write_q_.empty());
+}
+
+void Controller::attribution_pass(Cycle c, sim::TimePs now, bool serve_reads,
+                                  bool serve_writes) {
+  const bool refresh_busy = c < refresh_busy_until_;
+  auto pass_queue = [&](RequestQueue& q, bool served, bool is_write) {
+    for (QueueEntry& e : q.mutable_entries()) {
+      if (e.visible_at > now || !e.wait.open) {
+        continue;
+      }
+      const axi::MasterId victim = e.line.txn->master;
+      axi::MasterId aggressor;
+      telemetry::Cause cause;
+      if (refresh_busy) {
+        // tRFC blocks every bank; nobody's traffic is at fault.
+        aggressor = telemetry::kNoOwner;
+        cause = telemetry::Cause::kDramRefresh;
+      } else if (!served) {
+        // Direction excluded from the scan: write-drain batching (or its
+        // read mirror) is bus-turnaround amortisation — the opposite
+        // direction owns the bus.
+        aggressor = bus_owner_;
+        cause = telemetry::Cause::kDramBusTurnaround;
+      } else {
+        const Bank& b = banks_[e.where.bank];
+        if (!b.row_open() || !b.row_hit(e.where.row)) {
+          // Row closed or holding someone else's row: PRE/ACT/tRCD
+          // exposure, blamed on whoever activated the bank last.
+          aggressor = bank_owner_[e.where.bank];
+          cause = telemetry::Cause::kDramBankConflict;
+        } else if (c < dir_cas_ready(is_write)) {
+          // Row ready but the direction's CAS window is pushed out by an
+          // opposite-direction burst (tWTR / tRTW).
+          aggressor = is_write ? write_block_owner_ : read_block_owner_;
+          cause = telemetry::Cause::kDramBusTurnaround;
+        } else {
+          // Schedulable but lost FR-FCFS / bus occupancy this cycle.
+          aggressor = bus_owner_;
+          cause = telemetry::Cause::kFabricArb;
+        }
+      }
+      attr_->charge(e.wait, victim, aggressor, cause, now, e.line.txn);
+    }
+  };
+  pass_queue(read_q_, serve_reads, false);
+  pass_queue(write_q_, serve_writes, true);
+}
+
+void Controller::set_attribution(telemetry::AttributionEngine* engine) {
+  attr_ = engine;
+  bank_owner_.assign(banks_.size(), telemetry::kNoOwner);
+  bus_owner_ = telemetry::kNoOwner;
+  read_block_owner_ = telemetry::kNoOwner;
+  write_block_owner_ = telemetry::kNoOwner;
+  refresh_busy_until_ = 0;
 }
 
 }  // namespace fgqos::dram

@@ -21,6 +21,7 @@
 #include "dram/timing.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/attribution.hpp"
 #include "telemetry/trace.hpp"
 
 namespace fgqos::dram {
@@ -102,6 +103,13 @@ class Controller final : public sim::Clocked, public axi::SlaveIf {
   /// counter series on a track named \p track_name.
   void set_trace(telemetry::TraceWriter* writer, const std::string& track_name);
 
+  /// Wires the interference-attribution engine (nullptr disables; the
+  /// default). When enabled, every controller cycle classifies why each
+  /// visible queued line could not issue its CAS (bank conflict, bus
+  /// turnaround / write-drain batching, refresh, scheduling) and charges
+  /// the slice to the master occupying that resource.
+  void set_attribution(telemetry::AttributionEngine* engine);
+
   // SlaveIf
   [[nodiscard]] bool can_accept(const axi::LineRequest& line,
                                 sim::TimePs now) const override;
@@ -135,6 +143,14 @@ class Controller final : public sim::Clocked, public axi::SlaveIf {
   /// first.
   void scan_order(std::vector<const QueueEntry*>& out, bool include_reads,
                   bool include_writes, sim::TimePs now) const;
+  /// One scheduling cycle (refresh / CAS / prep); the original tick body.
+  /// Reports the scan-direction decision through \p serve_reads /
+  /// \p serve_writes so the attribution pass can classify drain exclusion.
+  bool schedule(Cycle c, sim::TimePs now, bool& serve_reads,
+                bool& serve_writes);
+  /// Per-cycle blame pass over every visible waiting queue entry.
+  void attribution_pass(Cycle c, sim::TimePs now, bool serve_reads,
+                        bool serve_writes);
 
   ControllerConfig cfg_;
   AddressMapper mapper_;
@@ -161,6 +177,15 @@ class Controller final : public sim::Clocked, public axi::SlaveIf {
 
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;
+
+  // Interference attribution (all state dormant while attr_ == nullptr).
+  telemetry::AttributionEngine* attr_ = nullptr;
+  std::vector<axi::MasterId> bank_owner_;  ///< master of each bank's last ACT
+  axi::MasterId bus_owner_ = telemetry::kNoOwner;  ///< last CAS issuer
+  /// Masters whose CAS pushed the opposite direction's turnaround window.
+  axi::MasterId read_block_owner_ = telemetry::kNoOwner;   ///< last writer
+  axi::MasterId write_block_owner_ = telemetry::kNoOwner;  ///< last reader
+  Cycle refresh_busy_until_ = 0;  ///< tRFC window of the last refresh
 };
 
 }  // namespace fgqos::dram

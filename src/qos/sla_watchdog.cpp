@@ -1,0 +1,226 @@
+#include "qos/sla_watchdog.hpp"
+
+#include "util/assert.hpp"
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+namespace {
+
+constexpr double kPsPerSecond = 1e12;
+
+/// Victim's stall in \p rec charged to any master but itself (all causes
+/// except self-attributed arbitration folds are already on the self cell).
+std::uint64_t interference_ps(
+    const telemetry::AttributionEngine& engine,
+    const telemetry::AttributionEngine::WindowRecord& rec,
+    axi::MasterId victim) {
+  std::uint64_t ps = 0;
+  const std::size_t m = engine.master_count();
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t c = 0; c < telemetry::kCauseCount; ++c) {
+      if (a == victim && static_cast<telemetry::Cause>(c) ==
+                             telemetry::Cause::kSelf) {
+        continue;
+      }
+      const std::size_t idx =
+          (static_cast<std::size_t>(victim) * m + a) * telemetry::kCauseCount +
+          c;
+      ps += rec.cells[idx].stall_ps;
+    }
+  }
+  return ps;
+}
+
+}  // namespace
+
+const char* violation_kind_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kBandwidth: return "bandwidth";
+    case ViolationKind::kLatencyP99: return "latency_p99";
+    case ViolationKind::kInterference: return "interference";
+  }
+  return "?";
+}
+
+SlaWatchdog::SlaWatchdog(telemetry::AttributionEngine& engine,
+                         telemetry::MetricsRegistry& metrics)
+    : engine_(engine), metrics_(metrics) {
+  engine_.add_window_listener(
+      [this](const telemetry::AttributionEngine::WindowRecord& rec) {
+        on_window(rec);
+      });
+}
+
+void SlaWatchdog::watch(axi::MasterPort& port, SlaSpec spec) {
+  config_check(find(port.id()) == nullptr,
+               "SlaWatchdog: port '" + port.name() + "' already watched");
+  config_check(spec.trip_windows > 0 && spec.clear_windows > 0,
+               "SlaWatchdog: hysteresis window counts must be > 0");
+  Watch w;
+  w.master = port.id();
+  w.name = port.name();
+  w.spec = spec;
+  w.objectives[static_cast<std::size_t>(ViolationKind::kBandwidth)] = {
+      spec.min_bandwidth_mbps > 0, spec.min_bandwidth_mbps, 0, 0, false};
+  w.objectives[static_cast<std::size_t>(ViolationKind::kLatencyP99)] = {
+      spec.max_p99_latency_ps > 0, static_cast<double>(spec.max_p99_latency_ps),
+      0, 0, false};
+  w.objectives[static_cast<std::size_t>(ViolationKind::kInterference)] = {
+      spec.max_interference_fraction > 0, spec.max_interference_fraction, 0, 0,
+      false};
+  w.violations_counter = &metrics_.counter("qos.sla." + w.name + ".violations");
+  w.in_violation_gauge = &metrics_.gauge("qos.sla." + w.name + ".in_violation");
+  watches_.push_back(std::move(w));
+  port.add_observer(*this);
+}
+
+void SlaWatchdog::set_trace(telemetry::TraceWriter* writer) {
+  trace_ = writer;
+  track_ = telemetry::TrackId{};
+  if (trace_ != nullptr) {
+    track_ = trace_->track(telemetry::Cat::kQos, "sla");
+    if (!track_.valid()) {
+      trace_ = nullptr;  // qos category filtered out
+    }
+  }
+}
+
+void SlaWatchdog::on_issue(const axi::Transaction& /*txn*/,
+                           sim::TimePs /*now*/) {}
+
+void SlaWatchdog::on_grant(const axi::LineRequest& line, sim::TimePs /*now*/) {
+  if (Watch* w = find(line.txn->master)) {
+    w->window_bytes += line.bytes;
+  }
+}
+
+void SlaWatchdog::on_complete(const axi::Transaction& txn,
+                              sim::TimePs /*now*/) {
+  if (Watch* w = find(txn.master)) {
+    w->window_latency.record(txn.latency());
+  }
+}
+
+SlaWatchdog::Watch* SlaWatchdog::find(axi::MasterId master) {
+  for (Watch& w : watches_) {
+    if (w.master == master) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+bool SlaWatchdog::in_violation(axi::MasterId master) const {
+  for (const Watch& w : watches_) {
+    if (w.master != master) {
+      continue;
+    }
+    for (const Objective& o : w.objectives) {
+      if (o.active) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void SlaWatchdog::check(
+    Watch& w, ViolationKind kind, double measured,
+    const telemetry::AttributionEngine::WindowRecord& rec) {
+  Objective& o = w.objectives[static_cast<std::size_t>(kind)];
+  if (!o.enabled) {
+    return;
+  }
+  // Bandwidth is a lower bound; the other objectives are upper bounds.
+  const bool violated = kind == ViolationKind::kBandwidth ? measured < o.bound
+                                                          : measured > o.bound;
+  if (!violated) {
+    o.bad_streak = 0;
+    if (o.active && ++o.good_streak >= w.spec.clear_windows) {
+      o.active = false;
+      o.good_streak = 0;
+    }
+    return;
+  }
+  o.good_streak = 0;
+  if (o.active || ++o.bad_streak < w.spec.trip_windows) {
+    return;  // hysteresis: already tripped, or not persistent enough yet
+  }
+  o.active = true;
+  o.bad_streak = 0;
+  Violation v;
+  v.kind = kind;
+  v.master = w.master;
+  v.window_start = rec.start;
+  v.window_end = rec.end;
+  v.measured = measured;
+  v.bound = o.bound;
+  engine_.dominant(rec.cells, w.master, v.dominant_aggressor, v.dominant_cause,
+                   v.dominant_stall_ps);
+  violations_.push_back(v);
+  w.violations_counter->add();
+  if (trace_ != nullptr) {
+    trace_->instant(track_, violation_kind_name(kind), rec.end);
+  }
+}
+
+void SlaWatchdog::on_window(
+    const telemetry::AttributionEngine::WindowRecord& rec) {
+  FGQOS_ASSERT(rec.end > rec.start, "SlaWatchdog: empty window");
+  const double window_s =
+      static_cast<double>(rec.end - rec.start) / kPsPerSecond;
+  for (Watch& w : watches_) {
+    const double mbps =
+        static_cast<double>(w.window_bytes) / window_s / 1e6;
+    check(w, ViolationKind::kBandwidth, mbps, rec);
+    if (w.window_latency.count() > 0) {
+      check(w, ViolationKind::kLatencyP99,
+            static_cast<double>(w.window_latency.p99()), rec);
+    }
+    const double stalled =
+        static_cast<double>(interference_ps(engine_, rec, w.master));
+    check(w, ViolationKind::kInterference,
+          stalled / static_cast<double>(rec.end - rec.start), rec);
+    w.window_bytes = 0;
+    w.window_latency.reset();
+    double active = 0.0;
+    for (const Objective& o : w.objectives) {
+      if (o.active) {
+        active = 1.0;
+        break;
+      }
+    }
+    w.in_violation_gauge->set(active);
+  }
+}
+
+void SlaWatchdog::write_report(std::ostream& os) const {
+  os << "SLA report: " << violations_.size() << " violation(s)\n";
+  for (const Violation& v : violations_) {
+    const std::string& victim = engine_.master_name(v.master);
+    os << "  [" << violation_kind_name(v.kind) << "] " << victim << " window "
+       << v.window_start / 1000000 << "-" << v.window_end / 1000000 << " us: ";
+    switch (v.kind) {
+      case ViolationKind::kBandwidth:
+        os << v.measured << " MB/s < " << v.bound << " MB/s guarantee";
+        break;
+      case ViolationKind::kLatencyP99:
+        os << v.measured / 1000.0 << " ns p99 > " << v.bound / 1000.0
+           << " ns bound";
+        break;
+      case ViolationKind::kInterference:
+        os << v.measured * 100.0 << "% stalled on others > " << v.bound * 100.0
+           << "% budget";
+        break;
+    }
+    if (v.dominant_stall_ps > 0) {
+      os << "; dominant: " << engine_.master_name(v.dominant_aggressor) << " ("
+         << telemetry::cause_name(v.dominant_cause) << ", "
+         << static_cast<double>(v.dominant_stall_ps) / 1e6 << " us)";
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace fgqos::qos

@@ -1,0 +1,141 @@
+/// \file sla_watchdog.hpp
+/// \brief Per-window SLA checking on top of the attribution engine.
+///
+/// The watchdog subscribes to the AttributionEngine's window rollovers and
+/// checks each watched master's service-level objectives over every blame
+/// window: delivered bandwidth against a guarantee, completion-latency p99
+/// against a bound, and the fraction of the window the master spent
+/// stalled on other masters' traffic against a budget. Violations are
+/// raised as structured events that name the attribution-dominant
+/// (aggressor, cause) cell of the offending window — the debugging answer
+/// "who do I regulate" — with hysteresis (N consecutive bad windows to
+/// trip, M consecutive good windows to clear) so boundary-hugging loads do
+/// not flap.
+///
+/// Counters land in the metrics registry (qos.sla.<port>.*); the full
+/// event list is available for the end-of-run report (write_report) and
+/// for tests.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "axi/port.hpp"
+#include "sim/histogram.hpp"
+#include "telemetry/attribution.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fgqos::qos {
+
+/// Service-level objectives for one master. A zero bound disables that
+/// check.
+struct SlaSpec {
+  /// Minimum delivered bandwidth per window (payload bytes granted),
+  /// MB/s (1e6 bytes/s).
+  double min_bandwidth_mbps = 0.0;
+  /// Maximum p99 end-to-end latency of transactions completed in the
+  /// window.
+  sim::TimePs max_p99_latency_ps = 0;
+  /// Maximum fraction of the window charged to other masters (all causes
+  /// except self), in [0,1].
+  double max_interference_fraction = 0.0;
+  /// Consecutive violating windows before a violation trips.
+  std::uint32_t trip_windows = 2;
+  /// Consecutive clean windows before a tripped violation clears.
+  std::uint32_t clear_windows = 2;
+};
+
+/// Which objective a violation event refers to.
+enum class ViolationKind : std::uint8_t {
+  kBandwidth = 0,     ///< guarantee missed
+  kLatencyP99,        ///< latency p99 over bound
+  kInterference,      ///< stall fraction over budget
+};
+
+[[nodiscard]] const char* violation_kind_name(ViolationKind k);
+
+/// One tripped SLA violation.
+struct Violation {
+  ViolationKind kind = ViolationKind::kBandwidth;
+  axi::MasterId master = 0;
+  sim::TimePs window_start = 0;  ///< window that tripped the hysteresis
+  sim::TimePs window_end = 0;
+  double measured = 0.0;  ///< MB/s, ps or fraction, per kind
+  double bound = 0.0;
+  /// Heaviest blame cell of the tripping window (kNoOwner when the victim
+  /// has no charges there).
+  axi::MasterId dominant_aggressor = telemetry::kNoOwner;
+  telemetry::Cause dominant_cause = telemetry::Cause::kSelf;
+  std::uint64_t dominant_stall_ps = 0;
+};
+
+/// The watchdog. One instance serves any number of watched ports.
+class SlaWatchdog final : public axi::TxnObserver {
+ public:
+  SlaWatchdog(telemetry::AttributionEngine& engine,
+              telemetry::MetricsRegistry& metrics);
+
+  SlaWatchdog(const SlaWatchdog&) = delete;
+  SlaWatchdog& operator=(const SlaWatchdog&) = delete;
+
+  /// Starts watching \p port against \p spec (attaches the watchdog as a
+  /// port observer). Call before running; one spec per port.
+  void watch(axi::MasterPort& port, SlaSpec spec);
+
+  /// Emits violation instants on a "sla" track (category "qos").
+  void set_trace(telemetry::TraceWriter* writer);
+
+  // axi::TxnObserver
+  void on_issue(const axi::Transaction& txn, sim::TimePs now) override;
+  void on_grant(const axi::LineRequest& line, sim::TimePs now) override;
+  void on_complete(const axi::Transaction& txn, sim::TimePs now) override;
+
+  /// Every violation tripped so far, in window order.
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  /// True while \p master has at least one objective tripped and not yet
+  /// cleared.
+  [[nodiscard]] bool in_violation(axi::MasterId master) const;
+
+  /// Human-readable end-of-run report (one line per violation plus a
+  /// summary header).
+  void write_report(std::ostream& os) const;
+
+ private:
+  struct Objective {
+    bool enabled = false;
+    double bound = 0.0;
+    std::uint32_t bad_streak = 0;
+    std::uint32_t good_streak = 0;
+    bool active = false;  ///< tripped and not yet cleared
+  };
+
+  struct Watch {
+    axi::MasterId master = 0;
+    std::string name;
+    SlaSpec spec;
+    std::uint64_t window_bytes = 0;    ///< granted this window
+    sim::Histogram window_latency;     ///< completions this window
+    Objective objectives[3];           ///< indexed by ViolationKind
+    telemetry::Counter* violations_counter = nullptr;
+    telemetry::Gauge* in_violation_gauge = nullptr;
+  };
+
+  void on_window(const telemetry::AttributionEngine::WindowRecord& rec);
+  void check(Watch& w, ViolationKind kind, double measured,
+             const telemetry::AttributionEngine::WindowRecord& rec);
+  [[nodiscard]] Watch* find(axi::MasterId master);
+
+  telemetry::AttributionEngine& engine_;
+  telemetry::MetricsRegistry& metrics_;
+  std::vector<Watch> watches_;
+  std::vector<Violation> violations_;
+  telemetry::TraceWriter* trace_ = nullptr;
+  telemetry::TrackId track_;
+};
+
+}  // namespace fgqos::qos

@@ -108,11 +108,31 @@ void Soc::enable_lifecycle_metrics() {
   }
 }
 
+telemetry::AttributionEngine& Soc::enable_attribution(sim::TimePs window_ps) {
+  telemetry::AttributionEngine& engine =
+      telemetry_.enable_attribution(window_ps);
+  for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
+    engine.register_master(static_cast<axi::MasterId>(m),
+                           xbar_->master(m).name());
+  }
+  xbar_->set_attribution(&engine);
+  for (auto& d : drams_) {
+    d->set_attribution(&engine);
+  }
+  if (telemetry_.tracing()) {
+    engine.set_trace(telemetry_.trace());
+  }
+  return engine;
+}
+
 void Soc::finish_telemetry() {
   if (telemetry_.tracing()) {
     for (auto& block : qos_blocks_) {
       block.regulator->flush_trace(sim_.now());
     }
+  }
+  if (telemetry::AttributionEngine* attr = telemetry_.attribution()) {
+    attr->finish(sim_.now());
   }
   telemetry_.finish();
 }
@@ -235,6 +255,10 @@ telemetry::MetricsRegistry& Soc::collect_metrics() {
     set_gauge(prefix + "iter_p99_ps",
               static_cast<double>(core.stats().iteration_ps.p99()));
     set_gauge(prefix + "l1_hit_rate", core.l1().stats().hit_rate());
+  }
+
+  if (telemetry::AttributionEngine* attr = telemetry_.attribution()) {
+    attr->publish_metrics();
   }
 
   // Kernel self-profiling.

@@ -116,6 +116,18 @@ class Soc {
   /// open_trace; call directly for lifecycle metrics without a trace).
   void enable_lifecycle_metrics();
 
+  /// Turns on interference attribution: registers every master with the
+  /// hub's AttributionEngine and wires the blame hooks into the crossbar,
+  /// its ports and every DRAM channel. \p window_ps sets the blame-matrix
+  /// accounting window. Call before running (and at most once); order
+  /// relative to open_trace() does not matter.
+  telemetry::AttributionEngine& enable_attribution(
+      sim::TimePs window_ps = 100 * sim::kPsPerUs);
+  /// The engine, or nullptr when attribution is disabled.
+  [[nodiscard]] telemetry::AttributionEngine* attribution() {
+    return telemetry_.attribution();
+  }
+
   /// Refreshes the hub's registry with a full platform snapshot (DRAM,
   /// ports, QoS, cores, generators, kernel self-profiling) and returns it.
   telemetry::MetricsRegistry& collect_metrics();

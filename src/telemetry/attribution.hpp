@@ -1,0 +1,248 @@
+/// \file attribution.hpp
+/// \brief Interference-attribution engine: per-transaction stall blame.
+///
+/// Answers the question the plain monitors cannot: when a victim's
+/// transaction waited, *who* occupied the resource it waited for, and
+/// *where* in the memory path. Every queueing point (AXI port head,
+/// crossbar arbitration, DRAM command queue) charges each waited
+/// picosecond to an (victim, aggressor, cause) cell:
+///
+///   fabric_arb           lost crossbar arbitration / FR-FCFS scheduling or
+///                        the shared data path was occupied by another
+///                        master's in-flight work
+///   dram_bank_conflict   the bank's row was closed or owned by another
+///                        request (PRE + ACT + tRCD exposure)
+///   dram_bus_turnaround  read<->write direction-switch windows
+///                        (tWTR/tRTW) and write-drain batching
+///   dram_refresh         the channel was blocked by refresh (tRFC)
+///   self                 own doing: port rate limit, own QoS gate shut,
+///                        queued behind own earlier transactions, or
+///                        clock/pipeline alignment
+///
+/// Charges accumulate into per-window M x M x cause blame matrices
+/// (picoseconds + bytes-delayed) plus a cumulative matrix. Window
+/// rollovers notify listeners (qos::SlaWatchdog) and emit Chrome-trace
+/// counter tracks when a TraceWriter is attached.
+///
+/// Accounting discipline: components track one WaitState per waiting
+/// head/entry. A wait is opened once, charged in telescoping slices
+/// (each slice runs from the previous charge to now), and closed
+/// exactly once; the engine also accumulates each slice onto the
+/// transaction (attr_charged_ps) while the hooks record the
+/// independently measured wait (attr_measured_ps) from lifecycle
+/// stamps. At completion the two must agree exactly — FGQOS_DEBUG_ASSERT
+/// in debug builds, a `telemetry.attribution.residual_ps` gauge in
+/// release builds.
+///
+/// Zero-cost when disabled: every hook is behind a nullable
+/// AttributionEngine pointer (one predicted branch), and the hot path
+/// never allocates (window publication, once per window, may).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "axi/transaction.hpp"
+#include "axi/types.hpp"
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fgqos::telemetry {
+
+/// Why a transaction's line could not make progress.
+enum class Cause : std::uint8_t {
+  kFabricArb = 0,
+  kDramBankConflict,
+  kDramBusTurnaround,
+  kDramRefresh,
+  kSelf,
+};
+
+inline constexpr std::size_t kCauseCount = 5;
+
+/// Stable short name ("fabric_arb", ...) used in exports.
+[[nodiscard]] const char* cause_name(Cause c);
+
+/// Sentinel for "no known occupant" (e.g. a bank never activated); the
+/// engine folds it onto the victim itself.
+inline constexpr axi::MasterId kNoOwner = 0xFFFF;
+
+/// Per-wait bookkeeping embedded in the waiting component (one per AXI
+/// port head, one per DRAM queue entry). POD; default state = closed.
+struct WaitState {
+  sim::TimePs start = 0;  ///< wait begin (independent measurement anchor)
+  sim::TimePs last = 0;   ///< end of the last charged slice
+  axi::MasterId last_aggressor = 0;
+  Cause last_cause = Cause::kSelf;
+  bool open = false;
+};
+
+/// The engine.
+class AttributionEngine {
+ public:
+  /// One blame-matrix cell: stalled picoseconds plus the payload bytes
+  /// whose delivery the stall delayed (credited to the cell that blocked
+  /// the wait last).
+  struct Cell {
+    std::uint64_t stall_ps = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// One closed accounting window.
+  struct WindowRecord {
+    sim::TimePs start = 0;
+    sim::TimePs end = 0;
+    std::vector<Cell> cells;  ///< M * M * kCauseCount, victim-major
+  };
+
+  /// Called at each window rollover with the just-closed window.
+  using WindowListener = std::function<void(const WindowRecord&)>;
+
+  /// \param metrics registry the summary metrics are published into
+  /// \param window_ps blame-matrix accounting window (> 0)
+  AttributionEngine(MetricsRegistry& metrics, sim::TimePs window_ps);
+
+  AttributionEngine(const AttributionEngine&) = delete;
+  AttributionEngine& operator=(const AttributionEngine&) = delete;
+
+  /// Registers master \p id under \p name. Ids must be dense from 0;
+  /// call for every master before the simulation runs.
+  void register_master(axi::MasterId id, std::string name);
+
+  [[nodiscard]] std::size_t master_count() const { return names_.size(); }
+  [[nodiscard]] const std::string& master_name(axi::MasterId id) const {
+    return names_.at(id);
+  }
+  [[nodiscard]] sim::TimePs window_ps() const { return window_ps_; }
+
+  void add_window_listener(WindowListener fn);
+
+  /// Attaches the Chrome-trace sink: one counter track per victim
+  /// (category "attr"), one series per cause, sampled at window ends.
+  void set_trace(TraceWriter* writer);
+
+  // --- hot path ----------------------------------------------------------
+
+  /// Opens \p w at \p start (typically in the past: the instant the head
+  /// became ready / the entry became visible).
+  void begin_wait(WaitState& w, sim::TimePs start) {
+    w.start = start;
+    w.last = start;
+    w.last_aggressor = kNoOwner;
+    w.last_cause = Cause::kSelf;
+    w.open = true;
+  }
+
+  /// Charges the slice [w.last, now] of \p victim's open wait to
+  /// (\p aggressor, \p cause) and remembers the blocker for the final
+  /// slice. kNoOwner (or the victim itself for kFabricArb) folds to
+  /// (victim, self).
+  void charge(WaitState& w, axi::MasterId victim, axi::MasterId aggressor,
+              Cause cause, sim::TimePs now, axi::Transaction* txn);
+
+  /// Closes \p w at \p now: charges the final slice to the last observed
+  /// blocker and credits \p bytes to that cell (only when the wait had
+  /// nonzero length).
+  void end_wait(WaitState& w, axi::MasterId victim, std::uint32_t bytes,
+                sim::TimePs now, axi::Transaction* txn);
+
+  /// Single-shot charge of the closed span [start, end] (e.g. time spent
+  /// queued behind the victim's own earlier transactions).
+  void charge_span(axi::MasterId victim, axi::MasterId aggressor, Cause cause,
+                   sim::TimePs start, sim::TimePs end, axi::Transaction* txn);
+
+  /// Records a conservation residual observed at transaction completion
+  /// (|measured - charged|; 0 when the bookkeeping is sound).
+  void note_residual(std::uint64_t ps) { residual_ps_ += ps; }
+
+  // --- cold path ---------------------------------------------------------
+
+  /// Publishes the final (partial) window. Call once, at end of run,
+  /// before exporting. Idempotent for a given \p now.
+  void finish(sim::TimePs now);
+
+  [[nodiscard]] const std::vector<WindowRecord>& windows() const {
+    return history_;
+  }
+  /// Cumulative cell (all windows + the open one).
+  [[nodiscard]] const Cell& total(axi::MasterId victim, axi::MasterId aggressor,
+                                  Cause cause) const {
+    return totals_[index(victim, aggressor, cause)];
+  }
+  /// Total stall charged to \p victim across aggressors and causes.
+  [[nodiscard]] std::uint64_t victim_stall_ps(axi::MasterId victim) const;
+  /// Stall of \p victim charged to \p aggressor (all causes).
+  [[nodiscard]] std::uint64_t blame_ps(axi::MasterId victim,
+                                       axi::MasterId aggressor) const;
+  /// Stall of \p victim with \p cause (all aggressors).
+  [[nodiscard]] std::uint64_t cause_ps(axi::MasterId victim, Cause cause) const;
+  [[nodiscard]] std::uint64_t residual_ps() const { return residual_ps_; }
+
+  /// Heaviest (aggressor, cause) cell of \p victim inside \p cells
+  /// (a WindowRecord's or the cumulative matrix). Returns false when the
+  /// victim has no charges.
+  bool dominant(const std::vector<Cell>& cells, axi::MasterId victim,
+                axi::MasterId& aggressor, Cause& cause,
+                std::uint64_t& stall_ps) const;
+
+  /// Writes the blame matrices as CSV. Schema:
+  ///   scope,window_start_ps,window_end_ps,victim,aggressor,cause,stall_ps,bytes
+  /// One row per nonzero cell, windows first then `total` rows. When
+  /// \p row_prefix is nonempty it is prepended verbatim to every row
+  /// (sweep tools add a leading point column); \p header controls the
+  /// header line (which gets \p header_prefix prepended).
+  void write_csv(std::ostream& os, bool header = true,
+                 const std::string& row_prefix = "",
+                 const std::string& header_prefix = "") const;
+  void save_csv(const std::string& path) const;
+
+  /// Writes one JSON object: masters, causes, window_ps, windows[],
+  /// totals[], residual_ps.
+  void write_json(std::ostream& os) const;
+  void save_json(const std::string& path) const;
+
+  /// Publishes the summary metrics into the registry:
+  ///   attr.<victim>.stall_ps / attr.<victim>.cause.<cause>_ps /
+  ///   attr.<victim>.from.<aggressor>_ps / telemetry.attribution.windows /
+  ///   telemetry.attribution.residual_ps (gauge).
+  void publish_metrics();
+
+ private:
+  [[nodiscard]] std::size_t index(axi::MasterId victim, axi::MasterId aggressor,
+                                  Cause cause) const {
+    return (static_cast<std::size_t>(victim) * names_.size() +
+            aggressor) * kCauseCount +
+           static_cast<std::size_t>(cause);
+  }
+
+  /// Folds sentinel / self-blamed-arbitration charges onto (victim, self).
+  void normalize(axi::MasterId victim, axi::MasterId& aggressor,
+                 Cause& cause) const;
+  void add(axi::MasterId victim, axi::MasterId aggressor, Cause cause,
+           std::uint64_t ps, sim::TimePs at);
+  /// Closes windows until \p at falls inside the open one.
+  void roll_to(sim::TimePs at);
+  void publish_window(sim::TimePs end);
+  void write_cells(std::ostream& os, const std::vector<Cell>& cells,
+                   const char* scope, sim::TimePs start, sim::TimePs end,
+                   const std::string& row_prefix) const;
+
+  MetricsRegistry& metrics_;
+  sim::TimePs window_ps_;
+  sim::TimePs window_start_ = 0;
+  std::vector<std::string> names_;
+  std::vector<Cell> window_cells_;   ///< open window, M*M*C
+  std::vector<Cell> totals_;         ///< cumulative, M*M*C
+  std::vector<WindowRecord> history_;
+  std::vector<WindowListener> listeners_;
+  std::uint64_t residual_ps_ = 0;
+  bool finished_ = false;
+  TraceWriter* trace_ = nullptr;
+  std::vector<TrackId> tracks_;  ///< one per victim
+};
+
+}  // namespace fgqos::telemetry

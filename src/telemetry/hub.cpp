@@ -11,6 +11,15 @@ void Hub::open_trace(const std::string& path, const std::string& filter) {
   for (auto& lc : lifecycles_) {
     lc->set_trace(trace_.get());
   }
+  if (attribution_ != nullptr) {
+    attribution_->set_trace(trace_.get());
+  }
+}
+
+AttributionEngine& Hub::enable_attribution(sim::TimePs window_ps) {
+  config_check(attribution_ == nullptr, "Hub: attribution already enabled");
+  attribution_ = std::make_unique<AttributionEngine>(metrics_, window_ps);
+  return *attribution_;
 }
 
 TxnLifecycleTracer& Hub::lifecycle(axi::MasterPort& port) {

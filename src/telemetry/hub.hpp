@@ -15,6 +15,7 @@
 
 #include "axi/port.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/attribution.hpp"
 #include "telemetry/lifecycle.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -47,6 +48,14 @@ class Hub {
   /// True when \p port already has a lifecycle tracer attached.
   [[nodiscard]] bool has_lifecycle(const axi::MasterPort& port) const;
 
+  /// Creates the interference-attribution engine with blame windows of
+  /// \p window_ps (at most one per hub; throws ConfigError on a second
+  /// call). Wires it to the trace sink when one is already open. The
+  /// caller still registers masters and hands the engine to the fabric.
+  AttributionEngine& enable_attribution(sim::TimePs window_ps);
+  /// The engine, or nullptr when attribution is disabled.
+  [[nodiscard]] AttributionEngine* attribution() { return attribution_.get(); }
+
   /// Starts the kernel self-profiling sampler: every \p period_ps it
   /// records event-queue occupancy and event/tick dispatch rates as
   /// counter tracks (category "kernel") and registry metrics.
@@ -62,6 +71,7 @@ class Hub {
 
   MetricsRegistry metrics_;
   std::unique_ptr<TraceWriter> trace_;
+  std::unique_ptr<AttributionEngine> attribution_;
   std::vector<std::unique_ptr<TxnLifecycleTracer>> lifecycles_;
   std::vector<const axi::MasterPort*> lifecycle_ports_;
   TrackId kernel_track_;

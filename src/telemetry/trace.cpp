@@ -19,6 +19,7 @@ const char* cat_name(Cat c) {
     case Cat::kQos: return "qos";
     case Cat::kWorkload: return "workload";
     case Cat::kKernel: return "kernel";
+    case Cat::kAttr: return "attr";
   }
   return "?";
 }
@@ -31,7 +32,7 @@ std::uint32_t parse_categories(const std::string& filter) {
   for (const std::string& part : util::split(filter, ',')) {
     bool found = false;
     for (const Cat c : {Cat::kPort, Cat::kDram, Cat::kQos, Cat::kWorkload,
-                        Cat::kKernel}) {
+                        Cat::kKernel, Cat::kAttr}) {
       if (part == cat_name(c)) {
         mask |= cat_bit(c);
         found = true;
@@ -39,7 +40,7 @@ std::uint32_t parse_categories(const std::string& filter) {
       }
     }
     config_check(found, "unknown trace category '" + part +
-                            "' (expected port,dram,qos,workload,kernel)");
+                            "' (expected port,dram,qos,workload,kernel,attr)");
   }
   return mask;
 }

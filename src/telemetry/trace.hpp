@@ -37,9 +37,10 @@ enum class Cat : std::uint8_t {
   kQos,           ///< regulator/monitor/memguard activity
   kWorkload,      ///< traffic generators
   kKernel,        ///< simulation-kernel self-profiling
+  kAttr,          ///< interference-attribution blame counters
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x1F;
+inline constexpr std::uint32_t kAllCategories = 0x3F;
 
 /// Returns the bit for one category.
 [[nodiscard]] constexpr std::uint32_t cat_bit(Cat c) {

@@ -26,3 +26,15 @@ namespace fgqos::util {
       ::fgqos::util::assert_fail(#cond, __FILE__, __LINE__, (msg));    \
     }                                                                  \
   } while (false)
+
+/// Debug-build-only assertion: compiled out under NDEBUG (Release /
+/// RelWithDebInfo). For invariants that are worth a bugcheck while
+/// developing but too hot — or deliberately tolerated with a telemetry
+/// residual — in optimized builds.
+#ifdef NDEBUG
+#define FGQOS_DEBUG_ASSERT(cond, msg) \
+  do {                                \
+  } while (false)
+#else
+#define FGQOS_DEBUG_ASSERT(cond, msg) FGQOS_ASSERT(cond, msg)
+#endif

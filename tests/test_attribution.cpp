@@ -1,0 +1,413 @@
+// Interference-attribution tests: the blame-matrix engine (telescoping
+// charges, sentinel folding, window rollover, exports, dominant-cell
+// lookup, metrics publication), full-platform conservation of measured
+// vs charged stall, scheduling invariance with attribution on, sweep
+// blame-CSV determinism across worker counts, and the SLA watchdog's
+// hysteresis and reporting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "exec/scenario_runner.hpp"
+#include "qos/sla_watchdog.hpp"
+#include "soc/soc.hpp"
+#include "telemetry/attribution.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/json.hpp"
+#include "workload/cpu_workloads.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace fgqos {
+namespace {
+
+using telemetry::AttributionEngine;
+using telemetry::Cause;
+
+// --- Engine unit tests ----------------------------------------------------
+
+TEST(Attribution, TelescopingChargesAndFinalSlice) {
+  telemetry::MetricsRegistry reg;
+  AttributionEngine eng(reg, sim::kPsPerMs);
+  eng.register_master(0, "cpu");
+  eng.register_master(1, "hp0");
+
+  axi::Transaction txn;
+  telemetry::WaitState w;
+  eng.begin_wait(w, 0);
+  eng.charge(w, 0, 1, Cause::kFabricArb, 100, &txn);
+  eng.charge(w, 0, 1, Cause::kDramBankConflict, 250, &txn);
+  // The final slice [250,400] goes to the last observed blocker, and the
+  // 64 delayed bytes are credited to that same cell.
+  eng.end_wait(w, 0, 64, 400, &txn);
+  eng.finish(400);
+
+  EXPECT_FALSE(w.open);
+  EXPECT_EQ(eng.total(0, 1, Cause::kFabricArb).stall_ps, 100u);
+  EXPECT_EQ(eng.total(0, 1, Cause::kDramBankConflict).stall_ps, 300u);
+  EXPECT_EQ(eng.total(0, 1, Cause::kDramBankConflict).bytes, 64u);
+  EXPECT_EQ(eng.victim_stall_ps(0), 400u);
+  EXPECT_EQ(eng.blame_ps(0, 1), 400u);
+  EXPECT_EQ(eng.cause_ps(0, Cause::kDramBankConflict), 300u);
+  EXPECT_EQ(txn.attr_charged_ps, 400u);
+}
+
+TEST(Attribution, ZeroLengthWaitChargesNothing) {
+  telemetry::MetricsRegistry reg;
+  AttributionEngine eng(reg, sim::kPsPerMs);
+  eng.register_master(0, "cpu");
+  telemetry::WaitState w;
+  eng.begin_wait(w, 500);
+  eng.end_wait(w, 0, 64, 500, nullptr);
+  EXPECT_FALSE(w.open);
+  EXPECT_EQ(eng.victim_stall_ps(0), 0u);
+  EXPECT_EQ(eng.total(0, 0, Cause::kSelf).bytes, 0u);
+}
+
+TEST(Attribution, NormalizeFoldsSentinelAndSelfArbitration) {
+  telemetry::MetricsRegistry reg;
+  AttributionEngine eng(reg, sim::kPsPerMs);
+  eng.register_master(0, "cpu");
+  eng.register_master(1, "hp0");
+  // An unknown occupant folds onto the victim, keeping the cause...
+  eng.charge_span(0, telemetry::kNoOwner, Cause::kDramRefresh, 0, 100,
+                  nullptr);
+  EXPECT_EQ(eng.total(0, 0, Cause::kDramRefresh).stall_ps, 100u);
+  // ...and losing arbitration to your own traffic is not interference.
+  eng.charge_span(0, 0, Cause::kFabricArb, 100, 250, nullptr);
+  EXPECT_EQ(eng.total(0, 0, Cause::kSelf).stall_ps, 150u);
+  EXPECT_EQ(eng.total(0, 0, Cause::kFabricArb).stall_ps, 0u);
+}
+
+TEST(Attribution, WindowRolloverPublishesAndResetsMatrix) {
+  telemetry::MetricsRegistry reg;
+  AttributionEngine eng(reg, 1000);  // 1 ns windows
+  eng.register_master(0, "cpu");
+  eng.register_master(1, "hp0");
+  std::size_t notified = 0;
+  eng.add_window_listener(
+      [&](const AttributionEngine::WindowRecord&) { ++notified; });
+
+  eng.charge_span(0, 1, Cause::kFabricArb, 0, 400, nullptr);
+  // Crossing into the second window closes the first.
+  eng.charge_span(0, 1, Cause::kFabricArb, 1500, 1600, nullptr);
+  eng.finish(2000);
+  eng.finish(2000);  // idempotent
+
+  ASSERT_EQ(eng.windows().size(), 2u);
+  EXPECT_EQ(notified, 2u);
+  const auto& w0 = eng.windows()[0];
+  const auto& w1 = eng.windows()[1];
+  EXPECT_EQ(w0.start, 0u);
+  EXPECT_EQ(w0.end, 1000u);
+  EXPECT_EQ(w1.start, 1000u);
+  EXPECT_EQ(w1.end, 2000u);
+  // Per-window matrices are disjoint (the rollover reset the live one);
+  // the cumulative matrix has both.
+  const std::size_t cell =
+      (0u * 2u + 1u) * telemetry::kCauseCount +
+      static_cast<std::size_t>(Cause::kFabricArb);
+  EXPECT_EQ(w0.cells[cell].stall_ps, 400u);
+  EXPECT_EQ(w1.cells[cell].stall_ps, 100u);
+  EXPECT_EQ(eng.total(0, 1, Cause::kFabricArb).stall_ps, 500u);
+
+  axi::MasterId agg = 0;
+  Cause cause = Cause::kSelf;
+  std::uint64_t ps = 0;
+  EXPECT_TRUE(eng.dominant(w0.cells, 0, agg, cause, ps));
+  EXPECT_EQ(agg, 1);
+  EXPECT_EQ(cause, Cause::kFabricArb);
+  EXPECT_EQ(ps, 400u);
+  EXPECT_FALSE(eng.dominant(w0.cells, 1, agg, cause, ps));
+}
+
+TEST(Attribution, CsvAndJsonExports) {
+  telemetry::MetricsRegistry reg;
+  AttributionEngine eng(reg, 1000);
+  eng.register_master(0, "cpu");
+  eng.register_master(1, "hp0");
+  eng.charge_span(0, 1, Cause::kDramBusTurnaround, 0, 400, nullptr);
+  eng.finish(1000);
+
+  std::ostringstream csv;
+  eng.write_csv(csv, /*header=*/true, /*row_prefix=*/"400,",
+                /*header_prefix=*/"point,");
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("point,scope,window_start_ps,window_end_ps,victim,"
+                      "aggressor,cause,stall_ps,bytes\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("400,window,0,1000,cpu,hp0,dram_bus_turnaround,400,0"),
+            std::string::npos);
+  EXPECT_NE(text.find("400,total,0,1000,cpu,hp0,dram_bus_turnaround,400,0"),
+            std::string::npos);
+
+  std::ostringstream js;
+  eng.write_json(js);
+  const util::JsonValue doc = util::JsonValue::parse(js.str());
+  EXPECT_EQ(doc.at("window_ps").as_number(), 1000.0);
+  EXPECT_EQ(doc.at("masters").as_array().size(), 2u);
+  EXPECT_EQ(doc.at("causes").as_array().size(), telemetry::kCauseCount);
+  ASSERT_EQ(doc.at("windows").as_array().size(), 1u);
+  const util::JsonValue& cells0 =
+      doc.at("windows").as_array()[0].at("cells");
+  ASSERT_EQ(cells0.as_array().size(), 1u);
+  EXPECT_EQ(cells0.as_array()[0].at("cause").as_string(),
+            "dram_bus_turnaround");
+  EXPECT_EQ(doc.at("totals").as_array()[0].at("stall_ps").as_number(), 400.0);
+  EXPECT_EQ(doc.at("residual_ps").as_number(), 0.0);
+}
+
+TEST(Attribution, PublishesSummaryMetrics) {
+  telemetry::MetricsRegistry reg;
+  AttributionEngine eng(reg, 1000);
+  eng.register_master(0, "cpu");
+  eng.register_master(1, "hp0");
+  eng.charge_span(0, 1, Cause::kFabricArb, 0, 300, nullptr);
+  eng.note_residual(7);
+  eng.finish(1000);
+  eng.publish_metrics();
+  eng.publish_metrics();  // reset-then-add: idempotent
+  EXPECT_EQ(reg.counter("attr.cpu.stall_ps").value(), 300u);
+  EXPECT_EQ(reg.counter("attr.cpu.cause.fabric_arb_ps").value(), 300u);
+  EXPECT_EQ(reg.counter("attr.cpu.from.hp0_ps").value(), 300u);
+  EXPECT_EQ(reg.counter("attr.hp0.stall_ps").value(), 0u);
+  EXPECT_EQ(reg.counter("telemetry.attribution.windows").value(), 1u);
+  EXPECT_EQ(reg.gauge("telemetry.attribution.residual_ps").value(), 7.0);
+}
+
+// --- Full-platform integration --------------------------------------------
+
+// EXP1-style scenario: one latency-critical pointer chaser versus three
+// streaming-write aggressors, no regulation. The blame matrix must (a)
+// conserve — every measured queueing picosecond charged somewhere, zero
+// residual — and (b) point at the write aggressors, with the write-drain
+// bus turnaround as the heaviest interference cause.
+TEST(AttributionSoc, WriteAggressorsDominateVictimBlame) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  cpu::CoreConfig cc;
+  cc.name = "critical";
+  cc.max_iterations = 4;
+  wl::PointerChaseConfig pc;
+  pc.accesses_per_iteration = 512;
+  chip.add_core(cc, wl::make_pointer_chase(pc));
+  for (std::size_t i = 0; i < 3; ++i) {
+    wl::TrafficGenConfig tg;
+    tg.name = "agg" + std::to_string(i);
+    tg.pattern = wl::Pattern::kSeqWrite;
+    tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.seed = 100 + i;
+    chip.add_traffic_gen(i % cfg.accel_ports, tg);
+  }
+  AttributionEngine& eng = chip.enable_attribution(100 * sim::kPsPerUs);
+  ASSERT_TRUE(chip.run_until_cores_finished(500 * sim::kPsPerMs));
+  chip.finish_telemetry();
+
+  // Conservation: the per-transaction ledger balanced on every completion.
+  EXPECT_EQ(eng.residual_ps(), 0u);
+
+  const double stall = static_cast<double>(eng.victim_stall_ps(0));
+  ASSERT_GT(stall, 0.0);
+  double from_aggressors = 0;
+  for (axi::MasterId a = 1; a <= 3; ++a) {
+    from_aggressors += static_cast<double>(eng.blame_ps(0, a));
+  }
+  EXPECT_GE(from_aggressors, 0.9 * stall)
+      << "victim stall " << stall << " ps, from aggressors "
+      << from_aggressors << " ps";
+  const std::uint64_t turnaround =
+      eng.cause_ps(0, Cause::kDramBusTurnaround);
+  EXPECT_GT(turnaround, eng.cause_ps(0, Cause::kFabricArb));
+  EXPECT_GT(turnaround, eng.cause_ps(0, Cause::kDramBankConflict));
+  EXPECT_GT(turnaround, eng.cause_ps(0, Cause::kDramRefresh));
+
+  // The summary metrics mirror the matrix.
+  telemetry::MetricsRegistry& reg = chip.collect_metrics();
+  EXPECT_EQ(static_cast<double>(eng.victim_stall_ps(0)),
+            reg.scalar("attr.cpu.stall_ps"));
+  EXPECT_EQ(reg.gauge("telemetry.attribution.residual_ps").value(), 0.0);
+}
+
+// Attribution is pure observation: enabling it must not move a single
+// event. Same scenario with and without the engine → identical end time,
+// identical traffic.
+TEST(AttributionSoc, EnablingAttributionDoesNotPerturbScheduling) {
+  const auto run = [](bool blame) {
+    soc::SocConfig cfg;
+    soc::Soc chip(cfg);
+    cpu::CoreConfig cc;
+    cc.name = "critical";
+    cc.max_iterations = 2;
+    wl::PointerChaseConfig pc;
+    pc.accesses_per_iteration = 256;
+    chip.add_core(cc, wl::make_pointer_chase(pc));
+    for (std::size_t i = 0; i < 2; ++i) {
+      wl::TrafficGenConfig tg;
+      tg.name = "agg" + std::to_string(i);
+      tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+      tg.seed = 7 + i;
+      chip.add_traffic_gen(i, tg);
+    }
+    qos::Regulator& r = *chip.qos_block(1).regulator;
+    r.set_rate(200e6);
+    r.set_enabled(true);
+    if (blame) {
+      chip.enable_attribution(10 * sim::kPsPerUs);
+    }
+    EXPECT_TRUE(chip.run_until_cores_finished(500 * sim::kPsPerMs));
+    return std::tuple(chip.now(),
+                      chip.cpu_port().stats().bytes_granted.value(),
+                      chip.accel_port(0).stats().bytes_granted.value(),
+                      chip.accel_port(1).stats().bytes_granted.value());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// The sweep merges pre-rendered blame rows in submission order, so the
+// combined CSV must be byte-identical whatever the worker count.
+TEST(AttributionSoc, SweepBlameCsvIsDeterministicAcrossJobs) {
+  const auto sweep = [](std::size_t jobs) {
+    const std::vector<std::uint64_t> iters = {1, 2, 3};
+    exec::ScenarioRunner runner({jobs, 42});
+    const auto rows =
+        runner.map(iters.size(), [&](const exec::JobContext& ctx) {
+          soc::SocConfig cfg;
+          soc::Soc chip(cfg);
+          cpu::CoreConfig cc;
+          cc.name = "critical";
+          cc.max_iterations = iters[ctx.index];
+          wl::PointerChaseConfig pc;
+          pc.accesses_per_iteration = 128;
+          chip.add_core(cc, wl::make_pointer_chase(pc));
+          for (std::size_t i = 0; i < 2; ++i) {
+            wl::TrafficGenConfig tg;
+            tg.name = "agg" + std::to_string(i);
+            tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+            tg.seed = ctx.seed + i;
+            chip.add_traffic_gen(i, tg);
+          }
+          chip.enable_attribution(50 * sim::kPsPerUs);
+          EXPECT_TRUE(chip.run_until_cores_finished(500 * sim::kPsPerMs));
+          chip.finish_telemetry();
+          std::ostringstream os;
+          chip.attribution()->write_csv(
+              os, /*header=*/false,
+              /*row_prefix=*/std::to_string(ctx.index) + ",");
+          return os.str();
+        });
+    std::string merged;
+    for (const std::string& r : rows) {
+      merged += r;
+    }
+    return merged;
+  };
+  const std::string serial = sweep(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, sweep(4));
+}
+
+// --- SLA watchdog ----------------------------------------------------------
+
+TEST(SlaWatchdog, BandwidthTripRespectsHysteresis) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  cpu::CoreConfig cc;
+  cc.name = "critical";
+  cc.max_iterations = 0;  // run for the whole duration
+  chip.add_core(cc, wl::make_pointer_chase({}));
+  const sim::TimePs window = 10 * sim::kPsPerUs;
+  AttributionEngine& eng = chip.enable_attribution(window);
+  qos::SlaWatchdog dog(eng, chip.telemetry().metrics());
+  qos::SlaSpec spec;
+  spec.min_bandwidth_mbps = 1e9;  // impossible guarantee
+  spec.trip_windows = 2;
+  spec.clear_windows = 2;
+  dog.watch(chip.cpu_port(), spec);
+
+  chip.run_for(sim::kPsPerMs);
+  chip.finish_telemetry();
+
+  ASSERT_EQ(dog.violations().size(), 1u);  // no re-raise while active
+  const qos::Violation& v = dog.violations()[0];
+  EXPECT_EQ(v.kind, qos::ViolationKind::kBandwidth);
+  EXPECT_EQ(v.master, chip.cpu_port().id());
+  // Hysteresis: the first bad window alone must not trip.
+  EXPECT_GE(v.window_end, 2 * window);
+  EXPECT_LT(v.measured, v.bound);
+  EXPECT_TRUE(dog.in_violation(chip.cpu_port().id()));
+  EXPECT_EQ(chip.telemetry().metrics().counter("qos.sla.cpu.violations")
+                .value(),
+            1u);
+  EXPECT_EQ(chip.telemetry().metrics().gauge("qos.sla.cpu.in_violation")
+                .value(),
+            1.0);
+  std::ostringstream report;
+  dog.write_report(report);
+  EXPECT_NE(report.str().find("bandwidth"), std::string::npos);
+  EXPECT_NE(report.str().find("cpu"), std::string::npos);
+}
+
+TEST(SlaWatchdog, LatencyAndInterferenceObjectivesTripUnderLoad) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  cpu::CoreConfig cc;
+  cc.name = "critical";
+  cc.max_iterations = 0;
+  chip.add_core(cc, wl::make_pointer_chase({}));
+  for (std::size_t i = 0; i < 2; ++i) {
+    wl::TrafficGenConfig tg;
+    tg.name = "agg" + std::to_string(i);
+    tg.pattern = wl::Pattern::kSeqWrite;
+    tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.seed = 100 + i;
+    chip.add_traffic_gen(i, tg);
+  }
+  AttributionEngine& eng = chip.enable_attribution(10 * sim::kPsPerUs);
+  qos::SlaWatchdog dog(eng, chip.telemetry().metrics());
+  qos::SlaSpec spec;
+  spec.max_p99_latency_ps = 1;            // any completion violates
+  spec.max_interference_fraction = 1e-6;  // any stall on others violates
+  dog.watch(chip.cpu_port(), spec);
+
+  chip.run_for(sim::kPsPerMs);
+  chip.finish_telemetry();
+
+  bool latency = false, interference = false;
+  for (const qos::Violation& v : dog.violations()) {
+    if (v.kind == qos::ViolationKind::kLatencyP99) {
+      latency = true;
+    }
+    if (v.kind == qos::ViolationKind::kInterference) {
+      interference = true;
+      // The violation names the aggressor to regulate.
+      EXPECT_GT(v.dominant_stall_ps, 0u);
+      EXPECT_NE(v.dominant_aggressor, telemetry::kNoOwner);
+    }
+  }
+  EXPECT_TRUE(latency);
+  EXPECT_TRUE(interference);
+}
+
+TEST(SlaWatchdog, CleanRunRaisesNothing) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  cpu::CoreConfig cc;
+  cc.name = "critical";
+  cc.max_iterations = 2;
+  chip.add_core(cc, wl::make_pointer_chase({}));
+  AttributionEngine& eng = chip.enable_attribution(100 * sim::kPsPerUs);
+  qos::SlaWatchdog dog(eng, chip.telemetry().metrics());
+  qos::SlaSpec spec;
+  spec.max_p99_latency_ps = sim::kPsPerMs;     // generous
+  spec.max_interference_fraction = 0.99;       // generous
+  dog.watch(chip.cpu_port(), spec);
+  ASSERT_TRUE(chip.run_until_cores_finished(500 * sim::kPsPerMs));
+  chip.finish_telemetry();
+  EXPECT_TRUE(dog.violations().empty());
+  EXPECT_FALSE(dog.in_violation(chip.cpu_port().id()));
+}
+
+}  // namespace
+}  // namespace fgqos

@@ -10,7 +10,9 @@
 ///   fgqos_sim --list-presets
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 
+#include "qos/sla_watchdog.hpp"
 #include "qos/soft_memguard.hpp"
 #include "soc/presets.hpp"
 #include "soc/soc.hpp"
@@ -43,7 +45,13 @@ void usage() {
       "  --trace FILE        write a Chrome trace_event JSON timeline\n"
       "  --trace-filter C    categories: port,dram,qos,workload,kernel\n"
       "  --metrics-json FILE metrics snapshot (per-hop histograms) as JSON\n"
-      "  --metrics-csv FILE  metrics snapshot as CSV\n");
+      "  --metrics-csv FILE  metrics snapshot as CSV\n"
+      "  --blame-csv FILE    interference-attribution blame matrices as CSV\n"
+      "  --blame-json FILE   blame matrices as JSON\n"
+      "  --blame-window-us W blame accounting window (default 100)\n"
+      "  --sla-min-mbps B    SLA watchdog: min CPU-port bandwidth per window\n"
+      "  --sla-p99-us L      SLA watchdog: max CPU read p99 per window\n"
+      "  --sla-stall-frac F  SLA watchdog: max interference fraction [0,1]\n");
 }
 
 wl::Pattern pattern_from(const std::string& s) {
@@ -87,9 +95,19 @@ int main(int argc, char** argv) {
     const std::string trace_filter = args.get("trace-filter", "");
     const std::string metrics_json = args.get("metrics-json", "");
     const std::string metrics_csv = args.get("metrics-csv", "");
+    const std::string blame_csv = args.get("blame-csv", "");
+    const std::string blame_json = args.get("blame-json", "");
+    const double blame_window_us = args.get_double("blame-window-us", 100);
+    const double sla_min_mbps = args.get_double("sla-min-mbps", 0);
+    const double sla_p99_us = args.get_double("sla-p99-us", 0);
+    const double sla_stall_frac = args.get_double("sla-stall-frac", 0);
     if (trace_path.empty() && !trace_filter.empty()) {
       throw ConfigError("--trace-filter requires --trace");
     }
+    const bool want_sla =
+        sla_min_mbps > 0 || sla_p99_us > 0 || sla_stall_frac > 0;
+    const bool want_blame =
+        !blame_csv.empty() || !blame_json.empty() || want_sla;
     for (const auto& k : args.unused_keys()) {
       throw ConfigError("unknown option --" + k + " (see --help)");
     }
@@ -146,6 +164,24 @@ int main(int argc, char** argv) {
       chip.enable_lifecycle_metrics();  // per-hop histograms without a trace
     }
 
+    std::unique_ptr<qos::SlaWatchdog> watchdog;
+    if (want_blame) {
+      telemetry::AttributionEngine& engine = chip.enable_attribution(
+          static_cast<sim::TimePs>(blame_window_us * 1e6));
+      if (want_sla) {
+        qos::SlaSpec spec;
+        spec.min_bandwidth_mbps = sla_min_mbps;
+        spec.max_p99_latency_ps = static_cast<sim::TimePs>(sla_p99_us * 1e6);
+        spec.max_interference_fraction = sla_stall_frac;
+        watchdog = std::make_unique<qos::SlaWatchdog>(
+            engine, chip.telemetry().metrics());
+        watchdog->watch(chip.cpu_port(), spec);
+        if (chip.telemetry().tracing()) {
+          watchdog->set_trace(chip.telemetry().trace());
+        }
+      }
+    }
+
     chip.run_for(static_cast<sim::TimePs>(duration_ms * 1e9));
 
     if (memguard != nullptr) {
@@ -179,6 +215,19 @@ int main(int argc, char** argv) {
     if (!metrics_csv.empty()) {
       chip.collect_metrics().save_csv(metrics_csv);
       std::printf("\nmetrics CSV written to %s\n", metrics_csv.c_str());
+    }
+    if (!blame_csv.empty()) {
+      chip.attribution()->save_csv(blame_csv);
+      std::printf("\nblame CSV written to %s\n", blame_csv.c_str());
+    }
+    if (!blame_json.empty()) {
+      chip.attribution()->save_json(blame_json);
+      std::printf("\nblame JSON written to %s\n", blame_json.c_str());
+    }
+    if (watchdog != nullptr) {
+      std::ostringstream report;
+      watchdog->write_report(report);
+      std::printf("\n%s", report.str().c_str());
     }
     if (!trace_path.empty()) {
       std::printf("\ntrace written to %s (%zu events)\n", trace_path.c_str(),

@@ -21,6 +21,8 @@
 ///   fgqos_sweep --knob aggressors --values 0,1,2,3,4 --scheme none
 ///   fgqos_sweep --knob isr --values 1,3,10,50 --scheme sw --jobs 4
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "fgqos.hpp"
 #include "util/cli.hpp"
@@ -37,6 +39,10 @@ struct Outcome {
   double iter_p99_us = 0;
   double read_p99_ns = 0;
   double aggr_gbps = 0;
+  /// Pre-rendered blame-matrix CSV rows ("<point>,scope,..."), empty when
+  /// attribution is off. Merged in submission order by main(), so the
+  /// combined file is byte-identical for any job count.
+  std::string blame_rows;
 };
 
 struct SweepPoint {
@@ -55,6 +61,11 @@ struct SweepPoint {
   std::string trace_filter;
   std::string metrics_json;
   std::string metrics_csv;
+  /// Interference attribution (off unless requested).
+  bool blame = false;
+  double blame_window_us = 100;
+  std::string blame_json;   ///< per-point file, already suffixed
+  std::string point_label;  ///< knob value, used as the blame-row prefix
 };
 
 /// "out.json" + budget=400 -> "out.budget400.json".
@@ -111,6 +122,10 @@ Outcome run_point(const SweepPoint& p) {
   } else if (!p.metrics_json.empty() || !p.metrics_csv.empty()) {
     chip.enable_lifecycle_metrics();
   }
+  if (p.blame) {
+    chip.enable_attribution(
+        static_cast<sim::TimePs>(p.blame_window_us * 1e6));
+  }
   chip.run_until_cores_finished(2000 * sim::kPsPerMs);
   if (mg != nullptr) {
     mg->flush_trace(chip.now());
@@ -129,6 +144,15 @@ Outcome run_point(const SweepPoint& p) {
     }
   }
   Outcome o;
+  if (p.blame) {
+    telemetry::AttributionEngine* attr = chip.attribution();
+    if (!p.blame_json.empty()) {
+      attr->save_json(p.blame_json);
+    }
+    std::ostringstream rows;
+    attr->write_csv(rows, /*header=*/false, /*row_prefix=*/p.point_label + ",");
+    o.blame_rows = rows.str();
+  }
   const auto& h = chip.cluster().core(0).stats().iteration_ps;
   o.iter_mean_us = h.mean() / 1e6;
   o.iter_p99_us = static_cast<double>(h.p99()) / 1e6;
@@ -157,6 +181,11 @@ int main(int argc, char** argv) {
           "            [--trace FILE] [--trace-filter CATS] "
           "[--metrics-json FILE] [--metrics-csv FILE]\n"
           "            [--exec-metrics-json FILE]\n"
+          "            [--blame-csv FILE] [--blame-json FILE] "
+          "[--blame-window-us W]\n"
+          "--blame-csv writes ONE merged interference-attribution CSV with a\n"
+          "leading `point` column (the knob value); --blame-json writes one\n"
+          "JSON file per point (suffixed like the other telemetry files).\n"
           "--jobs N runs N sweep points concurrently (0 = all hardware\n"
           "threads; FGQOS_JOBS sets the default); outcomes are merged in\n"
           "point order, so CSV and metrics files are byte-identical for\n"
@@ -182,6 +211,9 @@ int main(int argc, char** argv) {
     const std::string metrics_json = args.get("metrics-json", "");
     const std::string metrics_csv = args.get("metrics-csv", "");
     const std::string exec_metrics_json = args.get("exec-metrics-json", "");
+    const std::string blame_csv = args.get("blame-csv", "");
+    const std::string blame_json = args.get("blame-json", "");
+    const double blame_window_us = args.get_double("blame-window-us", 100);
     exec::ExecConfig ec;
     ec.jobs = static_cast<std::size_t>(args.get_int(
         "jobs", static_cast<std::int64_t>(exec::jobs_from_env(1))));
@@ -215,6 +247,10 @@ int main(int argc, char** argv) {
       p.trace_filter = trace_filter;
       p.metrics_json = point_path(metrics_json, knob, v);
       p.metrics_csv = point_path(metrics_csv, knob, v);
+      p.blame = !blame_csv.empty() || !blame_json.empty();
+      p.blame_window_us = blame_window_us;
+      p.blame_json = point_path(blame_json, knob, v);
+      p.point_label = v;
       points.push_back(std::move(p));
     }
 
@@ -243,6 +279,18 @@ int main(int argc, char** argv) {
     if (!csv.empty()) {
       table.save_csv(csv);
       std::printf("\nCSV written to %s\n", csv.c_str());
+    }
+    if (!blame_csv.empty()) {
+      std::ofstream blame(blame_csv);
+      if (!blame) {
+        throw ConfigError("cannot open blame CSV '" + blame_csv + "'");
+      }
+      blame << "point,scope,window_start_ps,window_end_ps,victim,aggressor,"
+               "cause,stall_ps,bytes\n";
+      for (const Outcome& o : outcomes) {
+        blame << o.blame_rows;
+      }
+      std::printf("blame CSV written to %s\n", blame_csv.c_str());
     }
     if (runner.worker_count() > 1) {
       std::printf("\n%s\n", runner.summary().c_str());
