@@ -163,6 +163,12 @@ void Interconnect::line_done(const LineRequest& line, sim::TimePs now) {
   Transaction* txn = line.txn;
   FGQOS_ASSERT(txn != nullptr && txn->lines_left > 0,
                "line_done: bad transaction state");
+  if (response_fault_) {
+    const Resp r = response_fault_(line, now);
+    if (r > txn->resp) {
+      txn->resp = r;
+    }
+  }
   --txn->lines_left;
   if (txn->lines_left > 0) {
     return;

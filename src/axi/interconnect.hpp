@@ -9,6 +9,7 @@
 /// port's response latency.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,6 +73,15 @@ class Interconnect final : public sim::Clocked, public ResponseSink {
   /// and charges the elapsed slice to the responsible master.
   void set_attribution(telemetry::AttributionEngine* engine);
 
+  /// Fault seam on the response path: consulted once per finished line in
+  /// line_done(); a non-kOkay verdict corrupts that line's response and
+  /// the transaction carries the worst per-line response back to the
+  /// master. Empty function (the default) means a perfect memory path.
+  using ResponseFaultFn = std::function<Resp(const LineRequest&, sim::TimePs)>;
+  void set_response_fault(ResponseFaultFn fn) {
+    response_fault_ = std::move(fn);
+  }
+
   [[nodiscard]] std::size_t master_count() const { return ports_.size(); }
   [[nodiscard]] MasterPort& master(std::size_t i) { return *ports_.at(i); }
   [[nodiscard]] const MasterPort& master(std::size_t i) const {
@@ -113,6 +123,7 @@ class Interconnect final : public sim::Clocked, public ResponseSink {
   std::vector<bool> eligible_;  ///< scratch, sized to master count
   int locked_master_ = -1;      ///< kTransaction: burst in progress
   telemetry::AttributionEngine* attr_ = nullptr;
+  ResponseFaultFn response_fault_;
   /// Master whose line most recently entered the slave; the default blame
   /// target when a grantable head stalls with no grant this cycle.
   MasterId last_accepted_master_ = telemetry::kNoOwner;

@@ -1,5 +1,7 @@
 #include "axi/port.hpp"
 
+#include <algorithm>
+
 #include "axi/interconnect.hpp"
 #include "util/assert.hpp"
 #include "util/config_error.hpp"
@@ -221,6 +223,14 @@ void MasterPort::complete_txn(Transaction& txn, sim::TimePs now) {
   if (fn) {
     fn(snapshot);
   }
+}
+
+void MasterPort::inject_stall(sim::TimePs duration) {
+  const sim::TimePs now = owner_.simulator().now();
+  data_free_at_ = std::max(data_free_at_, now + duration);
+  stats_.fault_stalls.add();
+  // Make sure the crossbar re-evaluates this port when the stall lifts.
+  owner_.notify_work(data_free_at_);
 }
 
 void MasterPort::set_attribution(telemetry::AttributionEngine* engine) {

@@ -76,6 +76,7 @@ struct PortStats {
   sim::Counter read_bytes;
   sim::Counter write_bytes;
   sim::Counter issue_rejected;  ///< issue() calls refused (queue/OT full)
+  sim::Counter fault_stalls;    ///< transient stalls injected by faults
   sim::Histogram read_latency;  ///< end-to-end read latency, ps
   sim::Histogram write_latency;
 };
@@ -141,6 +142,11 @@ class MasterPort {
   /// Called (via the interconnect) when the last line of \p txn finished
   /// and the response latency elapsed.
   void complete_txn(Transaction& txn, sim::TimePs now);
+
+  /// Fault seam: holds the port's data path busy for \p duration from now
+  /// (extends, never shortens, the rate-limiter deadline), modelling a
+  /// transient physical-port stall. Grants resume automatically.
+  void inject_stall(sim::TimePs duration);
 
   /// Wires the interference-attribution engine (nullptr disables; the
   /// default). Must be set before the first issue() so the head-of-line

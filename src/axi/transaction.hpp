@@ -10,6 +10,26 @@
 
 namespace fgqos::axi {
 
+/// AXI response code carried back to the issuing master. Ordered by
+/// severity so the worst per-line response wins for the whole burst.
+enum class Resp : std::uint8_t {
+  kOkay = 0,   ///< normal completion
+  kSlverr = 1, ///< slave error (the target signalled a fault)
+  kDecerr = 2, ///< decode error (no slave claimed the address)
+};
+
+[[nodiscard]] constexpr const char* resp_name(Resp r) {
+  switch (r) {
+    case Resp::kOkay:
+      return "okay";
+    case Resp::kSlverr:
+      return "slverr";
+    case Resp::kDecerr:
+      return "decerr";
+  }
+  return "?";
+}
+
 /// One AXI burst as issued by a master. The interconnect splits it into
 /// line-sized LineRequests for the memory controller; the transaction
 /// completes when the last line completes (plus response latency).
@@ -21,6 +41,7 @@ struct Transaction {
   std::uint32_t bytes = 0;        ///< total payload of the burst
   QosValue qos = kQosBestEffort;
   std::uint64_t user = 0;         ///< opaque tag for the issuing client
+  Resp resp = Resp::kOkay;        ///< worst per-line response of the burst
 
   sim::TimePs created = 0;        ///< time the master issued it
   sim::TimePs granted = 0;        ///< time the interconnect first serviced it

@@ -108,9 +108,21 @@ void Controller::do_refresh(Cycle c) {
   // Catch up the schedule (idle periods may have skipped several tREFI
   // intervals; those refreshes happened while no requests were pending and
   // carry no modelled cost).
+  const Cycle interval =
+      std::max<Cycle>(1, cfg_.timing.tREFI / refresh_divisor_);
   while (next_refresh_ <= c) {
-    next_refresh_ += cfg_.timing.tREFI;
+    next_refresh_ += interval;
   }
+}
+
+void Controller::set_refresh_interval_divisor(std::uint32_t divisor) {
+  refresh_divisor_ = std::max<std::uint32_t>(1, divisor);
+  // A shortened interval must take effect now, not after the previously
+  // scheduled (nominal-length) gap elapses.
+  const Cycle interval =
+      std::max<Cycle>(1, cfg_.timing.tREFI / refresh_divisor_);
+  const Cycle c = clock().edge_index_at_or_after(simulator().now());
+  next_refresh_ = std::min(next_refresh_, c + interval);
 }
 
 bool Controller::act_allowed(Cycle c, std::uint32_t group) const {

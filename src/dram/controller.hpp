@@ -110,6 +110,15 @@ class Controller final : public sim::Clocked, public axi::SlaveIf {
   /// the slice to the master occupying that resource.
   void set_attribution(telemetry::AttributionEngine* engine);
 
+  /// Fault seam: divides tREFI by \p divisor (>= 1), modelling a refresh
+  /// storm (e.g. high-temperature 2x/4x refresh or a misbehaving
+  /// controller). 1 restores the nominal schedule. Takes effect at the
+  /// next refresh decision; an overdue refresh fires immediately.
+  void set_refresh_interval_divisor(std::uint32_t divisor);
+  [[nodiscard]] std::uint32_t refresh_interval_divisor() const {
+    return refresh_divisor_;
+  }
+
   // SlaveIf
   [[nodiscard]] bool can_accept(const axi::LineRequest& line,
                                 sim::TimePs now) const override;
@@ -171,6 +180,7 @@ class Controller final : public sim::Clocked, public axi::SlaveIf {
   Cycle next_write_cas_ = 0;
   Cycle data_bus_free_ = 0;
   Cycle next_refresh_ = 0;
+  std::uint32_t refresh_divisor_ = 1;  ///< fault seam: tREFI / divisor
 
   ControllerStats stats_;
   std::vector<std::uint64_t> master_bytes_;

@@ -1,7 +1,9 @@
 #include "exec/scenario_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -20,7 +22,98 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/// State shared between a worker and the attempt thread it supervises.
+/// Lives in a shared_ptr so a timed-out (abandoned) attempt can finish —
+/// or hang forever — without dangling once the worker moved on.
+struct AttemptState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr err;
+};
+
+std::string join_indices(const std::vector<std::size_t>& v) {
+  std::string out;
+  for (const std::size_t i : v) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += std::to_string(i);
+  }
+  return out;
+}
+
 }  // namespace
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kTimedOut:
+      return "timed out";
+    case JobStatus::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+bool RunReport::all_ok() const {
+  for (const JobOutcome& j : jobs) {
+    if (j.status != JobStatus::kOk) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> RunReport::failed_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].status == JobStatus::kFailed ||
+        jobs[i].status == JobStatus::kTimedOut) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::string RunReport::describe() const {
+  std::vector<std::size_t> failed, timed_out, skipped;
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    switch (jobs[i].status) {
+      case JobStatus::kOk:
+        ++ok;
+        break;
+      case JobStatus::kFailed:
+        failed.push_back(i);
+        break;
+      case JobStatus::kTimedOut:
+        timed_out.push_back(i);
+        break;
+      case JobStatus::kSkipped:
+        skipped.push_back(i);
+        break;
+    }
+  }
+  std::string out = std::to_string(jobs.size()) + " jobs: " +
+                    std::to_string(ok) + " ok";
+  if (!failed.empty()) {
+    out += ", " + std::to_string(failed.size()) + " failed (" +
+           join_indices(failed) + ")";
+  }
+  if (!timed_out.empty()) {
+    out += ", " + std::to_string(timed_out.size()) + " timed out (" +
+           join_indices(timed_out) + ")";
+  }
+  if (!skipped.empty()) {
+    out += ", " + std::to_string(skipped.size()) + " skipped (" +
+           join_indices(skipped) + ")";
+  }
+  return out;
+}
 
 std::size_t resolve_jobs(std::size_t requested) {
   if (requested != 0) {
@@ -44,50 +137,134 @@ std::size_t jobs_from_env(std::size_t fallback) {
 }
 
 ScenarioRunner::ScenarioRunner(ExecConfig cfg)
-    : cfg_(cfg), workers_(resolve_jobs(cfg.jobs)) {}
+    : cfg_(cfg), workers_(resolve_jobs(cfg.jobs)) {
+  config_check(cfg_.job_timeout_s >= 0,
+               "ScenarioRunner: job timeout must be >= 0");
+}
 
-void ScenarioRunner::run(std::vector<JobFn> batch) {
+RunReport ScenarioRunner::run_report(std::vector<JobFn> batch) {
   const std::size_t n = batch.size();
+  RunReport report;
+  report.jobs.resize(n);
   if (n == 0) {
-    return;
+    return report;
   }
   const std::size_t used = std::min(workers_, n);
   const auto batch_start = Clock::now();
+
+  // Attempt threads outlive their worker on timeout, so the batch must
+  // outlive them too: shared ownership instead of a stack vector.
+  auto jobs = std::make_shared<std::vector<JobFn>>(std::move(batch));
 
   // Registry creation is not thread-safe; fetch every handle up front and
   // funnel worker updates through one mutex (contended only at job
   // boundaries, which are whole-simulation granular).
   auto& jobs_completed = metrics_.counter("exec.jobs_completed");
   auto& jobs_failed = metrics_.counter("exec.jobs_failed");
+  auto& jobs_retried = metrics_.counter("exec.jobs_retried");
+  auto& jobs_timed_out = metrics_.counter("exec.jobs_timed_out");
   auto& queue_wait_us = metrics_.histogram("exec.queue_wait_us");
   auto& job_us = metrics_.histogram("exec.job_us");
   std::mutex metrics_mu;
 
-  std::vector<std::exception_ptr> errors(n);
   std::atomic<std::size_t> next{0};
 
-  auto worker_loop = [&](std::size_t worker) {
-    while (true) {
+  // One attempt of job \p i with context \p ctx; fills status/error into
+  // \p out. Honours cfg_.job_timeout_s when positive.
+  auto run_attempt = [this, jobs](std::size_t i, const JobContext& ctx,
+                                  JobOutcome& out) {
+    if (cfg_.job_timeout_s <= 0) {
+      try {
+        (*jobs)[i](ctx);
+        out.status = JobStatus::kOk;
+      } catch (...) {
+        out.status = JobStatus::kFailed;
+        out.exception = std::current_exception();
+      }
+      return;
+    }
+    auto state = std::make_shared<AttemptState>();
+    std::thread([state, jobs, i, ctx]() {
+      std::exception_ptr err;
+      try {
+        (*jobs)[i](ctx);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lk(state->mu);
+      state->err = err;
+      state->done = true;
+      state->cv.notify_all();
+    }).detach();
+    std::unique_lock<std::mutex> lk(state->mu);
+    const bool finished =
+        state->cv.wait_for(lk, std::chrono::duration<double>(cfg_.job_timeout_s),
+                           [&state] { return state->done; });
+    if (!finished) {
+      out.status = JobStatus::kTimedOut;
+      out.exception = nullptr;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "timed out after %gs",
+                    cfg_.job_timeout_s);
+      out.error = buf;
+      return;
+    }
+    if (state->err != nullptr) {
+      out.status = JobStatus::kFailed;
+      out.exception = state->err;
+    } else {
+      out.status = JobStatus::kOk;
+    }
+  };
+
+  auto worker_loop = [&, jobs](std::size_t worker) {
+    while (!stop_->load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1);
       if (i >= n) {
         return;
       }
-      JobContext ctx;
-      ctx.index = i;
-      ctx.seed = derive_seed(cfg_.base_seed, i);
-      ctx.worker = worker;
+      JobOutcome& out = report.jobs[i];
       const double wait_s = seconds_since(batch_start);
       const auto job_start = Clock::now();
-      bool failed = false;
-      try {
-        batch[i](ctx);
-      } catch (...) {
-        errors[i] = std::current_exception();
-        failed = true;
+      for (std::uint32_t attempt = 0;; ++attempt) {
+        out.attempts = attempt + 1;
+        JobContext ctx;
+        ctx.index = i;
+        ctx.seed = derive_seed(cfg_.base_seed, i, attempt);
+        ctx.worker = worker;
+        ctx.attempt = attempt;
+        ctx.cancelled = stop_.get();
+        run_attempt(i, ctx, out);
+        if (out.status == JobStatus::kOk) {
+          break;
+        }
+        if (out.status == JobStatus::kFailed && out.exception != nullptr) {
+          try {
+            std::rethrow_exception(out.exception);
+          } catch (const std::exception& e) {
+            out.error = e.what();
+          } catch (...) {
+            out.error = "unknown exception";
+          }
+        }
+        if (attempt >= cfg_.max_retries ||
+            stop_->load(std::memory_order_relaxed)) {
+          break;
+        }
+        const std::lock_guard<std::mutex> lock(metrics_mu);
+        jobs_retried.add(1);
       }
       const double run_s = seconds_since(job_start);
-      const std::scoped_lock lock(metrics_mu);
-      (failed ? jobs_failed : jobs_completed).add(1);
+      const std::lock_guard<std::mutex> lock(metrics_mu);
+      if (out.status == JobStatus::kOk) {
+        jobs_completed.add(1);
+      } else {
+        jobs_failed.add(1);
+        failed_indices_.push_back(i);
+        if (out.status == JobStatus::kTimedOut) {
+          jobs_timed_out.add(1);
+        }
+      }
       queue_wait_us.record(static_cast<std::uint64_t>(wait_s * 1e6));
       job_us.record(static_cast<std::uint64_t>(run_s * 1e6));
       busy_s_ += run_s;
@@ -116,11 +293,22 @@ void ScenarioRunner::run(std::vector<JobFn> batch) {
   metrics_.gauge("exec.worker_utilization")
       .set(wall_s_ > 0 ? busy_s_ / (wall_s_ * static_cast<double>(used))
                        : 0.0);
+  return report;
+}
 
-  for (auto& e : errors) {
-    if (e != nullptr) {
-      std::rethrow_exception(e);
+void ScenarioRunner::run(std::vector<JobFn> batch) {
+  const RunReport report = run_report(std::move(batch));
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const JobOutcome& out = report.jobs[i];
+    if (out.status == JobStatus::kOk) {
+      continue;
     }
+    if (out.exception != nullptr) {
+      std::rethrow_exception(out.exception);
+    }
+    throw ConfigError("job " + std::to_string(i) + " " +
+                      job_status_name(out.status) +
+                      (out.error.empty() ? "" : ": " + out.error));
   }
 }
 
@@ -134,7 +322,14 @@ std::string ScenarioRunner::summary() const {
                 "speedup %.2fx, utilization %.0f%%",
                 static_cast<unsigned long long>(jobs_done_), workers_, wall_s_,
                 busy_s_, speedup, util * 100.0);
-  return buf;
+  std::string out = buf;
+  if (!failed_indices_.empty()) {
+    std::vector<std::size_t> sorted = failed_indices_;
+    std::sort(sorted.begin(), sorted.end());
+    out += ", " + std::to_string(sorted.size()) + " failed (indices " +
+           join_indices(sorted) + ")";
+  }
+  return out;
 }
 
 }  // namespace fgqos::exec

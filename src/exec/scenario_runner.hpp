@@ -17,9 +17,12 @@
 /// lives.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -36,6 +39,51 @@ struct ExecConfig {
   std::size_t jobs = 1;
   /// Base seed from which every job's seed is derived (derive_seed).
   std::uint64_t base_seed = 1;
+  /// Per-attempt wall-clock timeout in seconds; 0 disables. Timed-out
+  /// attempts run on their own thread so a hung simulation cannot wedge
+  /// the batch (the hung thread is abandoned; cooperative jobs should
+  /// poll JobContext::cancel_requested()).
+  double job_timeout_s = 0;
+  /// Extra attempts after a failed or timed-out first attempt. Each retry
+  /// gets a fresh deterministic seed (derive_seed with the attempt
+  /// ordinal).
+  std::uint32_t max_retries = 0;
+};
+
+/// Terminal state of one submitted job.
+enum class JobStatus : std::uint8_t {
+  kOk = 0,
+  kFailed,    ///< last attempt threw
+  kTimedOut,  ///< last attempt exceeded job_timeout_s
+  kSkipped,   ///< never claimed (stop requested before it started)
+};
+
+[[nodiscard]] const char* job_status_name(JobStatus s);
+
+/// Outcome of one submitted job across all its attempts.
+struct JobOutcome {
+  JobStatus status = JobStatus::kSkipped;
+  /// Attempts actually made (0 for skipped jobs).
+  std::uint32_t attempts = 0;
+  /// what() of the last failure ("timed out after Ns" for timeouts).
+  std::string error;
+  /// The last failure in throwable form (null for kOk/kTimedOut/kSkipped).
+  std::exception_ptr exception;
+};
+
+/// Everything run_report() learned about a batch: one outcome per
+/// submission index, always fully populated — partial results survive
+/// failures, timeouts and interrupts.
+struct RunReport {
+  std::vector<JobOutcome> jobs;
+
+  [[nodiscard]] bool all_ok() const;
+  /// Submission indices that terminally failed or timed out (skipped jobs
+  /// are listed by describe() but are not failures).
+  [[nodiscard]] std::vector<std::size_t> failed_indices() const;
+  /// One-line human summary naming every non-ok index, e.g.
+  /// "8 jobs: 5 ok, 2 failed (2, 6), 1 timed out (4)".
+  [[nodiscard]] std::string describe() const;
 };
 
 /// Resolves a requested worker count: 0 becomes the hardware concurrency
@@ -63,12 +111,28 @@ class ScenarioRunner {
   [[nodiscard]] std::size_t worker_count() const { return workers_; }
   [[nodiscard]] std::uint64_t base_seed() const { return cfg_.base_seed; }
 
-  /// Runs every job in \p batch, blocking until all complete. Jobs are
-  /// claimed in submission order; with workers > 1 they run concurrently.
-  /// If any job throws, the remaining unclaimed jobs still run and the
-  /// exception of the lowest submission index is rethrown after the
-  /// batch drains.
+  /// Runs every job in \p batch, blocking until all complete (or time
+  /// out / are skipped after request_stop()). Jobs are claimed in
+  /// submission order; with workers > 1 they run concurrently. Failed
+  /// attempts are retried up to cfg.max_retries times with fresh
+  /// deterministic seeds. Never throws for job failures — the returned
+  /// report carries every outcome, so partial results remain usable.
+  RunReport run_report(std::vector<JobFn> batch);
+
+  /// Legacy strict wrapper over run_report(): if any job did not finish
+  /// kOk, rethrows the stored exception of the lowest non-ok submission
+  /// index (or throws ConfigError naming the index for timeouts/skips).
   void run(std::vector<JobFn> batch);
+
+  /// Asks the runner to wind down: running jobs see
+  /// JobContext::cancel_requested(), unclaimed jobs are skipped. Safe to
+  /// call from a signal handler (a single atomic store) and from any
+  /// thread; sticky across run_report() calls until reset_stop().
+  void request_stop() { stop_->store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stop_requested() const {
+    return stop_->load(std::memory_order_relaxed);
+  }
+  void reset_stop() { stop_->store(false, std::memory_order_relaxed); }
 
   /// Typed fan-out: invokes fn(ctx) for n jobs and returns the results
   /// in submission order. R must be default-constructible.
@@ -97,7 +161,8 @@ class ScenarioRunner {
 
   /// One-line human summary of the accumulated exec metrics, e.g.
   /// "exec: 6 jobs on 4 workers, wall 1.2 s, busy 4.4 s, speedup 3.7x,
-  /// utilization 92%".
+  /// utilization 92%". When jobs failed, every failed submission index is
+  /// appended ("..., 2 failed (indices 2, 6)").
   [[nodiscard]] std::string summary() const;
 
  private:
@@ -107,6 +172,13 @@ class ScenarioRunner {
   std::uint64_t jobs_done_ = 0;
   double wall_s_ = 0;
   double busy_s_ = 0;
+  /// Failed/timed-out indices accumulated across run_report() calls (for
+  /// summary()); guarded by the metrics mutex while a batch runs.
+  std::vector<std::size_t> failed_indices_;
+  /// Shared with attempt threads and JobContexts so a hung, abandoned
+  /// attempt can never dangle into a destroyed runner.
+  std::shared_ptr<std::atomic<bool>> stop_ =
+      std::make_shared<std::atomic<bool>>(false);
 };
 
 }  // namespace fgqos::exec

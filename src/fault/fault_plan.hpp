@@ -1,0 +1,94 @@
+/// \file fault_plan.hpp
+/// \brief Declarative description of the faults to inject into one run.
+///
+/// A FaultPlan is a seeded list of fault specifications, parsed from the
+/// JSON document given to the tools via --fault-spec. Each spec names a
+/// fault kind (one of the well-defined injection seams across the AXI,
+/// QoS and DRAM layers), an optional target master, an activity window,
+/// and either a per-occurrence probability (for discrete seams such as
+/// response corruption or IRQ delivery) or schedule parameters (for
+/// continuous seams such as port stalls and refresh storms). The plan is
+/// pure data; fault::FaultInjector turns it into wired hooks and events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fgqos::fault {
+
+/// Every injection seam the simulator exposes.
+enum class FaultKind : std::uint8_t {
+  kAxiSlverr = 0,     ///< SLVERR on line delivery (response path)
+  kAxiDecerr,         ///< DECERR on line delivery
+  kPortStall,         ///< transient stall of a master port's data path
+  kRegIrqDrop,        ///< regulator replenish IRQ lost
+  kRegIrqDelay,       ///< regulator replenish IRQ delayed
+  kMonitorFreeze,     ///< monitor sample register frozen (stale windows)
+  kMonitorSaturate,   ///< monitor window counter saturates at a cap
+  kMemguardIrqDrop,   ///< SoftMemguard overflow IRQ lost
+  kMemguardIrqDelay,  ///< SoftMemguard overflow IRQ delayed
+  kRefreshStorm,      ///< DRAM tREFI divided (refresh storm)
+};
+
+inline constexpr std::size_t kFaultKindCount = 10;
+
+/// Short stable name ("axi_slverr", ...) used in JSON, metrics and traces.
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+/// Inverse of fault_kind_name; throws util::ConfigError on unknown names.
+[[nodiscard]] FaultKind fault_kind_from_name(const std::string& name);
+
+/// One fault to inject. Which fields are meaningful depends on the kind;
+/// FaultPlan::from_json validates the combinations.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kAxiSlverr;
+  /// Crossbar master index the fault applies to; -1 = every master.
+  /// Ignored by kMemguardIrq* (the SoftMemguard IRQ path is shared) and
+  /// kRefreshStorm (the controller serves all masters).
+  int target = -1;
+  /// Per-occurrence Bernoulli probability for discrete seams (response
+  /// corruption, IRQ delivery, port-stall occurrences, frozen
+  /// boundaries). Ignored by kMonitorSaturate and kRefreshStorm, which
+  /// are continuous while active.
+  double probability = 1.0;
+  /// Activity window [start_ps, end_ps).
+  sim::TimePs start_ps = 0;
+  sim::TimePs end_ps = sim::kTimeNever;
+  /// Extra delivery delay for the *IrqDelay kinds.
+  sim::TimePs delay_ps = 0;
+  /// kPortStall: one stall opportunity every period_ps...
+  sim::TimePs period_ps = 0;
+  /// ...holding the port for duration_ps when it fires.
+  sim::TimePs duration_ps = 0;
+  /// kMonitorSaturate: the counter pegs at this many bytes per window.
+  std::uint64_t cap_bytes = 0;
+  /// kRefreshStorm: tREFI divisor while active.
+  std::uint32_t factor = 4;
+
+  [[nodiscard]] bool active_at(sim::TimePs now) const {
+    return now >= start_ps && now < end_ps;
+  }
+};
+
+/// The whole plan: a seed (mixed with the per-job seed so sweep points get
+/// independent yet reproducible fault streams) plus the fault list.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+
+  /// Parses and validates the --fault-spec JSON schema (see docs/FAULTS.md).
+  /// Throws util::ConfigError with a descriptive message on any problem,
+  /// including unknown keys (typo protection).
+  static FaultPlan from_json(const std::string& text);
+  /// from_json over the contents of \p path.
+  static FaultPlan from_file(const std::string& path);
+
+  /// Serializes back to the schema from_json accepts (round-trip tested).
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace fgqos::fault

@@ -1,0 +1,271 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fgqos::fault {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer the exec layer uses for job
+/// seeds; repeated here so fault never depends on exec.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan,
+                             std::uint64_t run_seed,
+                             telemetry::MetricsRegistry* metrics)
+    : sim_(sim),
+      plan_(std::move(plan)),
+      mix_seed_(mix64(plan_.seed ^ mix64(run_seed))),
+      metrics_(metrics) {}
+
+FaultInjector::Site* FaultInjector::make_site(const FaultSpec& spec) {
+  sites_.emplace_back(&spec, mix64(mix_seed_ + ++site_count_));
+  return &sites_.back();
+}
+
+bool FaultInjector::roll(Site& site, sim::TimePs now) {
+  const FaultSpec& s = *site.spec;
+  if (!s.active_at(now)) {
+    return false;
+  }
+  if (s.probability >= 1.0) {
+    return true;
+  }
+  if (s.probability <= 0.0) {
+    return false;
+  }
+  return site.rng.next_double() < s.probability;
+}
+
+void FaultInjector::record(Site& site, sim::TimePs now) {
+  ++site.fired;
+  const auto kind = static_cast<std::size_t>(site.spec->kind);
+  ++injected_[kind];
+  if (metrics_ != nullptr) {
+    // Lazy creation: a plan that never fires leaves the registry (and the
+    // golden metrics snapshots) untouched.
+    metrics_
+        ->counter(std::string("fault.") + fault_kind_name(site.spec->kind) +
+                  ".injected")
+        .add();
+    metrics_->counter("fault.injected_total").add();
+  }
+  if (trace_ != nullptr) {
+    trace_->instant(track_, fault_kind_name(site.spec->kind), now);
+  }
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : injected_) {
+    total += n;
+  }
+  return total;
+}
+
+std::string FaultInjector::active_faults(sim::TimePs now) const {
+  std::string out;
+  for (const FaultSpec& s : plan_.faults) {
+    if (!s.active_at(now)) {
+      continue;
+    }
+    const char* name = fault_kind_name(s.kind);
+    // De-duplicate repeated kinds (several specs of one kind read as one).
+    if (out.find(name) != std::string::npos) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += name;
+  }
+  return out;
+}
+
+void FaultInjector::set_trace(telemetry::TraceWriter* writer) {
+  trace_ = writer;
+  track_ = telemetry::TrackId{};
+  if (trace_ != nullptr) {
+    track_ = trace_->track(telemetry::Cat::kQos, "faults");
+    if (!track_.valid()) {
+      trace_ = nullptr;  // qos category filtered out
+    }
+  }
+}
+
+void FaultInjector::wire_interconnect(axi::Interconnect& xbar) {
+  std::vector<std::pair<Site*, axi::Resp>> sites;
+  for (const FaultSpec& s : plan_.faults) {
+    if (s.kind == FaultKind::kAxiSlverr) {
+      sites.emplace_back(make_site(s), axi::Resp::kSlverr);
+    } else if (s.kind == FaultKind::kAxiDecerr) {
+      sites.emplace_back(make_site(s), axi::Resp::kDecerr);
+    }
+  }
+  if (sites.empty()) {
+    return;
+  }
+  xbar.set_response_fault(
+      [this, sites](const axi::LineRequest& line, sim::TimePs now) {
+        axi::Resp worst = axi::Resp::kOkay;
+        for (const auto& [site, resp] : sites) {
+          if (!matches_target(*site->spec, line.txn->master)) {
+            continue;
+          }
+          if (roll(*site, now)) {
+            record(*site, now);
+            worst = std::max(worst, resp);
+          }
+        }
+        return worst;
+      });
+}
+
+void FaultInjector::schedule_port_stall(Site* site, axi::MasterPort* port,
+                                        sim::TimePs at) {
+  sim_.schedule_at(at, [this, site, port]() {
+    const sim::TimePs now = sim_.now();
+    const FaultSpec& s = *site->spec;
+    if (now >= s.end_ps) {
+      return;  // fault window over; stop the event chain
+    }
+    if (roll(*site, now)) {
+      record(*site, now);
+      port->inject_stall(s.duration_ps);
+    }
+    schedule_port_stall(site, port, now + s.period_ps);
+  });
+}
+
+void FaultInjector::wire_port(axi::MasterPort& port) {
+  for (const FaultSpec& s : plan_.faults) {
+    if (s.kind != FaultKind::kPortStall ||
+        !matches_target(s, port.id())) {
+      continue;
+    }
+    Site* site = make_site(s);
+    const sim::TimePs first = std::max(s.start_ps, sim_.now()) + s.period_ps;
+    schedule_port_stall(site, &port, first);
+  }
+}
+
+void FaultInjector::wire_regulator(std::size_t master_index,
+                                   qos::Regulator& reg) {
+  std::vector<std::pair<Site*, bool>> sites;  // bool: true = drop
+  for (const FaultSpec& s : plan_.faults) {
+    if (!matches_target(s, master_index)) {
+      continue;
+    }
+    if (s.kind == FaultKind::kRegIrqDrop) {
+      sites.emplace_back(make_site(s), true);
+    } else if (s.kind == FaultKind::kRegIrqDelay) {
+      sites.emplace_back(make_site(s), false);
+    }
+  }
+  if (sites.empty()) {
+    return;
+  }
+  reg.set_irq_fault([this, sites](sim::TimePs now) -> sim::TimePs {
+    for (const auto& [site, drop] : sites) {
+      if (roll(*site, now)) {
+        record(*site, now);
+        return drop ? sim::kTimeNever : site->spec->delay_ps;
+      }
+    }
+    return 0;
+  });
+}
+
+void FaultInjector::wire_monitor(std::size_t master_index,
+                                 qos::BandwidthMonitor& mon) {
+  std::vector<Site*> freeze;
+  std::vector<Site*> saturate;
+  for (const FaultSpec& s : plan_.faults) {
+    if (!matches_target(s, master_index)) {
+      continue;
+    }
+    if (s.kind == FaultKind::kMonitorFreeze) {
+      freeze.push_back(make_site(s));
+    } else if (s.kind == FaultKind::kMonitorSaturate) {
+      saturate.push_back(make_site(s));
+    }
+  }
+  if (!freeze.empty()) {
+    mon.set_freeze_fault([this, freeze](sim::TimePs now) {
+      for (Site* site : freeze) {
+        if (roll(*site, now)) {
+          record(*site, now);
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+  if (!saturate.empty()) {
+    mon.set_saturation_fault([this, saturate](sim::TimePs now) -> std::uint64_t {
+      for (Site* site : saturate) {
+        if (site->spec->active_at(now)) {
+          if (site->fired == 0) {
+            record(*site, now);  // book the activation once
+          }
+          return site->spec->cap_bytes;
+        }
+      }
+      return 0;
+    });
+  }
+}
+
+void FaultInjector::wire_memguard(qos::SoftMemguard& mg) {
+  std::vector<std::pair<Site*, bool>> sites;  // bool: true = drop
+  for (const FaultSpec& s : plan_.faults) {
+    if (s.kind == FaultKind::kMemguardIrqDrop) {
+      sites.emplace_back(make_site(s), true);
+    } else if (s.kind == FaultKind::kMemguardIrqDelay) {
+      sites.emplace_back(make_site(s), false);
+    }
+  }
+  if (sites.empty()) {
+    return;
+  }
+  mg.set_irq_fault([this, sites](sim::TimePs now) -> sim::TimePs {
+    for (const auto& [site, drop] : sites) {
+      if (roll(*site, now)) {
+        record(*site, now);
+        return drop ? sim::kTimeNever : site->spec->delay_ps;
+      }
+    }
+    return 0;
+  });
+}
+
+void FaultInjector::wire_dram(dram::Controller& dram) {
+  for (const FaultSpec& s : plan_.faults) {
+    if (s.kind != FaultKind::kRefreshStorm) {
+      continue;
+    }
+    Site* site = make_site(s);
+    dram::Controller* target = &dram;
+    sim_.schedule_at(std::max(s.start_ps, sim_.now()),
+                     [this, site, target]() {
+                       record(*site, sim_.now());
+                       target->set_refresh_interval_divisor(
+                           site->spec->factor);
+                     });
+    if (s.end_ps != sim::kTimeNever) {
+      sim_.schedule_at(s.end_ps, [target]() {
+        target->set_refresh_interval_divisor(1);
+      });
+    }
+  }
+}
+
+}  // namespace fgqos::fault

@@ -1,0 +1,113 @@
+/// \file injector.hpp
+/// \brief Turns a FaultPlan into wired fault hooks and scheduled events.
+///
+/// The injector owns one deterministic RNG stream per (spec, component)
+/// wiring site, seeded from plan.seed mixed with the run seed, so a given
+/// plan replays identically across repeated runs and across --jobs fan-out
+/// (each sweep job builds its own Soc + injector from its derived seed).
+/// Every injected fault increments fault.<kind>.injected and
+/// fault.injected_total in the metrics registry (counters are created
+/// lazily on first injection, so an empty or never-firing plan leaves the
+/// metrics snapshot — and thus the golden CSVs — byte-identical) and, when
+/// tracing, emits an instant on a "faults" track.
+///
+/// Wiring is done per component seam (Soc::arm_faults calls these for the
+/// pieces it owns; tests and tools wire extra components such as a
+/// SoftMemguard explicitly). The injector must outlive the simulation run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "axi/interconnect.hpp"
+#include "dram/controller.hpp"
+#include "fault/fault_plan.hpp"
+#include "qos/bandwidth_monitor.hpp"
+#include "qos/regulator.hpp"
+#include "qos/soft_memguard.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fgqos::fault {
+
+class FaultInjector {
+ public:
+  /// \p run_seed is the per-job seed (exec::derive_seed output); it is
+  /// mixed with plan.seed for the per-site RNG streams. \p metrics may be
+  /// null (no fault counters are published then).
+  FaultInjector(sim::Simulator& sim, FaultPlan plan, std::uint64_t run_seed,
+                telemetry::MetricsRegistry* metrics);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Wires kAxiSlverr / kAxiDecerr onto the crossbar's response path.
+  void wire_interconnect(axi::Interconnect& xbar);
+  /// Schedules kPortStall events against \p port (matched by port id).
+  void wire_port(axi::MasterPort& port);
+  /// Wires kRegIrqDrop / kRegIrqDelay onto \p reg, which supervises
+  /// crossbar master \p master_index.
+  void wire_regulator(std::size_t master_index, qos::Regulator& reg);
+  /// Wires kMonitorFreeze / kMonitorSaturate onto \p mon (same indexing).
+  void wire_monitor(std::size_t master_index, qos::BandwidthMonitor& mon);
+  /// Wires kMemguardIrqDrop / kMemguardIrqDelay (target is ignored: the
+  /// SoftMemguard IRQ path is shared by all its masters).
+  void wire_memguard(qos::SoftMemguard& mg);
+  /// Schedules kRefreshStorm windows against \p dram.
+  void wire_dram(dram::Controller& dram);
+
+  /// Attaches the Chrome-trace sink (nullptr detaches): every injection
+  /// becomes an instant on a "faults" track (category "qos").
+  void set_trace(telemetry::TraceWriter* writer);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  /// Injections of one kind so far.
+  [[nodiscard]] std::uint64_t injected(FaultKind k) const {
+    return injected_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t injected_total() const;
+  /// Comma-separated kind names of the specs whose activity window
+  /// contains \p now (empty string when none) — the SLA watchdog's fault
+  /// probe, answering "which fault was live when this window tripped?".
+  [[nodiscard]] std::string active_faults(sim::TimePs now) const;
+
+ private:
+  /// One (spec, component) wiring with its private RNG stream. Stored in
+  /// a deque so pointers handed to closures stay stable.
+  struct Site {
+    const FaultSpec* spec = nullptr;
+    sim::Xoshiro256 rng;
+    std::uint64_t fired = 0;
+
+    Site(const FaultSpec* s, std::uint64_t seed) : spec(s), rng(seed) {}
+  };
+
+  Site* make_site(const FaultSpec& spec);
+  /// Activity window + Bernoulli draw (the RNG is only consulted for
+  /// probabilities strictly inside (0, 1), keeping streams stable).
+  [[nodiscard]] bool roll(Site& site, sim::TimePs now);
+  /// Books one injection: per-kind tally, metrics counters, trace instant.
+  void record(Site& site, sim::TimePs now);
+  void schedule_port_stall(Site* site, axi::MasterPort* port, sim::TimePs at);
+  [[nodiscard]] bool matches_target(const FaultSpec& spec,
+                                    std::size_t master_index) const {
+    return spec.target < 0 ||
+           static_cast<std::size_t>(spec.target) == master_index;
+  }
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  std::uint64_t mix_seed_;
+  std::uint64_t site_count_ = 0;
+  telemetry::MetricsRegistry* metrics_;
+  std::deque<Site> sites_;
+  std::uint64_t injected_[kFaultKindCount] = {};
+  telemetry::TraceWriter* trace_ = nullptr;
+  telemetry::TrackId track_;
+};
+
+}  // namespace fgqos::fault

@@ -39,6 +39,14 @@ void BandwidthMonitor::on_boundary(std::uint64_t epoch) {
   if (epoch != epoch_) {
     return;  // stale event from before a set_window() reconfiguration
   }
+  if (freeze_fault_ && freeze_fault_(sim_.now())) {
+    // Frozen sample register: the boundary passes without publishing.
+    // The cadence continues so the fault can thaw at a later boundary.
+    ++frozen_boundaries_;
+    window_start_ = sim_.now();
+    schedule_boundary();
+    return;
+  }
   close_window(sim_.now());
   schedule_boundary();
 }
@@ -99,6 +107,15 @@ void BandwidthMonitor::on_grant(const axi::LineRequest& line,
   }
   total_bytes_ += line.bytes;
   window_bytes_ += line.bytes;
+  if (saturation_fault_) {
+    const std::uint64_t cap = saturation_fault_(now);
+    if (cap > 0 && window_bytes_ > cap) {
+      // Saturated hardware counter: the window count pegs at the cap
+      // (totals stay exact — only the sampled register is faulty).
+      window_bytes_ = cap;
+      ++saturated_grants_;
+    }
+  }
   if (threshold_ > 0 && !threshold_fired_ && window_bytes_ >= threshold_ &&
       threshold_fn_) {
     threshold_fired_ = true;

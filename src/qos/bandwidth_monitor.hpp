@@ -82,6 +82,30 @@ class BandwidthMonitor final : public axi::TxnObserver {
   /// emits an instant event, on a track named after this monitor.
   void set_trace(telemetry::TraceWriter* writer);
 
+  /// Fault seam: when set and true at a boundary, the boundary passes
+  /// without publishing a sample — last_window_bytes() goes stale and
+  /// windows_closed() stops advancing (a frozen sample register). The
+  /// internal byte counter keeps counting.
+  using FreezeFaultFn = std::function<bool(sim::TimePs)>;
+  void set_freeze_fault(FreezeFaultFn fn) { freeze_fault_ = std::move(fn); }
+
+  /// Fault seam: per-grant saturation cap for the window byte counter
+  /// (0 = unbounded). A saturated counter under-reports heavy traffic,
+  /// the classic failure a watchdog must catch.
+  using SaturationFaultFn = std::function<std::uint64_t(sim::TimePs)>;
+  void set_saturation_fault(SaturationFaultFn fn) {
+    saturation_fault_ = std::move(fn);
+  }
+
+  /// Boundaries skipped by an injected freeze fault.
+  [[nodiscard]] std::uint64_t frozen_boundaries() const {
+    return frozen_boundaries_;
+  }
+  /// Grants clamped by an injected saturation fault.
+  [[nodiscard]] std::uint64_t saturated_grants() const {
+    return saturated_grants_;
+  }
+
   // TxnObserver
   void on_issue(const axi::Transaction& txn, sim::TimePs now) override;
   void on_grant(const axi::LineRequest& line, sim::TimePs now) override;
@@ -103,6 +127,10 @@ class BandwidthMonitor final : public axi::TxnObserver {
   ThresholdFn threshold_fn_;
   std::vector<std::uint64_t> trace_;
   std::uint64_t epoch_ = 0;  ///< invalidates boundary events on set_window
+  FreezeFaultFn freeze_fault_;
+  SaturationFaultFn saturation_fault_;
+  std::uint64_t frozen_boundaries_ = 0;
+  std::uint64_t saturated_grants_ = 0;
   sim::TimePs window_start_ = 0;
   sim::EventQueue::RecurringId boundary_event_ = 0;
   telemetry::TraceWriter* trace_writer_ = nullptr;

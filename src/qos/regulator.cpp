@@ -27,18 +27,49 @@ void Regulator::on_replenish(std::uint64_t epoch) {
   if (epoch != epoch_) {
     return;  // stale: window was reconfigured
   }
+  if (irq_fault_) {
+    const sim::TimePs verdict = irq_fault_(sim_.now());
+    if (verdict == sim::kTimeNever) {
+      // IRQ lost: the boundary passes without refilling. The window
+      // cadence keeps running (the periodic timer itself is fine; only
+      // this delivery vanished), so an exhausted gate stays shut until
+      // the next surviving replenish.
+      ++stats_.replenish_irqs_dropped;
+      window_start_ = sim_.now();
+      schedule_replenish();
+      return;
+    }
+    if (verdict > 0) {
+      // Late delivery: the refill lands after the boundary; the next
+      // boundary keeps its nominal cadence.
+      ++stats_.replenish_irqs_delayed;
+      const std::uint64_t guard = epoch_;
+      sim_.schedule_after(verdict, [this, guard]() {
+        if (guard == epoch_) {
+          apply_replenish();
+        }
+      });
+      window_start_ = sim_.now();
+      schedule_replenish();
+      return;
+    }
+  }
+  apply_replenish();
+  window_start_ = sim_.now();
+  schedule_replenish();
+}
+
+void Regulator::apply_replenish() {
   if (exhausted_) {
     stats_.throttled_ps += sim_.now() - exhausted_since_;
     trace_throttle_end(sim_.now());
     exhausted_ = false;
   }
   bucket_.replenish();
-  window_start_ = sim_.now();
   if (trace_ != nullptr) {
     trace_->counter(track_, "tokens", sim_.now(),
                     static_cast<double>(bucket_.tokens()));
   }
-  schedule_replenish();
 }
 
 void Regulator::set_enabled(bool enabled) {

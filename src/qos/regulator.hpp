@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "axi/port.hpp"
@@ -49,6 +50,10 @@ struct RegulatorStats {
   std::uint64_t regulated_bytes = 0;
   /// Time of the most recent exhaustion event (kTimeNever if none).
   sim::TimePs last_exhausted_at = sim::kTimeNever;
+  /// Replenish IRQs lost to an injected fault (window passed unreplenished).
+  std::uint64_t replenish_irqs_dropped = 0;
+  /// Replenish IRQs that landed late due to an injected fault.
+  std::uint64_t replenish_irqs_delayed = 0;
 };
 
 /// The regulator. Attach with `port.add_gate(reg)` and, because gates do
@@ -90,6 +95,14 @@ class Regulator final : public axi::TxnGate {
   /// end of a run (call before TraceWriter::finish()).
   void flush_trace(sim::TimePs now);
 
+  /// Fault seam on replenish-IRQ delivery, consulted at each window
+  /// boundary. Return 0 to deliver normally, a positive delay (ps) to
+  /// land the replenish late, or sim::kTimeNever to drop it entirely (the
+  /// window passes unreplenished; an exhausted gate stays shut until the
+  /// next surviving replenish). Empty function = perfect delivery.
+  using IrqFaultFn = std::function<sim::TimePs(sim::TimePs)>;
+  void set_irq_fault(IrqFaultFn fn) { irq_fault_ = std::move(fn); }
+
   // TxnGate
   [[nodiscard]] bool allow(const axi::LineRequest& line,
                            sim::TimePs now) const override;
@@ -98,6 +111,7 @@ class Regulator final : public axi::TxnGate {
  private:
   void schedule_replenish();
   void on_replenish(std::uint64_t epoch);
+  void apply_replenish();
   void reevaluate_exhaustion();
   [[nodiscard]] bool gates_dir(bool is_write) const {
     return is_write ? cfg_.gate_writes : cfg_.gate_reads;
@@ -114,6 +128,7 @@ class Regulator final : public axi::TxnGate {
   std::uint64_t epoch_ = 0;
   sim::TimePs window_start_ = 0;
   sim::EventQueue::RecurringId replenish_event_ = 0;
+  IrqFaultFn irq_fault_;
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;
 };

@@ -1,0 +1,139 @@
+#include "qos/regulator_watchdog.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/config_error.hpp"
+
+namespace fgqos::qos {
+
+RegulatorWatchdog::RegulatorWatchdog(sim::Simulator& sim, Regulator& reg,
+                                     const BandwidthMonitor& mon,
+                                     RegulatorWatchdogConfig cfg,
+                                     telemetry::MetricsRegistry* metrics)
+    : sim_(sim),
+      reg_(reg),
+      mon_(mon),
+      cfg_(std::move(cfg)),
+      last_closed_(mon.windows_closed()),
+      metrics_(metrics) {
+  config_check(cfg_.check_period_ps > mon_.config().window_ps,
+               "RegulatorWatchdog: check period must exceed the monitor "
+               "window (otherwise an alive monitor looks stale)");
+  config_check(cfg_.stale_checks_to_trip >= 1,
+               "RegulatorWatchdog: stale_checks_to_trip must be >= 1");
+  config_check(cfg_.sane_checks_to_rearm >= 1,
+               "RegulatorWatchdog: sane_checks_to_rearm must be >= 1");
+  check_event_ =
+      sim_.make_recurring_event([this](std::uint64_t) { on_check(); });
+  sim_.schedule_recurring(check_event_, sim_.now() + cfg_.check_period_ps);
+}
+
+void RegulatorWatchdog::set_trace(telemetry::TraceWriter* writer) {
+  trace_ = writer;
+  track_ = telemetry::TrackId{};
+  if (trace_ != nullptr) {
+    track_ = trace_->track(telemetry::Cat::kQos, cfg_.name);
+    if (!track_.valid()) {
+      trace_ = nullptr;  // qos category filtered out
+    }
+  }
+}
+
+void RegulatorWatchdog::on_check() {
+  const sim::TimePs now = sim_.now();
+  ++stats_.checks;
+
+  const std::uint64_t closed = mon_.windows_closed();
+  const bool stale = closed == last_closed_;
+  last_closed_ = closed;
+  // A saturated counter keeps closing windows but the sample pegs at the
+  // cap; only a fresh sample can be judged saturated. While degraded, the
+  // fallback budget itself caps what the monitor can observe: a sample
+  // pegged at the throttled ceiling says nothing about counter health, so
+  // it must stay suspicious — otherwise the watchdog would re-arm on
+  // samples that are only "sane" because of its own throttling, restore
+  // the broken budget, and oscillate.
+  std::uint64_t ceiling = cfg_.saturation_bytes;
+  if (degraded_ && cfg_.saturation_bytes > 0) {
+    const auto fallback_per_mon_window = static_cast<std::uint64_t>(
+        static_cast<long double>(cfg_.fallback_budget_bytes) *
+        static_cast<long double>(mon_.config().window_ps) /
+        static_cast<long double>(reg_.config().window_ps));
+    ceiling = std::min(ceiling, fallback_per_mon_window);
+  }
+  const bool saturated = !stale && cfg_.saturation_bytes > 0 &&
+                         mon_.last_window_bytes() >= ceiling;
+  if (stale) {
+    ++stats_.stale_checks;
+  }
+  if (saturated) {
+    ++stats_.saturated_checks;
+  }
+
+  if (stale || saturated) {
+    sane_streak_ = 0;
+    if (!degraded_ && ++stale_streak_ >= cfg_.stale_checks_to_trip) {
+      enter_degraded();
+    }
+  } else {
+    stale_streak_ = 0;
+    if (degraded_ && ++sane_streak_ >= cfg_.sane_checks_to_rearm) {
+      leave_degraded();
+    }
+  }
+
+  if (degraded_ && (reg_.config().budget_bytes != cfg_.fallback_budget_bytes ||
+                    !reg_.enabled())) {
+    // Someone (e.g. an adaptive host controller still trusting the broken
+    // monitor) reprogrammed the regulator behind our back: clamp it back.
+    ++stats_.clamped_writes;
+    reg_.set_enabled(true);
+    reg_.set_budget(cfg_.fallback_budget_bytes);
+    if (clamped_ != nullptr) {
+      clamped_->add();
+    }
+  }
+
+  sim_.schedule_recurring(check_event_, now + cfg_.check_period_ps);
+}
+
+void RegulatorWatchdog::enter_degraded() {
+  degraded_ = true;
+  ++stats_.degraded_entries;
+  saved_budget_ = reg_.config().budget_bytes;
+  saved_enabled_ = reg_.enabled();
+  reg_.set_enabled(true);
+  reg_.set_budget(cfg_.fallback_budget_bytes);
+  if (metrics_ != nullptr) {
+    // Lazy creation: a watchdog that never trips leaves the registry (and
+    // the golden snapshots) untouched.
+    if (transitions_ == nullptr) {
+      const std::string base = "qos.degraded." + cfg_.name;
+      transitions_ = &metrics_->counter(base + ".transitions");
+      clamped_ = &metrics_->counter(base + ".clamped");
+      active_ = &metrics_->gauge(base + ".active");
+    }
+    transitions_->add();
+    active_->set(1.0);
+  }
+  if (trace_ != nullptr) {
+    trace_->instant(track_, "degraded", sim_.now());
+  }
+}
+
+void RegulatorWatchdog::leave_degraded() {
+  degraded_ = false;
+  ++stats_.rearms;
+  reg_.set_budget(saved_budget_);
+  reg_.set_enabled(saved_enabled_);
+  if (transitions_ != nullptr) {
+    transitions_->add();
+    active_->set(0.0);
+  }
+  if (trace_ != nullptr) {
+    trace_->instant(track_, "rearmed", sim_.now());
+  }
+}
+
+}  // namespace fgqos::qos

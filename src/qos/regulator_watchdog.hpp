@@ -1,0 +1,114 @@
+/// \file regulator_watchdog.hpp
+/// \brief Degraded-mode fallback for regulators fed by a faulty monitor.
+///
+/// The paper's tightly-coupled control loop trusts the bandwidth monitor:
+/// an adaptive host controller reads the monitor's per-window samples and
+/// reprograms the regulator budget accordingly. If the monitor freezes
+/// (stale sample register) or saturates (counter pegs below the real
+/// traffic), that loop confidently steers the budget the wrong way and the
+/// victim's guarantee evaporates. The watchdog closes this hole: it
+/// periodically sanity-checks the monitor feed and, when the feed looks
+/// wrong for a configurable number of checks, forces the regulator onto a
+/// conservative static fallback budget ("degraded mode"), clamping any
+/// further budget writes. Once samples look sane again for a hysteresis
+/// streak, the pre-degradation budget is restored.
+///
+/// Health checks:
+///  * stale   — windows_closed() did not advance between checks (the
+///              check period must exceed the monitor window);
+///  * saturated — last_window_bytes() pegged at/above a configured
+///              ceiling (set it to the injected/HW counter cap).
+///
+/// State transitions are published as qos.degraded.<name>.* metrics and
+/// trace instants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qos/bandwidth_monitor.hpp"
+#include "qos/regulator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fgqos::qos {
+
+struct RegulatorWatchdogConfig {
+  std::string name = "watchdog";
+  /// Health-check cadence; must exceed the monitor window so an alive
+  /// monitor always closes at least one window between checks.
+  sim::TimePs check_period_ps = 4 * sim::kPsPerUs;
+  /// Static budget forced while degraded (conservative: pick the victim's
+  /// guaranteed share).
+  std::uint64_t fallback_budget_bytes = 4096;
+  /// Consecutive suspicious checks before entering degraded mode.
+  std::uint32_t stale_checks_to_trip = 2;
+  /// Consecutive healthy checks before re-arming (restoring the budget).
+  std::uint32_t sane_checks_to_rearm = 3;
+  /// Treat last_window_bytes() >= this as a saturated (lying) counter;
+  /// 0 disables the saturation check. While degraded the effective ceiling
+  /// drops to the fallback budget (scaled to the monitor window) when that
+  /// is lower: samples pegged at the watchdog's own throttle are not
+  /// evidence of health, so re-arm requires traffic to genuinely fall
+  /// below the fallback.
+  std::uint64_t saturation_bytes = 0;
+};
+
+struct RegulatorWatchdogStats {
+  std::uint64_t checks = 0;
+  std::uint64_t stale_checks = 0;      ///< windows_closed() did not advance
+  std::uint64_t saturated_checks = 0;  ///< sample pegged at the ceiling
+  std::uint64_t degraded_entries = 0;
+  std::uint64_t rearms = 0;
+  /// Budget writes made by others while degraded that were clamped back
+  /// to the fallback.
+  std::uint64_t clamped_writes = 0;
+};
+
+/// One watchdog supervises one regulator/monitor pair.
+class RegulatorWatchdog {
+ public:
+  /// \p metrics may be null (no qos.degraded.* series is published then).
+  RegulatorWatchdog(sim::Simulator& sim, Regulator& reg,
+                    const BandwidthMonitor& mon, RegulatorWatchdogConfig cfg,
+                    telemetry::MetricsRegistry* metrics = nullptr);
+
+  RegulatorWatchdog(const RegulatorWatchdog&) = delete;
+  RegulatorWatchdog& operator=(const RegulatorWatchdog&) = delete;
+
+  [[nodiscard]] const RegulatorWatchdogConfig& config() const { return cfg_; }
+  [[nodiscard]] const RegulatorWatchdogStats& stats() const { return stats_; }
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
+  /// Attaches the Chrome-trace sink (nullptr detaches): degraded-mode
+  /// entry/exit become instants on a track named after this watchdog.
+  void set_trace(telemetry::TraceWriter* writer);
+
+ private:
+  void on_check();
+  void enter_degraded();
+  void leave_degraded();
+
+  sim::Simulator& sim_;
+  Regulator& reg_;
+  const BandwidthMonitor& mon_;
+  RegulatorWatchdogConfig cfg_;
+  RegulatorWatchdogStats stats_;
+  std::uint64_t last_closed_;
+  std::uint32_t stale_streak_ = 0;
+  std::uint32_t sane_streak_ = 0;
+  bool degraded_ = false;
+  std::uint64_t saved_budget_ = 0;
+  bool saved_enabled_ = true;
+  sim::EventQueue::RecurringId check_event_ = 0;
+  telemetry::MetricsRegistry* metrics_;
+  telemetry::Counter* transitions_ = nullptr;
+  telemetry::Counter* clamped_ = nullptr;
+  telemetry::Gauge* active_ = nullptr;
+  telemetry::TraceWriter* trace_ = nullptr;
+  telemetry::TrackId track_;
+};
+
+}  // namespace fgqos::qos

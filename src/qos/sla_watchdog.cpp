@@ -158,6 +158,9 @@ void SlaWatchdog::check(
   v.bound = o.bound;
   engine_.dominant(rec.cells, w.master, v.dominant_aggressor, v.dominant_cause,
                    v.dominant_stall_ps);
+  if (fault_probe_) {
+    v.active_fault = fault_probe_(rec.end);
+  }
   violations_.push_back(v);
   w.violations_counter->add();
   if (trace_ != nullptr) {
@@ -218,6 +221,9 @@ void SlaWatchdog::write_report(std::ostream& os) const {
       os << "; dominant: " << engine_.master_name(v.dominant_aggressor) << " ("
          << telemetry::cause_name(v.dominant_cause) << ", "
          << static_cast<double>(v.dominant_stall_ps) / 1e6 << " us)";
+    }
+    if (!v.active_fault.empty()) {
+      os << "; active fault: " << v.active_fault;
     }
     os << '\n';
   }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -70,6 +71,9 @@ struct Violation {
   axi::MasterId dominant_aggressor = telemetry::kNoOwner;
   telemetry::Cause dominant_cause = telemetry::Cause::kSelf;
   std::uint64_t dominant_stall_ps = 0;
+  /// Injected fault(s) active in the tripping window (empty when none, or
+  /// when no fault probe is wired).
+  std::string active_fault;
 };
 
 /// The watchdog. One instance serves any number of watched ports.
@@ -87,6 +91,12 @@ class SlaWatchdog final : public axi::TxnObserver {
 
   /// Emits violation instants on a "sla" track (category "qos").
   void set_trace(telemetry::TraceWriter* writer);
+
+  /// Wires a fault probe (typically fault::FaultInjector::active_faults):
+  /// each tripped violation records the faults active at the end of its
+  /// window, so reports can answer "was this SLA miss fault-induced?".
+  using FaultProbeFn = std::function<std::string(sim::TimePs)>;
+  void set_fault_probe(FaultProbeFn fn) { fault_probe_ = std::move(fn); }
 
   // axi::TxnObserver
   void on_issue(const axi::Transaction& txn, sim::TimePs now) override;
@@ -134,6 +144,7 @@ class SlaWatchdog final : public axi::TxnObserver {
   telemetry::MetricsRegistry& metrics_;
   std::vector<Watch> watches_;
   std::vector<Violation> violations_;
+  FaultProbeFn fault_probe_;
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;
 };

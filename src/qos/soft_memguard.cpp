@@ -55,7 +55,7 @@ void SoftMemguard::set_budget(axi::MasterId master, std::uint64_t budget_bytes) 
       const std::uint64_t period = period_index_;
       sim_.schedule_at(now + cfg_.isr_latency_ps,
                        [this, master, period]() {
-                         deliver_stall(master, period);
+                         deliver_stall(master, period, 0, true);
                        });
     }
   }
@@ -152,7 +152,9 @@ void SoftMemguard::on_grant(const axi::LineRequest& line, sim::TimePs now) {
     if (cfg_.use_overflow_irq) {
       const std::uint64_t period = period_index_;
       sim_.schedule_at(now + cfg_.isr_latency_ps,
-                       [this, m, period]() { deliver_stall(m, period); });
+                       [this, m, period]() {
+                         deliver_stall(m, period, 0, true);
+                       });
     }
     // Without the overflow IRQ the master keeps running until the period
     // boundary; every grant above budget counts as violation (handled by
@@ -160,7 +162,8 @@ void SoftMemguard::on_grant(const axi::LineRequest& line, sim::TimePs now) {
   }
 }
 
-void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period) {
+void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period,
+                                 std::uint32_t attempt, bool faultable) {
   MasterState& st = masters_[m];
   if (period != period_index_) {
     return;  // the period ended before the ISR landed; budget was reset
@@ -168,6 +171,38 @@ void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period) {
   if (!st.overflow_pending) {
     return;  // overflow cancelled by a set_budget() while the ISR was in
              // flight
+  }
+  if (faultable && irq_fault_) {
+    const sim::TimePs verdict = irq_fault_(sim_.now());
+    if (verdict == sim::kTimeNever) {
+      ++irq_stats_.irqs_dropped;
+      if (cfg_.irq_retry && attempt < cfg_.irq_max_retries) {
+        // IRQ-loss hardening: the software watchdog notices the missing
+        // acknowledgement and re-sends with exponential backoff.
+        ++irq_stats_.irqs_retried;
+        const std::uint32_t shift = std::min<std::uint32_t>(attempt + 1, 6);
+        const sim::TimePs backoff = cfg_.isr_latency_ps << shift;
+        const std::uint64_t p = period;
+        const std::uint32_t next = attempt + 1;
+        sim_.schedule_after(backoff, [this, m, p, next]() {
+          deliver_stall(m, p, next, true);
+        });
+      } else {
+        ++irq_stats_.irqs_lost;
+      }
+      return;
+    }
+    if (verdict > 0) {
+      // Late delivery: the stall lands after the extra delay; the fault
+      // is not re-consulted (the IRQ already left the faulty path).
+      ++irq_stats_.irqs_delayed;
+      const std::uint64_t p = period;
+      const std::uint32_t a = attempt;
+      sim_.schedule_after(verdict, [this, m, p, a]() {
+        deliver_stall(m, p, a, false);
+      });
+      return;
+    }
   }
   st.overflow_pending = false;
   st.stalled = true;

@@ -44,6 +44,20 @@ struct SoftMemguardConfig {
   bool reclaim_enabled = false;
   /// Pool draw granularity.
   std::uint64_t reclaim_chunk_bytes = 16 * 1024;
+  /// IRQ-loss hardening: when an overflow IRQ is detected as lost (the
+  /// fault seam dropped it), re-deliver with exponential backoff
+  /// (isr_latency * 2^attempt, capped by irq_max_retries) instead of
+  /// silently letting the master run unthrottled for the whole period.
+  bool irq_retry = false;
+  std::uint32_t irq_max_retries = 3;
+};
+
+/// Instance-wide IRQ-path fault/hardening statistics.
+struct SoftMemguardIrqStats {
+  std::uint64_t irqs_dropped = 0;  ///< deliveries lost to an injected fault
+  std::uint64_t irqs_delayed = 0;  ///< deliveries that landed late
+  std::uint64_t irqs_retried = 0;  ///< re-deliveries scheduled (hardening)
+  std::uint64_t irqs_lost = 0;     ///< dropped with retries off/exhausted
 };
 
 /// Per-master software regulation state and statistics.
@@ -88,6 +102,16 @@ class SoftMemguard final : public axi::TxnGate {
   /// run (call before TraceWriter::finish()).
   void flush_trace(sim::TimePs now);
 
+  /// Fault seam on overflow-IRQ delivery. Return 0 to deliver normally,
+  /// a positive delay (ps) to land the stall late, or sim::kTimeNever to
+  /// drop the IRQ (recovered only by the retry hardening, if enabled).
+  using IrqFaultFn = std::function<sim::TimePs(sim::TimePs)>;
+  void set_irq_fault(IrqFaultFn fn) { irq_fault_ = std::move(fn); }
+
+  [[nodiscard]] const SoftMemguardIrqStats& irq_stats() const {
+    return irq_stats_;
+  }
+
   // TxnGate: a stalled master may not be granted.
   [[nodiscard]] bool allow(const axi::LineRequest& line,
                            sim::TimePs now) const override;
@@ -109,7 +133,11 @@ class SoftMemguard final : public axi::TxnGate {
 
   void ensure(axi::MasterId master);
   void on_period_tick();
-  void deliver_stall(axi::MasterId master, std::uint64_t period);
+  /// \p attempt counts re-deliveries (0 = the original IRQ); \p faultable
+  /// is false for deliveries that already paid a fault-injected delay, so
+  /// a 100%-probability delay fault cannot postpone a stall forever.
+  void deliver_stall(axi::MasterId master, std::uint64_t period,
+                     std::uint32_t attempt, bool faultable);
   void trace_stall_end(axi::MasterId master, const MasterState& st,
                        sim::TimePs now);
 
@@ -120,6 +148,8 @@ class SoftMemguard final : public axi::TxnGate {
   std::uint64_t period_index_ = 0;
   std::uint64_t pool_ = 0;
   std::uint64_t reclaimed_total_ = 0;
+  IrqFaultFn irq_fault_;
+  SoftMemguardIrqStats irq_stats_;
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;
 };

@@ -99,6 +99,12 @@ void Soc::open_trace(const std::string& path, const std::string& filter) {
   for (auto& tg : traffic_gens_) {
     tg->set_trace(tw);
   }
+  if (injector_ != nullptr) {
+    injector_->set_trace(tw);
+  }
+  for (auto& wd : watchdogs_) {
+    wd->set_trace(tw);
+  }
   telemetry_.start_kernel_sampling(sim_);
 }
 
@@ -135,6 +141,40 @@ void Soc::finish_telemetry() {
     attr->finish(sim_.now());
   }
   telemetry_.finish();
+}
+
+fault::FaultInjector& Soc::arm_faults(fault::FaultPlan plan,
+                                      std::uint64_t run_seed) {
+  config_check(injector_ == nullptr, "Soc: faults already armed");
+  injector_ = std::make_unique<fault::FaultInjector>(
+      sim_, std::move(plan), run_seed, &telemetry_.metrics());
+  injector_->wire_interconnect(*xbar_);
+  for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
+    injector_->wire_port(xbar_->master(m));
+  }
+  for (std::size_t m = 0; m < qos_blocks_.size(); ++m) {
+    injector_->wire_regulator(m, *qos_blocks_[m].regulator);
+    injector_->wire_monitor(m, *qos_blocks_[m].monitor);
+  }
+  for (auto& d : drams_) {
+    injector_->wire_dram(*d);
+  }
+  if (telemetry_.tracing()) {
+    injector_->set_trace(telemetry_.trace());
+  }
+  return *injector_;
+}
+
+qos::RegulatorWatchdog& Soc::add_regulator_watchdog(
+    std::size_t master_index, qos::RegulatorWatchdogConfig wd_cfg) {
+  QosBlock& block = qos_block(master_index);
+  watchdogs_.push_back(std::make_unique<qos::RegulatorWatchdog>(
+      sim_, *block.regulator, *block.monitor, std::move(wd_cfg),
+      &telemetry_.metrics()));
+  if (telemetry_.tracing()) {
+    watchdogs_.back()->set_trace(telemetry_.trace());
+  }
+  return *watchdogs_.back();
 }
 
 qos::DdrcThrottle& Soc::insert_ddrc_throttle(qos::DdrcThrottleConfig tc) {

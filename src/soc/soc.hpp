@@ -16,8 +16,10 @@
 #include "axi/interconnect.hpp"
 #include "cpu/core.hpp"
 #include "dram/controller.hpp"
+#include "fault/injector.hpp"
 #include "qos/ddrc_throttle.hpp"
 #include "qos/regfile.hpp"
+#include "qos/regulator_watchdog.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "soc/config.hpp"
@@ -87,6 +89,25 @@ class Soc {
   /// memory controller (the coarse commercial-knob baseline; EXP11).
   /// Call at most once, before running.
   qos::DdrcThrottle& insert_ddrc_throttle(qos::DdrcThrottleConfig cfg);
+
+  // --- fault injection ---------------------------------------------------
+
+  /// Arms \p plan against the whole platform: crossbar response path,
+  /// every master port, every QoS block's regulator and monitor, and every
+  /// DRAM channel. \p run_seed is the per-run/per-job seed mixed into the
+  /// plan's RNG streams. Call at most once, before running; an empty plan
+  /// wires nothing and perturbs nothing.
+  fault::FaultInjector& arm_faults(fault::FaultPlan plan,
+                                   std::uint64_t run_seed);
+  /// The armed injector, or nullptr when no faults were armed.
+  [[nodiscard]] fault::FaultInjector* faults() { return injector_.get(); }
+
+  /// Attaches a degraded-mode watchdog to master \p master_index's QoS
+  /// block (requires cfg.qos_blocks). The watchdog forces the regulator
+  /// onto cfg.fallback_budget_bytes whenever the block's monitor feed goes
+  /// stale or saturates — the hardening counterpart to arm_faults.
+  qos::RegulatorWatchdog& add_regulator_watchdog(
+      std::size_t master_index, qos::RegulatorWatchdogConfig cfg);
 
   /// Runs for \p delta picoseconds.
   void run_for(sim::TimePs delta) { sim_.run_for(delta); }
@@ -160,6 +181,8 @@ class Soc {
   std::unique_ptr<cpu::CpuCluster> cluster_;
   std::vector<QosBlock> qos_blocks_;
   std::vector<std::unique_ptr<wl::TrafficGen>> traffic_gens_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<std::unique_ptr<qos::RegulatorWatchdog>> watchdogs_;
 };
 
 }  // namespace fgqos::soc

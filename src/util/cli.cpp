@@ -1,10 +1,24 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/config_error.hpp"
 
 namespace fgqos::util {
+
+namespace {
+
+/// Silently keeping only the last of "--budget 4 --budget 8" hides typos
+/// in scripted sweeps; every option is single-valued, so repeats are
+/// always a mistake.
+void insert_unique(std::map<std::string, std::string>& values,
+                   const std::string& key, std::string value) {
+  config_check(values.emplace(key, std::move(value)).second,
+               "ArgParser: duplicate option --" + key);
+}
+
+}  // namespace
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -17,14 +31,14 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
     const std::size_t eq = key.find('=');
     config_check(!key.empty() && eq != 0, "ArgParser: empty option name");
     if (eq != std::string::npos) {
-      values_[key.substr(0, eq)] = key.substr(eq + 1);
+      insert_unique(values_, key.substr(0, eq), key.substr(eq + 1));
       continue;
     }
     // "--key value" when the next token is not an option; bare flag else.
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[key] = argv[++i];
+      insert_unique(values_, key, argv[++i]);
     } else {
-      values_[key] = "";
+      insert_unique(values_, key, "");
     }
   }
 }
@@ -51,9 +65,12 @@ std::int64_t ArgParser::get_int(const std::string& key,
     return def;
   }
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(v.c_str(), &end, 0);
   config_check(end != nullptr && *end == '\0',
                "ArgParser: --" + key + " expects an integer, got '" + v + "'");
+  config_check(errno != ERANGE,
+               "ArgParser: --" + key + " value out of range: '" + v + "'");
   return parsed;
 }
 
@@ -63,9 +80,12 @@ double ArgParser::get_double(const std::string& key, double def) const {
     return def;
   }
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod(v.c_str(), &end);
   config_check(end != nullptr && *end == '\0',
                "ArgParser: --" + key + " expects a number, got '" + v + "'");
+  config_check(errno != ERANGE,
+               "ArgParser: --" + key + " value out of range: '" + v + "'");
   return parsed;
 }
 

@@ -14,7 +14,7 @@ namespace fgqos::util {
 class ArgParser {
  public:
   /// Parses argv; throws ConfigError on malformed input ("--" prefix with
-  /// empty key).
+  /// empty key, or the same option given twice).
   ArgParser(int argc, const char* const* argv);
 
   [[nodiscard]] bool has(const std::string& key) const;

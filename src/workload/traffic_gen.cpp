@@ -1,5 +1,7 @@
 #include "workload/traffic_gen.hpp"
 
+#include <algorithm>
+
 #include "util/config_error.hpp"
 
 namespace fgqos::wl {
@@ -31,7 +33,32 @@ TrafficGen::TrafficGen(sim::Simulator& sim, const sim::ClockDomain& clk,
                "TrafficGen: active_ps and idle_ps must both be set or unset");
   port_->set_completion_handler([this](const axi::Transaction& txn) {
     --outstanding_;
-    stats_.completed_bytes += txn.bytes;
+    if (txn.resp != axi::Resp::kOkay) {
+      // Errored burst: the payload never arrived. The user tag carries
+      // the attempt count; re-issue with capped exponential backoff.
+      ++stats_.error_completions;
+      const auto attempt = static_cast<std::uint32_t>(txn.user);
+      if (cfg_.max_retries > 0 && attempt < cfg_.max_retries) {
+        const std::uint32_t shift = std::min<std::uint32_t>(attempt, 6);
+        const sim::TimePs backoff = cfg_.retry_backoff_ps << shift;
+        const axi::Dir dir = txn.dir;
+        const axi::Addr addr = txn.addr;
+        const std::uint32_t bytes = txn.bytes;
+        simulator().schedule_after(
+            backoff, [this, dir, addr, bytes, attempt]() {
+              if (port_->issue(dir, addr, bytes, attempt + 1)) {
+                ++outstanding_;
+                ++stats_.retries_issued;
+              } else {
+                ++stats_.retries_abandoned;
+              }
+            });
+      } else {
+        ++stats_.retries_abandoned;
+      }
+    } else {
+      stats_.completed_bytes += txn.bytes;
+    }
     stats_.last_completion_at = txn.completed;
     if (trace_ != nullptr) {
       trace_->counter(track_, "outstanding", txn.completed,

@@ -51,6 +51,12 @@ struct TrafficGenConfig {
   /// Stop after this many issued bytes (0 = unlimited).
   std::uint64_t max_bytes = 0;
   std::uint64_t seed = 99;
+  /// Error-response hardening: a transaction completing with a non-OKAY
+  /// AXI response is re-issued after retry_backoff_ps * 2^attempt, up to
+  /// max_retries attempts (0 disables retries; errored bytes are then
+  /// simply not counted as completed).
+  std::uint32_t max_retries = 3;
+  sim::TimePs retry_backoff_ps = 100'000;  // 100 ns base backoff
 };
 
 /// Generator statistics.
@@ -60,6 +66,9 @@ struct TrafficGenStats {
   std::uint64_t transactions = 0;
   sim::TimePs first_issue_at = sim::kTimeNever;
   sim::TimePs last_completion_at = 0;
+  std::uint64_t error_completions = 0;   ///< non-OKAY responses observed
+  std::uint64_t retries_issued = 0;      ///< error retries that re-issued
+  std::uint64_t retries_abandoned = 0;   ///< retry budget/queue exhausted
 };
 
 /// The generator; drives one master port.

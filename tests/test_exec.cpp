@@ -5,8 +5,11 @@
 // exactly the serial outcome.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -120,6 +123,138 @@ TEST(ScenarioRunner, ExportsExecMetrics) {
   EXPECT_EQ(m.histogram("exec.job_us").count(), 6u);
   EXPECT_EQ(m.histogram("exec.queue_wait_us").count(), 6u);
   EXPECT_NE(runner.summary().find("6 jobs on 2 workers"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Resilient execution: timeouts, retries, partial results.
+// --------------------------------------------------------------------------
+
+TEST(ExecSeed, AttemptZeroMatchesLegacyDerivation) {
+  EXPECT_EQ(exec::derive_seed(42, 3, 0), exec::derive_seed(42, 3));
+  // Retries re-seed: each attempt gets a distinct, reproducible stream.
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t attempt = 0; attempt < 8; ++attempt) {
+    seen.insert(exec::derive_seed(42, 3, attempt));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(exec::derive_seed(42, 3, 5), exec::derive_seed(42, 3, 5));
+}
+
+TEST(ScenarioRunner, HangingJobTimesOutWithoutDeadlock) {
+  exec::ExecConfig cfg;
+  cfg.jobs = 2;
+  cfg.base_seed = 1;
+  cfg.job_timeout_s = 0.05;
+  exec::ScenarioRunner runner(cfg);
+  // The hung job polls the cancellation flag the runner hands out plus a
+  // local quit latch, so the abandoned attempt thread exits after the test.
+  auto quit = std::make_shared<std::atomic<bool>>(false);
+  std::vector<exec::ScenarioRunner::JobFn> batch;
+  for (std::size_t i = 0; i < 4; ++i) {
+    batch.push_back([quit](const exec::JobContext& ctx) {
+      while (ctx.index == 1 && !ctx.cancel_requested() && !quit->load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  const exec::RunReport report = runner.run_report(std::move(batch));
+  quit->store(true);
+  ASSERT_EQ(report.jobs.size(), 4u);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.jobs[1].status, exec::JobStatus::kTimedOut);
+  EXPECT_EQ(report.jobs[1].attempts, 1u);
+  EXPECT_NE(report.jobs[1].error.find("timed out"), std::string::npos);
+  for (const std::size_t ok : {0u, 2u, 3u}) {
+    EXPECT_EQ(report.jobs[ok].status, exec::JobStatus::kOk);
+  }
+  EXPECT_EQ(report.failed_indices(), std::vector<std::size_t>{1});
+  EXPECT_NE(report.describe().find("1 timed out (1)"), std::string::npos);
+  EXPECT_EQ(runner.metrics().counter("exec.jobs_timed_out").value(), 1u);
+  EXPECT_NE(runner.summary().find("1 failed (indices 1)"), std::string::npos);
+}
+
+TEST(ScenarioRunner, RetriesUseFreshSeedLineage) {
+  exec::ExecConfig cfg;
+  cfg.jobs = 1;
+  cfg.base_seed = 9;
+  cfg.max_retries = 2;
+  exec::ScenarioRunner runner(cfg);
+  std::mutex mu;
+  std::vector<std::uint64_t> seeds;
+  std::vector<exec::ScenarioRunner::JobFn> batch;
+  batch.push_back([&](const exec::JobContext& ctx) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      seeds.push_back(ctx.seed);
+    }
+    if (ctx.attempt < 2) {
+      throw ConfigError("transient");
+    }
+  });
+  const exec::RunReport report = runner.run_report(std::move(batch));
+  EXPECT_EQ(report.jobs[0].status, exec::JobStatus::kOk);
+  EXPECT_EQ(report.jobs[0].attempts, 3u);
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_EQ(seeds[0], exec::derive_seed(9, 0));
+  EXPECT_NE(seeds[1], seeds[0]);
+  EXPECT_NE(seeds[2], seeds[1]);
+  EXPECT_EQ(seeds[1], exec::derive_seed(9, 0, 1));
+  EXPECT_EQ(runner.metrics().counter("exec.jobs_retried").value(), 2u);
+  EXPECT_EQ(runner.metrics().counter("exec.jobs_completed").value(), 1u);
+  EXPECT_EQ(runner.metrics().counter("exec.jobs_failed").value(), 0u);
+}
+
+TEST(ScenarioRunner, ReportListsEveryFailedJobAndKeepsPartialResults) {
+  exec::ExecConfig cfg;
+  cfg.jobs = 4;
+  cfg.base_seed = 1;
+  exec::ScenarioRunner runner(cfg);
+  std::vector<exec::ScenarioRunner::JobFn> batch;
+  for (std::size_t i = 0; i < 8; ++i) {
+    batch.push_back([](const exec::JobContext& ctx) {
+      if (ctx.index == 2 || ctx.index == 6) {
+        throw ConfigError("boom " + std::to_string(ctx.index));
+      }
+    });
+  }
+  const exec::RunReport report = runner.run_report(std::move(batch));
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.failed_indices(), (std::vector<std::size_t>{2, 6}));
+  EXPECT_EQ(report.jobs[2].error, "boom 2");
+  EXPECT_EQ(report.jobs[6].error, "boom 6");
+  // The six healthy jobs' results survive alongside the failures.
+  EXPECT_NE(report.describe().find("8 jobs: 6 ok, 2 failed (2, 6)"),
+            std::string::npos);
+  EXPECT_EQ(runner.metrics().counter("exec.jobs_failed").value(), 2u);
+  EXPECT_NE(runner.summary().find("2 failed (indices 2, 6)"),
+            std::string::npos);
+}
+
+TEST(ScenarioRunner, RequestStopSkipsRemainingJobs) {
+  exec::ExecConfig cfg;
+  cfg.jobs = 1;
+  cfg.base_seed = 1;
+  exec::ScenarioRunner runner(cfg);
+  std::vector<exec::ScenarioRunner::JobFn> batch;
+  for (std::size_t i = 0; i < 6; ++i) {
+    batch.push_back([&runner](const exec::JobContext& ctx) {
+      if (ctx.index == 1) {
+        runner.request_stop();  // as the SIGINT handler would
+      }
+    });
+  }
+  const exec::RunReport report = runner.run_report(std::move(batch));
+  EXPECT_TRUE(runner.stop_requested());
+  EXPECT_EQ(report.jobs[0].status, exec::JobStatus::kOk);
+  EXPECT_EQ(report.jobs[1].status, exec::JobStatus::kOk);
+  std::size_t skipped = 0;
+  for (const auto& j : report.jobs) {
+    skipped += j.status == exec::JobStatus::kSkipped ? 1 : 0;
+  }
+  EXPECT_GE(skipped, 4u);
+  EXPECT_NE(report.describe().find("skipped"), std::string::npos);
+  runner.reset_stop();
+  EXPECT_FALSE(runner.stop_requested());
 }
 
 // --------------------------------------------------------------------------

@@ -267,5 +267,88 @@ TEST(CliRegression, MalformedAndCornerArgv) {
   EXPECT_EQ(parse({}).get_int("n", 7), 7);
 }
 
+TEST(CliRegression, DuplicateOptionsAreRejected) {
+  auto parse = [](std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "prog");
+    return util::ArgParser(static_cast<int>(argv.size()), argv.data());
+  };
+  // Repeating a single-valued option is always a scripted-sweep mistake;
+  // silently keeping the last value would hide it.
+  EXPECT_THROW(parse({"--budget", "4", "--budget", "8"}), ConfigError);
+  EXPECT_THROW(parse({"--budget=4", "--budget=8"}), ConfigError);
+  EXPECT_THROW(parse({"--flag", "--flag"}), ConfigError);
+  EXPECT_THROW(parse({"--k=v", "--k"}), ConfigError);
+  try {
+    parse({"--budget=4", "--budget", "8"});
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate option --budget"),
+              std::string::npos);
+  }
+}
+
+TEST(CliRegression, OutOfRangeValuesNameTheOption) {
+  auto parse = [](std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "prog");
+    return util::ArgParser(static_cast<int>(argv.size()), argv.data());
+  };
+  try {
+    (void)parse({"--n", "99999999999999999999999"}).get_int("n", 0);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--n"), std::string::npos);
+    EXPECT_NE(what.find("out of range"), std::string::npos);
+  }
+  try {
+    (void)parse({"--d", "1e999"}).get_double("d", 0);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--d"), std::string::npos);
+    EXPECT_NE(what.find("out of range"), std::string::npos);
+  }
+  // Negative overflow, and plausibly-large values that still fit.
+  EXPECT_THROW(
+      (void)parse({"--n=-99999999999999999999999"}).get_int("n", 0),
+      ConfigError);
+  EXPECT_EQ(parse({"--n", "9223372036854775807"}).get_int("n", 0),
+            9223372036854775807ll);
+  EXPECT_DOUBLE_EQ(parse({"--d", "1e300"}).get_double("d", 0), 1e300);
+}
+
+TEST(CliFuzz, InjectedDuplicatesAlwaysReject) {
+  static const char* keys[] = {"a", "jobs", "budget", "k"};
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    sim::Xoshiro256 rng(seed + 5000);
+    const std::string key = keys[rng.next_below(4)];
+    std::vector<std::string> storage = {"prog"};
+    const std::uint64_t extra = rng.next_below(4);
+    for (std::uint64_t i = 0; i < extra; ++i) {
+      storage.push_back("--u" + std::to_string(i));
+    }
+    // Two occurrences of the same key, in randomly chosen spellings.
+    for (int occurrence = 0; occurrence < 2; ++occurrence) {
+      const auto pos = 1 + rng.next_below(storage.size());
+      if (rng.next_bool(0.5)) {
+        storage.insert(storage.begin() + static_cast<std::ptrdiff_t>(pos),
+                       "--" + key + "=v");
+      } else {
+        storage.insert(storage.begin() + static_cast<std::ptrdiff_t>(pos),
+                       "--" + key);
+      }
+    }
+    std::vector<const char*> argv;
+    argv.reserve(storage.size());
+    for (const auto& s : storage) {
+      argv.push_back(s.c_str());
+    }
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " key=" + key);
+    EXPECT_THROW(
+        util::ArgParser(static_cast<int>(argv.size()), argv.data()),
+        ConfigError);
+  }
+}
+
 }  // namespace
 }  // namespace fgqos

@@ -8,12 +8,17 @@
 ///   fgqos_sim --preset ultra96 --critical stream --scheme sw
 ///             --budget-mbps 200 --csv out.csv
 ///   fgqos_sim --list-presets
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "qos/sla_watchdog.hpp"
 #include "qos/soft_memguard.hpp"
+#include "qos/window.hpp"
 #include "soc/presets.hpp"
 #include "soc/soc.hpp"
 #include "util/cli.hpp"
@@ -26,6 +31,10 @@
 using namespace fgqos;
 
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void on_signal(int) { g_stop = 1; }
 
 void usage() {
   std::printf(
@@ -51,7 +60,14 @@ void usage() {
       "  --blame-window-us W blame accounting window (default 100)\n"
       "  --sla-min-mbps B    SLA watchdog: min CPU-port bandwidth per window\n"
       "  --sla-p99-us L      SLA watchdog: max CPU read p99 per window\n"
-      "  --sla-stall-frac F  SLA watchdog: max interference fraction [0,1]\n");
+      "  --sla-stall-frac F  SLA watchdog: max interference fraction [0,1]\n"
+      "  --fault-spec FILE   JSON fault plan to inject (see docs/FAULTS.md)\n"
+      "  --watchdog-fallback-mbps B\n"
+      "                      degraded-mode watchdog on each regulated port:\n"
+      "                      fall back to B MB/s when the monitor feed goes\n"
+      "                      stale or saturates (requires --scheme hw)\n"
+      "\nSIGINT/SIGTERM stop the simulation early; all requested outputs\n"
+      "are still written from the partial run.\n");
 }
 
 wl::Pattern pattern_from(const std::string& s) {
@@ -101,6 +117,9 @@ int main(int argc, char** argv) {
     const double sla_min_mbps = args.get_double("sla-min-mbps", 0);
     const double sla_p99_us = args.get_double("sla-p99-us", 0);
     const double sla_stall_frac = args.get_double("sla-stall-frac", 0);
+    const std::string fault_spec = args.get("fault-spec", "");
+    const double wd_fallback_mbps =
+        args.get_double("watchdog-fallback-mbps", 0);
     if (trace_path.empty() && !trace_filter.empty()) {
       throw ConfigError("--trace-filter requires --trace");
     }
@@ -108,6 +127,9 @@ int main(int argc, char** argv) {
         sla_min_mbps > 0 || sla_p99_us > 0 || sla_stall_frac > 0;
     const bool want_blame =
         !blame_csv.empty() || !blame_json.empty() || want_sla;
+    if (wd_fallback_mbps > 0 && scheme != "hw") {
+      throw ConfigError("--watchdog-fallback-mbps requires --scheme hw");
+    }
     for (const auto& k : args.unused_keys()) {
       throw ConfigError("unknown option --" + k + " (see --help)");
     }
@@ -155,6 +177,26 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!fault_spec.empty()) {
+      fault::FaultPlan plan = fault::FaultPlan::from_file(fault_spec);
+      fault::FaultInjector& inj = chip.arm_faults(std::move(plan), seed);
+      if (memguard != nullptr) {
+        inj.wire_memguard(*memguard);
+      }
+    }
+    if (wd_fallback_mbps > 0) {
+      const auto window_ps = static_cast<sim::TimePs>(window_us * 1e6);
+      for (std::size_t port = 0;
+           port < std::min(aggressors, cfg.accel_ports); ++port) {
+        qos::RegulatorWatchdogConfig wc;
+        wc.name = "wd" + std::to_string(port);
+        wc.check_period_ps = 4 * window_ps;
+        wc.fallback_budget_bytes =
+            qos::budget_for_rate(wd_fallback_mbps * 1e6, window_ps);
+        chip.add_regulator_watchdog(1 + port, wc);
+      }
+    }
+
     if (!trace_path.empty()) {
       chip.open_trace(trace_path, trace_filter);
       if (memguard != nullptr) {
@@ -179,10 +221,29 @@ int main(int argc, char** argv) {
         if (chip.telemetry().tracing()) {
           watchdog->set_trace(chip.telemetry().trace());
         }
+        if (fault::FaultInjector* inj = chip.faults()) {
+          // Violation reports name whichever fault was live at the time.
+          watchdog->set_fault_probe([inj](sim::TimePs t) {
+            return inj->active_faults(t);
+          });
+        }
       }
     }
 
-    chip.run_for(static_cast<sim::TimePs>(duration_ms * 1e9));
+    // Run in slices so SIGINT/SIGTERM can stop the simulation early while
+    // still flushing every requested output from the partial run.
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    const auto duration_ps = static_cast<sim::TimePs>(duration_ms * 1e9);
+    const sim::TimePs slice =
+        std::max<sim::TimePs>(sim::kPsPerMs, duration_ps / 100);
+    while (chip.now() < duration_ps && g_stop == 0) {
+      chip.run_for(std::min<sim::TimePs>(slice, duration_ps - chip.now()));
+    }
+    if (g_stop != 0) {
+      std::printf("interrupted at %s — writing partial results\n",
+                  util::format_time_ps(chip.now()).c_str());
+    }
 
     if (memguard != nullptr) {
       memguard->flush_trace(chip.now());
@@ -223,6 +284,17 @@ int main(int argc, char** argv) {
     if (!blame_json.empty()) {
       chip.attribution()->save_json(blame_json);
       std::printf("\nblame JSON written to %s\n", blame_json.c_str());
+    }
+    if (fault::FaultInjector* inj = chip.faults()) {
+      std::printf("\nfaults injected: %llu total\n",
+                  static_cast<unsigned long long>(inj->injected_total()));
+      for (std::size_t k = 0; k < fault::kFaultKindCount; ++k) {
+        const auto kind = static_cast<fault::FaultKind>(k);
+        if (inj->injected(kind) > 0) {
+          std::printf("  %-18s %llu\n", fault::fault_kind_name(kind),
+                      static_cast<unsigned long long>(inj->injected(kind)));
+        }
+      }
     }
     if (watchdog != nullptr) {
       std::ostringstream report;

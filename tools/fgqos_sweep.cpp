@@ -20,10 +20,13 @@
 ///   fgqos_sweep --knob window --values 0.2,1,10,100,1000 --scheme hw
 ///   fgqos_sweep --knob aggressors --values 0,1,2,3,4 --scheme none
 ///   fgqos_sweep --knob isr --values 1,3,10,50 --scheme sw --jobs 4
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "fgqos.hpp"
 #include "util/cli.hpp"
 #include "util/config_error.hpp"
@@ -33,6 +36,17 @@
 using namespace fgqos;
 
 namespace {
+
+/// Signal handler target: request_stop() is one atomic store, so running
+/// jobs wind down cooperatively and unclaimed points are skipped; the
+/// merged CSV is still written from whatever completed.
+exec::ScenarioRunner* g_runner = nullptr;
+
+extern "C" void on_signal(int) {
+  if (g_runner != nullptr) {
+    g_runner->request_stop();
+  }
+}
 
 struct Outcome {
   double iter_mean_us = 0;
@@ -66,6 +80,10 @@ struct SweepPoint {
   double blame_window_us = 100;
   std::string blame_json;   ///< per-point file, already suffixed
   std::string point_label;  ///< knob value, used as the blame-row prefix
+  /// Shared fault plan (nullptr = no faults). Each point arms its own
+  /// injector from its derived seed, so fault streams are reproducible
+  /// per point and independent of the job count.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 /// "out.json" + budget=400 -> "out.budget400.json".
@@ -112,6 +130,12 @@ Outcome run_point(const SweepPoint& p) {
       axi::MasterPort& mp = chip.accel_port(port);
       mg->set_rate(mp.id(), p.budget_mbps * 1e6);
       mp.add_gate(*mg);
+    }
+  }
+  if (p.faults != nullptr) {
+    fault::FaultInjector& inj = chip.arm_faults(*p.faults, p.seed);
+    if (mg != nullptr) {
+      inj.wire_memguard(*mg);
     }
   }
   if (!p.trace_path.empty()) {
@@ -183,6 +207,16 @@ int main(int argc, char** argv) {
           "            [--exec-metrics-json FILE]\n"
           "            [--blame-csv FILE] [--blame-json FILE] "
           "[--blame-window-us W]\n"
+          "            [--fault-spec FILE] [--job-timeout-s T] "
+          "[--job-retries N]\n"
+          "--fault-spec arms the same JSON fault plan (docs/FAULTS.md) in\n"
+          "every point, seeded per point, so faulty sweeps stay\n"
+          "deterministic for any job count. --job-timeout-s bounds each\n"
+          "point's wall-clock time; timed-out or crashed points are\n"
+          "retried --job-retries times with fresh seeds, and the CSV is\n"
+          "still written from the points that succeeded (failed indices\n"
+          "are reported). SIGINT/SIGTERM skip remaining points and flush\n"
+          "partial results.\n"
           "--blame-csv writes ONE merged interference-attribution CSV with a\n"
           "leading `point` column (the knob value); --blame-json writes one\n"
           "JSON file per point (suffixed like the other telemetry files).\n"
@@ -214,15 +248,24 @@ int main(int argc, char** argv) {
     const std::string blame_csv = args.get("blame-csv", "");
     const std::string blame_json = args.get("blame-json", "");
     const double blame_window_us = args.get_double("blame-window-us", 100);
+    const std::string fault_spec = args.get("fault-spec", "");
     exec::ExecConfig ec;
     ec.jobs = static_cast<std::size_t>(args.get_int(
         "jobs", static_cast<std::int64_t>(exec::jobs_from_env(1))));
     ec.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 100));
+    ec.job_timeout_s = args.get_double("job-timeout-s", 0);
+    ec.max_retries =
+        static_cast<std::uint32_t>(args.get_int("job-retries", 0));
     if (trace_path.empty() && !trace_filter.empty()) {
       throw ConfigError("--trace-filter requires --trace");
     }
     for (const auto& k : args.unused_keys()) {
       throw ConfigError("unknown option --" + k + " (see --help)");
+    }
+
+    fault::FaultPlan fault_plan;
+    if (!fault_spec.empty()) {
+      fault_plan = fault::FaultPlan::from_file(fault_spec);
     }
 
     // Materialise every point first; jobs read only their own point.
@@ -251,23 +294,36 @@ int main(int argc, char** argv) {
       p.blame_window_us = blame_window_us;
       p.blame_json = point_path(blame_json, knob, v);
       p.point_label = v;
+      p.faults = fault_spec.empty() ? nullptr : &fault_plan;
       points.push_back(std::move(p));
     }
 
     exec::ScenarioRunner runner(ec);
-    const std::vector<Outcome> outcomes =
-        runner.map(points.size(), [&](const exec::JobContext& ctx) {
-          SweepPoint p = points[ctx.index];
-          p.seed = ctx.seed;
-          const Outcome o = run_point(p);
-          std::printf("%s=%s done\n", knob.c_str(),
-                      values[ctx.index].c_str());
-          return o;
-        });
+    g_runner = &runner;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::vector<Outcome> outcomes(points.size());
+    std::vector<exec::ScenarioRunner::JobFn> batch;
+    batch.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      batch.push_back([&outcomes, &points, &values,
+                       &knob](const exec::JobContext& ctx) {
+        SweepPoint p = points[ctx.index];
+        p.seed = ctx.seed;
+        outcomes[ctx.index] = run_point(p);
+        std::printf("%s=%s done\n", knob.c_str(),
+                    values[ctx.index].c_str());
+      });
+    }
+    const exec::RunReport report = runner.run_report(std::move(batch));
+    g_runner = nullptr;
 
     util::Table table({knob, "iter_mean_us", "iter_p99_us", "read_p99_ns",
                        "aggressor_GB/s"});
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (report.jobs[i].status != exec::JobStatus::kOk) {
+        continue;  // partial results: only completed points become rows
+      }
       const Outcome& o = outcomes[i];
       table.add_row({values[i], util::format_fixed(o.iter_mean_us, 1),
                      util::format_fixed(o.iter_p99_us, 1),
@@ -292,12 +348,23 @@ int main(int argc, char** argv) {
       }
       std::printf("blame CSV written to %s\n", blame_csv.c_str());
     }
-    if (runner.worker_count() > 1) {
+    if (runner.worker_count() > 1 || !report.all_ok()) {
       std::printf("\n%s\n", runner.summary().c_str());
     }
     if (!exec_metrics_json.empty()) {
       runner.metrics().save_json(exec_metrics_json, 0);
       std::printf("exec metrics written to %s\n", exec_metrics_json.c_str());
+    }
+    if (!report.all_ok()) {
+      std::printf("%s\n", report.describe().c_str());
+      for (const std::size_t i : report.failed_indices()) {
+        std::fprintf(stderr, "point %s=%s %s after %u attempt(s): %s\n",
+                     knob.c_str(), values[i].c_str(),
+                     exec::job_status_name(report.jobs[i].status),
+                     report.jobs[i].attempts,
+                     report.jobs[i].error.c_str());
+      }
+      return runner.stop_requested() ? 130 : 1;
     }
     return 0;
   } catch (const std::exception& e) {
