@@ -32,10 +32,16 @@ struct JobContext {
   /// Set by ScenarioRunner::request_stop(); long-running cooperative jobs
   /// should poll cancel_requested() and return early.
   const std::atomic<bool>* cancelled = nullptr;
+  /// Set when this specific attempt exceeded its wall-clock timeout and
+  /// was abandoned by its supervising worker. Folded into
+  /// cancel_requested(), so polling jobs need no extra code.
+  const std::atomic<bool>* attempt_cancelled = nullptr;
 
   [[nodiscard]] bool cancel_requested() const {
-    return cancelled != nullptr &&
-           cancelled->load(std::memory_order_relaxed);
+    return (cancelled != nullptr &&
+            cancelled->load(std::memory_order_relaxed)) ||
+           (attempt_cancelled != nullptr &&
+            attempt_cancelled->load(std::memory_order_relaxed));
   }
 };
 

@@ -30,7 +30,23 @@ struct AttemptState {
   std::condition_variable cv;
   bool done = false;
   std::exception_ptr err;
+  /// Per-attempt cancellation: set by the supervising worker on timeout,
+  /// surfaced to the job through JobContext::cancel_requested(). Distinct
+  /// from the runner-wide stop flag so abandoning one attempt does not
+  /// cancel the rest of the batch.
+  std::atomic<bool> cancel{false};
+  /// Co-owns the runner's stop flag so an abandoned attempt that outlives
+  /// the ScenarioRunner (and even run_report's caller) never dereferences
+  /// a destroyed atomic.
+  std::shared_ptr<std::atomic<bool>> stop;
 };
+
+/// Waits up to \p grace_s for \p state's attempt thread to exit.
+bool await_attempt(AttemptState& state, double grace_s) {
+  std::unique_lock<std::mutex> lk(state.mu);
+  return state.cv.wait_for(lk, std::chrono::duration<double>(grace_s),
+                           [&state] { return state.done; });
+}
 
 std::string join_indices(const std::vector<std::size_t>& v) {
   std::string out;
@@ -169,10 +185,20 @@ RunReport ScenarioRunner::run_report(std::vector<JobFn> batch) {
 
   std::atomic<std::size_t> next{0};
 
+  // Timed-out attempts whose threads were abandoned mid-job; drained (with
+  // a bounded grace) before run_report returns so cooperative jobs cannot
+  // keep mutating caller state after the report is handed back.
+  std::vector<std::shared_ptr<AttemptState>> abandoned;
+  std::mutex abandoned_mu;
+
   // One attempt of job \p i with context \p ctx; fills status/error into
-  // \p out. Honours cfg_.job_timeout_s when positive.
-  auto run_attempt = [this, jobs](std::size_t i, const JobContext& ctx,
-                                  JobOutcome& out) {
+  // \p out. Honours cfg_.job_timeout_s when positive. Returns the state of
+  // a timed-out (abandoned) attempt — with its cancel flag already set —
+  // so the caller can gate any retry on the attempt actually exiting;
+  // returns nullptr when the attempt finished.
+  auto run_attempt = [this, jobs](std::size_t i, JobContext ctx,
+                                  JobOutcome& out)
+      -> std::shared_ptr<AttemptState> {
     if (cfg_.job_timeout_s <= 0) {
       try {
         (*jobs)[i](ctx);
@@ -181,9 +207,14 @@ RunReport ScenarioRunner::run_report(std::vector<JobFn> batch) {
         out.status = JobStatus::kFailed;
         out.exception = std::current_exception();
       }
-      return;
+      return nullptr;
     }
     auto state = std::make_shared<AttemptState>();
+    state->stop = stop_;
+    // The attempt thread's context points only into state it co-owns
+    // (the AttemptState and the stop flag), never into the runner.
+    ctx.cancelled = state->stop.get();
+    ctx.attempt_cancelled = &state->cancel;
     std::thread([state, jobs, i, ctx]() {
       std::exception_ptr err;
       try {
@@ -201,13 +232,14 @@ RunReport ScenarioRunner::run_report(std::vector<JobFn> batch) {
         state->cv.wait_for(lk, std::chrono::duration<double>(cfg_.job_timeout_s),
                            [&state] { return state->done; });
     if (!finished) {
+      state->cancel.store(true, std::memory_order_relaxed);
       out.status = JobStatus::kTimedOut;
       out.exception = nullptr;
       char buf[64];
       std::snprintf(buf, sizeof buf, "timed out after %gs",
                     cfg_.job_timeout_s);
       out.error = buf;
-      return;
+      return state;
     }
     if (state->err != nullptr) {
       out.status = JobStatus::kFailed;
@@ -215,6 +247,7 @@ RunReport ScenarioRunner::run_report(std::vector<JobFn> batch) {
     } else {
       out.status = JobStatus::kOk;
     }
+    return nullptr;
   };
 
   auto worker_loop = [&, jobs](std::size_t worker) {
@@ -234,7 +267,7 @@ RunReport ScenarioRunner::run_report(std::vector<JobFn> batch) {
         ctx.worker = worker;
         ctx.attempt = attempt;
         ctx.cancelled = stop_.get();
-        run_attempt(i, ctx, out);
+        std::shared_ptr<AttemptState> hung = run_attempt(i, ctx, out);
         if (out.status == JobStatus::kOk) {
           break;
         }
@@ -247,8 +280,24 @@ RunReport ScenarioRunner::run_report(std::vector<JobFn> batch) {
             out.error = "unknown exception";
           }
         }
-        if (attempt >= cfg_.max_retries ||
-            stop_->load(std::memory_order_relaxed)) {
+        const bool want_retry = attempt < cfg_.max_retries &&
+                                !stop_->load(std::memory_order_relaxed);
+        if (hung != nullptr) {
+          // Never launch a retry while the timed-out attempt may still be
+          // executing the same closure: wait for it to acknowledge the
+          // cancellation (exit), and forfeit the remaining retries if it
+          // does not — two attempts of one job must never run
+          // concurrently.
+          if (!want_retry || !await_attempt(*hung, cfg_.job_timeout_s)) {
+            if (want_retry) {
+              out.error +=
+                  " (attempt ignored cancellation; retries forfeited)";
+            }
+            const std::lock_guard<std::mutex> lock(abandoned_mu);
+            abandoned.push_back(std::move(hung));
+            break;
+          }
+        } else if (!want_retry) {
           break;
         }
         const std::lock_guard<std::mutex> lock(metrics_mu);
@@ -281,6 +330,22 @@ RunReport ScenarioRunner::run_report(std::vector<JobFn> batch) {
     }
     for (auto& t : pool) {
       t.join();
+    }
+  }
+
+  // Drain abandoned attempts (their cancel flags are set) under one shared
+  // deadline: cooperative jobs exit almost immediately, so results stop
+  // mutating before the report is returned. A job that never polls
+  // cancel_requested() leaks its thread past this point — it keeps the
+  // batch and its AttemptState alive, but references to caller state in
+  // its closure are the caller's responsibility (see ExecConfig).
+  if (!abandoned.empty()) {
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(cfg_.job_timeout_s));
+    for (const auto& state : abandoned) {
+      std::unique_lock<std::mutex> lk(state->mu);
+      state->cv.wait_until(lk, deadline, [&state] { return state->done; });
     }
   }
 

@@ -39,14 +39,24 @@ struct ExecConfig {
   std::size_t jobs = 1;
   /// Base seed from which every job's seed is derived (derive_seed).
   std::uint64_t base_seed = 1;
-  /// Per-attempt wall-clock timeout in seconds; 0 disables. Timed-out
-  /// attempts run on their own thread so a hung simulation cannot wedge
-  /// the batch (the hung thread is abandoned; cooperative jobs should
-  /// poll JobContext::cancel_requested()).
+  /// Per-attempt wall-clock timeout in seconds; 0 disables. Each timed
+  /// attempt runs on its own thread so a hung simulation cannot wedge the
+  /// batch; on timeout the attempt's private cancel flag is raised
+  /// (visible through JobContext::cancel_requested()) and the thread is
+  /// abandoned. run_report() waits one extra timeout span for abandoned
+  /// attempts to exit before returning, so a job that polls
+  /// cancel_requested() never touches caller state after the report is
+  /// handed back; a job that ignores cancellation leaks its thread, and
+  /// any caller references captured in its closure are then the caller's
+  /// responsibility to keep alive.
   double job_timeout_s = 0;
   /// Extra attempts after a failed or timed-out first attempt. Each retry
   /// gets a fresh deterministic seed (derive_seed with the attempt
-  /// ordinal).
+  /// ordinal). After a timeout, the retry only launches once the
+  /// abandoned attempt has acknowledged cancellation (exited) within one
+  /// extra timeout span — two attempts of one job never run concurrently;
+  /// if it keeps running, the job ends kTimedOut and the remaining
+  /// retries are forfeited.
   std::uint32_t max_retries = 0;
 };
 
@@ -175,8 +185,9 @@ class ScenarioRunner {
   /// Failed/timed-out indices accumulated across run_report() calls (for
   /// summary()); guarded by the metrics mutex while a batch runs.
   std::vector<std::size_t> failed_indices_;
-  /// Shared with attempt threads and JobContexts so a hung, abandoned
-  /// attempt can never dangle into a destroyed runner.
+  /// Runner-wide stop flag. Every timed attempt thread holds its own
+  /// shared_ptr copy (via its AttemptState), so a hung, abandoned attempt
+  /// can never dangle into a destroyed runner.
   std::shared_ptr<std::atomic<bool>> stop_ =
       std::make_shared<std::atomic<bool>>(false);
 };

@@ -29,6 +29,11 @@ sim::TimePs us_to_ps(double us, const std::string& key) {
 }
 
 std::uint64_t as_u64(const util::JsonValue& v, const std::string& key) {
+  // Plain integer literals keep their exact 64-bit value (the double path
+  // below rounds above 2^53, which would corrupt round-tripped seeds).
+  if (v.is_uint64()) {
+    return v.as_uint64();
+  }
   const double d = v.as_number();
   config_check(std::isfinite(d) && d >= 0 && d <= 1.8e19 &&
                    d == std::floor(d),
@@ -39,6 +44,16 @@ std::uint64_t as_u64(const util::JsonValue& v, const std::string& key) {
 void append_number(std::string& out, double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+/// Integer path for uint64 fields: %.17g would route them through double
+/// and silently corrupt values above 2^53, breaking the round-trip
+/// guarantee (from_json accepts integers up to 1.8e19).
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
   out += buf;
 }
 
@@ -161,7 +176,7 @@ FaultPlan FaultPlan::from_file(const std::string& path) {
 
 std::string FaultPlan::to_json() const {
   std::string out = "{\"seed\": ";
-  append_number(out, static_cast<double>(seed));
+  append_u64(out, seed);
   out += ", \"faults\": [";
   bool first = true;
   for (const FaultSpec& s : faults) {
@@ -174,7 +189,7 @@ std::string FaultPlan::to_json() const {
     out += '"';
     if (s.target >= 0) {
       out += ", \"target\": ";
-      append_number(out, s.target);
+      out += std::to_string(s.target);
     }
     if (s.probability != 1.0) {
       out += ", \"prob\": ";
@@ -205,11 +220,11 @@ std::string FaultPlan::to_json() const {
     }
     if (s.cap_bytes > 0) {
       out += ", \"cap_bytes\": ";
-      append_number(out, static_cast<double>(s.cap_bytes));
+      append_u64(out, s.cap_bytes);
     }
     if (s.kind == FaultKind::kRefreshStorm) {
       out += ", \"factor\": ";
-      append_number(out, s.factor);
+      append_u64(out, s.factor);
     }
     out += '}';
   }

@@ -1,6 +1,7 @@
 #include "fault/injector.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace fgqos::fault {
@@ -248,21 +249,45 @@ void FaultInjector::wire_memguard(qos::SoftMemguard& mg) {
 }
 
 void FaultInjector::wire_dram(dram::Controller& dram) {
+  // Storms may overlap, so no event may own the divisor outright: each
+  // start/end edge updates the set of in-window factors and re-applies
+  // the strongest one (1 when the set drains), instead of a blind reset
+  // that would cancel a storm still active. One shared state per
+  // controller, co-owned by every edge event.
+  struct StormState {
+    dram::Controller* target;
+    std::vector<std::uint32_t> active;
+
+    void apply() const {
+      std::uint32_t factor = 1;
+      for (const std::uint32_t f : active) {
+        factor = std::max(factor, f);
+      }
+      target->set_refresh_interval_divisor(factor);
+    }
+  };
+  auto storms = std::make_shared<StormState>();
+  storms->target = &dram;
   for (const FaultSpec& s : plan_.faults) {
     if (s.kind != FaultKind::kRefreshStorm) {
       continue;
     }
     Site* site = make_site(s);
-    dram::Controller* target = &dram;
     sim_.schedule_at(std::max(s.start_ps, sim_.now()),
-                     [this, site, target]() {
+                     [this, site, storms]() {
                        record(*site, sim_.now());
-                       target->set_refresh_interval_divisor(
-                           site->spec->factor);
+                       storms->active.push_back(site->spec->factor);
+                       storms->apply();
                      });
     if (s.end_ps != sim::kTimeNever) {
-      sim_.schedule_at(s.end_ps, [target]() {
-        target->set_refresh_interval_divisor(1);
+      sim_.schedule_at(s.end_ps, [site, storms]() {
+        auto& active = storms->active;
+        const auto it =
+            std::find(active.begin(), active.end(), site->spec->factor);
+        if (it != active.end()) {
+          active.erase(it);
+        }
+        storms->apply();
       });
     }
   }

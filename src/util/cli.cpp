@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/config_error.hpp"
@@ -84,7 +85,9 @@ double ArgParser::get_double(const std::string& key, double def) const {
   const double parsed = std::strtod(v.c_str(), &end);
   config_check(end != nullptr && *end == '\0',
                "ArgParser: --" + key + " expects a number, got '" + v + "'");
-  config_check(errno != ERANGE,
+  // ERANGE also flags underflow (tiny values parse to a subnormal or 0,
+  // which is fine); only overflow to +/-HUGE_VAL is a real error.
+  config_check(errno != ERANGE || std::fabs(parsed) != HUGE_VAL,
                "ArgParser: --" + key + " value out of range: '" + v + "'");
   return parsed;
 }

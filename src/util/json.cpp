@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -259,6 +260,19 @@ class JsonParser {
     JsonValue v;
     v.kind_ = JsonValue::Kind::kNumber;
     v.num_ = std::strtod(text_.c_str() + start, nullptr);
+    // Exact sidecar for plain unsigned-integer literals: num_ alone would
+    // silently round values above 2^53 (e.g. 64-bit fault-plan seeds).
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.find_first_not_of("0123456789") == std::string::npos &&
+        !token.empty() && token.size() <= 20) {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long u = std::strtoull(token.c_str(), &end, 10);
+      if (errno != ERANGE && end != nullptr && *end == '\0') {
+        v.u64_ = u;
+        v.has_u64_ = true;
+      }
+    }
     return v;
   }
 
@@ -279,6 +293,11 @@ bool JsonValue::as_bool() const {
 double JsonValue::as_number() const {
   config_check(kind_ == Kind::kNumber, "JsonValue: not a number");
   return num_;
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  config_check(has_u64_, "JsonValue: not an exact unsigned integer");
+  return u64_;
 }
 
 const std::string& JsonValue::as_string() const {

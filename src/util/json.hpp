@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -42,6 +43,12 @@ class JsonValue {
   /// Typed accessors; throw ConfigError on kind mismatch.
   [[nodiscard]] bool as_bool() const;
   [[nodiscard]] double as_number() const;
+  /// True when the literal was a plain non-negative integer (no sign,
+  /// fraction or exponent) that fits a uint64 — kept exactly, because
+  /// as_number()'s double loses precision above 2^53.
+  [[nodiscard]] bool is_uint64() const { return has_u64_; }
+  /// Exact value of such a literal; throws ConfigError when !is_uint64().
+  [[nodiscard]] std::uint64_t as_uint64() const;
   [[nodiscard]] const std::string& as_string() const;
   [[nodiscard]] const std::vector<JsonValue>& as_array() const;
   [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const;
@@ -59,7 +66,9 @@ class JsonValue {
 
   Kind kind_ = Kind::kNull;
   bool bool_ = false;
+  bool has_u64_ = false;
   double num_ = 0.0;
+  std::uint64_t u64_ = 0;
   std::string str_;
   std::vector<JsonValue> arr_;
   std::map<std::string, JsonValue> obj_;

@@ -173,6 +173,41 @@ TEST(ScenarioRunner, HangingJobTimesOutWithoutDeadlock) {
   EXPECT_NE(runner.summary().find("1 failed (indices 1)"), std::string::npos);
 }
 
+TEST(ScenarioRunner, TimedOutAttemptIsCancelledBeforeRetryLaunches) {
+  exec::ExecConfig cfg;
+  cfg.jobs = 1;
+  cfg.base_seed = 1;
+  cfg.job_timeout_s = 0.05;
+  cfg.max_retries = 1;
+  exec::ScenarioRunner runner(cfg);
+  // Attempt 0 hangs until its own cancellation flag flips on timeout; the
+  // retry must only start after the abandoned attempt exited, so the two
+  // attempts of this job never run concurrently.
+  auto concurrent = std::make_shared<std::atomic<int>>(0);
+  auto overlapped = std::make_shared<std::atomic<bool>>(false);
+  std::vector<exec::ScenarioRunner::JobFn> batch;
+  batch.push_back([concurrent, overlapped](const exec::JobContext& ctx) {
+    if (concurrent->fetch_add(1) != 0) {
+      overlapped->store(true);
+    }
+    if (ctx.attempt == 0) {
+      while (!ctx.cancel_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    concurrent->fetch_sub(1);
+  });
+  const exec::RunReport report = runner.run_report(std::move(batch));
+  EXPECT_EQ(report.jobs[0].status, exec::JobStatus::kOk);
+  EXPECT_EQ(report.jobs[0].attempts, 2u);
+  EXPECT_FALSE(overlapped->load());
+  EXPECT_EQ(runner.metrics().counter("exec.jobs_retried").value(), 1u);
+  EXPECT_EQ(runner.metrics().counter("exec.jobs_completed").value(), 1u);
+  // The abandoned attempt acknowledged cancellation before run_report
+  // returned, so nothing still references this frame.
+  EXPECT_EQ(concurrent->load(), 0);
+}
+
 TEST(ScenarioRunner, RetriesUseFreshSeedLineage) {
   exec::ExecConfig cfg;
   cfg.jobs = 1;

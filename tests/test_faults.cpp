@@ -89,6 +89,22 @@ TEST(FaultPlan, RoundTripsThroughJson) {
   EXPECT_EQ(twice.faults[4].factor, 2u);
 }
 
+TEST(FaultPlan, RoundTripsFullRangeUint64Fields) {
+  // Values above 2^53 are not representable as double; both the emitter
+  // and the parser must keep uint64 fields on an exact integer path.
+  fault::FaultPlan plan;
+  plan.seed = 18446744073709551615ull;
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::kMonitorSaturate;
+  s.cap_bytes = (1ull << 53) + 1;
+  plan.faults.push_back(s);
+  const fault::FaultPlan twice = fault::FaultPlan::from_json(plan.to_json());
+  EXPECT_EQ(twice.seed, 18446744073709551615ull);
+  ASSERT_EQ(twice.faults.size(), 1u);
+  EXPECT_EQ(twice.faults[0].cap_bytes, (1ull << 53) + 1);
+  EXPECT_EQ(plan.to_json(), twice.to_json());
+}
+
 TEST(FaultPlan, RejectsMalformedDocuments) {
   const std::vector<std::string> bad = {
       "[]",                                             // not an object
@@ -246,6 +262,28 @@ TEST(FaultInjector, RefreshStormMultipliesRefreshRate) {
       R"({"faults": [{"kind": "refresh_storm", "factor": 8}]})");
   ASSERT_GT(normal, 0u);
   EXPECT_GT(storm, normal * 6);  // ~8x, with boundary slack
+}
+
+TEST(FaultInjector, OverlappingRefreshStormsKeepStrongestActive) {
+  soc::SocConfig cfg;
+  soc::Soc chip(cfg);
+  wl::TrafficGenConfig tg;
+  tg.name = "g0";
+  chip.add_traffic_gen(0, tg);
+  // A short strong storm nested inside a longer weak one: each edge must
+  // re-derive the divisor from the set of in-window storms, not blindly
+  // overwrite (start) or reset to 1 (end).
+  chip.arm_faults(fault::FaultPlan::from_json(R"({"faults": [
+    {"kind": "refresh_storm", "factor": 2, "start_us": 10, "end_us": 100},
+    {"kind": "refresh_storm", "factor": 8, "start_us": 20, "end_us": 40}]})"),
+                  1);
+  chip.run_until(30 * sim::kPsPerUs);
+  EXPECT_EQ(chip.dram().refresh_interval_divisor(), 8u);
+  chip.run_until(50 * sim::kPsPerUs);
+  // The inner storm ended; the outer storm must still be in force.
+  EXPECT_EQ(chip.dram().refresh_interval_divisor(), 2u);
+  chip.run_until(150 * sim::kPsPerUs);
+  EXPECT_EQ(chip.dram().refresh_interval_divisor(), 1u);
 }
 
 // --------------------------------------------------------------------------

@@ -315,6 +315,10 @@ TEST(CliRegression, OutOfRangeValuesNameTheOption) {
   EXPECT_EQ(parse({"--n", "9223372036854775807"}).get_int("n", 0),
             9223372036854775807ll);
   EXPECT_DOUBLE_EQ(parse({"--d", "1e300"}).get_double("d", 0), 1e300);
+  // strtod flags underflow with the same ERANGE as overflow, but a tiny
+  // legitimate magnitude (subnormal or rounded to zero) is valid input.
+  EXPECT_GT(parse({"--d", "1e-320"}).get_double("d", 1), 0.0);
+  EXPECT_DOUBLE_EQ(parse({"--d", "1e-5000"}).get_double("d", 1), 0.0);
 }
 
 TEST(CliFuzz, InjectedDuplicatesAlwaysReject) {
