@@ -235,6 +235,7 @@ int run_kernel_json(const std::string& path) {
   }
   std::fprintf(f,
                "{\n"
+               "  \"schema_version\": 1,\n"
                "  \"benchmark\": \"kernel_throughput\",\n"
                "  \"workload\": {\"one_shot_timers\": 32, "
                "\"recurring_timers\": 32, \"spinners\": 4, "

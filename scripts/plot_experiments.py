@@ -13,11 +13,17 @@ Usage:
     python3 scripts/plot_experiments.py blame blame.csv --out plots/
     python3 scripts/plot_experiments.py blame blame.csv --cause dram_refresh
 
+    # per-window metric trajectories from a --timeseries-csv file, with
+    # the decision journal's actions overlaid as vertical markers
+    python3 scripts/plot_experiments.py timeseries ts.csv \
+        --series 'qos.*.credit,port.cpu.*' --journal decisions.jsonl
+
 Produces one PNG per known experiment CSV. Only matplotlib is required;
 files that are absent are skipped, so partial runs plot fine.
 """
 import argparse
 import csv
+import fnmatch
 import json
 import os
 import sys
@@ -203,6 +209,85 @@ def plot_blame(args, plt):
     print("wrote", out)
 
 
+def load_timeseries(path, series_globs=None, point=None):
+    """Reads a --timeseries-csv file; returns {series: (t_us, values)}.
+
+    Skips `#` manifest comments and handles both fgqos_sim output and a
+    merged fgqos_sweep file (leading `point` column, selected with
+    --point). Times are window midpoints in microseconds.
+    """
+    with open(path, newline="") as fh:
+        lines = [ln for ln in fh if not ln.startswith("#")]
+    rows = list(csv.DictReader(lines))
+    if rows and "point" in rows[0] and point is None:
+        points = sorted({r["point"] for r in rows})
+        sys.exit(f"{path} is a merged sweep file; pick one of "
+                 f"--point {{{','.join(points)}}}")
+    globs = ([g.strip() for g in series_globs.split(",") if g.strip()]
+             if series_globs else None)
+    data = {}
+    for r in rows:
+        if point is not None and r.get("point") != point:
+            continue
+        name = r["series"]
+        if globs and not any(fnmatch.fnmatchcase(name, g) for g in globs):
+            continue
+        t = (float(r["start_ps"]) + float(r["end_ps"])) / 2 / 1e6
+        xs, ys = data.setdefault(name, ([], []))
+        xs.append(t)
+        ys.append(float(r["value"]))
+    return data
+
+
+def load_journal(path):
+    """Reads a --journal JSONL file; returns [(t_us, component, action)].
+
+    The manifest line and the `dropped` trailer carry no `seq` key and
+    are skipped.
+    """
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            if "seq" not in doc:
+                continue
+            events.append((doc["at_ps"] / 1e6, doc["component"],
+                           doc["action"]))
+    return events
+
+
+def plot_timeseries(args, plt):
+    data = load_timeseries(args.timeseries_csv, args.series, args.point)
+    if not data:
+        sys.exit(f"no matching series in {args.timeseries_csv} "
+                 "(run with --timeseries-csv; check --series/--point)")
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for name in sorted(data):
+        xs, ys = data[name]
+        ax.plot(xs, ys, marker=".", markersize=3, linewidth=1, label=name)
+    if args.journal:
+        events = load_journal(args.journal)
+        for t, _component, _action in events:
+            ax.axvline(t, color="grey", linestyle="--", linewidth=0.6,
+                       alpha=0.5)
+        if events:
+            ax.set_title(f"Windowed time series ({len(events)} journaled "
+                         "decisions marked)", fontsize=10)
+    else:
+        ax.set_title("Windowed time series", fontsize=10)
+    ax.set_xlabel("time (us)")
+    ax.set_ylabel("per-window value")
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    os.makedirs(args.out, exist_ok=True)
+    out = os.path.join(args.out, "timeseries.png")
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
 def import_pyplot():
     try:
         import matplotlib
@@ -214,7 +299,28 @@ def import_pyplot():
 
 
 def main():
-    # "hops"/"blame" subcommands; anything else is the legacy csv_dir form.
+    # "hops"/"blame"/"timeseries" subcommands; anything else is the
+    # legacy csv_dir form.
+    if len(sys.argv) > 1 and sys.argv[1] == "timeseries":
+        ap = argparse.ArgumentParser(
+            prog="plot_experiments.py timeseries",
+            description="per-window metric trajectories from a "
+                        "--timeseries-csv file, optionally overlaying the "
+                        "--journal decision timeline")
+        ap.add_argument("timeseries_csv",
+                        help="fgqos_sim/fgqos_sweep --timeseries-csv")
+        ap.add_argument("--series", default=None,
+                        help="comma-separated series globs "
+                             "(e.g. 'qos.*.credit,port.cpu.*')")
+        ap.add_argument("--point", default=None,
+                        help="sweep point to plot (merged sweep CSVs only)")
+        ap.add_argument("--journal", default=None,
+                        help="--journal JSONL; decisions drawn as vlines")
+        ap.add_argument("--out", default="plots", help="output directory")
+        args = ap.parse_args(sys.argv[2:])
+        plot_timeseries(args, import_pyplot())
+        return
+
     if len(sys.argv) > 1 and sys.argv[1] == "blame":
         ap = argparse.ArgumentParser(
             prog="plot_experiments.py blame",

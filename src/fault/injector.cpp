@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "telemetry/journal.hpp"
 
 namespace fgqos::fault {
 
@@ -61,6 +64,13 @@ void FaultInjector::record(Site& site, sim::TimePs now) {
   }
   if (trace_ != nullptr) {
     trace_->instant(track_, fault_kind_name(site.spec->kind), now);
+  }
+  if (journal_ != nullptr && site.fired == 1) {
+    // Activation edge only: the per-injection record would swamp the
+    // journal for high-frequency faults; counts live in the metrics.
+    journal_->record(now, "fault", fault_kind_name(site.spec->kind), 0.0, 1.0,
+                     "fault_plan",
+                     "target=" + std::to_string(site.spec->target));
   }
 }
 

@@ -32,6 +32,10 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
+namespace fgqos::telemetry {
+class DecisionJournal;
+}
+
 namespace fgqos::fault {
 
 class FaultInjector {
@@ -63,6 +67,12 @@ class FaultInjector {
   /// Attaches the Chrome-trace sink (nullptr detaches): every injection
   /// becomes an instant on a "faults" track (category "qos").
   void set_trace(telemetry::TraceWriter* writer);
+
+  /// Attaches the decision journal (nullptr detaches): the FIRST injection
+  /// of each (spec, component) site is recorded — the activation edge the
+  /// timeline reader wants — rather than every repeat of a
+  /// high-frequency fault.
+  void set_journal(telemetry::DecisionJournal* journal) { journal_ = journal; }
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   /// Injections of one kind so far.
@@ -108,6 +118,7 @@ class FaultInjector {
   std::uint64_t injected_[kFaultKindCount] = {};
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;
+  telemetry::DecisionJournal* journal_ = nullptr;
 };
 
 }  // namespace fgqos::fault

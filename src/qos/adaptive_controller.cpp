@@ -1,7 +1,9 @@
 #include "qos/adaptive_controller.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "telemetry/journal.hpp"
 #include "util/config_error.hpp"
 
 namespace fgqos::qos {
@@ -44,11 +46,19 @@ void AdaptiveQosController::start() {
     return;
   }
   active_ = true;
+  if (journal_ != nullptr) {
+    journal_->record(sim_.now(), cfg_.name, "start", 0.0, stats_.current_bps,
+                     "host_write");
+  }
   apply(stats_.current_bps);
   sim_.schedule_recurring(tick_event_, sim_.now() + cfg_.period_ps, ++epoch_);
 }
 
 void AdaptiveQosController::stop() {
+  if (journal_ != nullptr && active_) {
+    journal_->record(sim_.now(), cfg_.name, "stop", stats_.current_bps,
+                     stats_.current_bps, "host_write");
+  }
   active_ = false;
   ++epoch_;
 }
@@ -59,8 +69,10 @@ void AdaptiveQosController::control_tick(std::uint64_t epoch) {
   }
   ++stats_.periods;
   const sim::TimePs observed = critical_->last_window_max_ps();
-  double rate = stats_.current_bps;
-  if (observed > cfg_.latency_target_ps) {
+  const double old_rate = stats_.current_bps;
+  double rate = old_rate;
+  const bool over_target = observed > cfg_.latency_target_ps;
+  if (over_target) {
     rate *= cfg_.decrease_factor;
     ++stats_.decreases;
   } else {
@@ -69,6 +81,15 @@ void AdaptiveQosController::control_tick(std::uint64_t epoch) {
     ++stats_.increases;
   }
   rate = std::clamp(rate, cfg_.min_bps, cfg_.max_bps);
+  if (journal_ != nullptr) {
+    // The input sample rides along so the journal shows not only what the
+    // loop decided but what it saw when deciding.
+    journal_->record(sim_.now(), cfg_.name,
+                     over_target ? "decrease" : "increase", old_rate, rate,
+                     over_target ? "latency_over_target" : "latency_headroom",
+                     "observed_ps=" + std::to_string(observed) +
+                         " target_ps=" + std::to_string(cfg_.latency_target_ps));
+  }
   apply(rate);
   sim_.schedule_recurring(tick_event_, sim_.now() + cfg_.period_ps, epoch);
 }

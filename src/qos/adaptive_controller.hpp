@@ -26,6 +26,10 @@
 #include "qos/regulator.hpp"
 #include "sim/simulator.hpp"
 
+namespace fgqos::telemetry {
+class DecisionJournal;
+}
+
 namespace fgqos::qos {
 
 /// Controller configuration.
@@ -68,6 +72,11 @@ class AdaptiveQosController {
   [[nodiscard]] const AdaptiveControllerConfig& config() const { return cfg_; }
   [[nodiscard]] const AdaptiveControllerStats& stats() const { return stats_; }
 
+  /// Attaches the decision journal (nullptr detaches): each AIMD step is
+  /// recorded with the observed latency sample that triggered it, plus
+  /// start/stop transitions.
+  void set_journal(telemetry::DecisionJournal* journal) { journal_ = journal; }
+
   /// Starts the loop (programs initial budgets immediately).
   void start();
   /// Stops it (regulators keep their last programmed rate).
@@ -84,6 +93,7 @@ class AdaptiveQosController {
   LatencyMonitor* critical_;
   std::vector<Regulator*> best_effort_;
   AdaptiveControllerStats stats_;
+  telemetry::DecisionJournal* journal_ = nullptr;
   bool active_ = false;
   std::uint64_t epoch_ = 0;
 };

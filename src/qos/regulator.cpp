@@ -1,6 +1,7 @@
 #include "qos/regulator.hpp"
 
 #include "sim/logger.hpp"
+#include "telemetry/journal.hpp"
 #include "util/config_error.hpp"
 
 namespace fgqos::qos {
@@ -35,6 +36,11 @@ void Regulator::on_replenish(std::uint64_t epoch) {
       // this delivery vanished), so an exhausted gate stays shut until
       // the next surviving replenish.
       ++stats_.replenish_irqs_dropped;
+      if (journal_ != nullptr) {
+        journal_->record(sim_.now(), cfg_.name, "replenish_drop",
+                         static_cast<double>(bucket_.tokens()),
+                         static_cast<double>(bucket_.tokens()), "irq_fault");
+      }
       window_start_ = sim_.now();
       schedule_replenish();
       return;
@@ -43,6 +49,11 @@ void Regulator::on_replenish(std::uint64_t epoch) {
       // Late delivery: the refill lands after the boundary; the next
       // boundary keeps its nominal cadence.
       ++stats_.replenish_irqs_delayed;
+      if (journal_ != nullptr) {
+        journal_->record(sim_.now(), cfg_.name, "replenish_delay", 0.0,
+                         static_cast<double>(verdict), "irq_fault",
+                         "delay_ps=" + std::to_string(verdict));
+      }
       const std::uint64_t guard = epoch_;
       sim_.schedule_after(verdict, [this, guard]() {
         if (guard == epoch_) {
@@ -78,6 +89,11 @@ void Regulator::set_enabled(bool enabled) {
     trace_throttle_end(sim_.now());
     exhausted_ = false;
   }
+  if (journal_ != nullptr && cfg_.enabled != enabled) {
+    journal_->record(sim_.now(), cfg_.name, "set_enabled",
+                     cfg_.enabled ? 1.0 : 0.0, enabled ? 1.0 : 0.0,
+                     "host_write");
+  }
   cfg_.enabled = enabled;
 }
 
@@ -108,6 +124,11 @@ void Regulator::flush_trace(sim::TimePs now) {
 }
 
 void Regulator::set_budget(std::uint64_t budget_bytes) {
+  if (journal_ != nullptr && cfg_.budget_bytes != budget_bytes) {
+    journal_->record(sim_.now(), cfg_.name, "set_budget",
+                     static_cast<double>(cfg_.budget_bytes),
+                     static_cast<double>(budget_bytes), "host_write");
+  }
   bucket_.set_budget(budget_bytes);
   cfg_.budget_bytes = budget_bytes;
   reevaluate_exhaustion();
@@ -115,6 +136,11 @@ void Regulator::set_budget(std::uint64_t budget_bytes) {
 
 void Regulator::set_window(sim::TimePs window_ps) {
   config_check(window_ps > 0, "Regulator: window must be > 0");
+  if (journal_ != nullptr && cfg_.window_ps != window_ps) {
+    journal_->record(sim_.now(), cfg_.name, "set_window",
+                     static_cast<double>(cfg_.window_ps),
+                     static_cast<double>(window_ps), "host_write");
+  }
   cfg_.window_ps = window_ps;
   ++epoch_;
   window_start_ = sim_.now();

@@ -20,6 +20,10 @@
 #include "sim/time.hpp"
 #include "telemetry/trace.hpp"
 
+namespace fgqos::telemetry {
+class DecisionJournal;
+}
+
 namespace fgqos::qos {
 
 /// Regulator configuration.
@@ -86,6 +90,12 @@ class Regulator final : public axi::TxnGate {
   /// Effective programmed rate in bytes/second.
   [[nodiscard]] double programmed_rate_bps() const;
 
+  /// Attaches the decision journal (nullptr detaches): register writes
+  /// (set_enabled/set_budget/set_window) that change the programmed value
+  /// are recorded with cause "host_write", and replenish IRQs lost or
+  /// delayed by an injected fault with cause "irq_fault".
+  void set_journal(telemetry::DecisionJournal* journal) { journal_ = journal; }
+
   /// Attaches the Chrome-trace sink (nullptr detaches): throttle
   /// intervals become duration events and the token credit a counter
   /// track, both on a track named after this regulator.
@@ -131,6 +141,7 @@ class Regulator final : public axi::TxnGate {
   IrqFaultFn irq_fault_;
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;
+  telemetry::DecisionJournal* journal_ = nullptr;
 };
 
 }  // namespace fgqos::qos

@@ -1,8 +1,10 @@
 #include "qos/regulator_watchdog.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "telemetry/journal.hpp"
 #include "util/config_error.hpp"
 
 namespace fgqos::qos {
@@ -74,7 +76,7 @@ void RegulatorWatchdog::on_check() {
   if (stale || saturated) {
     sane_streak_ = 0;
     if (!degraded_ && ++stale_streak_ >= cfg_.stale_checks_to_trip) {
-      enter_degraded();
+      enter_degraded(stale ? "monitor_stale" : "monitor_saturated");
     }
   } else {
     stale_streak_ = 0;
@@ -88,21 +90,35 @@ void RegulatorWatchdog::on_check() {
     // Someone (e.g. an adaptive host controller still trusting the broken
     // monitor) reprogrammed the regulator behind our back: clamp it back.
     ++stats_.clamped_writes;
+    const std::uint64_t foreign = reg_.config().budget_bytes;
     reg_.set_enabled(true);
     reg_.set_budget(cfg_.fallback_budget_bytes);
     if (clamped_ != nullptr) {
       clamped_->add();
+    }
+    if (journal_ != nullptr) {
+      journal_->record(now, cfg_.name, "clamp_write",
+                       static_cast<double>(foreign),
+                       static_cast<double>(cfg_.fallback_budget_bytes),
+                       "degraded_mode",
+                       "regulator=" + reg_.config().name);
     }
   }
 
   sim_.schedule_recurring(check_event_, now + cfg_.check_period_ps);
 }
 
-void RegulatorWatchdog::enter_degraded() {
+void RegulatorWatchdog::enter_degraded(const char* cause) {
   degraded_ = true;
   ++stats_.degraded_entries;
   saved_budget_ = reg_.config().budget_bytes;
   saved_enabled_ = reg_.enabled();
+  if (journal_ != nullptr) {
+    journal_->record(sim_.now(), cfg_.name, "degrade",
+                     static_cast<double>(saved_budget_),
+                     static_cast<double>(cfg_.fallback_budget_bytes), cause,
+                     "regulator=" + reg_.config().name);
+  }
   reg_.set_enabled(true);
   reg_.set_budget(cfg_.fallback_budget_bytes);
   if (metrics_ != nullptr) {
@@ -125,6 +141,12 @@ void RegulatorWatchdog::enter_degraded() {
 void RegulatorWatchdog::leave_degraded() {
   degraded_ = false;
   ++stats_.rearms;
+  if (journal_ != nullptr) {
+    journal_->record(sim_.now(), cfg_.name, "rearm",
+                     static_cast<double>(cfg_.fallback_budget_bytes),
+                     static_cast<double>(saved_budget_), "monitor_recovered",
+                     "regulator=" + reg_.config().name);
+  }
   reg_.set_budget(saved_budget_);
   reg_.set_enabled(saved_enabled_);
   if (transitions_ != nullptr) {

@@ -33,6 +33,10 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
+namespace fgqos::telemetry {
+class DecisionJournal;
+}
+
 namespace fgqos::qos {
 
 struct RegulatorWatchdogConfig {
@@ -86,9 +90,14 @@ class RegulatorWatchdog {
   /// entry/exit become instants on a track named after this watchdog.
   void set_trace(telemetry::TraceWriter* writer);
 
+  /// Attaches the decision journal (nullptr detaches): degraded-mode
+  /// entry (with the tripping cause, monitor_stale or monitor_saturated),
+  /// re-arm, and every clamped foreign budget write are recorded.
+  void set_journal(telemetry::DecisionJournal* journal) { journal_ = journal; }
+
  private:
   void on_check();
-  void enter_degraded();
+  void enter_degraded(const char* cause);
   void leave_degraded();
 
   sim::Simulator& sim_;
@@ -109,6 +118,7 @@ class RegulatorWatchdog {
   telemetry::Gauge* active_ = nullptr;
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;
+  telemetry::DecisionJournal* journal_ = nullptr;
 };
 
 }  // namespace fgqos::qos

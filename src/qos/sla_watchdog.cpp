@@ -1,5 +1,6 @@
 #include "qos/sla_watchdog.hpp"
 
+#include "telemetry/journal.hpp"
 #include "util/assert.hpp"
 #include "util/config_error.hpp"
 
@@ -140,6 +141,11 @@ void SlaWatchdog::check(
     if (o.active && ++o.good_streak >= w.spec.clear_windows) {
       o.active = false;
       o.good_streak = 0;
+      if (journal_ != nullptr) {
+        journal_->record(rec.end, "sla." + w.name, "sla_clear", 1.0, 0.0,
+                         violation_kind_name(kind),
+                         "measured=" + std::to_string(measured));
+      }
     }
     return;
   }
@@ -163,6 +169,18 @@ void SlaWatchdog::check(
   }
   violations_.push_back(v);
   w.violations_counter->add();
+  if (journal_ != nullptr) {
+    std::string detail = "measured=" + std::to_string(measured);
+    if (v.dominant_stall_ps > 0) {
+      detail += " dominant=" + engine_.master_name(v.dominant_aggressor) +
+                ":" + telemetry::cause_name(v.dominant_cause);
+    }
+    if (!v.active_fault.empty()) {
+      detail += " active_fault=" + v.active_fault;
+    }
+    journal_->record(rec.end, "sla." + w.name, "sla_trip", v.bound, measured,
+                     violation_kind_name(kind), detail);
+  }
   if (trace_ != nullptr) {
     trace_->instant(track_, violation_kind_name(kind), rec.end);
   }

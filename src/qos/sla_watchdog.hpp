@@ -29,6 +29,10 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
+namespace fgqos::telemetry {
+class DecisionJournal;
+}
+
 namespace fgqos::qos {
 
 /// Service-level objectives for one master. A zero bound disables that
@@ -92,6 +96,12 @@ class SlaWatchdog final : public axi::TxnObserver {
   /// Emits violation instants on a "sla" track (category "qos").
   void set_trace(telemetry::TraceWriter* writer);
 
+  /// Attaches the decision journal (nullptr detaches): each tripped
+  /// violation ("sla_trip", bound -> measured, with the dominant blame
+  /// cell and any active fault in the detail) and each hysteresis clear
+  /// ("sla_clear") is recorded.
+  void set_journal(telemetry::DecisionJournal* journal) { journal_ = journal; }
+
   /// Wires a fault probe (typically fault::FaultInjector::active_faults):
   /// each tripped violation records the faults active at the end of its
   /// window, so reports can answer "was this SLA miss fault-induced?".
@@ -147,6 +157,7 @@ class SlaWatchdog final : public axi::TxnObserver {
   FaultProbeFn fault_probe_;
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;
+  telemetry::DecisionJournal* journal_ = nullptr;
 };
 
 }  // namespace fgqos::qos

@@ -2,12 +2,23 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "qos/window.hpp"
+#include "telemetry/journal.hpp"
 #include "util/assert.hpp"
 #include "util/config_error.hpp"
 
 namespace fgqos::qos {
+
+namespace {
+
+std::string master_detail(axi::MasterId m, std::uint32_t attempt) {
+  return "master=" + std::to_string(m) +
+         " attempt=" + std::to_string(attempt);
+}
+
+}  // namespace
 
 SoftMemguard::SoftMemguard(sim::Simulator& sim, SoftMemguardConfig cfg)
     : sim_(sim), cfg_(std::move(cfg)) {
@@ -184,11 +195,22 @@ void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period,
         const sim::TimePs backoff = cfg_.isr_latency_ps << shift;
         const std::uint64_t p = period;
         const std::uint32_t next = attempt + 1;
+        if (journal_ != nullptr) {
+          journal_->record(sim_.now(), cfg_.name, "irq_retry",
+                           static_cast<double>(attempt),
+                           static_cast<double>(next), "irq_fault",
+                           master_detail(m, attempt) +
+                               " backoff_ps=" + std::to_string(backoff));
+        }
         sim_.schedule_after(backoff, [this, m, p, next]() {
           deliver_stall(m, p, next, true);
         });
       } else {
         ++irq_stats_.irqs_lost;
+        if (journal_ != nullptr) {
+          journal_->record(sim_.now(), cfg_.name, "irq_lost", 0.0, 0.0,
+                           "irq_fault", master_detail(m, attempt));
+        }
       }
       return;
     }
@@ -198,6 +220,11 @@ void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period,
       ++irq_stats_.irqs_delayed;
       const std::uint64_t p = period;
       const std::uint32_t a = attempt;
+      if (journal_ != nullptr) {
+        journal_->record(sim_.now(), cfg_.name, "irq_delay", 0.0,
+                         static_cast<double>(verdict), "irq_fault",
+                         master_detail(m, attempt));
+      }
       sim_.schedule_after(verdict, [this, m, p, a]() {
         deliver_stall(m, p, a, false);
       });
@@ -207,6 +234,13 @@ void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period,
   st.overflow_pending = false;
   st.stalled = true;
   st.stalled_since = sim_.now();
+  if (journal_ != nullptr) {
+    journal_->record(sim_.now(), cfg_.name, "stall", 0.0, 1.0,
+                     "overflow_irq",
+                     master_detail(m, attempt) +
+                         " period_bytes=" + std::to_string(st.bytes) +
+                         " quota=" + std::to_string(st.quota));
+  }
   if (trace_ != nullptr) {
     char name[32];
     std::snprintf(name, sizeof(name), "overflow_irq m%u",
@@ -228,6 +262,11 @@ void SoftMemguard::on_period_tick() {
       st.stats.throttled_ps += now - st.stalled_since;
       trace_stall_end(m, st, now);
       st.stalled = false;
+      if (journal_ != nullptr) {
+        journal_->record(now, cfg_.name, "release", 1.0, 0.0, "period_tick",
+                         "master=" + std::to_string(m) + " stalled_ps=" +
+                             std::to_string(now - st.stalled_since));
+      }
     }
     st.overflow_pending = false;
     st.last_usage = st.bytes;

@@ -24,6 +24,10 @@
 #include "sim/time.hpp"
 #include "telemetry/trace.hpp"
 
+namespace fgqos::telemetry {
+class DecisionJournal;
+}
+
 namespace fgqos::qos {
 
 /// SoftMemguard configuration.
@@ -93,6 +97,11 @@ class SoftMemguard final : public axi::TxnGate {
     return reclaimed_total_;
   }
 
+  /// Attaches the decision journal (nullptr detaches): stall deliveries,
+  /// period releases of parked masters, and IRQ drops/delays/retries/losses
+  /// are recorded as control actions.
+  void set_journal(telemetry::DecisionJournal* journal) { journal_ = journal; }
+
   /// Attaches the Chrome-trace sink (nullptr detaches): overflow IRQs
   /// become instant events and each park a "stall m<N>" duration event,
   /// on a track named after this instance.
@@ -152,6 +161,7 @@ class SoftMemguard final : public axi::TxnGate {
   SoftMemguardIrqStats irq_stats_;
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;
+  telemetry::DecisionJournal* journal_ = nullptr;
 };
 
 }  // namespace fgqos::qos

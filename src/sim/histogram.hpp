@@ -27,6 +27,11 @@ class Histogram {
   void record_n(std::uint64_t value, std::uint64_t count);
 
   /// Merges another histogram with identical geometry into this one.
+  /// Merging is associative and commutative (bucket counts and running
+  /// sums simply add), so folding per-job histograms in submission order
+  /// yields the same summary whatever the fan-out — the property sweep
+  /// aggregation relies on for byte-identical exports across --jobs.
+  /// Merging an empty histogram is a no-op.
   void merge(const Histogram& other);
 
   /// Discards all samples.
@@ -41,7 +46,13 @@ class Histogram {
   [[nodiscard]] double stddev() const;
 
   /// Value at quantile \p q in [0,1]; returns an upper bound of the bucket
-  /// containing the q-th sample. Returns 0 when empty.
+  /// containing the q-th sample.
+  ///
+  /// Empty-histogram semantics: quantile(q) == 0 for every q (as do min(),
+  /// max() and mean()). 0 — not NaN, not a throw — so that exporters can
+  /// emit summaries of series that never recorded without special-casing,
+  /// and report tooling treats a 0-count summary as "no data" by checking
+  /// count(), never the quantile value.
   [[nodiscard]] std::uint64_t quantile(double q) const;
 
   /// Shorthand for common percentiles.

@@ -131,6 +131,104 @@ telemetry::AttributionEngine& Soc::enable_attribution(sim::TimePs window_ps) {
   return engine;
 }
 
+telemetry::TimeSeriesRecorder& Soc::enable_timeseries(
+    telemetry::TimeSeriesConfig ts_cfg) {
+  telemetry::TimeSeriesRecorder& rec =
+      telemetry_.enable_timeseries(sim_, std::move(ts_cfg));
+  using Kind = telemetry::TimeSeriesRecorder::Kind;
+  // Registration order is export order; keep it stable (dram, ports, qos,
+  // generators, cores, attribution) so exports are byte-comparable across
+  // runs. Probes read live component state — no metrics-registry detour,
+  // which is only refreshed by collect_metrics() at the end of a run.
+  rec.add_series("dram.payload_bytes", Kind::kDelta, [this](sim::TimePs) {
+    std::uint64_t bytes = 0;
+    for (const auto& d : drams_) {
+      bytes += d->stats().payload_bytes.value();
+    }
+    return static_cast<double>(bytes);
+  });
+  if (drams_.size() > 1) {
+    for (std::size_t ch = 0; ch < drams_.size(); ++ch) {
+      dram::Controller* d = drams_[ch].get();
+      rec.add_series("dram.ch" + std::to_string(ch) + ".payload_bytes",
+                     Kind::kDelta, [d](sim::TimePs) {
+                       return static_cast<double>(
+                           d->stats().payload_bytes.value());
+                     });
+    }
+  }
+  for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
+    axi::MasterPort* p = &xbar_->master(m);
+    rec.add_series("port." + p->name() + ".bytes", Kind::kDelta,
+                   [p](sim::TimePs) {
+                     return static_cast<double>(
+                         p->stats().bytes_granted.value());
+                   });
+    rec.add_series("port." + p->name() + ".read_p99_ps", Kind::kGauge,
+                   [p](sim::TimePs) {
+                     return static_cast<double>(p->stats().read_latency.p99());
+                   });
+  }
+  for (auto& block : qos_blocks_) {
+    qos::Regulator* r = block.regulator.get();
+    const std::string rp = "qos." + r->config().name + ".";
+    rec.add_series(rp + "tokens", Kind::kGauge, [r](sim::TimePs) {
+      return static_cast<double>(r->tokens());
+    });
+    rec.add_series(rp + "budget_bytes", Kind::kGauge, [r](sim::TimePs) {
+      return static_cast<double>(r->config().budget_bytes);
+    });
+    rec.add_series(rp + "throttled_ps", Kind::kDelta, [r](sim::TimePs) {
+      return static_cast<double>(r->stats().throttled_ps);
+    });
+    qos::BandwidthMonitor* mon = block.monitor.get();
+    rec.add_series("qos." + mon->config().name + ".bytes", Kind::kDelta,
+                   [mon](sim::TimePs) {
+                     return static_cast<double>(mon->total_bytes());
+                   });
+  }
+  for (auto& tgp : traffic_gens_) {
+    wl::TrafficGen* tg = tgp.get();
+    rec.add_series("tg." + tg->config().name + ".completed_bytes", Kind::kDelta,
+                   [tg](sim::TimePs) {
+                     return static_cast<double>(tg->stats().completed_bytes);
+                   });
+  }
+  for (std::size_t c = 0; c < cluster_->core_count(); ++c) {
+    const cpu::CpuCore* core = &cluster_->core(c);
+    rec.add_series("core." + core->config().name + ".iterations", Kind::kDelta,
+                   [core](sim::TimePs) {
+                     return static_cast<double>(core->stats().iterations);
+                   });
+  }
+  if (telemetry::AttributionEngine* attr = telemetry_.attribution()) {
+    for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
+      const auto victim = static_cast<axi::MasterId>(m);
+      rec.add_series("attr." + xbar_->master(m).name() + ".stall_ps",
+                     Kind::kDelta, [attr, victim](sim::TimePs) {
+                       return static_cast<double>(
+                           attr->victim_stall_ps(victim));
+                     });
+    }
+  }
+  rec.start();
+  return rec;
+}
+
+telemetry::DecisionJournal& Soc::enable_journal(std::size_t capacity) {
+  telemetry::DecisionJournal& j = telemetry_.enable_journal(capacity);
+  for (auto& block : qos_blocks_) {
+    block.regulator->set_journal(&j);
+  }
+  if (injector_ != nullptr) {
+    injector_->set_journal(&j);
+  }
+  for (auto& wd : watchdogs_) {
+    wd->set_journal(&j);
+  }
+  return j;
+}
+
 void Soc::finish_telemetry() {
   if (telemetry_.tracing()) {
     for (auto& block : qos_blocks_) {
@@ -139,6 +237,9 @@ void Soc::finish_telemetry() {
   }
   if (telemetry::AttributionEngine* attr = telemetry_.attribution()) {
     attr->finish(sim_.now());
+  }
+  if (telemetry::TimeSeriesRecorder* ts = telemetry_.timeseries()) {
+    ts->finish(sim_.now());
   }
   telemetry_.finish();
 }
@@ -162,6 +263,9 @@ fault::FaultInjector& Soc::arm_faults(fault::FaultPlan plan,
   if (telemetry_.tracing()) {
     injector_->set_trace(telemetry_.trace());
   }
+  if (telemetry::DecisionJournal* j = telemetry_.journal()) {
+    injector_->set_journal(j);
+  }
   return *injector_;
 }
 
@@ -173,6 +277,9 @@ qos::RegulatorWatchdog& Soc::add_regulator_watchdog(
       &telemetry_.metrics()));
   if (telemetry_.tracing()) {
     watchdogs_.back()->set_trace(telemetry_.trace());
+  }
+  if (telemetry::DecisionJournal* j = telemetry_.journal()) {
+    watchdogs_.back()->set_journal(j);
   }
   return *watchdogs_.back();
 }

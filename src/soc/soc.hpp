@@ -149,6 +149,36 @@ class Soc {
     return telemetry_.attribution();
   }
 
+  /// Turns on windowed time-series capture: creates the hub's recorder
+  /// and registers the standard platform series — per-port granted bytes
+  /// and running read p99, per-QoS-block token credit / programmed budget
+  /// / throttle time / monitored bytes, DRAM payload bytes (aggregate and
+  /// per channel), per-core iteration progress, per-generator completed
+  /// bytes, and per-victim attribution stall time when attribution is
+  /// enabled. Series are admitted through cfg.filter (comma-separated
+  /// globs; "" = all). Call AFTER workload setup (cores and traffic
+  /// generators present at call time are probed) and at most once; the
+  /// recorder is started before returning.
+  telemetry::TimeSeriesRecorder& enable_timeseries(
+      telemetry::TimeSeriesConfig cfg);
+  /// The recorder, or nullptr when time-series capture is disabled.
+  [[nodiscard]] telemetry::TimeSeriesRecorder* timeseries() {
+    return telemetry_.timeseries();
+  }
+
+  /// Turns on the QoS decision journal: creates the hub's journal and
+  /// wires every journaling component the platform owns (per-port
+  /// regulators, armed fault injector, regulator watchdogs). Components
+  /// added later through arm_faults()/add_regulator_watchdog() are wired
+  /// at add time; externally-owned controllers (SoftMemguard,
+  /// AdaptiveQosController, SlaWatchdog) attach via their own
+  /// set_journal(). Call at most once.
+  telemetry::DecisionJournal& enable_journal(std::size_t capacity = 65536);
+  /// The journal, or nullptr when journaling is disabled.
+  [[nodiscard]] telemetry::DecisionJournal* journal() {
+    return telemetry_.journal();
+  }
+
   /// Refreshes the hub's registry with a full platform snapshot (DRAM,
   /// ports, QoS, cores, generators, kernel self-profiling) and returns it.
   telemetry::MetricsRegistry& collect_metrics();

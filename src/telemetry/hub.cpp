@@ -1,5 +1,7 @@
 #include "telemetry/hub.hpp"
 
+#include <utility>
+
 #include "util/config_error.hpp"
 
 namespace fgqos::telemetry {
@@ -14,12 +16,31 @@ void Hub::open_trace(const std::string& path, const std::string& filter) {
   if (attribution_ != nullptr) {
     attribution_->set_trace(trace_.get());
   }
+  if (journal_ != nullptr) {
+    journal_->set_trace(trace_.get());
+  }
 }
 
 AttributionEngine& Hub::enable_attribution(sim::TimePs window_ps) {
   config_check(attribution_ == nullptr, "Hub: attribution already enabled");
   attribution_ = std::make_unique<AttributionEngine>(metrics_, window_ps);
   return *attribution_;
+}
+
+TimeSeriesRecorder& Hub::enable_timeseries(sim::Simulator& sim,
+                                           TimeSeriesConfig cfg) {
+  config_check(timeseries_ == nullptr, "Hub: time-series already enabled");
+  timeseries_ = std::make_unique<TimeSeriesRecorder>(sim, std::move(cfg));
+  return *timeseries_;
+}
+
+DecisionJournal& Hub::enable_journal(std::size_t capacity) {
+  config_check(journal_ == nullptr, "Hub: journal already enabled");
+  journal_ = std::make_unique<DecisionJournal>(capacity);
+  if (trace_ != nullptr) {
+    journal_->set_trace(trace_.get());
+  }
+  return *journal_;
 }
 
 TxnLifecycleTracer& Hub::lifecycle(axi::MasterPort& port) {

@@ -16,8 +16,10 @@
 #include "axi/port.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/attribution.hpp"
+#include "telemetry/journal.hpp"
 #include "telemetry/lifecycle.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/trace.hpp"
 
 namespace fgqos::telemetry {
@@ -56,6 +58,21 @@ class Hub {
   /// The engine, or nullptr when attribution is disabled.
   [[nodiscard]] AttributionEngine* attribution() { return attribution_.get(); }
 
+  /// Creates the windowed time-series recorder (at most one per hub;
+  /// throws ConfigError on a second call). The caller registers series
+  /// (probes) and calls start() once assembly is done.
+  TimeSeriesRecorder& enable_timeseries(sim::Simulator& sim,
+                                        TimeSeriesConfig cfg);
+  /// The recorder, or nullptr when time-series capture is disabled.
+  [[nodiscard]] TimeSeriesRecorder* timeseries() { return timeseries_.get(); }
+
+  /// Creates the QoS decision journal (at most one per hub; throws
+  /// ConfigError on a second call). Wires it to the trace sink when one is
+  /// already open so entries mirror as trace instants.
+  DecisionJournal& enable_journal(std::size_t capacity = 65536);
+  /// The journal, or nullptr when journaling is disabled.
+  [[nodiscard]] DecisionJournal* journal() { return journal_.get(); }
+
   /// Starts the kernel self-profiling sampler: every \p period_ps it
   /// records event-queue occupancy and event/tick dispatch rates as
   /// counter tracks (category "kernel") and registry metrics.
@@ -72,6 +89,8 @@ class Hub {
   MetricsRegistry metrics_;
   std::unique_ptr<TraceWriter> trace_;
   std::unique_ptr<AttributionEngine> attribution_;
+  std::unique_ptr<TimeSeriesRecorder> timeseries_;
+  std::unique_ptr<DecisionJournal> journal_;
   std::vector<std::unique_ptr<TxnLifecycleTracer>> lifecycles_;
   std::vector<const axi::MasterPort*> lifecycle_ports_;
   TrackId kernel_track_;

@@ -1,0 +1,98 @@
+#include "telemetry/journal.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/manifest.hpp"
+#include "util/config_error.hpp"
+#include "util/json.hpp"
+
+namespace fgqos::telemetry {
+
+namespace {
+
+/// Shortest round-trip double (same contract as the other exporters).
+void write_number(std::ostream& os, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  os.write(buf, res.ptr - buf);
+}
+
+}  // namespace
+
+DecisionJournal::DecisionJournal(std::size_t capacity) : capacity_(capacity) {
+  config_check(capacity_ > 0, "DecisionJournal: capacity must be positive");
+}
+
+void DecisionJournal::set_trace(TraceWriter* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr && !trace_->enabled(Cat::kQos)) {
+    trace_ = nullptr;
+  }
+}
+
+void DecisionJournal::record(sim::TimePs at, const std::string& component,
+                             const std::string& action, double old_value,
+                             double new_value, const std::string& cause,
+                             const std::string& detail) {
+  ++recorded_;
+  if (entries_.size() < capacity_) {
+    JournalEntry e;
+    e.seq = recorded_ - 1;
+    e.at = at;
+    e.component = component;
+    e.action = action;
+    e.old_value = old_value;
+    e.new_value = new_value;
+    e.cause = cause;
+    e.detail = detail;
+    entries_.push_back(std::move(e));
+  }
+  if (trace_ != nullptr) {
+    auto [it, inserted] = tracks_.try_emplace(component);
+    if (inserted) {
+      it->second = trace_->track(Cat::kQos, component + ".journal");
+    }
+    trace_->instant(it->second, action.c_str(), at);
+  }
+}
+
+std::string DecisionJournal::to_json(const JournalEntry& e) {
+  std::ostringstream os;
+  os << "{\"seq\":" << e.seq << ",\"at_ps\":" << e.at << ",\"component\":\""
+     << util::json_escape(e.component) << "\",\"action\":\""
+     << util::json_escape(e.action) << "\",\"old\":";
+  write_number(os, e.old_value);
+  os << ",\"new\":";
+  write_number(os, e.new_value);
+  os << ",\"cause\":\"" << util::json_escape(e.cause) << "\"";
+  if (!e.detail.empty()) {
+    os << ",\"detail\":\"" << util::json_escape(e.detail) << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+void DecisionJournal::write_jsonl(std::ostream& os,
+                                  const RunManifest* manifest) const {
+  if (manifest != nullptr) {
+    os << "{\"manifest\":" << manifest->to_json_object() << "}\n";
+  }
+  for (const JournalEntry& e : entries_) {
+    os << to_json(e) << "\n";
+  }
+  if (dropped() > 0) {
+    os << "{\"dropped\":" << dropped() << "}\n";
+  }
+}
+
+void DecisionJournal::save_jsonl(const std::string& path,
+                                 const RunManifest* manifest) const {
+  std::ofstream os(path);
+  config_check(os.good(), "DecisionJournal: cannot write " + path);
+  write_jsonl(os, manifest);
+  config_check(os.good(), "DecisionJournal: error writing " + path);
+}
+
+}  // namespace fgqos::telemetry

@@ -1,0 +1,105 @@
+/// \file journal.hpp
+/// \brief Causally-ordered journal of QoS control-loop decisions.
+///
+/// End-of-run metrics say *what* the platform did; the trace says *when*
+/// everything happened; the journal answers *why*: every discrete control
+/// action — a regulator budget write, a memguard stall, an adaptive-
+/// controller rate step, a watchdog degrade, an SLA trip, a fault
+/// activation — is appended as one structured entry carrying the acting
+/// component, the action, the old and new values of whatever was changed,
+/// and the triggering cause. Entries are appended in simulation-dispatch
+/// order, which on the single-threaded deterministic kernel *is* causal
+/// order, and carry a monotone sequence number so ties at equal
+/// timestamps stay ordered.
+///
+/// Components hold a nullable `DecisionJournal*` and guard every record
+/// with it, so a run without `--journal` pays exactly one predicted
+/// branch per decision point — the same zero-cost-when-disabled contract
+/// the tracer uses. Recording itself is bounded: the journal keeps at
+/// most `capacity` entries and counts (rather than stores) the overflow,
+/// so a pathological run cannot eat unbounded memory.
+///
+/// Export is JSON-lines (one entry per line, manifest first) for cheap
+/// diff/grep/stream processing, and each entry is optionally mirrored
+/// into the Chrome trace as an instant on a per-component "journal"
+/// track, so decisions line up visually with the signals that caused
+/// them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fgqos::telemetry {
+
+struct RunManifest;
+
+/// One recorded decision.
+struct JournalEntry {
+  std::uint64_t seq = 0;     ///< appends so far; ties at equal `at` keep order
+  sim::TimePs at = 0;
+  std::string component;     ///< acting component, e.g. "qos.hp0.reg"
+  std::string action;        ///< verb, e.g. "set_budget", "degrade", "sla_trip"
+  double old_value = 0.0;    ///< value before the action (0 when n/a)
+  double new_value = 0.0;    ///< value after the action (0 when n/a)
+  std::string cause;         ///< trigger, e.g. "host_write", "monitor_stale"
+  std::string detail;        ///< free-form context, "k=v k=v" by convention
+};
+
+/// The journal. One per Soc, owned by the telemetry Hub.
+class DecisionJournal {
+ public:
+  /// \param capacity maximum retained entries; further records are
+  ///        counted in dropped() but not stored.
+  explicit DecisionJournal(std::size_t capacity = 65536);
+
+  DecisionJournal(const DecisionJournal&) = delete;
+  DecisionJournal& operator=(const DecisionJournal&) = delete;
+
+  /// Mirrors subsequent records into \p trace as instants on per-component
+  /// journal tracks (category kQos). Pass nullptr to stop mirroring.
+  void set_trace(TraceWriter* trace);
+
+  /// Appends one entry. \p component and \p action are required;
+  /// old/new/cause/detail as applicable.
+  void record(sim::TimePs at, const std::string& component,
+              const std::string& action, double old_value, double new_value,
+              const std::string& cause, const std::string& detail = "");
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Records refused because the journal was full.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return recorded_ - entries_.size();
+  }
+  [[nodiscard]] const std::vector<JournalEntry>& entries() const {
+    return entries_;
+  }
+
+  /// JSON-lines export: when \p manifest is non-null the first line is
+  /// {"manifest":{...}}, then one {"seq":...,"at_ps":...,...} object per
+  /// entry in append (causal) order, then a {"dropped":N} trailer when any
+  /// record was refused.
+  void write_jsonl(std::ostream& os, const RunManifest* manifest) const;
+  void save_jsonl(const std::string& path,
+                  const RunManifest* manifest = nullptr) const;
+
+  /// Renders one entry as its JSONL object (no newline); exposed for
+  /// tests and for tools that re-emit entries.
+  [[nodiscard]] static std::string to_json(const JournalEntry& e);
+
+ private:
+  std::size_t capacity_;
+  std::vector<JournalEntry> entries_;
+  std::uint64_t recorded_ = 0;
+  TraceWriter* trace_ = nullptr;
+  /// Lazily-created per-component trace tracks ("<component>.journal").
+  std::map<std::string, TrackId> tracks_;
+};
+
+}  // namespace fgqos::telemetry

@@ -1,0 +1,130 @@
+#include "telemetry/manifest.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace fgqos::telemetry {
+
+const char* RunManifest::build_flavor() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+std::string fnv1a_hex(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  char buf[17];
+  static const char* hex = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = hex[h & 0xF];
+    h >>= 4;
+  }
+  buf[16] = '\0';
+  return buf;
+}
+
+std::string RunManifest::to_json_object() const {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << schema_version << ",\"tool\":\""
+     << util::json_escape(tool) << "\",\"scenario\":\""
+     << util::json_escape(scenario) << "\",\"seed\":" << seed
+     << ",\"fault_spec_hash\":\"" << util::json_escape(fault_spec_hash)
+     << "\",\"build\":\"" << util::json_escape(build) << "\"}";
+  return os.str();
+}
+
+std::string RunManifest::to_csv_comment() const {
+  // scenario goes last: it may contain spaces, so the parser treats the
+  // remainder of the line after "scenario=" as its value.
+  std::ostringstream os;
+  os << "# fgqos-manifest schema_version=" << schema_version
+     << " tool=" << tool << " seed=" << seed
+     << " fault_spec_hash=" << fault_spec_hash << " build=" << build
+     << " scenario=" << scenario << "\n";
+  return os.str();
+}
+
+RunManifest RunManifest::from_json(const util::JsonValue& v) {
+  RunManifest m;
+  if (!v.is_object()) {
+    return m;
+  }
+  if (v.contains("schema_version")) {
+    m.schema_version = static_cast<int>(v.at("schema_version").as_number());
+  }
+  if (v.contains("tool")) {
+    m.tool = v.at("tool").as_string();
+  }
+  if (v.contains("scenario")) {
+    m.scenario = v.at("scenario").as_string();
+  }
+  if (v.contains("seed")) {
+    const util::JsonValue& s = v.at("seed");
+    m.seed = s.is_uint64() ? s.as_uint64()
+                           : static_cast<std::uint64_t>(s.as_number());
+  }
+  if (v.contains("fault_spec_hash")) {
+    m.fault_spec_hash = v.at("fault_spec_hash").as_string();
+  }
+  if (v.contains("build")) {
+    m.build = v.at("build").as_string();
+  }
+  return m;
+}
+
+bool RunManifest::from_csv_comment(const std::string& line, RunManifest& out) {
+  static const std::string kTag = "# fgqos-manifest ";
+  if (line.compare(0, kTag.size(), kTag) != 0) {
+    return false;
+  }
+  RunManifest m;
+  std::size_t pos = kTag.size();
+  while (pos < line.size()) {
+    const std::size_t eq = line.find('=', pos);
+    if (eq == std::string::npos) {
+      break;
+    }
+    const std::string key = line.substr(pos, eq - pos);
+    if (key == "scenario") {
+      // Remainder of the line (minus a trailing newline) is the value.
+      std::string rest = line.substr(eq + 1);
+      while (!rest.empty() && (rest.back() == '\n' || rest.back() == '\r')) {
+        rest.pop_back();
+      }
+      m.scenario = rest;
+      pos = line.size();
+      break;
+    }
+    std::size_t end = line.find(' ', eq + 1);
+    if (end == std::string::npos) {
+      end = line.size();
+    }
+    std::string value = line.substr(eq + 1, end - (eq + 1));
+    while (!value.empty() && (value.back() == '\n' || value.back() == '\r')) {
+      value.pop_back();
+    }
+    if (key == "schema_version") {
+      m.schema_version = std::stoi(value);
+    } else if (key == "tool") {
+      m.tool = value;
+    } else if (key == "seed") {
+      m.seed = std::stoull(value);
+    } else if (key == "fault_spec_hash") {
+      m.fault_spec_hash = value;
+    } else if (key == "build") {
+      m.build = value;
+    }
+    pos = end + 1;
+  }
+  out = m;
+  return true;
+}
+
+}  // namespace fgqos::telemetry

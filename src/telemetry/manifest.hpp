@@ -1,0 +1,77 @@
+/// \file manifest.hpp
+/// \brief Run provenance embedded in telemetry exports.
+///
+/// Every artifact a run writes (metrics snapshots, time-series, decision
+/// journals, bench records) carries a RunManifest so that analysis tools
+/// — chiefly `fgqos_report` — can (a) tell which scenario produced the
+/// numbers and (b) refuse to compare artifacts whose schemas do not line
+/// up. The manifest deliberately records only *semantic* inputs (seed,
+/// scenario-shaping CLI arguments, fault-plan hash) and never execution
+/// mechanics (output paths, --jobs, timeouts): two runs of the same
+/// scenario must produce byte-identical manifests whatever the fan-out,
+/// because the determinism CI compares the files byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fgqos::util {
+class JsonValue;
+}
+
+namespace fgqos::telemetry {
+
+/// Version of the export schemas (metrics JSON, time-series CSV/JSON,
+/// journal JSONL). Bump when any export's shape changes incompatibly;
+/// fgqos_report refuses to compare runs across versions unless forced.
+inline constexpr int kExportSchemaVersion = 1;
+
+/// The manifest. Field order in to_json_object() is fixed (part of the
+/// byte-identical export contract).
+struct RunManifest {
+  int schema_version = kExportSchemaVersion;
+  std::string tool;      ///< producing binary, e.g. "fgqos_sim"
+  std::string scenario;  ///< normalized semantic args, "k=v k=v ..."
+  std::uint64_t seed = 0;
+  /// FNV-1a 64 hex of the canonical fault-plan JSON; empty when the run
+  /// injected no faults.
+  std::string fault_spec_hash;
+  /// Build flavour ("release" / "debug"); informational only.
+  std::string build;
+
+  /// Fills \p build from the compile-time flavour of this library.
+  [[nodiscard]] static const char* build_flavor();
+
+  /// Renders the manifest as one JSON object (no trailing newline), e.g.
+  ///   {"schema_version":1,"tool":"fgqos_sim","scenario":"...","seed":100,
+  ///    "fault_spec_hash":"","build":"release"}
+  [[nodiscard]] std::string to_json_object() const;
+
+  /// Renders '#'-prefixed comment lines for CSV exports:
+  ///   # fgqos-manifest schema_version=1 tool=... seed=...
+  [[nodiscard]] std::string to_csv_comment() const;
+
+  /// Parses a manifest from a JSON object; unknown keys are ignored and
+  /// absent keys keep their defaults (so older artifacts still load).
+  [[nodiscard]] static RunManifest from_json(const util::JsonValue& v);
+
+  /// Parses the "# fgqos-manifest ..." comment line form (the inverse of
+  /// to_csv_comment()); returns false when \p line is not a manifest
+  /// comment.
+  static bool from_csv_comment(const std::string& line, RunManifest& out);
+
+  /// True when artifacts from \p other can be compared against this run:
+  /// the schema versions match and the tools agree. Scenario and seed
+  /// differences are expected (that is what run comparison is *for*) and
+  /// are surfaced in the report header instead.
+  [[nodiscard]] bool comparable_with(const RunManifest& other) const {
+    return schema_version == other.schema_version && tool == other.tool;
+  }
+};
+
+/// FNV-1a 64-bit hash of \p s, rendered as 16 lowercase hex digits. Used
+/// for the fault-spec hash (stable, dependency-free, good enough to detect
+/// "these two runs injected different faults").
+[[nodiscard]] std::string fnv1a_hex(const std::string& s);
+
+}  // namespace fgqos::telemetry

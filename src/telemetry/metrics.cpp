@@ -3,6 +3,7 @@
 #include <charconv>
 #include <fstream>
 
+#include "telemetry/manifest.hpp"
 #include "util/config_error.hpp"
 #include "util/json.hpp"
 
@@ -87,8 +88,13 @@ std::size_t MetricsRegistry::erase_prefix(const std::string& prefix) {
   return erased;
 }
 
-void MetricsRegistry::write_json(std::ostream& os, sim::TimePs now) const {
-  os << "{\"time_ps\":" << now << ",\"metrics\":{";
+void MetricsRegistry::write_json(std::ostream& os, sim::TimePs now,
+                                 const RunManifest* manifest) const {
+  os << "{";
+  if (manifest != nullptr) {
+    os << "\"manifest\":" << manifest->to_json_object() << ",";
+  }
+  os << "\"time_ps\":" << now << ",\"metrics\":{";
   bool first = true;
   for (const auto& [name, m] : metrics_) {
     if (!first) {
@@ -124,15 +130,19 @@ void MetricsRegistry::write_json(std::ostream& os, sim::TimePs now) const {
   os << "}}\n";
 }
 
-void MetricsRegistry::save_json(const std::string& path,
-                                sim::TimePs now) const {
+void MetricsRegistry::save_json(const std::string& path, sim::TimePs now,
+                                const RunManifest* manifest) const {
   std::ofstream os(path);
   config_check(os.good(), "MetricsRegistry: cannot write " + path);
-  write_json(os, now);
+  write_json(os, now, manifest);
   config_check(os.good(), "MetricsRegistry: error writing " + path);
 }
 
-void MetricsRegistry::write_csv(std::ostream& os) const {
+void MetricsRegistry::write_csv(std::ostream& os,
+                                const RunManifest* manifest) const {
+  if (manifest != nullptr) {
+    os << manifest->to_csv_comment();
+  }
   os << "name,type,count,value,p50,p90,p99,p999,max\n";
   for (const auto& [name, m] : metrics_) {
     os << name << ",";
@@ -157,10 +167,11 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
   }
 }
 
-void MetricsRegistry::save_csv(const std::string& path) const {
+void MetricsRegistry::save_csv(const std::string& path,
+                               const RunManifest* manifest) const {
   std::ofstream os(path);
   config_check(os.good(), "MetricsRegistry: cannot write " + path);
-  write_csv(os);
+  write_csv(os, manifest);
   config_check(os.good(), "MetricsRegistry: error writing " + path);
 }
 

@@ -23,6 +23,8 @@
 
 namespace fgqos::telemetry {
 
+struct RunManifest;
+
 /// Monotonically increasing counter handle.
 class Counter {
  public:
@@ -79,15 +81,23 @@ class MetricsRegistry {
   /// Writes the full snapshot as one JSON object:
   ///   {"time_ps": ..., "metrics": {"name": {"type": ..., ...}, ...}}
   /// Histograms export count/min/max/mean/stddev and the standard
-  /// percentiles (p50/p90/p99/p999).
-  void write_json(std::ostream& os, sim::TimePs now) const;
+  /// percentiles (p50/p90/p99/p999). When \p manifest is non-null the
+  /// object gains a leading "manifest" member carrying run provenance
+  /// (fgqos_report refuses to compare snapshots whose manifests do not
+  /// line up).
+  void write_json(std::ostream& os, sim::TimePs now,
+                  const RunManifest* manifest = nullptr) const;
   /// write_json to \p path; throws ConfigError when the file cannot be
   /// written.
-  void save_json(const std::string& path, sim::TimePs now) const;
+  void save_json(const std::string& path, sim::TimePs now,
+                 const RunManifest* manifest = nullptr) const;
 
   /// Writes a flat CSV snapshot (name,type,count,value,p50,p90,p99,p999,max).
-  void write_csv(std::ostream& os) const;
-  void save_csv(const std::string& path) const;
+  /// When \p manifest is non-null it is embedded as a leading
+  /// '# fgqos-manifest ...' comment line before the header.
+  void write_csv(std::ostream& os, const RunManifest* manifest = nullptr) const;
+  void save_csv(const std::string& path,
+                const RunManifest* manifest = nullptr) const;
 
   /// Calls \p fn(name, metric kind string, scalar-or-count) for each metric
   /// in name order — used by the legacy StatsRegistry adapter.

@@ -72,4 +72,44 @@ std::string format_fixed(double v, int decimals) {
   return buf;
 }
 
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative two-pointer matcher with one backtrack point per '*'
+  // (linear in practice; no recursion, no allocation).
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+bool glob_match_any(const std::string& globs, const std::string& text) {
+  bool any_pattern = false;
+  for (const std::string& g : split(globs, ',')) {
+    if (g.empty()) {
+      continue;
+    }
+    any_pattern = true;
+    if (glob_match(g, text)) {
+      return true;
+    }
+  }
+  return !any_pattern;  // empty filter selects everything
+}
+
 }  // namespace fgqos::util

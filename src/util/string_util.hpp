@@ -26,4 +26,15 @@ std::vector<std::string> split(const std::string& s, char sep);
 /// == "3.14".
 std::string format_fixed(double v, int decimals);
 
+/// Shell-style glob match: '*' matches any run of characters (including
+/// none), '?' matches exactly one; everything else is literal. Matches the
+/// whole of \p text.
+bool glob_match(const std::string& pattern, const std::string& text);
+
+/// True when \p text matches any glob in the comma-separated \p globs.
+/// An empty list (or one consisting only of empty fields) matches
+/// everything — mirroring the trace-filter convention where "" selects
+/// all categories.
+bool glob_match_any(const std::string& globs, const std::string& text);
+
 }  // namespace fgqos::util

@@ -1,0 +1,385 @@
+// fgqos_report library tests: parsing exported artifacts back (metrics
+// JSON, blame CSV, journal JSONL, time-series JSON), per-tenant regression
+// deltas and verdicts, manifest gating of comparisons, the single-run
+// summary and the kernel-benchmark gate.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "telemetry/journal.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/timeseries.hpp"
+#include "util/config_error.hpp"
+#include "util/json.hpp"
+
+namespace fgqos {
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path);
+  ASSERT_TRUE(os.good()) << path;
+  os << content;
+}
+
+std::string metrics_json(int seed, double p50, double p99, double p999,
+                         double cpu_bytes, double hp0_p99,
+                         const std::string& tool = "fgqos_sim") {
+  std::ostringstream os;
+  os << "{\"manifest\":{\"schema_version\":1,\"tool\":\"" << tool
+     << "\",\"scenario\":\"preset=test\",\"seed\":" << seed
+     << ",\"fault_spec_hash\":\"\",\"build\":\"release\"},"
+     << "\"time_ps\":1000000000,\"metrics\":{"
+     << "\"port.cpu.bytes\":{\"type\":\"counter\",\"value\":" << cpu_bytes
+     << "},"
+     << "\"port.cpu.hop.total_ps\":{\"type\":\"histogram\",\"count\":1000,"
+     << "\"min\":100,\"max\":5000,\"mean\":1200,\"p50\":" << p50
+     << ",\"p90\":1800,\"p99\":" << p99 << ",\"p999\":" << p999 << "},"
+     << "\"port.hp0.bytes\":{\"type\":\"counter\",\"value\":2000000},"
+     << "\"port.hp0.read_p99_ps\":{\"type\":\"gauge\",\"value\":" << hp0_p99
+     << "}}}";
+  return os.str();
+}
+
+const telemetry::TenantDelta* find_delta(const telemetry::RunReport& rep,
+                                         const std::string& tenant,
+                                         const std::string& metric) {
+  for (const telemetry::TenantDelta& d : rep.tenant_deltas) {
+    if (d.tenant == tenant && d.metric == metric) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Report, TenantDeltasAndRegressionVerdicts) {
+  const std::string pa = "/tmp/fgqos_report_a.json";
+  const std::string pb = "/tmp/fgqos_report_b.json";
+  write_file(pa, metrics_json(1, 1000, 2000, 3000, 1000000, 5000));
+  // B: p50 +10% (informational), p99 +15% (regression), p999 +10%
+  // (exactly at threshold: not a regression), cpu bandwidth -20%
+  // (regression), hp0 gauge p99 +20% (regression via the gauge fallback).
+  write_file(pb, metrics_json(2, 1100, 2300, 3300, 800000, 6000));
+  telemetry::RunData a;
+  a.label = "A";
+  a.load_metrics_json(pa);
+  telemetry::RunData b;
+  b.label = "B";
+  b.load_metrics_json(pb);
+  EXPECT_TRUE(a.has_manifest);
+  EXPECT_EQ(a.manifest.seed, 1u);
+  EXPECT_EQ(a.time_ps, 1000000000u);
+  ASSERT_EQ(a.tenants().size(), 2u);
+  EXPECT_EQ(a.tenants()[0], "cpu");
+  EXPECT_EQ(a.tenants()[1], "hp0");
+
+  const telemetry::ReportThresholds t;  // 10% / 10%
+  const telemetry::RunReport rep = telemetry::compare_runs(a, b, t);
+  EXPECT_TRUE(rep.comparable);  // same tool/schema; seeds may differ
+
+  const telemetry::TenantDelta* d = find_delta(rep, "cpu", "p50_ps");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NEAR(d->delta_pct, 10.0, 1e-9);
+  EXPECT_FALSE(d->regression);  // p50 is informational, never gated
+
+  d = find_delta(rep, "cpu", "p99_ps");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NEAR(d->delta_pct, 15.0, 1e-9);
+  EXPECT_TRUE(d->regression);
+
+  d = find_delta(rep, "cpu", "p999_ps");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NEAR(d->delta_pct, 10.0, 1e-9);
+  EXPECT_FALSE(d->regression);  // threshold is strict: 10% == 10% passes
+
+  d = find_delta(rep, "cpu", "bandwidth_bps");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NEAR(d->a, 1e9, 1e-3);  // 1 MB over 1 ms = 1e9 B/s
+  EXPECT_NEAR(d->delta_pct, -20.0, 1e-9);
+  EXPECT_TRUE(d->regression);
+
+  d = find_delta(rep, "hp0", "p99_ps");  // gauge fallback (no hop histogram)
+  ASSERT_NE(d, nullptr);
+  EXPECT_NEAR(d->delta_pct, 20.0, 1e-9);
+  EXPECT_TRUE(d->regression);
+
+  d = find_delta(rep, "hp0", "bandwidth_bps");
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(d->regression);  // unchanged
+
+  EXPECT_FALSE(rep.pass());
+  EXPECT_EQ(rep.regressions.size(), 3u);
+  std::ostringstream text;
+  rep.write_text(text);
+  EXPECT_NE(text.str().find("verdict: FAIL"), std::string::npos);
+  EXPECT_NE(text.str().find("REGRESSION"), std::string::npos);
+}
+
+TEST(Report, ManifestMismatchRefusedUnlessForced) {
+  const std::string pa = "/tmp/fgqos_report_ma.json";
+  const std::string pb = "/tmp/fgqos_report_mb.json";
+  write_file(pa, metrics_json(1, 1000, 2000, 3000, 1000000, 5000));
+  write_file(pb,
+             metrics_json(1, 1000, 2000, 3000, 1000000, 5000, "fgqos_sweep"));
+  telemetry::RunData a;
+  a.label = "A";
+  a.load_metrics_json(pa);
+  telemetry::RunData b;
+  b.label = "B";
+  b.load_metrics_json(pb);
+  const telemetry::ReportThresholds t;
+  EXPECT_THROW((void)telemetry::compare_runs(a, b, t), ConfigError);
+  const telemetry::RunReport rep =
+      telemetry::compare_runs(a, b, t, /*force=*/true);
+  EXPECT_FALSE(rep.comparable);
+  EXPECT_NE(rep.manifest_note.find("not comparable"), std::string::npos);
+  EXPECT_NE(rep.manifest_note.find("--force"), std::string::npos);
+  EXPECT_FALSE(rep.tenant_deltas.empty());  // compared anyway
+}
+
+TEST(Report, MixedRunArtifactSetsAreRejected) {
+  const std::string pm = "/tmp/fgqos_report_mixed_metrics.json";
+  const std::string pc = "/tmp/fgqos_report_mixed_blame.csv";
+  write_file(pm, metrics_json(1, 1000, 2000, 3000, 1000000, 5000));
+  // A blame CSV whose embedded manifest names a different seed: loading
+  // it into the same RunData must throw (mixed-run artifact set).
+  telemetry::RunManifest other;
+  other.tool = "fgqos_sim";
+  other.scenario = "preset=test";
+  other.seed = 999;
+  other.build = "release";
+  write_file(pc,
+             other.to_csv_comment() +
+                 "scope,window_start_ps,window_end_ps,victim,aggressor,"
+                 "cause,stall_ps,bytes\n"
+                 "total,0,1000,cpu,hp0,dram_bank_conflict,5000,123\n");
+  telemetry::RunData a;
+  a.label = "A";
+  a.load_metrics_json(pm);
+  EXPECT_THROW(a.load_blame_csv(pc), ConfigError);
+}
+
+TEST(Report, BlameCsvTotalsWithAndWithoutPointColumn) {
+  const std::string p1 = "/tmp/fgqos_report_blame1.csv";
+  const std::string p2 = "/tmp/fgqos_report_blame2.csv";
+  write_file(p1,
+             "scope,window_start_ps,window_end_ps,victim,aggressor,cause,"
+             "stall_ps,bytes\n"
+             "total,0,1000,cpu,hp0,dram_bank_conflict,5000,123\n"
+             "total,0,1000,cpu,hp1,reorder,2000,50\n"
+             "window,0,100,cpu,hp0,dram_bank_conflict,100,1\n");
+  telemetry::RunData a;
+  a.label = "A";
+  a.load_blame_csv(p1);
+  ASSERT_EQ(a.blame_stall_ps.size(), 2u);  // per-window rows are skipped
+  EXPECT_DOUBLE_EQ(a.blame_stall_ps.at("cpu|hp0|dram_bank_conflict"), 5000.0);
+  EXPECT_DOUBLE_EQ(a.blame_stall_ps.at("cpu|hp1|reorder"), 2000.0);
+  // Sweep-merged files carry a leading point column; totals are summed
+  // across points.
+  write_file(p2,
+             "point,scope,window_start_ps,window_end_ps,victim,aggressor,"
+             "cause,stall_ps,bytes\n"
+             "400,total,0,1000,cpu,hp0,dram_bank_conflict,1000,5\n"
+             "800,total,0,1000,cpu,hp0,dram_bank_conflict,2500,9\n"
+             "800,window,0,100,cpu,hp0,dram_bank_conflict,10,1\n");
+  telemetry::RunData b;
+  b.label = "B";
+  b.load_blame_csv(p2);
+  ASSERT_EQ(b.blame_stall_ps.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.blame_stall_ps.at("cpu|hp0|dram_bank_conflict"), 3500.0);
+
+  const telemetry::ReportThresholds t;
+  const telemetry::RunReport rep = telemetry::compare_runs(a, b, t);
+  ASSERT_EQ(rep.blame_deltas.size(), 2u);
+  // Sorted by |b - a| descending: the vanished reorder cell moved by
+  // 2000, the conflict cell by 1500, so reorder leads.
+  EXPECT_EQ(rep.blame_deltas[0].cause, "reorder");
+  EXPECT_DOUBLE_EQ(rep.blame_deltas[0].a_stall_ps, 2000.0);
+  EXPECT_DOUBLE_EQ(rep.blame_deltas[0].b_stall_ps, 0.0);
+  EXPECT_EQ(rep.blame_deltas[1].cause, "dram_bank_conflict");
+  EXPECT_DOUBLE_EQ(rep.blame_deltas[1].b_stall_ps, 3500.0);
+
+  write_file(p1, "victim,aggressor\n");
+  telemetry::RunData bad;
+  EXPECT_THROW(bad.load_blame_csv(p1), ConfigError);
+}
+
+TEST(Report, JournalIngestAndTimelineSummary) {
+  const std::string path = "/tmp/fgqos_report_journal.jsonl";
+  telemetry::DecisionJournal j(3);
+  j.record(100 * sim::kPsPerUs, "qos.hp0.reg", "set_budget", 4096, 1024,
+           "host_write");
+  j.record(200 * sim::kPsPerUs, "wd1", "degrade", 2048, 256, "monitor_stale",
+           "regulator=qos.hp0.reg");
+  j.record(300 * sim::kPsPerUs, "wd1", "rearm", 256, 2048,
+           "monitor_recovered");
+  j.record(400 * sim::kPsPerUs, "qos.hp0.reg", "set_budget", 1024, 2048,
+           "host_write");  // over capacity: counted, not stored
+  telemetry::RunManifest m;
+  m.tool = "fgqos_sim";
+  m.scenario = "preset=test";
+  m.seed = 7;
+  m.build = "release";
+  j.save_jsonl(path, &m);
+
+  telemetry::RunData r;
+  r.label = "A";
+  r.load_journal_jsonl(path);
+  EXPECT_TRUE(r.has_journal);
+  EXPECT_TRUE(r.has_manifest);
+  EXPECT_EQ(r.manifest.seed, 7u);
+  ASSERT_EQ(r.journal.size(), 3u);
+  EXPECT_EQ(r.journal_dropped, 1u);
+  EXPECT_EQ(r.journal[1].action, "degrade");
+  EXPECT_DOUBLE_EQ(r.journal[1].new_value, 256.0);
+  EXPECT_EQ(r.journal[1].detail, "regulator=qos.hp0.reg");
+
+  const telemetry::JournalSummary s = telemetry::summarize_journal(r);
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_EQ(s.dropped, 1u);
+  EXPECT_EQ(s.action_counts.at("set_budget"), 1u);
+  EXPECT_EQ(s.action_counts.at("degrade"), 1u);
+  // Highlights carry the mode changes, not the steady-state writes.
+  ASSERT_EQ(s.highlights.size(), 2u);
+  EXPECT_NE(s.highlights[0].find("degrade"), std::string::npos);
+  EXPECT_NE(s.highlights[0].find("monitor_stale"), std::string::npos);
+  EXPECT_NE(s.highlights[1].find("rearm"), std::string::npos);
+
+  write_file(path, "");
+  telemetry::RunData empty;
+  EXPECT_THROW(empty.load_journal_jsonl(path), ConfigError);
+}
+
+TEST(Report, TimeseriesJsonIngest) {
+  const std::string path = "/tmp/fgqos_report_timeseries.json";
+  sim::Simulator s;
+  telemetry::TimeSeriesConfig tc;
+  tc.window_ps = 100 * sim::kPsPerUs;
+  telemetry::TimeSeriesRecorder ts(s, tc);
+  ASSERT_TRUE(ts.add_series(
+      "qos.hp0.credit", telemetry::TimeSeriesRecorder::Kind::kGauge,
+      [](sim::TimePs now) {
+        return static_cast<double>(now) / sim::kPsPerUs;
+      }));
+  ts.start();
+  s.run_until(300 * sim::kPsPerUs);
+  ts.finish(s.now());
+  telemetry::RunManifest m;
+  m.tool = "fgqos_sim";
+  m.seed = 11;
+  ts.save_json(path, &m);
+
+  telemetry::RunData r;
+  r.label = "A";
+  r.load_timeseries_json(path);
+  EXPECT_TRUE(r.has_manifest);
+  EXPECT_EQ(r.manifest.seed, 11u);
+  EXPECT_EQ(r.timeseries_window_ps, 100 * sim::kPsPerUs);
+  ASSERT_EQ(r.timeseries.size(), 1u);
+  const telemetry::SeriesSummary& sum = r.timeseries.at("qos.hp0.credit");
+  EXPECT_EQ(sum.kind, "gauge");
+  EXPECT_EQ(sum.count, 3u);
+  EXPECT_DOUBLE_EQ(sum.min, 100.0);
+  EXPECT_DOUBLE_EQ(sum.max, 300.0);
+}
+
+TEST(Report, WriteJsonIsParseable) {
+  const std::string pa = "/tmp/fgqos_report_ja.json";
+  const std::string pb = "/tmp/fgqos_report_jb.json";
+  write_file(pa, metrics_json(1, 1000, 2000, 3000, 1000000, 5000));
+  write_file(pb, metrics_json(2, 1100, 2300, 3300, 800000, 6000));
+  telemetry::RunData a;
+  a.label = "A";
+  a.load_metrics_json(pa);
+  telemetry::RunData b;
+  b.label = "B";
+  b.load_metrics_json(pb);
+  const telemetry::RunReport rep =
+      telemetry::compare_runs(a, b, telemetry::ReportThresholds{});
+  std::ostringstream os;
+  rep.write_json(os);
+  const util::JsonValue doc = util::JsonValue::parse(os.str());
+  EXPECT_TRUE(doc.at("comparable").as_bool());
+  EXPECT_FALSE(doc.at("pass").as_bool());
+  EXPECT_EQ(doc.at("manifest_a").at("seed").as_uint64(), 1u);
+  EXPECT_EQ(doc.at("manifest_b").at("seed").as_uint64(), 2u);
+  EXPECT_DOUBLE_EQ(doc.at("thresholds").at("max_p99_regress_pct").as_number(),
+                   10.0);
+  EXPECT_EQ(doc.at("tenants").as_array().size(), rep.tenant_deltas.size());
+  EXPECT_EQ(doc.at("regressions").as_array().size(), 3u);
+  bool saw_regression_flag = false;
+  for (const util::JsonValue& d : doc.at("tenants").as_array()) {
+    if (d.at("tenant").as_string() == "cpu" &&
+        d.at("metric").as_string() == "p99_ps") {
+      EXPECT_TRUE(d.at("regression").as_bool());
+      saw_regression_flag = true;
+    }
+  }
+  EXPECT_TRUE(saw_regression_flag);
+}
+
+TEST(Report, SingleRunSummary) {
+  const std::string pa = "/tmp/fgqos_report_sa.json";
+  write_file(pa, metrics_json(1, 1000, 2000, 3000, 1000000, 5000));
+  telemetry::RunData a;
+  a.label = "A";
+  a.load_metrics_json(pa);
+  const telemetry::RunReport rep = telemetry::summarize_run(a);
+  EXPECT_EQ(rep.b, nullptr);
+  EXPECT_TRUE(rep.pass());  // a run never regresses against itself
+  EXPECT_TRUE(rep.blame_deltas.empty());
+  ASSERT_FALSE(rep.tenant_deltas.empty());
+  for (const telemetry::TenantDelta& d : rep.tenant_deltas) {
+    EXPECT_DOUBLE_EQ(d.a, d.b);
+    EXPECT_FALSE(d.regression);
+  }
+  std::ostringstream text;
+  rep.write_text(text);
+  EXPECT_NE(text.str().find("fgqos run summary"), std::string::npos);
+  EXPECT_EQ(text.str().find("verdict"), std::string::npos);
+}
+
+TEST(Report, BenchCompareVerdictsAndErrors) {
+  const auto bench = [](double events_per_sec, int schema = 1) {
+    std::ostringstream os;
+    os << "{\"schema_version\":" << schema
+       << ",\"benchmark\":\"kernel_throughput\",\"events_per_sec\":"
+       << events_per_sec << ",\"ns_per_event\":"
+       << (events_per_sec > 0 ? 1e9 / events_per_sec : 0) << "}";
+    return os.str();
+  };
+  // 5% drop under a 10% gate: pass.
+  telemetry::BenchComparison c =
+      telemetry::compare_bench(bench(1e7), bench(0.95e7), 10.0);
+  EXPECT_NEAR(c.drop_pct, 5.0, 1e-9);
+  EXPECT_TRUE(c.pass());
+  // 20% drop: fail.
+  c = telemetry::compare_bench(bench(1e7), bench(0.8e7), 10.0);
+  EXPECT_NEAR(c.drop_pct, 20.0, 1e-9);
+  EXPECT_FALSE(c.pass());
+  // Faster than baseline: negative drop, passes.
+  c = telemetry::compare_bench(bench(1e7), bench(1.2e7), 10.0);
+  EXPECT_LT(c.drop_pct, 0.0);
+  EXPECT_TRUE(c.pass());
+  std::ostringstream text;
+  c.write_text(text);
+  EXPECT_NE(text.str().find("PASS"), std::string::npos);
+  std::ostringstream js;
+  c.write_json(js);
+  const util::JsonValue doc = util::JsonValue::parse(js.str());
+  EXPECT_TRUE(doc.at("pass").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("max_drop_pct").as_number(), 10.0);
+  // Guard rails: schema mismatch, missing field, zero baseline.
+  EXPECT_THROW((void)telemetry::compare_bench(bench(1e7, 1), bench(1e7, 2)),
+               ConfigError);
+  EXPECT_THROW((void)telemetry::compare_bench("{\"wall_ms\":1}", bench(1e7)),
+               ConfigError);
+  EXPECT_THROW((void)telemetry::compare_bench(bench(0.0), bench(1e7)),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace fgqos

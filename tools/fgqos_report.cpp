@@ -1,0 +1,186 @@
+/// \file fgqos_report.cpp
+/// \brief Run-comparison / regression analyzer over exported artifacts.
+///
+/// Three modes:
+///   compare   — two runs' artifacts (metrics JSON required, blame CSV /
+///               journal JSONL / time-series JSON optional): per-tenant
+///               p50/p99/p999 and bandwidth deltas, blame-matrix diffs,
+///               decision-timeline summaries, PASS/FAIL verdicts against
+///               the regression thresholds.
+///   summary   — one run's artifacts (only --a-* given): digest without
+///               deltas.
+///   bench     — two BENCH_micro.json kernel-throughput records
+///               (--bench + --bench-baseline): events/sec drop gate.
+///
+/// Exit codes: 0 = pass, 1 = usage/parse error, 2 = regression detected.
+///
+/// Examples:
+///   fgqos_report --a-metrics base.json --b-metrics new.json
+///                --a-blame base_blame.csv --b-blame new_blame.csv
+///                --a-journal base.jsonl --b-journal new.jsonl
+///   fgqos_report --bench BENCH_micro.json
+///                --bench-baseline ci/bench_baseline.json --max-drop-pct 10
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "telemetry/report.hpp"
+#include "util/cli.hpp"
+#include "util/config_error.hpp"
+
+using namespace fgqos;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "fgqos_report — compare runs of the fgqos platform simulator\n\n"
+      "compare / summary mode:\n"
+      "  --a-metrics FILE     run A metrics JSON (required)\n"
+      "  --b-metrics FILE     run B metrics JSON (omit for a summary of A)\n"
+      "  --a-blame FILE       run A blame-matrix CSV\n"
+      "  --b-blame FILE       run B blame-matrix CSV\n"
+      "  --a-journal FILE     run A decision-journal JSONL\n"
+      "  --b-journal FILE     run B decision-journal JSONL\n"
+      "  --a-timeseries FILE  run A time-series JSON\n"
+      "  --b-timeseries FILE  run B time-series JSON\n"
+      "  --max-p99-regress-pct N  tolerated p99/p999 growth (default 10)\n"
+      "  --max-bw-drop-pct N      tolerated bandwidth drop (default 10)\n"
+      "  --force              compare even when manifests disagree\n"
+      "bench mode:\n"
+      "  --bench FILE             fresh BENCH_micro.json\n"
+      "  --bench-baseline FILE    committed baseline record\n"
+      "  --max-drop-pct N         tolerated events/sec drop (default 10)\n"
+      "common:\n"
+      "  --json               emit the report as JSON instead of text\n"
+      "  --out FILE           write the report there instead of stdout\n"
+      "\nexit codes: 0 pass, 1 error, 2 regression\n");
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) {
+    throw ConfigError("cannot read '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+void load_side(telemetry::RunData& run, const util::ArgParser& args,
+               const std::string& prefix) {
+  const std::string metrics = args.get(prefix + "-metrics", "");
+  if (!metrics.empty()) {
+    run.load_metrics_json(metrics);
+  }
+  const std::string blame = args.get(prefix + "-blame", "");
+  if (!blame.empty()) {
+    run.load_blame_csv(blame);
+  }
+  const std::string journal = args.get(prefix + "-journal", "");
+  if (!journal.empty()) {
+    run.load_journal_jsonl(journal);
+  }
+  const std::string ts = args.get(prefix + "-timeseries", "");
+  if (!ts.empty()) {
+    run.load_timeseries_json(ts);
+  }
+}
+
+int emit(const std::string& text, const std::string& out) {
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream os(out);
+  if (!os.good()) {
+    throw ConfigError("cannot write '" + out + "'");
+  }
+  os << text;
+  if (!os.good()) {
+    throw ConfigError("error writing '" + out + "'");
+  }
+  std::printf("report written to %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::ArgParser args(argc, argv);
+    if (args.has("help")) {
+      usage();
+      return 0;
+    }
+    const bool as_json = args.get_bool("json", false);
+    const std::string out = args.get("out", "");
+
+    // --- bench mode ------------------------------------------------------
+    const std::string bench = args.get("bench", "");
+    const std::string bench_baseline = args.get("bench-baseline", "");
+    if (!bench.empty() || !bench_baseline.empty()) {
+      if (bench.empty() || bench_baseline.empty()) {
+        throw ConfigError("--bench and --bench-baseline go together");
+      }
+      const double max_drop = args.get_double("max-drop-pct", 10.0);
+      for (const auto& k : args.unused_keys()) {
+        throw ConfigError("unknown option --" + k + " (see --help)");
+      }
+      const telemetry::BenchComparison c = telemetry::compare_bench(
+          slurp(bench_baseline), slurp(bench), max_drop);
+      std::ostringstream ss;
+      if (as_json) {
+        c.write_json(ss);
+      } else {
+        c.write_text(ss);
+      }
+      emit(ss.str(), out);
+      return c.pass() ? 0 : 2;
+    }
+
+    // --- compare / summary mode ------------------------------------------
+    if (args.get("a-metrics", "").empty()) {
+      usage();
+      throw ConfigError("--a-metrics is required (or use bench mode)");
+    }
+    telemetry::ReportThresholds t;
+    t.max_p99_regress_pct =
+        args.get_double("max-p99-regress-pct", t.max_p99_regress_pct);
+    t.max_bw_drop_pct = args.get_double("max-bw-drop-pct", t.max_bw_drop_pct);
+    const bool force = args.get_bool("force", false);
+    const bool have_b = !args.get("b-metrics", "").empty();
+
+    telemetry::RunData a;
+    a.label = "A";
+    load_side(a, args, "a");
+    telemetry::RunData b;
+    b.label = "B";
+    if (have_b) {
+      load_side(b, args, "b");
+    } else if (!args.get("b-blame", "").empty() ||
+               !args.get("b-journal", "").empty() ||
+               !args.get("b-timeseries", "").empty()) {
+      throw ConfigError("--b-* artifacts need --b-metrics");
+    }
+    for (const auto& k : args.unused_keys()) {
+      throw ConfigError("unknown option --" + k + " (see --help)");
+    }
+
+    const telemetry::RunReport rep =
+        have_b ? telemetry::compare_runs(a, b, t, force)
+               : telemetry::summarize_run(a);
+    std::ostringstream ss;
+    if (as_json) {
+      rep.write_json(ss);
+    } else {
+      rep.write_text(ss);
+    }
+    emit(ss.str(), out);
+    return rep.pass() ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

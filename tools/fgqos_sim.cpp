@@ -21,6 +21,7 @@
 #include "qos/window.hpp"
 #include "soc/presets.hpp"
 #include "soc/soc.hpp"
+#include "telemetry/manifest.hpp"
 #include "util/cli.hpp"
 #include "util/config_error.hpp"
 #include "util/csv.hpp"
@@ -62,6 +63,11 @@ void usage() {
       "  --sla-p99-us L      SLA watchdog: max CPU read p99 per window\n"
       "  --sla-stall-frac F  SLA watchdog: max interference fraction [0,1]\n"
       "  --fault-spec FILE   JSON fault plan to inject (see docs/FAULTS.md)\n"
+      "  --timeseries-csv FILE   windowed time series as long-format CSV\n"
+      "  --timeseries-json FILE  windowed time series (+summaries) as JSON\n"
+      "  --timeseries-filter G   comma-separated series globs (qos.*,dram.*)\n"
+      "  --timeseries-window-us W  sampling window (default 100)\n"
+      "  --journal FILE      QoS decision journal as JSON-lines\n"
       "  --watchdog-fallback-mbps B\n"
       "                      degraded-mode watchdog on each regulated port:\n"
       "                      fall back to B MB/s when the monitor feed goes\n"
@@ -120,8 +126,22 @@ int main(int argc, char** argv) {
     const std::string fault_spec = args.get("fault-spec", "");
     const double wd_fallback_mbps =
         args.get_double("watchdog-fallback-mbps", 0);
+    const std::string timeseries_csv = args.get("timeseries-csv", "");
+    const std::string timeseries_json = args.get("timeseries-json", "");
+    const std::string timeseries_filter = args.get("timeseries-filter", "");
+    const double timeseries_window_us =
+        args.get_double("timeseries-window-us", 100);
+    const std::string journal_path = args.get("journal", "");
+    const bool want_timeseries =
+        !timeseries_csv.empty() || !timeseries_json.empty();
     if (trace_path.empty() && !trace_filter.empty()) {
       throw ConfigError("--trace-filter requires --trace");
+    }
+    if (!want_timeseries &&
+        (!timeseries_filter.empty() || args.has("timeseries-window-us"))) {
+      throw ConfigError(
+          "--timeseries-filter/--timeseries-window-us require "
+          "--timeseries-csv or --timeseries-json");
     }
     const bool want_sla =
         sla_min_mbps > 0 || sla_p99_us > 0 || sla_stall_frac > 0;
@@ -136,6 +156,22 @@ int main(int argc, char** argv) {
 
     soc::SocConfig cfg = soc::preset_by_name(preset);
     soc::Soc chip(cfg);
+
+    // Provenance embedded in every export: semantic inputs only, so two
+    // runs of the same scenario carry byte-identical manifests.
+    telemetry::RunManifest manifest;
+    manifest.tool = "fgqos_sim";
+    manifest.seed = seed;
+    manifest.build = telemetry::RunManifest::build_flavor();
+    {
+      std::ostringstream sc;
+      sc << "preset=" << preset << " critical=" << critical
+         << " aggressors=" << aggressors << " pattern="
+         << args.get("pattern", "seq_rd") << " scheme=" << scheme
+         << " budget_mbps=" << budget_bps / 1e6 << " window_us=" << window_us
+         << " duration_ms=" << duration_ms;
+      manifest.scenario = sc.str();
+    }
 
     if (critical == "latency") {
       cpu::CoreConfig cc;
@@ -155,6 +191,13 @@ int main(int argc, char** argv) {
           chip.sim(), qos::SoftMemguardConfig{});
     } else if (scheme != "none" && scheme != "hw") {
       throw ConfigError("unknown scheme '" + scheme + "'");
+    }
+
+    if (!journal_path.empty()) {
+      telemetry::DecisionJournal& journal = chip.enable_journal();
+      if (memguard != nullptr) {
+        memguard->set_journal(&journal);
+      }
     }
 
     for (std::size_t i = 0; i < aggressors; ++i) {
@@ -179,6 +222,7 @@ int main(int argc, char** argv) {
 
     if (!fault_spec.empty()) {
       fault::FaultPlan plan = fault::FaultPlan::from_file(fault_spec);
+      manifest.fault_spec_hash = telemetry::fnv1a_hex(plan.to_json());
       fault::FaultInjector& inj = chip.arm_faults(std::move(plan), seed);
       if (memguard != nullptr) {
         inj.wire_memguard(*memguard);
@@ -227,7 +271,19 @@ int main(int argc, char** argv) {
             return inj->active_faults(t);
           });
         }
+        if (telemetry::DecisionJournal* j = chip.journal()) {
+          watchdog->set_journal(j);
+        }
       }
+    }
+
+    if (want_timeseries) {
+      // After workload setup and attribution so every standard series
+      // (including attr.* stall time) is there to be probed.
+      telemetry::TimeSeriesConfig tc;
+      tc.window_ps = static_cast<sim::TimePs>(timeseries_window_us * 1e6);
+      tc.filter = timeseries_filter;
+      chip.enable_timeseries(std::move(tc));
     }
 
     // Run in slices so SIGINT/SIGTERM can stop the simulation early while
@@ -270,12 +326,29 @@ int main(int argc, char** argv) {
       std::printf("\nCSV written to %s\n", csv.c_str());
     }
     if (!metrics_json.empty()) {
-      chip.collect_metrics().save_json(metrics_json, chip.now());
+      chip.collect_metrics().save_json(metrics_json, chip.now(), &manifest);
       std::printf("\nmetrics JSON written to %s\n", metrics_json.c_str());
     }
     if (!metrics_csv.empty()) {
-      chip.collect_metrics().save_csv(metrics_csv);
+      chip.collect_metrics().save_csv(metrics_csv, &manifest);
       std::printf("\nmetrics CSV written to %s\n", metrics_csv.c_str());
+    }
+    if (!timeseries_csv.empty()) {
+      chip.timeseries()->save_csv(timeseries_csv, &manifest);
+      std::printf("\ntime-series CSV written to %s (%llu windows)\n",
+                  timeseries_csv.c_str(),
+                  static_cast<unsigned long long>(
+                      chip.timeseries()->windows_sampled()));
+    }
+    if (!timeseries_json.empty()) {
+      chip.timeseries()->save_json(timeseries_json, &manifest);
+      std::printf("\ntime-series JSON written to %s\n",
+                  timeseries_json.c_str());
+    }
+    if (!journal_path.empty()) {
+      chip.journal()->save_jsonl(journal_path, &manifest);
+      std::printf("\ndecision journal written to %s (%zu entries)\n",
+                  journal_path.c_str(), chip.journal()->size());
     }
     if (!blame_csv.empty()) {
       chip.attribution()->save_csv(blame_csv);

@@ -25,9 +25,12 @@
 #include <fstream>
 #include <sstream>
 
+#include <map>
+
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "fgqos.hpp"
+#include "telemetry/manifest.hpp"
 #include "util/cli.hpp"
 #include "util/config_error.hpp"
 #include "util/csv.hpp"
@@ -57,6 +60,13 @@ struct Outcome {
   /// attribution is off. Merged in submission order by main(), so the
   /// combined file is byte-identical for any job count.
   std::string blame_rows;
+  /// Pre-rendered time-series CSV rows ("<point>,series,..."), merged the
+  /// same way.
+  std::string timeseries_rows;
+  /// Per-series whole-run histograms, for the sweep-level merged summary
+  /// (folded in submission order, so the summary is deterministic for any
+  /// job count).
+  std::vector<std::pair<std::string, sim::Histogram>> series_summaries;
 };
 
 struct SweepPoint {
@@ -80,6 +90,16 @@ struct SweepPoint {
   double blame_window_us = 100;
   std::string blame_json;   ///< per-point file, already suffixed
   std::string point_label;  ///< knob value, used as the blame-row prefix
+  /// Windowed time-series capture (off unless requested).
+  bool timeseries = false;
+  bool merge_timeseries_csv = false;  ///< render rows for the merged CSV
+  std::string timeseries_json;        ///< per-point file, already suffixed
+  std::string timeseries_filter;
+  double timeseries_window_us = 100;
+  /// Per-point decision-journal JSONL (empty = off), already suffixed.
+  std::string journal_path;
+  /// Sweep knob name, recorded in the per-point manifest scenario.
+  std::string knob;
   /// Shared fault plan (nullptr = no faults). Each point arms its own
   /// injector from its derived seed, so fault streams are reproducible
   /// per point and independent of the job count.
@@ -150,6 +170,36 @@ Outcome run_point(const SweepPoint& p) {
     chip.enable_attribution(
         static_cast<sim::TimePs>(p.blame_window_us * 1e6));
   }
+  if (p.timeseries) {
+    telemetry::TimeSeriesConfig tc;
+    tc.window_ps = static_cast<sim::TimePs>(p.timeseries_window_us * 1e6);
+    tc.filter = p.timeseries_filter;
+    chip.enable_timeseries(std::move(tc));
+  }
+  if (!p.journal_path.empty()) {
+    telemetry::DecisionJournal& journal = chip.enable_journal();
+    if (mg != nullptr) {
+      mg->set_journal(&journal);
+    }
+  }
+  // Per-point provenance: depends only on the scenario and the derived
+  // seed, never on job fan-out, so exports stay byte-identical across
+  // --jobs.
+  telemetry::RunManifest manifest;
+  manifest.tool = "fgqos_sweep";
+  manifest.seed = p.seed;
+  manifest.build = telemetry::RunManifest::build_flavor();
+  {
+    std::ostringstream sc;
+    sc << "knob=" << p.knob << " value=" << p.point_label
+       << " scheme=" << p.scheme << " aggressors=" << p.aggressors
+       << " budget_mbps=" << p.budget_mbps << " window_us=" << p.window_us
+       << " isr_us=" << p.isr_us << " iterations=" << p.iterations;
+    manifest.scenario = sc.str();
+  }
+  if (p.faults != nullptr) {
+    manifest.fault_spec_hash = telemetry::fnv1a_hex(p.faults->to_json());
+  }
   chip.run_until_cores_finished(2000 * sim::kPsPerMs);
   if (mg != nullptr) {
     mg->flush_trace(chip.now());
@@ -161,13 +211,31 @@ Outcome run_point(const SweepPoint& p) {
     // points differ between runs; drop it so snapshots stay reproducible.
     reg.erase_prefix("sim.wall");
     if (!p.metrics_json.empty()) {
-      reg.save_json(p.metrics_json, chip.now());
+      reg.save_json(p.metrics_json, chip.now(), &manifest);
     }
     if (!p.metrics_csv.empty()) {
-      reg.save_csv(p.metrics_csv);
+      reg.save_csv(p.metrics_csv, &manifest);
     }
   }
   Outcome o;
+  if (p.timeseries) {
+    telemetry::TimeSeriesRecorder* ts = chip.timeseries();
+    if (!p.timeseries_json.empty()) {
+      ts->save_json(p.timeseries_json, &manifest);
+    }
+    if (p.merge_timeseries_csv) {
+      std::ostringstream rows;
+      ts->write_csv(rows, /*header=*/false,
+                    /*row_prefix=*/p.point_label + ",");
+      o.timeseries_rows = rows.str();
+    }
+    for (std::size_t i = 0; i < ts->series_count(); ++i) {
+      o.series_summaries.emplace_back(ts->series_names()[i], ts->summary(i));
+    }
+  }
+  if (!p.journal_path.empty()) {
+    chip.journal()->save_jsonl(p.journal_path, &manifest);
+  }
   if (p.blame) {
     telemetry::AttributionEngine* attr = chip.attribution();
     if (!p.blame_json.empty()) {
@@ -207,6 +275,10 @@ int main(int argc, char** argv) {
           "            [--exec-metrics-json FILE]\n"
           "            [--blame-csv FILE] [--blame-json FILE] "
           "[--blame-window-us W]\n"
+          "            [--timeseries-csv FILE] [--timeseries-json FILE]\n"
+          "            [--timeseries-filter GLOBS] "
+          "[--timeseries-window-us W]\n"
+          "            [--journal FILE]\n"
           "            [--fault-spec FILE] [--job-timeout-s T] "
           "[--job-retries N]\n"
           "--fault-spec arms the same JSON fault plan (docs/FAULTS.md) in\n"
@@ -220,6 +292,11 @@ int main(int argc, char** argv) {
           "--blame-csv writes ONE merged interference-attribution CSV with a\n"
           "leading `point` column (the knob value); --blame-json writes one\n"
           "JSON file per point (suffixed like the other telemetry files).\n"
+          "--timeseries-csv writes ONE merged windowed time-series CSV with\n"
+          "a leading `point` column; --timeseries-json and --journal write\n"
+          "one file per point (suffixed). A merged percentile summary per\n"
+          "series (per-point histograms folded in point order) is printed\n"
+          "after the sweep.\n"
           "--jobs N runs N sweep points concurrently (0 = all hardware\n"
           "threads; FGQOS_JOBS sets the default); outcomes are merged in\n"
           "point order, so CSV and metrics files are byte-identical for\n"
@@ -248,6 +325,14 @@ int main(int argc, char** argv) {
     const std::string blame_csv = args.get("blame-csv", "");
     const std::string blame_json = args.get("blame-json", "");
     const double blame_window_us = args.get_double("blame-window-us", 100);
+    const std::string timeseries_csv = args.get("timeseries-csv", "");
+    const std::string timeseries_json = args.get("timeseries-json", "");
+    const std::string timeseries_filter = args.get("timeseries-filter", "");
+    const double timeseries_window_us =
+        args.get_double("timeseries-window-us", 100);
+    const std::string journal_path = args.get("journal", "");
+    const bool want_timeseries =
+        !timeseries_csv.empty() || !timeseries_json.empty();
     const std::string fault_spec = args.get("fault-spec", "");
     exec::ExecConfig ec;
     ec.jobs = static_cast<std::size_t>(args.get_int(
@@ -258,6 +343,12 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(args.get_int("job-retries", 0));
     if (trace_path.empty() && !trace_filter.empty()) {
       throw ConfigError("--trace-filter requires --trace");
+    }
+    if (!want_timeseries &&
+        (!timeseries_filter.empty() || args.has("timeseries-window-us"))) {
+      throw ConfigError(
+          "--timeseries-filter/--timeseries-window-us require "
+          "--timeseries-csv or --timeseries-json");
     }
     for (const auto& k : args.unused_keys()) {
       throw ConfigError("unknown option --" + k + " (see --help)");
@@ -294,6 +385,13 @@ int main(int argc, char** argv) {
       p.blame_window_us = blame_window_us;
       p.blame_json = point_path(blame_json, knob, v);
       p.point_label = v;
+      p.timeseries = want_timeseries;
+      p.merge_timeseries_csv = !timeseries_csv.empty();
+      p.timeseries_json = point_path(timeseries_json, knob, v);
+      p.timeseries_filter = timeseries_filter;
+      p.timeseries_window_us = timeseries_window_us;
+      p.journal_path = point_path(journal_path, knob, v);
+      p.knob = knob;
       p.faults = fault_spec.empty() ? nullptr : &fault_plan;
       points.push_back(std::move(p));
     }
@@ -347,6 +445,55 @@ int main(int argc, char** argv) {
         blame << o.blame_rows;
       }
       std::printf("blame CSV written to %s\n", blame_csv.c_str());
+    }
+    if (!timeseries_csv.empty()) {
+      std::ofstream ts(timeseries_csv);
+      if (!ts) {
+        throw ConfigError("cannot open time-series CSV '" + timeseries_csv +
+                          "'");
+      }
+      // Sweep-level manifest: the knob and its values ARE the scenario;
+      // independent of --jobs, so the merged file stays byte-identical.
+      telemetry::RunManifest manifest;
+      manifest.tool = "fgqos_sweep";
+      manifest.seed = ec.base_seed;
+      manifest.build = telemetry::RunManifest::build_flavor();
+      manifest.scenario = "knob=" + knob + " values=" + values_arg +
+                          " scheme=" + base.scheme;
+      if (!fault_spec.empty()) {
+        manifest.fault_spec_hash = telemetry::fnv1a_hex(fault_plan.to_json());
+      }
+      ts << manifest.to_csv_comment();
+      ts << "point,series,window,start_ps,end_ps,value\n";
+      for (const Outcome& o : outcomes) {
+        ts << o.timeseries_rows;
+      }
+      std::printf("time-series CSV written to %s\n", timeseries_csv.c_str());
+    }
+    if (want_timeseries) {
+      // Sweep-level percentile summary: per-point whole-run histograms
+      // folded with Histogram::merge in submission order — associative
+      // bucket adds, so the table is identical for any job count.
+      std::vector<std::string> order;
+      std::map<std::string, sim::Histogram> merged;
+      for (const Outcome& o : outcomes) {
+        for (const auto& [name, h] : o.series_summaries) {
+          auto [it, inserted] = merged.try_emplace(name);
+          if (inserted) {
+            order.push_back(name);
+          }
+          it->second.merge(h);
+        }
+      }
+      util::Table summary({"series", "windows", "p50", "p99", "p999", "max"});
+      for (const std::string& name : order) {
+        const sim::Histogram& h = merged[name];
+        summary.add_row({name, std::to_string(h.count()),
+                         std::to_string(h.p50()), std::to_string(h.p99()),
+                         std::to_string(h.p999()), std::to_string(h.max())});
+      }
+      std::printf("\nmerged time-series summary (all points):\n");
+      summary.print();
     }
     if (runner.worker_count() > 1 || !report.all_ok()) {
       std::printf("\n%s\n", runner.summary().c_str());
