@@ -288,6 +288,65 @@ def plot_timeseries(args, plt):
     print("wrote", out)
 
 
+def load_serving(path, tenant=None):
+    """Reads a serving CSV; returns ({group: (x, attain, p99_us)}, xlabel).
+
+    Handles both bench_serving's serving_defense.csv (one line per QoS
+    scheme, x = offered load in kqps) and a merged fgqos_sweep
+    --serving-csv file (one line per tenant, x = the sweep-point knob
+    value, optionally filtered with --tenant).
+    """
+    with open(path, newline="") as fh:
+        lines = [ln for ln in fh if not ln.startswith("#")]
+    rows = list(csv.DictReader(lines))
+    if not rows:
+        return {}, ""
+    series = {}
+    if "scheme" in rows[0]:  # bench_serving defense CSV
+        for r in rows:
+            xs, att, p99 = series.setdefault(r["scheme"], ([], [], []))
+            xs.append(float(r["load_qps"]) / 1e3)
+            att.append(float(r["attainment_pct"]))
+            p99.append(float(r["p99_us"]))
+        return series, "offered load (kqps)"
+    for r in rows:  # merged sweep serving CSV
+        if tenant is not None and r["tenant"] != tenant:
+            continue
+        xs, att, p99 = series.setdefault(r["tenant"], ([], [], []))
+        xs.append(parse_num(r["point"]))
+        att.append(float(r["attainment_pct"]))
+        p99.append(float(r["p99_ps"]) / 1e6)
+    return series, "sweep point"
+
+
+def plot_serving(args, plt):
+    series, xlabel = load_serving(args.serving_csv, args.tenant)
+    if not series:
+        hint = f" for tenant '{args.tenant}'" if args.tenant else ""
+        sys.exit(f"no serving rows in {args.serving_csv}{hint} (run "
+                 "bench_serving, or fgqos_sweep with --serving-csv)")
+    fig, (ax_att, ax_p99) = plt.subplots(1, 2, figsize=(9, 4))
+    for key in sorted(series):
+        xs, att, p99 = series[key]
+        ax_att.plot(xs, att, marker="o", label=key)
+        ax_p99.plot(xs, p99, marker="o", label=key)
+    ax_att.axhline(99.0, linestyle="--", linewidth=0.8, color="grey")
+    ax_att.set_xlabel(xlabel)
+    ax_att.set_ylabel("SLO attainment (%)")
+    ax_att.set_title("Attainment vs. load", fontsize=10)
+    ax_att.legend(fontsize=7)
+    ax_p99.set_xlabel(xlabel)
+    ax_p99.set_ylabel("request p99 (us)")
+    ax_p99.set_title("Request p99 vs. load", fontsize=10)
+    ax_p99.legend(fontsize=7)
+    fig.tight_layout()
+    os.makedirs(args.out, exist_ok=True)
+    tag = f"_{args.tenant}" if args.tenant else ""
+    out = os.path.join(args.out, f"serving{tag}.png")
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
 def import_pyplot():
     try:
         import matplotlib
@@ -319,6 +378,21 @@ def main():
         ap.add_argument("--out", default="plots", help="output directory")
         args = ap.parse_args(sys.argv[2:])
         plot_timeseries(args, import_pyplot())
+        return
+
+    if len(sys.argv) > 1 and sys.argv[1] == "serving":
+        ap = argparse.ArgumentParser(
+            prog="plot_experiments.py serving",
+            description="SLO attainment and request-p99 vs. load from a "
+                        "serving CSV (bench_serving's serving_defense.csv "
+                        "or fgqos_sweep --serving-csv)")
+        ap.add_argument("serving_csv",
+                        help="serving_defense.csv or --serving-csv output")
+        ap.add_argument("--tenant", default=None,
+                        help="plot only this tenant (sweep CSVs only)")
+        ap.add_argument("--out", default="plots", help="output directory")
+        args = ap.parse_args(sys.argv[2:])
+        plot_serving(args, import_pyplot())
         return
 
     if len(sys.argv) > 1 and sys.argv[1] == "blame":

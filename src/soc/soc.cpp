@@ -77,12 +77,52 @@ wl::TrafficGen& Soc::add_traffic_gen(std::size_t accel_index,
                                      wl::TrafficGenConfig tg_cfg) {
   config_check(accel_index < cfg_.accel_ports,
                "Soc: accel port index out of range");
+  for (const auto& tenant : serving_) {
+    config_check(tenant->spec().port != accel_index,
+                 "Soc: HP port " + std::to_string(accel_index) +
+                     " already serves tenant '" + tenant->spec().name + "'");
+  }
   traffic_gens_.push_back(std::make_unique<wl::TrafficGen>(
       sim_, fabric_clk_, std::move(tg_cfg), accel_port(accel_index)));
   if (telemetry_.tracing()) {
     traffic_gens_.back()->set_trace(telemetry_.trace());
   }
   return *traffic_gens_.back();
+}
+
+wl::ServingTenant& Soc::add_serving_tenant(wl::ServingTenantSpec spec,
+                                           sim::TimePs duration_ps,
+                                           std::uint64_t seed) {
+  config_check(spec.port < cfg_.accel_ports,
+               "Soc: serving tenant '" + spec.name +
+                   "' names HP port " + std::to_string(spec.port) +
+                   " but the platform has " +
+                   std::to_string(cfg_.accel_ports));
+  // The tenant takes over the port's completion handler; sharing the
+  // port with anything else would silently orphan that thing's
+  // completions, so claim it exclusively.
+  axi::MasterPort& port = accel_port(spec.port);
+  for (const auto& other : serving_) {
+    config_check(other->spec().port != spec.port,
+                 "Soc: HP port " + std::to_string(spec.port) +
+                     " already serves tenant '" + other->spec().name + "'");
+  }
+  for (const auto& tg : traffic_gens_) {
+    config_check(&tg->port() != &port,
+                 "Soc: HP port " + std::to_string(spec.port) +
+                     " already drives traffic generator '" +
+                     tg->config().name + "'");
+  }
+  serving_.push_back(std::make_unique<wl::ServingTenant>(
+      sim_, fabric_clk_, std::move(spec), duration_ps, seed, port));
+  return *serving_.back();
+}
+
+void Soc::add_serving(const wl::ServingSpec& spec, std::uint64_t run_seed) {
+  for (std::size_t i = 0; i < spec.tenants.size(); ++i) {
+    add_serving_tenant(spec.tenants[i], spec.duration_ps,
+                       wl::serving_tenant_seed(spec.seed, run_seed, i));
+  }
 }
 
 void Soc::open_trace(const std::string& path, const std::string& filter) {
@@ -193,6 +233,25 @@ telemetry::TimeSeriesRecorder& Soc::enable_timeseries(
                    [tg](sim::TimePs) {
                      return static_cast<double>(tg->stats().completed_bytes);
                    });
+  }
+  for (auto& sp : serving_) {
+    wl::ServingTenant* t = sp.get();
+    const std::string prefix = "serving." + t->spec().name + ".";
+    rec.add_series(prefix + "completed", Kind::kDelta, [t](sim::TimePs) {
+      return static_cast<double>(t->stats().completed);
+    });
+    rec.add_series(prefix + "generated", Kind::kDelta, [t](sim::TimePs) {
+      return static_cast<double>(t->stats().generated);
+    });
+    rec.add_series(prefix + "dropped", Kind::kDelta, [t](sim::TimePs) {
+      return static_cast<double>(t->stats().dropped);
+    });
+    rec.add_series(prefix + "queue_depth", Kind::kGauge, [t](sim::TimePs) {
+      return static_cast<double>(t->queue_depth());
+    });
+    rec.add_series(prefix + "p99_ps", Kind::kGauge, [t](sim::TimePs) {
+      return static_cast<double>(t->latency().p99());
+    });
   }
   for (std::size_t c = 0; c < cluster_->core_count(); ++c) {
     const cpu::CpuCore* core = &cluster_->core(c);
@@ -391,6 +450,32 @@ telemetry::MetricsRegistry& Soc::collect_metrics() {
     set_counter(prefix + "issued_bytes", tg->stats().issued_bytes);
     set_counter(prefix + "completed_bytes", tg->stats().completed_bytes);
     set_counter(prefix + "transactions", tg->stats().transactions);
+  }
+
+  for (const auto& tenant : serving_) {
+    const std::string prefix = "serving." + tenant->spec().name + ".";
+    const auto& ss = tenant->stats();
+    set_counter(prefix + "generated", ss.generated);
+    set_counter(prefix + "completed", ss.completed);
+    set_counter(prefix + "dropped", ss.dropped);
+    set_counter(prefix + "slo_met", ss.slo_met);
+    set_counter(prefix + "error_completions", ss.error_completions);
+    set_counter(prefix + "issued_bytes", ss.issued_bytes);
+    set_counter(prefix + "completed_bytes", ss.completed_bytes);
+    set_gauge(prefix + "offered_qps", tenant->offered_qps());
+    set_gauge(prefix + "completed_qps", tenant->completed_qps());
+    set_gauge(prefix + "queue_depth",
+              static_cast<double>(tenant->queue_depth()));
+    set_gauge(prefix + "peak_queue_depth",
+              static_cast<double>(ss.peak_queue_depth));
+    set_gauge(prefix + "p50_ps", static_cast<double>(tenant->latency().p50()));
+    set_gauge(prefix + "p99_ps", static_cast<double>(tenant->latency().p99()));
+    set_gauge(prefix + "p999_ps",
+              static_cast<double>(tenant->latency().p999()));
+    set_gauge(prefix + "slo_attainment_pct", tenant->slo_attainment() * 100.0);
+    telemetry::Histogram& lat = reg.histogram(prefix + "latency_ps");
+    lat.reset();
+    lat.merge(tenant->latency());
   }
 
   set_gauge("cluster.l2_hit_rate", cluster_->l2().stats().hit_rate());

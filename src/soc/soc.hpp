@@ -24,6 +24,7 @@
 #include "sim/stats.hpp"
 #include "soc/config.hpp"
 #include "telemetry/hub.hpp"
+#include "workload/serving.hpp"
 #include "workload/traffic_gen.hpp"
 
 namespace fgqos::soc {
@@ -84,6 +85,27 @@ class Soc {
   /// Adds a traffic generator on accelerator port \p accel_index.
   wl::TrafficGen& add_traffic_gen(std::size_t accel_index,
                                   wl::TrafficGenConfig cfg);
+
+  /// Adds one request-serving tenant on HP port \p spec.port. The tenant
+  /// takes over the port's completion handler, so each serving port is
+  /// exclusive: one tenant per port, and no TrafficGen on it (checked).
+  /// \p seed is the tenant's op-buffer seed (see serving_tenant_seed).
+  wl::ServingTenant& add_serving_tenant(wl::ServingTenantSpec spec,
+                                        sim::TimePs duration_ps,
+                                        std::uint64_t seed);
+
+  /// Instantiates a whole serving scenario: one tenant per spec entry,
+  /// each seeded with serving_tenant_seed(spec.seed, run_seed, index) so
+  /// op buffers are byte-identical for equal (spec, run) on any --jobs
+  /// schedule. Call before running.
+  void add_serving(const wl::ServingSpec& spec, std::uint64_t run_seed);
+
+  [[nodiscard]] std::size_t serving_tenant_count() const {
+    return serving_.size();
+  }
+  [[nodiscard]] wl::ServingTenant& serving_tenant(std::size_t i) {
+    return *serving_.at(i);
+  }
 
   /// Inserts a DDRC-level global throttle between the crossbar and the
   /// memory controller (the coarse commercial-knob baseline; EXP11).
@@ -211,6 +233,7 @@ class Soc {
   std::unique_ptr<cpu::CpuCluster> cluster_;
   std::vector<QosBlock> qos_blocks_;
   std::vector<std::unique_ptr<wl::TrafficGen>> traffic_gens_;
+  std::vector<std::unique_ptr<wl::ServingTenant>> serving_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<std::unique_ptr<qos::RegulatorWatchdog>> watchdogs_;
 };

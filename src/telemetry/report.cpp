@@ -370,6 +370,13 @@ RunReport compare_runs(const RunData& a, const RunData& b,
       if (ga != nullptr && gb != nullptr) {
         push_delta(rep, t, "p99_ps", ga->value, gb->value,
                    thresholds.max_p99_regress_pct, true);
+        // The gauge carries no p999; emit the row as explicitly
+        // unavailable rather than a fake 0, and keep it out of gating.
+        TenantDelta na;
+        na.tenant = t;
+        na.metric = "p999_ps";
+        na.available = false;
+        rep.tenant_deltas.push_back(std::move(na));
       }
     }
     const MetricSample* ba = find_metric(a, "port." + t + ".bytes");
@@ -444,7 +451,16 @@ void RunReport::write_text(std::ostream& os) const {
     os << "\ntenant metrics" << (comparing ? " (A -> B)" : "") << ":\n";
     for (const TenantDelta& d : tenant_deltas) {
       char line[160];
-      if (comparing) {
+      if (!d.available) {
+        if (comparing) {
+          std::snprintf(line, sizeof line, "  %-10s %-14s %14s %14s  %8s",
+                        d.tenant.c_str(), d.metric.c_str(), "n/a", "n/a",
+                        "n/a");
+        } else {
+          std::snprintf(line, sizeof line, "  %-10s %-14s %14s",
+                        d.tenant.c_str(), d.metric.c_str(), "n/a");
+        }
+      } else if (comparing) {
         std::snprintf(line, sizeof line, "  %-10s %-14s %14s %14s  %8s%s",
                       d.tenant.c_str(), d.metric.c_str(),
                       format_value(d.a).c_str(), format_value(d.b).c_str(),
@@ -537,12 +553,17 @@ void RunReport::write_json(std::ostream& os) const {
     first = false;
     os << "{\"tenant\":\"" << util::json_escape(d.tenant) << "\",\"metric\":\""
        << util::json_escape(d.metric) << "\",\"a\":";
-    write_number(os, d.a);
-    os << ",\"b\":";
-    write_number(os, d.b);
-    os << ",\"delta_pct\":";
-    write_number(os, d.delta_pct);
-    os << ",\"regression\":" << (d.regression ? "true" : "false") << "}";
+    if (d.available) {
+      write_number(os, d.a);
+      os << ",\"b\":";
+      write_number(os, d.b);
+      os << ",\"delta_pct\":";
+      write_number(os, d.delta_pct);
+    } else {
+      os << "null,\"b\":null,\"delta_pct\":null";
+    }
+    os << ",\"available\":" << (d.available ? "true" : "false")
+       << ",\"regression\":" << (d.regression ? "true" : "false") << "}";
   }
   os << "],\"blame\":[";
   first = true;

@@ -108,6 +108,11 @@ struct TenantDelta {
   double b = 0.0;
   double delta_pct = 0.0;  ///< (b - a) / a * 100; 0 when a == 0
   bool regression = false;
+  /// False when the runs did not capture this quantity (e.g. p999 for a
+  /// tenant with only the read_p99_ps gauge, no hop histogram): the row
+  /// renders as "n/a" (JSON null) and never participates in PASS/FAIL
+  /// gating — an absent measurement must not masquerade as 0.
+  bool available = true;
 };
 
 /// One blame-matrix cell that moved between the runs.

@@ -8,11 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <tuple>
+#include <vector>
 
 #include "sim/random.hpp"
 #include "soc/soc.hpp"
 #include "workload/cpu_workloads.hpp"
+#include "workload/serving.hpp"
 #include "workload/traffic_gen.hpp"
 
 namespace fgqos {
@@ -316,6 +319,167 @@ TEST_P(GuaranteeHolds, ReservedRateDelivered) {
 
 INSTANTIATE_TEST_SUITE_P(ReservationSweep, GuaranteeHolds,
                          ::testing::Values(0.5e9, 1e9, 2e9, 4e9));
+
+// --------------------------------------------------------------------------
+// Serving-workload generator statistics (seeded, deterministic):
+//  * Zipfian rank-frequency law recovers the configured exponent;
+//  * Poisson inter-arrivals have the configured mean and unit CV;
+//  * MMPP inter-arrivals are overdispersed (CV > 1) at the blended rate;
+//  * op buffers are a pure function of (spec, duration, seed).
+// --------------------------------------------------------------------------
+
+class ZipfSlope : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSlope, RankFrequencyRecoversTheExponent) {
+  const double s = GetParam();
+  constexpr std::uint64_t kKeys = 1024;
+  constexpr std::uint64_t kSamples = 400'000;
+  const wl::ZipfianSampler zipf(kKeys, s);
+  sim::Xoshiro256 rng(0xC0FFEEull + static_cast<std::uint64_t>(s * 100));
+  std::vector<std::uint64_t> freq(kKeys, 0);
+  for (std::uint64_t i = 0; i < kSamples; ++i) {
+    ++freq[zipf.sample(rng)];
+  }
+  // Least-squares fit of log(freq) vs log(rank+1) over the top 64 ranks
+  // (each holds hundreds of samples at these exponents, so counting noise
+  // is small). The fitted slope must be -s.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  constexpr int kRanks = 64;
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_GT(freq[static_cast<std::size_t>(r)], 0u);
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(static_cast<double>(freq[
+        static_cast<std::size_t>(r)]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double slope =
+      (kRanks * sxy - sx * sy) / (kRanks * sxx - sx * sx);
+  EXPECT_NEAR(slope, -s, 0.08) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(ExponentSweep, ZipfSlope,
+                         ::testing::Values(0.9, 0.99, 1.2));
+
+namespace {
+struct InterArrivalStats {
+  double mean_ps = 0;
+  double cv = 0;
+  std::size_t count = 0;
+};
+
+InterArrivalStats inter_arrival_stats(const std::vector<sim::TimePs>& at) {
+  InterArrivalStats st;
+  st.count = at.size();
+  if (at.size() < 2) {
+    return st;
+  }
+  std::vector<double> gaps;
+  gaps.reserve(at.size() - 1);
+  for (std::size_t i = 1; i < at.size(); ++i) {
+    gaps.push_back(static_cast<double>(at[i] - at[i - 1]));
+  }
+  double sum = 0;
+  for (const double g : gaps) {
+    sum += g;
+  }
+  st.mean_ps = sum / static_cast<double>(gaps.size());
+  double var = 0;
+  for (const double g : gaps) {
+    var += (g - st.mean_ps) * (g - st.mean_ps);
+  }
+  var /= static_cast<double>(gaps.size());
+  st.cv = std::sqrt(var) / st.mean_ps;
+  return st;
+}
+}  // namespace
+
+TEST(ServingArrivals, PoissonMeanAndUnitCv) {
+  wl::ServingTenantSpec t;
+  t.arrival = wl::ArrivalKind::kPoisson;
+  t.rate_qps = 1e6;  // mean gap 1 us
+  const auto at = wl::generate_arrivals(t, 100 * sim::kPsPerMs, 42);
+  const InterArrivalStats st = inter_arrival_stats(at);
+  ASSERT_GT(st.count, 90'000u);
+  EXPECT_NEAR(st.mean_ps, 1e6, 1e6 * 0.02);
+  EXPECT_NEAR(st.cv, 1.0, 0.03);  // exponential gaps: CV = 1
+}
+
+TEST(ServingArrivals, MmppIsOverdispersedAtTheBlendedRate) {
+  wl::ServingTenantSpec t;
+  t.arrival = wl::ArrivalKind::kMmpp;
+  t.rate_qps = 100e3;
+  t.burst_qps = 1e6;
+  t.dwell_ps = sim::kPsPerMs;
+  t.burst_dwell_ps = sim::kPsPerMs;
+  const sim::TimePs horizon = 200 * sim::kPsPerMs;
+  const auto at = wl::generate_arrivals(t, horizon, 42);
+  const InterArrivalStats st = inter_arrival_stats(at);
+  // Equal dwell in both states: blended rate = (100k + 1M) / 2 = 550k qps.
+  const double expected = 550e3 * 0.2;
+  EXPECT_NEAR(static_cast<double>(st.count), expected, expected * 0.10);
+  // Burstiness: a plain Poisson process has CV = 1; the two-state
+  // modulation must push the gap CV clearly above it.
+  EXPECT_GT(st.cv, 1.2);
+}
+
+TEST(ServingOps, BuffersAreAPureFunctionOfSpecAndSeed) {
+  wl::ServingTenantSpec t;
+  t.rate_qps = 500e3;
+  t.key_count = 4096;
+  t.value_bytes = 256;
+  t.value_bytes_max = 4096;
+  t.read_fraction = 0.9;
+  const sim::TimePs horizon = 10 * sim::kPsPerMs;
+
+  const auto a = wl::generate_ops(t, horizon, 77);
+  const auto b = wl::generate_ops(t, horizon, 77);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 1000u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].arrival_ps, b[i].arrival_ps) << i;
+    ASSERT_EQ(a[i].addr, b[i].addr) << i;
+    ASSERT_EQ(a[i].bytes, b[i].bytes) << i;
+    ASSERT_EQ(a[i].dir, b[i].dir) << i;
+  }
+
+  // A different seed must change the stream...
+  const auto c = wl::generate_ops(t, horizon, 78);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].arrival_ps != c[i].arrival_ps || a[i].addr != c[i].addr;
+  }
+  EXPECT_TRUE(differs);
+
+  // ...and the per-tenant seed lineage separates tenants and runs but is
+  // itself deterministic (the --jobs-independence anchor: worker schedule
+  // never enters the derivation).
+  EXPECT_EQ(wl::serving_tenant_seed(1, 2, 0), wl::serving_tenant_seed(1, 2, 0));
+  EXPECT_NE(wl::serving_tenant_seed(1, 2, 0), wl::serving_tenant_seed(1, 2, 1));
+  EXPECT_NE(wl::serving_tenant_seed(1, 2, 0), wl::serving_tenant_seed(1, 3, 0));
+
+  // The in-platform path uses exactly this lineage: two independently
+  // built platforms replay byte-identical op buffers.
+  wl::ServingSpec spec;
+  spec.seed = 9;
+  spec.duration_ps = 2 * sim::kPsPerMs;
+  t.name = "lc";
+  t.port = 0;
+  spec.tenants.push_back(t);
+  soc::Soc one{soc::SocConfig{}};
+  soc::Soc two{soc::SocConfig{}};
+  one.add_serving(spec, 4);
+  two.add_serving(spec, 4);
+  const auto& oa = one.serving_tenant(0).ops();
+  const auto& ob = two.serving_tenant(0).ops();
+  ASSERT_EQ(oa.size(), ob.size());
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    ASSERT_EQ(oa[i].addr, ob[i].addr) << i;
+    ASSERT_EQ(oa[i].arrival_ps, ob[i].arrival_ps) << i;
+  }
+}
 
 }  // namespace
 }  // namespace fgqos

@@ -381,5 +381,66 @@ TEST(Report, BenchCompareVerdictsAndErrors) {
                ConfigError);
 }
 
+// Regression pin: a tenant that only exports the read_p99_ps gauge (no
+// port.<t>.hop.total_ps histogram) has no p999 measurement. Compare mode
+// must say so — an "n/a" row outside PASS/FAIL gating — and never report
+// the missing quantile as 0 (which would read as a 100% improvement or,
+// reversed, an infinite regression).
+TEST(Report, GaugeFallbackP999IsUnavailableNotZero) {
+  const std::string pa = "/tmp/fgqos_report_na_a.json";
+  const std::string pb = "/tmp/fgqos_report_na_b.json";
+  // hp0's gauge p99 triples between the runs: large enough that, were the
+  // absent p999 ever treated as a real 0 -> 0 pair or backed by the gauge,
+  // any gating bug would surface as an extra regression.
+  write_file(pa, metrics_json(1, 1000, 2000, 3000, 1000000, 2000));
+  write_file(pb, metrics_json(1, 1000, 2000, 3000, 1000000, 6000));
+  telemetry::RunData a;
+  a.label = "A";
+  a.load_metrics_json(pa);
+  telemetry::RunData b;
+  b.label = "B";
+  b.load_metrics_json(pb);
+
+  const telemetry::RunReport rep =
+      telemetry::compare_runs(a, b, telemetry::ReportThresholds{});
+
+  const telemetry::TenantDelta* na = find_delta(rep, "hp0", "p999_ps");
+  ASSERT_NE(na, nullptr);
+  EXPECT_FALSE(na->available);
+  EXPECT_FALSE(na->regression);
+  EXPECT_EQ(na->a, 0.0);
+  EXPECT_EQ(na->b, 0.0);
+
+  // The gauge-backed p99 row still gates normally (200% regression).
+  const telemetry::TenantDelta* p99 = find_delta(rep, "hp0", "p99_ps");
+  ASSERT_NE(p99, nullptr);
+  EXPECT_TRUE(p99->available);
+  EXPECT_TRUE(p99->regression);
+
+  // Exactly the p99 rows fail; the unavailable p999 never joins them.
+  for (const std::string& r : rep.regressions) {
+    EXPECT_EQ(r.find("p999"), std::string::npos) << r;
+  }
+
+  std::ostringstream text;
+  rep.write_text(text);
+  EXPECT_NE(text.str().find("n/a"), std::string::npos);
+
+  std::ostringstream json;
+  rep.write_json(json);
+  EXPECT_NE(json.str().find("\"available\":false"), std::string::npos);
+  EXPECT_NE(
+      json.str().find(
+          "\"metric\":\"p999_ps\",\"a\":null,\"b\":null,\"delta_pct\":null"),
+      std::string::npos);
+
+  // Single-run summaries render the same absence as n/a, not 0.
+  const telemetry::RunReport solo = telemetry::summarize_run(a);
+  const telemetry::TenantDelta* sna = find_delta(solo, "hp0", "p999_ps");
+  if (sna != nullptr) {
+    EXPECT_FALSE(sna->available);
+  }
+}
+
 }  // namespace
 }  // namespace fgqos

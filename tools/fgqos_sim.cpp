@@ -27,6 +27,7 @@
 #include "util/csv.hpp"
 #include "util/string_util.hpp"
 #include "workload/cpu_workloads.hpp"
+#include "workload/serving.hpp"
 #include "workload/traffic_gen.hpp"
 
 using namespace fgqos;
@@ -63,6 +64,8 @@ void usage() {
       "  --sla-p99-us L      SLA watchdog: max CPU read p99 per window\n"
       "  --sla-stall-frac F  SLA watchdog: max interference fraction [0,1]\n"
       "  --fault-spec FILE   JSON fault plan to inject (see docs/FAULTS.md)\n"
+      "  --serving-spec FILE JSON request-serving scenario: key-value\n"
+      "                      tenants on HP ports (see docs/SERVING.md)\n"
       "  --timeseries-csv FILE   windowed time series as long-format CSV\n"
       "  --timeseries-json FILE  windowed time series (+summaries) as JSON\n"
       "  --timeseries-filter G   comma-separated series globs (qos.*,dram.*)\n"
@@ -124,6 +127,7 @@ int main(int argc, char** argv) {
     const double sla_p99_us = args.get_double("sla-p99-us", 0);
     const double sla_stall_frac = args.get_double("sla-stall-frac", 0);
     const std::string fault_spec = args.get("fault-spec", "");
+    const std::string serving_spec_path = args.get("serving-spec", "");
     const double wd_fallback_mbps =
         args.get_double("watchdog-fallback-mbps", 0);
     const std::string timeseries_csv = args.get("timeseries-csv", "");
@@ -218,6 +222,16 @@ int main(int argc, char** argv) {
         memguard->set_rate(mp.id(), budget_bps);
         mp.add_gate(*memguard);
       }
+    }
+
+    if (!serving_spec_path.empty()) {
+      const wl::ServingSpec sspec =
+          wl::ServingSpec::from_file(serving_spec_path);
+      // Fold the scenario into the manifest so exports from different
+      // serving specs are distinguishable (semantic input, not a path).
+      manifest.scenario +=
+          " serving=" + telemetry::fnv1a_hex(sspec.to_json());
+      chip.add_serving(sspec, seed);
     }
 
     if (!fault_spec.empty()) {
@@ -367,6 +381,25 @@ int main(int argc, char** argv) {
           std::printf("  %-18s %llu\n", fault::fault_kind_name(kind),
                       static_cast<unsigned long long>(inj->injected(kind)));
         }
+      }
+    }
+    if (chip.serving_tenant_count() > 0) {
+      std::printf("\nserving tenants:\n");
+      std::printf("  %-12s %-8s %12s %12s %9s %9s %9s %9s %10s\n", "tenant",
+                  "arrival", "offered_qps", "completed_qps", "dropped",
+                  "p50_us", "p99_us", "p999_us", "attain_pct");
+      for (std::size_t i = 0; i < chip.serving_tenant_count(); ++i) {
+        wl::ServingTenant& t = chip.serving_tenant(i);
+        std::printf("  %-12s %-8s %12.0f %12.0f %9llu %9.2f %9.2f %9.2f "
+                    "%10.2f\n",
+                    t.spec().name.c_str(),
+                    wl::arrival_kind_name(t.spec().arrival), t.offered_qps(),
+                    t.completed_qps(),
+                    static_cast<unsigned long long>(t.stats().dropped),
+                    static_cast<double>(t.latency().p50()) / 1e6,
+                    static_cast<double>(t.latency().p99()) / 1e6,
+                    static_cast<double>(t.latency().p999()) / 1e6,
+                    t.slo_attainment() * 100.0);
       }
     }
     if (watchdog != nullptr) {

@@ -35,6 +35,7 @@
 #include "util/config_error.hpp"
 #include "util/csv.hpp"
 #include "util/string_util.hpp"
+#include "workload/serving.hpp"
 
 using namespace fgqos;
 
@@ -63,6 +64,9 @@ struct Outcome {
   /// Pre-rendered time-series CSV rows ("<point>,series,..."), merged the
   /// same way.
   std::string timeseries_rows;
+  /// Pre-rendered per-tenant serving CSV rows ("<point>,tenant,..."),
+  /// merged the same way.
+  std::string serving_rows;
   /// Per-series whole-run histograms, for the sweep-level merged summary
   /// (folded in submission order, so the summary is deterministic for any
   /// job count).
@@ -104,6 +108,11 @@ struct SweepPoint {
   /// injector from its derived seed, so fault streams are reproducible
   /// per point and independent of the job count.
   const fault::FaultPlan* faults = nullptr;
+  /// Shared serving scenario (nullptr = none). Each point instantiates
+  /// its tenants with serving_tenant_seed(spec.seed, point seed, index),
+  /// so op buffers are byte-identical for any job count.
+  const wl::ServingSpec* serving = nullptr;
+  bool merge_serving_csv = false;  ///< render rows for the merged CSV
 };
 
 /// "out.json" + budget=400 -> "out.budget400.json".
@@ -151,6 +160,9 @@ Outcome run_point(const SweepPoint& p) {
       mg->set_rate(mp.id(), p.budget_mbps * 1e6);
       mp.add_gate(*mg);
     }
+  }
+  if (p.serving != nullptr) {
+    chip.add_serving(*p.serving, p.seed);
   }
   if (p.faults != nullptr) {
     fault::FaultInjector& inj = chip.arm_faults(*p.faults, p.seed);
@@ -200,7 +212,29 @@ Outcome run_point(const SweepPoint& p) {
   if (p.faults != nullptr) {
     manifest.fault_spec_hash = telemetry::fnv1a_hex(p.faults->to_json());
   }
+  if (p.serving != nullptr) {
+    manifest.scenario +=
+        " serving=" + telemetry::fnv1a_hex(p.serving->to_json());
+  }
   chip.run_until_cores_finished(2000 * sim::kPsPerMs);
+  if (p.serving != nullptr) {
+    // Cover the whole arrival horizon, then give in-flight requests a
+    // bounded drain (sim-time based, so deterministic for any --jobs).
+    if (chip.now() < p.serving->duration_ps) {
+      chip.run_until(p.serving->duration_ps);
+    }
+    const sim::TimePs drain_deadline = chip.now() + 10 * sim::kPsPerMs;
+    while (chip.now() < drain_deadline) {
+      bool all_drained = true;
+      for (std::size_t i = 0; i < chip.serving_tenant_count(); ++i) {
+        all_drained = all_drained && chip.serving_tenant(i).drained();
+      }
+      if (all_drained) {
+        break;
+      }
+      chip.run_for(100 * sim::kPsPerUs);
+    }
+  }
   if (mg != nullptr) {
     mg->flush_trace(chip.now());
   }
@@ -245,6 +279,25 @@ Outcome run_point(const SweepPoint& p) {
     attr->write_csv(rows, /*header=*/false, /*row_prefix=*/p.point_label + ",");
     o.blame_rows = rows.str();
   }
+  if (p.serving != nullptr && p.merge_serving_csv) {
+    // Integer counts and integer ps-percentiles; the two rates and the
+    // attainment are fixed-point renders of deterministic doubles — the
+    // merged CSV must stay byte-identical across --jobs.
+    std::ostringstream rows;
+    for (std::size_t i = 0; i < chip.serving_tenant_count(); ++i) {
+      wl::ServingTenant& t = chip.serving_tenant(i);
+      const auto& ss = t.stats();
+      rows << p.point_label << ',' << t.spec().name << ','
+           << wl::arrival_kind_name(t.spec().arrival) << ',' << ss.generated
+           << ',' << ss.completed << ',' << ss.dropped << ',' << ss.slo_met
+           << ',' << util::format_fixed(t.offered_qps(), 2) << ','
+           << util::format_fixed(t.completed_qps(), 2) << ','
+           << t.latency().p50() << ',' << t.latency().p99() << ','
+           << t.latency().p999() << ','
+           << util::format_fixed(t.slo_attainment() * 100.0, 4) << '\n';
+    }
+    o.serving_rows = rows.str();
+  }
   const auto& h = chip.cluster().core(0).stats().iteration_ps;
   o.iter_mean_us = h.mean() / 1e6;
   o.iter_p99_us = static_cast<double>(h.p99()) / 1e6;
@@ -281,6 +334,12 @@ int main(int argc, char** argv) {
           "            [--journal FILE]\n"
           "            [--fault-spec FILE] [--job-timeout-s T] "
           "[--job-retries N]\n"
+          "            [--serving-spec FILE] [--serving-csv FILE]\n"
+          "--serving-spec instantiates the same JSON request-serving\n"
+          "scenario (docs/SERVING.md) in every point, tenant op buffers\n"
+          "seeded per point; --serving-csv writes ONE merged per-tenant\n"
+          "CSV with a leading `point` column, byte-identical for any job\n"
+          "count.\n"
           "--fault-spec arms the same JSON fault plan (docs/FAULTS.md) in\n"
           "every point, seeded per point, so faulty sweeps stay\n"
           "deterministic for any job count. --job-timeout-s bounds each\n"
@@ -334,6 +393,8 @@ int main(int argc, char** argv) {
     const bool want_timeseries =
         !timeseries_csv.empty() || !timeseries_json.empty();
     const std::string fault_spec = args.get("fault-spec", "");
+    const std::string serving_spec_path = args.get("serving-spec", "");
+    const std::string serving_csv = args.get("serving-csv", "");
     exec::ExecConfig ec;
     ec.jobs = static_cast<std::size_t>(args.get_int(
         "jobs", static_cast<std::int64_t>(exec::jobs_from_env(1))));
@@ -350,6 +411,9 @@ int main(int argc, char** argv) {
           "--timeseries-filter/--timeseries-window-us require "
           "--timeseries-csv or --timeseries-json");
     }
+    if (!serving_csv.empty() && serving_spec_path.empty()) {
+      throw ConfigError("--serving-csv requires --serving-spec");
+    }
     for (const auto& k : args.unused_keys()) {
       throw ConfigError("unknown option --" + k + " (see --help)");
     }
@@ -357,6 +421,10 @@ int main(int argc, char** argv) {
     fault::FaultPlan fault_plan;
     if (!fault_spec.empty()) {
       fault_plan = fault::FaultPlan::from_file(fault_spec);
+    }
+    wl::ServingSpec serving_spec;
+    if (!serving_spec_path.empty()) {
+      serving_spec = wl::ServingSpec::from_file(serving_spec_path);
     }
 
     // Materialise every point first; jobs read only their own point.
@@ -393,6 +461,8 @@ int main(int argc, char** argv) {
       p.journal_path = point_path(journal_path, knob, v);
       p.knob = knob;
       p.faults = fault_spec.empty() ? nullptr : &fault_plan;
+      p.serving = serving_spec_path.empty() ? nullptr : &serving_spec;
+      p.merge_serving_csv = !serving_csv.empty();
       points.push_back(std::move(p));
     }
 
@@ -469,6 +539,32 @@ int main(int argc, char** argv) {
         ts << o.timeseries_rows;
       }
       std::printf("time-series CSV written to %s\n", timeseries_csv.c_str());
+    }
+    if (!serving_csv.empty()) {
+      std::ofstream sv(serving_csv);
+      if (!sv) {
+        throw ConfigError("cannot open serving CSV '" + serving_csv + "'");
+      }
+      telemetry::RunManifest manifest;
+      manifest.tool = "fgqos_sweep";
+      manifest.seed = ec.base_seed;
+      manifest.build = telemetry::RunManifest::build_flavor();
+      manifest.scenario = "knob=" + knob + " values=" + values_arg +
+                          " scheme=" + base.scheme + " serving=" +
+                          telemetry::fnv1a_hex(serving_spec.to_json());
+      // An empty plan is contractually a perfect no-op, so it must not
+      // perturb this file either: hash only plans that inject something.
+      if (!fault_spec.empty() && !fault_plan.faults.empty()) {
+        manifest.fault_spec_hash = telemetry::fnv1a_hex(fault_plan.to_json());
+      }
+      sv << manifest.to_csv_comment();
+      sv << "point,tenant,arrival,generated,completed,dropped,slo_met,"
+            "offered_qps,completed_qps,p50_ps,p99_ps,p999_ps,"
+            "attainment_pct\n";
+      for (const Outcome& o : outcomes) {
+        sv << o.serving_rows;
+      }
+      std::printf("serving CSV written to %s\n", serving_csv.c_str());
     }
     if (want_timeseries) {
       // Sweep-level percentile summary: per-point whole-run histograms
