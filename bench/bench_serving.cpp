@@ -59,7 +59,8 @@ struct Row {
   double p50_us = 0;
   double p99_us = 0;
   double p999_us = 0;
-  double attainment_pct = 0;
+  std::string attainment_table;  ///< 2-decimal pct, or "n/a" (no samples)
+  std::string attainment_csv;    ///< 4-decimal pct, or "n/a" (no samples)
   double bulk_gbps = 0;
   std::string note;
 };
@@ -149,7 +150,8 @@ Row run_point(ServingScheme scheme, double load_qps) {
   r.p50_us = static_cast<double>(lc.latency().p50()) / 1e6;
   r.p99_us = static_cast<double>(lc.latency().p99()) / 1e6;
   r.p999_us = static_cast<double>(lc.latency().p999()) / 1e6;
-  r.attainment_pct = lc.slo_attainment() * 100.0;
+  r.attainment_table = wl::attainment_pct_cell(lc, 2);
+  r.attainment_csv = wl::attainment_pct_cell(lc, 4);
   if (scheme != ServingScheme::kSolo) {
     double bulk = 0;
     for (std::size_t i = 0; i < kBulkCount; ++i) {
@@ -207,8 +209,7 @@ int main(int argc, char** argv) {
                    util::format_fixed(r.completed_qps / 1e3, 1), r.dropped,
                    util::format_fixed(r.p50_us, 2),
                    util::format_fixed(r.p99_us, 2),
-                   util::format_fixed(r.p999_us, 2),
-                   util::format_fixed(r.attainment_pct, 2),
+                   util::format_fixed(r.p999_us, 2), r.attainment_table,
                    util::format_fixed(r.bulk_gbps, 2), r.note});
   }
   table.print();
@@ -222,8 +223,7 @@ int main(int argc, char** argv) {
                  util::format_fixed(r.offered_qps, 2),
                  util::format_fixed(r.completed_qps, 2), r.dropped,
                  util::format_fixed(r.p50_us, 3), util::format_fixed(r.p99_us, 3),
-                 util::format_fixed(r.p999_us, 3),
-                 util::format_fixed(r.attainment_pct, 4),
+                 util::format_fixed(r.p999_us, 3), r.attainment_csv,
                  util::format_fixed(r.bulk_gbps, 3)});
   }
   csv.save_csv("serving_defense.csv");

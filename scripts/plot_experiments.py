@@ -304,6 +304,8 @@ def load_serving(path, tenant=None):
     series = {}
     if "scheme" in rows[0]:  # bench_serving defense CSV
         for r in rows:
+            if r["attainment_pct"] == "n/a":  # tenant finished no requests
+                continue
             xs, att, p99 = series.setdefault(r["scheme"], ([], [], []))
             xs.append(float(r["load_qps"]) / 1e3)
             att.append(float(r["attainment_pct"]))
@@ -311,6 +313,8 @@ def load_serving(path, tenant=None):
         return series, "offered load (kqps)"
     for r in rows:  # merged sweep serving CSV
         if tenant is not None and r["tenant"] != tenant:
+            continue
+        if r["attainment_pct"] == "n/a":  # tenant finished no requests
             continue
         xs, att, p99 = series.setdefault(r["tenant"], ([], [], []))
         xs.append(parse_num(r["point"]))
@@ -343,6 +347,50 @@ def plot_serving(args, plt):
     os.makedirs(args.out, exist_ok=True)
     tag = f"_{args.tenant}" if args.tenant else ""
     out = os.path.join(args.out, f"serving{tag}.png")
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
+def load_bank(path):
+    """Reads bench_exp13's exp13_bank_regulation.csv; returns
+    {scheme: (load_kqps, attain, p99_us, bulk_gbps)}."""
+    series = {}
+    for r in read_csv(path):
+        if r["attainment_pct"] == "n/a":  # tenant finished no requests
+            continue
+        xs, att, p99, bulk = series.setdefault(
+            r["scheme"], ([], [], [], []))
+        xs.append(float(r["load_qps"]) / 1e3)
+        att.append(float(r["attainment_pct"]))
+        p99.append(float(r["p99_us"]))
+        bulk.append(float(r["bulk_gbps"]))
+    return series
+
+
+def plot_bank(args, plt):
+    series = load_bank(args.bank_csv)
+    if not series:
+        sys.exit(f"no bank-regulation rows in {args.bank_csv} "
+                 "(run bench_exp13_bank_regulation)")
+    fig, (ax_att, ax_p99, ax_bulk) = plt.subplots(1, 3, figsize=(12.5, 4))
+    for key in sorted(series):
+        xs, att, p99, bulk = series[key]
+        ax_att.plot(xs, att, marker="o", label=key)
+        ax_p99.plot(xs, p99, marker="o", label=key)
+        ax_bulk.plot(xs, bulk, marker="o", label=key)
+    ax_att.axhline(99.0, linestyle="--", linewidth=0.8, color="grey")
+    ax_att.set_ylabel("SLO attainment (%)")
+    ax_att.set_title("Attainment vs. load", fontsize=10)
+    ax_p99.set_ylabel("request p99 (us)")
+    ax_p99.set_title("Request p99 vs. load", fontsize=10)
+    ax_bulk.set_ylabel("total bulk throughput (GB/s)")
+    ax_bulk.set_title("Admitted bulk vs. load", fontsize=10)
+    for ax in (ax_att, ax_p99, ax_bulk):
+        ax.set_xlabel("offered load (kqps)")
+        ax.legend(fontsize=7)
+    fig.tight_layout()
+    os.makedirs(args.out, exist_ok=True)
+    out = os.path.join(args.out, "bank_regulation.png")
     fig.savefig(out, dpi=150)
     print("wrote", out)
 
@@ -393,6 +441,19 @@ def main():
         ap.add_argument("--out", default="plots", help="output directory")
         args = ap.parse_args(sys.argv[2:])
         plot_serving(args, import_pyplot())
+        return
+
+    if len(sys.argv) > 1 and sys.argv[1] == "bank":
+        ap = argparse.ArgumentParser(
+            prog="plot_experiments.py bank",
+            description="per-bank vs. aggregate regulation: attainment, "
+                        "request p99, and admitted bulk throughput vs. "
+                        "load, one line per scheme")
+        ap.add_argument("bank_csv",
+                        help="bench_exp13's exp13_bank_regulation.csv")
+        ap.add_argument("--out", default="plots", help="output directory")
+        args = ap.parse_args(sys.argv[2:])
+        plot_bank(args, import_pyplot())
         return
 
     if len(sys.argv) > 1 and sys.argv[1] == "blame":

@@ -1,17 +1,75 @@
 #include "dram/address_mapper.hpp"
 
+#include <string>
+
+#include "util/config_error.hpp"
+
 namespace fgqos::dram {
 
-AddressMapper::AddressMapper(const TimingConfig& cfg, MappingPolicy policy)
+namespace {
+// Sentinel for "no window has touched this region yet".
+constexpr std::uint32_t kNoWindow = 0xFFFF'FFFFu;
+}  // namespace
+
+const char* mapping_policy_name(MappingPolicy policy) {
+  switch (policy) {
+    case MappingPolicy::kRowBankColumn:
+      return "row_bank_col";
+    case MappingPolicy::kBankInterleaved:
+      return "bank_interleaved";
+    case MappingPolicy::kBankPartitioned:
+      return "bank_partitioned";
+  }
+  return "unknown";
+}
+
+MappingPolicy mapping_policy_from_name(const std::string& name) {
+  if (name == "row_bank_col") { return MappingPolicy::kRowBankColumn; }
+  if (name == "bank_interleaved") { return MappingPolicy::kBankInterleaved; }
+  if (name == "bank_partitioned") { return MappingPolicy::kBankPartitioned; }
+  throw ConfigError("unknown mapping policy '" + name +
+                    "' (expected row_bank_col, bank_interleaved, or "
+                    "bank_partitioned)");
+}
+
+AddressMapper::AddressMapper(const TimingConfig& cfg, MappingPolicy policy,
+                             bool strict)
     : policy_(policy),
+      strict_(strict),
       burst_bytes_(cfg.burst_bytes),
       bursts_per_row_(cfg.row_bytes / cfg.burst_bytes),
       banks_(cfg.banks),
-      capacity_(cfg.capacity_bytes) {}
+      capacity_(cfg.capacity_bytes),
+      row_bytes_(cfg.row_bytes) {}
 
 Decoded AddressMapper::decode(axi::Addr addr) const {
   // Wrap into the channel capacity; callers may use any physical window.
-  const std::uint64_t burst_index = (addr % capacity_) / burst_bytes_;
+  const std::uint64_t offset = addr % capacity_;
+  const std::uint64_t burst_index = offset / burst_bytes_;
+  // Capacity-alias bookkeeping: remember which window (addr / capacity)
+  // last touched each row-sized region of the channel.  A window change on
+  // a region means two disjoint physical ranges are folding onto the same
+  // DRAM rows — the classic mis-sized-scenario bug this diagnostic exists
+  // to surface.
+  if (region_window_.empty()) {
+    region_window_.assign(capacity_ / row_bytes_, kNoWindow);
+  }
+  const std::uint64_t region = offset / row_bytes_;
+  const auto window = static_cast<std::uint32_t>(addr / capacity_);
+  std::uint32_t& tag = region_window_[region];
+  if (tag == kNoWindow) {
+    tag = window;
+  } else if (tag != window) {
+    ++oob_decodes_;
+    tag = window;
+    if (strict_) {
+      throw ConfigError(
+          "AddressMapper: out-of-range decode aliases channel offset " +
+          std::to_string(offset) + " from a different capacity window "
+          "(addr=" + std::to_string(addr) + ", capacity=" +
+          std::to_string(capacity_) + ")");
+    }
+  }
   Decoded d;
   switch (policy_) {
     case MappingPolicy::kRowBankColumn: {
@@ -26,6 +84,15 @@ Decoded AddressMapper::decode(axi::Addr addr) const {
       const std::uint64_t upper = burst_index / banks_;
       d.column = upper % bursts_per_row_;
       d.row = upper / bursts_per_row_;
+      break;
+    }
+    case MappingPolicy::kBankPartitioned: {
+      const std::uint64_t slice_bursts =
+          capacity_ / burst_bytes_ / banks_;
+      d.bank = static_cast<std::uint32_t>(burst_index / slice_bursts);
+      const std::uint64_t within = burst_index % slice_bursts;
+      d.column = within % bursts_per_row_;
+      d.row = within / bursts_per_row_;
       break;
     }
   }

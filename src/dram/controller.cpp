@@ -23,7 +23,7 @@ Controller::Controller(sim::Simulator& sim, const sim::ClockDomain& clk,
                        ControllerConfig cfg, axi::ResponseSink& sink)
     : sim::Clocked(sim, clk, "dram"),
       cfg_(std::move(cfg)),
-      mapper_(cfg_.timing, cfg_.mapping),
+      mapper_(cfg_.timing, cfg_.mapping, cfg_.strict_addressing),
       sink_(&sink),
       banks_(cfg_.timing.banks),
       read_q_(cfg_.read_queue_depth),
@@ -41,6 +41,19 @@ std::uint64_t Controller::master_bytes(axi::MasterId m) const {
     return 0;
   }
   return master_bytes_[m];
+}
+
+std::uint64_t Controller::bank_bytes(axi::MasterId m,
+                                     std::uint32_t bank) const {
+  const std::size_t idx =
+      static_cast<std::size_t>(m) * cfg_.timing.banks + bank;
+  return idx < bank_bytes_.size() ? bank_bytes_[idx] : 0;
+}
+
+std::uint64_t Controller::bank_cas(axi::MasterId m, std::uint32_t bank) const {
+  const std::size_t idx =
+      static_cast<std::size_t>(m) * cfg_.timing.banks + bank;
+  return idx < bank_cas_.size() ? bank_cas_[idx] : 0;
 }
 
 double Controller::bus_utilization(sim::TimePs elapsed_ps) const {
@@ -207,6 +220,14 @@ void Controller::issue_cas(QueueEntry entry, Cycle c, bool auto_precharge) {
     master_bytes_.resize(m + 1, 0);
   }
   master_bytes_[m] += entry.line.bytes;
+  const std::size_t bank_idx =
+      static_cast<std::size_t>(m) * t.banks + entry.where.bank;
+  if (bank_idx >= bank_bytes_.size()) {
+    bank_bytes_.resize(bank_idx + 1, 0);
+    bank_cas_.resize(bank_idx + 1, 0);
+  }
+  bank_bytes_[bank_idx] += entry.line.bytes;
+  bank_cas_[bank_idx] += 1;
   if (attr_ != nullptr) {
     if (entry.wait.open) {
       const sim::TimePs now_ps = simulator().now();
@@ -497,7 +518,8 @@ void Controller::attribution_pass(Cycle c, sim::TimePs now, bool serve_reads,
           cause = telemetry::Cause::kFabricArb;
         }
       }
-      attr_->charge(e.wait, victim, aggressor, cause, now, e.line.txn);
+      attr_->charge(e.wait, victim, aggressor, cause, now, e.line.txn,
+                    e.where.bank);
     }
   };
   pass_queue(read_q_, serve_reads, false);

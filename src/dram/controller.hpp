@@ -50,6 +50,9 @@ struct ControllerConfig {
   std::uint64_t starvation_cycles = 1200;
   /// Front-end pipeline latency from accept() to schedulability.
   sim::TimePs frontend_latency_ps = 20'000;  // 20 ns
+  /// Fail hard (ConfigError) on a capacity-aliasing decode instead of
+  /// counting it in AddressMapper::oob_decodes().
+  bool strict_addressing = false;
 
   void validate() const;
 };
@@ -87,6 +90,14 @@ class Controller final : public sim::Clocked, public axi::SlaveIf {
 
   /// Bytes serviced for one master id (payload).
   [[nodiscard]] std::uint64_t master_bytes(axi::MasterId m) const;
+
+  /// Payload bytes serviced for one (master, bank) pair. Always tracked;
+  /// the Soc layer decides whether to publish them as metrics.
+  [[nodiscard]] std::uint64_t bank_bytes(axi::MasterId m,
+                                         std::uint32_t bank) const;
+  /// CAS commands issued for one (master, bank) pair.
+  [[nodiscard]] std::uint64_t bank_cas(axi::MasterId m,
+                                       std::uint32_t bank) const;
 
   /// Measured data-bus utilisation in [0,1] over the whole run.
   [[nodiscard]] double bus_utilization(sim::TimePs elapsed_ps) const;
@@ -184,6 +195,10 @@ class Controller final : public sim::Clocked, public axi::SlaveIf {
 
   ControllerStats stats_;
   std::vector<std::uint64_t> master_bytes_;
+  // Per-(master, bank) accounting, flattened [m * banks + bank]; grown on
+  // demand as new master ids appear.
+  std::vector<std::uint64_t> bank_bytes_;
+  std::vector<std::uint64_t> bank_cas_;
 
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;

@@ -1,0 +1,364 @@
+#include "qos/bank_regulator.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/journal.hpp"
+#include "util/config_error.hpp"
+#include "util/json.hpp"
+
+namespace fgqos::qos {
+
+BankRegulator::BankRegulator(sim::Simulator& sim, BankRegulatorConfig cfg,
+                             const dram::TimingConfig& timing,
+                             dram::MappingPolicy mapping)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      mapper_(timing, mapping),
+      banks_(timing.banks) {
+  config_check(cfg_.window_ps > 0, "BankRegulator: window must be > 0");
+  config_check(cfg_.gate_reads || cfg_.gate_writes,
+               "BankRegulator: must gate at least one direction");
+  config_check(cfg_.budget_bytes.size() <= banks_,
+               "BankRegulator: more budgets than DRAM banks");
+  cfg_.budget_bytes.resize(banks_, 0);
+  buckets_.reserve(banks_);
+  limited_.resize(banks_, 0);
+  exhausted_.resize(banks_, 0);
+  exhausted_since_.resize(banks_, 0);
+  stats_.resize(banks_);
+  for (std::uint32_t b = 0; b < banks_; ++b) {
+    buckets_.emplace_back(cfg_.budget_bytes[b], cfg_.kind,
+                          cfg_.max_accumulation_windows);
+    limited_[b] = cfg_.budget_bytes[b] != 0 ? 1 : 0;
+  }
+  window_start_ = sim_.now();
+  replenish_event_ = sim_.make_recurring_event(
+      [this](std::uint64_t epoch) { on_replenish(epoch); });
+  schedule_replenish();
+}
+
+void BankRegulator::schedule_replenish() {
+  sim_.schedule_recurring(replenish_event_, window_start_ + cfg_.window_ps,
+                          epoch_);
+}
+
+void BankRegulator::on_replenish(std::uint64_t epoch) {
+  if (epoch != epoch_) {
+    return;  // stale: window was reconfigured
+  }
+  const sim::TimePs now = sim_.now();
+  for (std::uint32_t b = 0; b < banks_; ++b) {
+    if (exhausted_[b] != 0) {
+      close_throttle(b, now);
+    }
+    buckets_[b].replenish();
+  }
+  window_start_ = now;
+  schedule_replenish();
+}
+
+void BankRegulator::close_throttle(std::uint32_t bank, sim::TimePs now) {
+  stats_[bank].throttled_ps += now - exhausted_since_[bank];
+  exhausted_[bank] = 0;
+}
+
+void BankRegulator::reevaluate_bank(std::uint32_t bank) {
+  // Same discipline as Regulator::reevaluate_exhaustion: a throttle
+  // interval must not straddle a configuration change. Close the running
+  // interval at the edge and start a fresh one only if the bank is still
+  // shut under the new programming.
+  const sim::TimePs now = sim_.now();
+  const bool was_exhausted = exhausted_[bank] != 0;
+  if (was_exhausted) {
+    close_throttle(bank, now);
+  }
+  if (cfg_.enabled && limited_[bank] != 0 && !buckets_[bank].can_spend()) {
+    exhausted_[bank] = 1;
+    exhausted_since_[bank] = now;
+    if (!was_exhausted) {
+      ++stats_[bank].exhausted_windows;
+    }
+  }
+}
+
+void BankRegulator::set_enabled(bool enabled) {
+  if (cfg_.enabled && !enabled) {
+    const sim::TimePs now = sim_.now();
+    for (std::uint32_t b = 0; b < banks_; ++b) {
+      if (exhausted_[b] != 0) {
+        close_throttle(b, now);
+      }
+    }
+  }
+  if (journal_ != nullptr && cfg_.enabled != enabled) {
+    journal_->record(sim_.now(), cfg_.name, "set_enabled",
+                     cfg_.enabled ? 1.0 : 0.0, enabled ? 1.0 : 0.0,
+                     "host_write");
+  }
+  cfg_.enabled = enabled;
+}
+
+void BankRegulator::set_bank_budget(std::uint32_t bank,
+                                    std::uint64_t budget_bytes) {
+  config_check(bank < banks_, "BankRegulator: bank index out of range");
+  if (journal_ != nullptr && cfg_.budget_bytes[bank] != budget_bytes) {
+    journal_->record(sim_.now(), cfg_.name, "set_bank_budget",
+                     static_cast<double>(cfg_.budget_bytes[bank]),
+                     static_cast<double>(budget_bytes), "host_write",
+                     "bank=" + std::to_string(bank));
+  }
+  buckets_[bank].set_budget(budget_bytes);
+  cfg_.budget_bytes[bank] = budget_bytes;
+  limited_[bank] = budget_bytes != 0 ? 1 : 0;
+  reevaluate_bank(bank);
+}
+
+void BankRegulator::set_bank_rate(std::uint32_t bank,
+                                  double bytes_per_second) {
+  set_bank_budget(bank, budget_for_rate(bytes_per_second, cfg_.window_ps));
+}
+
+void BankRegulator::set_window(sim::TimePs window_ps) {
+  config_check(window_ps > 0, "BankRegulator: window must be > 0");
+  if (journal_ != nullptr && cfg_.window_ps != window_ps) {
+    journal_->record(sim_.now(), cfg_.name, "set_window",
+                     static_cast<double>(cfg_.window_ps),
+                     static_cast<double>(window_ps), "host_write");
+  }
+  cfg_.window_ps = window_ps;
+  ++epoch_;
+  window_start_ = sim_.now();
+  schedule_replenish();
+  for (std::uint32_t b = 0; b < banks_; ++b) {
+    reevaluate_bank(b);
+  }
+}
+
+std::uint64_t BankRegulator::total_exhausted_windows() const {
+  std::uint64_t n = 0;
+  for (const BankRegBankStats& s : stats_) {
+    n += s.exhausted_windows;
+  }
+  return n;
+}
+
+sim::TimePs BankRegulator::total_throttled_ps() const {
+  sim::TimePs ps = 0;
+  for (const BankRegBankStats& s : stats_) {
+    ps += s.throttled_ps;
+  }
+  return ps;
+}
+
+std::uint64_t BankRegulator::regulated_bytes() const {
+  std::uint64_t n = 0;
+  for (const BankRegBankStats& s : stats_) {
+    n += s.regulated_bytes;
+  }
+  return n;
+}
+
+bool BankRegulator::allow(const axi::LineRequest& line, sim::TimePs) const {
+  if (!cfg_.enabled || !gates_dir(line.is_write)) {
+    return true;
+  }
+  const std::uint32_t bank = mapper_.decode(line.addr).bank;
+  if (limited_[bank] == 0) {
+    return true;
+  }
+  return buckets_[bank].can_spend();
+}
+
+void BankRegulator::on_grant(const axi::LineRequest& line, sim::TimePs now) {
+  if (!cfg_.enabled || !gates_dir(line.is_write)) {
+    return;
+  }
+  const std::uint32_t bank = mapper_.decode(line.addr).bank;
+  if (limited_[bank] == 0) {
+    return;
+  }
+  buckets_[bank].spend(line.bytes);
+  stats_[bank].regulated_bytes += line.bytes;
+  if (exhausted_[bank] == 0 && !buckets_[bank].can_spend()) {
+    exhausted_[bank] = 1;
+    exhausted_since_[bank] = now;
+    ++stats_[bank].exhausted_windows;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BankBudgetSpec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::TimePs us_to_ps(double us, const std::string& key) {
+  config_check(std::isfinite(us) && us > 0,
+               "BankBudgetSpec: '" + key + "' must be a finite value > 0");
+  config_check(us < 1e12,
+               "BankBudgetSpec: '" + key + "' is implausibly large");
+  return static_cast<sim::TimePs>(
+      std::llround(us * static_cast<double>(sim::kPsPerUs)));
+}
+
+double as_mbps(const util::JsonValue& v, const std::string& key) {
+  const double d = v.as_number();
+  config_check(std::isfinite(d) && d >= 0,
+               "BankBudgetSpec: '" + key + "' must be a finite rate >= 0");
+  return d;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+BankBudgetSpec BankBudgetSpec::from_json(const std::string& text) {
+  const util::JsonValue doc = util::JsonValue::parse(text);
+  config_check(doc.is_object(), "BankBudgetSpec: top level must be an object");
+  for (const auto& [key, value] : doc.as_object()) {
+    (void)value;
+    config_check(key == "window_us" || key == "kind" ||
+                     key == "max_accumulation_windows" || key == "ports",
+                 "BankBudgetSpec: unknown top-level key '" + key + "'");
+  }
+  BankBudgetSpec spec;
+  if (doc.contains("window_us")) {
+    spec.window_ps = us_to_ps(doc.at("window_us").as_number(), "window_us");
+  }
+  if (doc.contains("kind")) {
+    const std::string& k = doc.at("kind").as_string();
+    if (k == "fixed_window") {
+      spec.kind = ReplenishKind::kFixedWindow;
+    } else if (k == "token_bucket") {
+      spec.kind = ReplenishKind::kTokenBucket;
+    } else {
+      throw ConfigError("BankBudgetSpec: unknown kind '" + k +
+                        "' (expected fixed_window or token_bucket)");
+    }
+  }
+  if (doc.contains("max_accumulation_windows")) {
+    const double d = doc.at("max_accumulation_windows").as_number();
+    config_check(d == std::floor(d) && d >= 1 && d <= 1024,
+                 "BankBudgetSpec: 'max_accumulation_windows' must be an "
+                 "integer in [1, 1024]");
+    spec.max_accumulation_windows = static_cast<std::uint64_t>(d);
+  }
+  config_check(doc.contains("ports"), "BankBudgetSpec: missing 'ports'");
+  config_check(doc.at("ports").is_array(),
+               "BankBudgetSpec: 'ports' must be an array");
+  for (const util::JsonValue& p : doc.at("ports").as_array()) {
+    config_check(p.is_object(),
+                 "BankBudgetSpec: each port entry must be an object");
+    for (const auto& [key, value] : p.as_object()) {
+      (void)value;
+      config_check(key == "port" || key == "default_mbps" || key == "banks",
+                   "BankBudgetSpec: unknown port key '" + key + "'");
+    }
+    config_check(p.contains("port"),
+                 "BankBudgetSpec: port entry without 'port'");
+    PortBudget pb;
+    const double port = p.at("port").as_number();
+    config_check(port == std::floor(port) && port >= 0 && port < 64,
+                 "BankBudgetSpec: 'port' must be an integer in [0, 64)");
+    pb.port = static_cast<std::uint32_t>(port);
+    for (const PortBudget& seen : spec.ports) {
+      config_check(seen.port != pb.port,
+                   "BankBudgetSpec: duplicate port " +
+                       std::to_string(pb.port));
+    }
+    if (p.contains("default_mbps")) {
+      pb.default_mbps = as_mbps(p.at("default_mbps"), "default_mbps");
+    }
+    if (p.contains("banks")) {
+      config_check(p.at("banks").is_object(),
+                   "BankBudgetSpec: 'banks' must be an object");
+      for (const auto& [bank_key, rate] : p.at("banks").as_object()) {
+        std::size_t pos = 0;
+        unsigned long bank = 0;
+        try {
+          bank = std::stoul(bank_key, &pos);
+        } catch (const std::exception&) {
+          pos = 0;
+        }
+        config_check(pos == bank_key.size() && !bank_key.empty() &&
+                         bank < 1024,
+                     "BankBudgetSpec: bank key '" + bank_key +
+                         "' must be a bank index");
+        pb.bank_mbps[static_cast<std::uint32_t>(bank)] =
+            as_mbps(rate, "banks." + bank_key);
+      }
+    }
+    spec.ports.push_back(std::move(pb));
+  }
+  return spec;
+}
+
+BankBudgetSpec BankBudgetSpec::load(const std::string& path) {
+  std::ifstream is(path);
+  config_check(is.good(), "BankBudgetSpec: cannot read " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return from_json(ss.str());
+}
+
+std::string BankBudgetSpec::to_json() const {
+  std::string out = "{\"window_us\":";
+  append_number(out, static_cast<double>(window_ps) /
+                         static_cast<double>(sim::kPsPerUs));
+  out += ",\"kind\":\"";
+  out += kind == ReplenishKind::kFixedWindow ? "fixed_window"
+                                             : "token_bucket";
+  out += "\",\"max_accumulation_windows\":";
+  out += std::to_string(max_accumulation_windows);
+  out += ",\"ports\":[";
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const PortBudget& pb = ports[i];
+    if (i != 0) {
+      out += ',';
+    }
+    out += "{\"port\":" + std::to_string(pb.port) + ",\"default_mbps\":";
+    append_number(out, pb.default_mbps);
+    out += ",\"banks\":{";
+    bool first = true;
+    for (const auto& [bank, mbps] : pb.bank_mbps) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += "\"" + std::to_string(bank) + "\":";
+      append_number(out, mbps);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<std::uint64_t> BankBudgetSpec::budgets_for(
+    const PortBudget& pb, std::uint32_t banks) const {
+  std::vector<std::uint64_t> budgets(banks, 0);
+  const std::uint64_t default_budget =
+      pb.default_mbps > 0
+          ? budget_for_rate(pb.default_mbps * 1e6, window_ps)
+          : 0;
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    budgets[b] = default_budget;
+  }
+  for (const auto& [bank, mbps] : pb.bank_mbps) {
+    config_check(bank < banks,
+                 "BankBudgetSpec: bank " + std::to_string(bank) +
+                     " out of range for " + std::to_string(banks) +
+                     "-bank DRAM");
+    budgets[bank] = mbps > 0 ? budget_for_rate(mbps * 1e6, window_ps) : 0;
+  }
+  return budgets;
+}
+
+}  // namespace fgqos::qos

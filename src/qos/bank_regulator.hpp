@@ -1,0 +1,180 @@
+/// \file bank_regulator.hpp
+/// \brief Per-bank bandwidth regulator: one token bucket per DRAM bank.
+///
+/// The aggregate Regulator throttles a master's total DRAM traffic; the
+/// BankRegulator throttles it per *bank*. Each gated line request is
+/// decoded through the same AddressMapper geometry the controller uses and
+/// charged against the bucket of its target bank, so a master can be
+/// clamped hard on a victim's bank while running unthrottled everywhere
+/// else — the related-work claim (arXiv 2603.26054) that per-bank
+/// regulation dominates aggregate regulation on both predictability and
+/// throughput. Budget reprogramming keeps the aggregate regulator's
+/// mid-window semantics: a throttle interval never straddles a
+/// configuration change.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "axi/port.hpp"
+#include "dram/address_mapper.hpp"
+#include "dram/timing.hpp"
+#include "qos/window.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace fgqos::telemetry {
+class DecisionJournal;
+}
+
+namespace fgqos::qos {
+
+/// Per-bank regulator configuration for one master port.
+struct BankRegulatorConfig {
+  std::string name = "bankreg";
+  /// Replenishment window shared by every bank bucket.
+  sim::TimePs window_ps = sim::kPsPerUs;
+  ReplenishKind kind = ReplenishKind::kFixedWindow;
+  std::uint64_t max_accumulation_windows = 1;
+  bool enabled = true;
+  bool gate_reads = true;
+  bool gate_writes = true;
+  /// Per-bank byte budgets per window, indexed by bank. 0 (or an index
+  /// beyond the vector) means the bank is unregulated. Sized up to the
+  /// DRAM bank count at construction.
+  std::vector<std::uint64_t> budget_bytes;
+};
+
+/// Per-bank accounting (one per bank).
+struct BankRegBankStats {
+  std::uint64_t exhausted_windows = 0;
+  sim::TimePs throttled_ps = 0;
+  std::uint64_t regulated_bytes = 0;
+};
+
+/// The per-bank regulator. Attach with `port.add_gate(reg)`, exactly like
+/// the aggregate Regulator; both may gate the same port (AND semantics).
+class BankRegulator final : public axi::TxnGate {
+ public:
+  /// \param timing  DRAM geometry used to decode line addresses
+  /// \param mapping must match the controller's policy or the charged
+  ///                bank diverges from the serviced bank
+  BankRegulator(sim::Simulator& sim, BankRegulatorConfig cfg,
+                const dram::TimingConfig& timing,
+                dram::MappingPolicy mapping);
+
+  [[nodiscard]] const BankRegulatorConfig& config() const { return cfg_; }
+  [[nodiscard]] bool enabled() const { return cfg_.enabled; }
+  [[nodiscard]] std::uint32_t banks() const { return banks_; }
+  /// True when \p bank carries a nonzero budget (is being regulated).
+  [[nodiscard]] bool bank_limited(std::uint32_t bank) const {
+    return bank < banks_ && limited_[bank] != 0;
+  }
+  /// Current byte credit of \p bank (meaningless while unlimited).
+  [[nodiscard]] std::int64_t tokens(std::uint32_t bank) const {
+    return buckets_[bank].tokens();
+  }
+  [[nodiscard]] bool exhausted(std::uint32_t bank) const {
+    return exhausted_[bank] != 0;
+  }
+  [[nodiscard]] const BankRegBankStats& bank_stats(std::uint32_t bank) const {
+    return stats_[bank];
+  }
+  /// Sums over banks (diagnostics / metrics).
+  [[nodiscard]] std::uint64_t total_exhausted_windows() const;
+  [[nodiscard]] sim::TimePs total_throttled_ps() const;
+  [[nodiscard]] std::uint64_t regulated_bytes() const;
+  /// Bank a line request would be charged to (exposed for tests).
+  [[nodiscard]] std::uint32_t decode_bank(axi::Addr addr) const {
+    return mapper_.decode(addr).bank;
+  }
+
+  /// Enables/disables the whole gate at runtime (host CTRL register).
+  void set_enabled(bool enabled);
+
+  /// Reprograms one bank's per-window budget (host BUDGET[bank] register);
+  /// 0 lifts regulation from the bank. Mid-window: the running throttle
+  /// interval (if any) closes at the reconfiguration edge and a fresh one
+  /// starts only if the bank is still exhausted under the new budget.
+  void set_bank_budget(std::uint32_t bank, std::uint64_t budget_bytes);
+
+  /// Convenience: budget from a target rate for the current window.
+  void set_bank_rate(std::uint32_t bank, double bytes_per_second);
+
+  /// Reprograms the shared window length; restarts the replenish schedule.
+  void set_window(sim::TimePs window_ps);
+
+  /// Attaches the decision journal (nullptr detaches).
+  void set_journal(telemetry::DecisionJournal* journal) { journal_ = journal; }
+
+  // TxnGate
+  [[nodiscard]] bool allow(const axi::LineRequest& line,
+                           sim::TimePs now) const override;
+  void on_grant(const axi::LineRequest& line, sim::TimePs now) override;
+
+ private:
+  void schedule_replenish();
+  void on_replenish(std::uint64_t epoch);
+  void close_throttle(std::uint32_t bank, sim::TimePs now);
+  void reevaluate_bank(std::uint32_t bank);
+  [[nodiscard]] bool gates_dir(bool is_write) const {
+    return is_write ? cfg_.gate_writes : cfg_.gate_reads;
+  }
+
+  sim::Simulator& sim_;
+  BankRegulatorConfig cfg_;
+  dram::AddressMapper mapper_;
+  std::uint32_t banks_;
+  std::vector<TokenBucket> buckets_;         ///< one per bank
+  std::vector<std::uint8_t> limited_;        ///< nonzero budget per bank
+  std::vector<std::uint8_t> exhausted_;      ///< gate shut per bank
+  std::vector<sim::TimePs> exhausted_since_;
+  std::vector<BankRegBankStats> stats_;
+  std::uint64_t epoch_ = 0;
+  sim::TimePs window_start_ = 0;
+  sim::EventQueue::RecurringId replenish_event_ = 0;
+  telemetry::DecisionJournal* journal_ = nullptr;
+};
+
+/// Host-programmable per-bank budget plan, parsed from `--bank-budget-spec`
+/// JSON. Shape:
+///
+/// ```json
+/// {
+///   "window_us": 10,
+///   "kind": "token_bucket",
+///   "max_accumulation_windows": 4,
+///   "ports": [
+///     {"port": 0, "default_mbps": 0, "banks": {"1": 50, "2": 100}}
+///   ]
+/// }
+/// ```
+///
+/// `port` indexes the SoC's accelerator (HP) ports. `default_mbps` applies
+/// to every bank without an explicit override; 0 (the default) leaves a
+/// bank unregulated. Parsing is strict: unknown keys are rejected so typos
+/// fail loudly instead of silently deregulating a bank.
+struct BankBudgetSpec {
+  struct PortBudget {
+    std::uint32_t port = 0;
+    double default_mbps = 0.0;
+    std::map<std::uint32_t, double> bank_mbps;
+  };
+
+  sim::TimePs window_ps = 10 * sim::kPsPerUs;
+  ReplenishKind kind = ReplenishKind::kFixedWindow;
+  std::uint64_t max_accumulation_windows = 1;
+  std::vector<PortBudget> ports;
+
+  static BankBudgetSpec from_json(const std::string& text);
+  static BankBudgetSpec load(const std::string& path);
+  /// Canonical re-serialisation (manifest provenance hashing).
+  [[nodiscard]] std::string to_json() const;
+  /// Per-window byte budgets for one port entry, sized to \p banks.
+  [[nodiscard]] std::vector<std::uint64_t> budgets_for(
+      const PortBudget& pb, std::uint32_t banks) const;
+};
+
+}  // namespace fgqos::qos

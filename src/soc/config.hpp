@@ -68,6 +68,12 @@ struct SocConfig {
   /// Instantiate a QoS block (monitor + regulator + register file) on
   /// every master port. Regulators start disabled (transparent).
   bool qos_blocks = true;
+
+  /// Publish per-(bank, master) DRAM accounting: `dram.bank.<b>.port.<m>.*`
+  /// metrics, the matching time-series, `dram.oob_decodes`, and the
+  /// attribution bank dimension. Off by default so every existing export
+  /// stays byte-identical; the controller tracks the counters either way.
+  bool bank_telemetry = false;
   qos::RegulatorConfig default_regulator{
       .name = "reg",
       .budget_bytes = 4096,

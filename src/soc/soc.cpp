@@ -161,6 +161,10 @@ telemetry::AttributionEngine& Soc::enable_attribution(sim::TimePs window_ps) {
     engine.register_master(static_cast<axi::MasterId>(m),
                            xbar_->master(m).name());
   }
+  if (cfg_.bank_telemetry) {
+    engine.enable_bank_dimension(
+        static_cast<std::uint32_t>(cfg_.dram.timing.banks));
+  }
   xbar_->set_attribution(&engine);
   for (auto& d : drams_) {
     d->set_attribution(&engine);
@@ -197,6 +201,35 @@ telemetry::TimeSeriesRecorder& Soc::enable_timeseries(
                      });
     }
   }
+  if (cfg_.bank_telemetry) {
+    // Per-(master, bank) serviced bytes plus the per-master DRAM aggregate
+    // sampled at the same probe instant, so the per-window conservation
+    // property (sum over banks == port aggregate) is checkable per row.
+    const auto banks = static_cast<std::uint32_t>(cfg_.dram.timing.banks);
+    for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
+      const auto mid = static_cast<axi::MasterId>(m);
+      const std::string pname = xbar_->master(m).name();
+      rec.add_series("dram.port." + pname + ".bytes", Kind::kDelta,
+                     [this, mid](sim::TimePs) {
+                       std::uint64_t bytes = 0;
+                       for (const auto& d : drams_) {
+                         bytes += d->master_bytes(mid);
+                       }
+                       return static_cast<double>(bytes);
+                     });
+      for (std::uint32_t b = 0; b < banks; ++b) {
+        rec.add_series("dram.bank." + std::to_string(b) + ".port." + pname +
+                           ".bytes",
+                       Kind::kDelta, [this, mid, b](sim::TimePs) {
+                         std::uint64_t bytes = 0;
+                         for (const auto& d : drams_) {
+                           bytes += d->bank_bytes(mid, b);
+                         }
+                         return static_cast<double>(bytes);
+                       });
+      }
+    }
+  }
   for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
     axi::MasterPort* p = &xbar_->master(m);
     rec.add_series("port." + p->name() + ".bytes", Kind::kDelta,
@@ -225,6 +258,16 @@ telemetry::TimeSeriesRecorder& Soc::enable_timeseries(
     rec.add_series("qos." + mon->config().name + ".bytes", Kind::kDelta,
                    [mon](sim::TimePs) {
                      return static_cast<double>(mon->total_bytes());
+                   });
+  }
+  for (auto& brp : bank_regs_) {
+    if (brp == nullptr) {
+      continue;
+    }
+    qos::BankRegulator* br = brp.get();
+    rec.add_series("qos." + br->config().name + ".throttled_ps", Kind::kDelta,
+                   [br](sim::TimePs) {
+                     return static_cast<double>(br->total_throttled_ps());
                    });
   }
   for (auto& tgp : traffic_gens_) {
@@ -278,6 +321,11 @@ telemetry::DecisionJournal& Soc::enable_journal(std::size_t capacity) {
   telemetry::DecisionJournal& j = telemetry_.enable_journal(capacity);
   for (auto& block : qos_blocks_) {
     block.regulator->set_journal(&j);
+  }
+  for (auto& br : bank_regs_) {
+    if (br != nullptr) {
+      br->set_journal(&j);
+    }
   }
   if (injector_ != nullptr) {
     injector_->set_journal(&j);
@@ -341,6 +389,54 @@ qos::RegulatorWatchdog& Soc::add_regulator_watchdog(
     watchdogs_.back()->set_journal(j);
   }
   return *watchdogs_.back();
+}
+
+qos::BankRegulator& Soc::add_bank_regulator(std::size_t master_index,
+                                            qos::BankRegulatorConfig brc) {
+  config_check(master_index < xbar_->master_count(),
+               "Soc: master index out of range");
+  // With channel interleaving a line's bank depends on which channel it
+  // routes to, so a single port-side decode would charge the wrong bucket.
+  config_check(drams_.size() == 1,
+               "Soc: per-bank regulation requires a single DRAM channel");
+  if (bank_regs_.size() < xbar_->master_count()) {
+    bank_regs_.resize(xbar_->master_count());
+  }
+  config_check(bank_regs_[master_index] == nullptr,
+               "Soc: master " + std::to_string(master_index) +
+                   " already has a bank regulator");
+  if (brc.name == "bankreg") {
+    brc.name = xbar_->master(master_index).name() + ".bankreg";
+  }
+  bank_regs_[master_index] = std::make_unique<qos::BankRegulator>(
+      sim_, std::move(brc), cfg_.dram.timing, cfg_.dram.mapping);
+  xbar_->master(master_index).add_gate(*bank_regs_[master_index]);
+  if (telemetry::DecisionJournal* j = telemetry_.journal()) {
+    bank_regs_[master_index]->set_journal(j);
+  }
+  return *bank_regs_[master_index];
+}
+
+qos::BankRegulator* Soc::bank_regulator(std::size_t master_index) {
+  return master_index < bank_regs_.size() ? bank_regs_[master_index].get()
+                                          : nullptr;
+}
+
+std::size_t Soc::apply_bank_budgets(const qos::BankBudgetSpec& spec) {
+  for (const qos::BankBudgetSpec::PortBudget& pb : spec.ports) {
+    config_check(pb.port < cfg_.accel_ports,
+                 "Soc: bank budget names HP port " + std::to_string(pb.port) +
+                     " but the platform has " +
+                     std::to_string(cfg_.accel_ports));
+    qos::BankRegulatorConfig brc;
+    brc.window_ps = spec.window_ps;
+    brc.kind = spec.kind;
+    brc.max_accumulation_windows = spec.max_accumulation_windows;
+    brc.budget_bytes = spec.budgets_for(
+        pb, static_cast<std::uint32_t>(cfg_.dram.timing.banks));
+    add_bank_regulator(1 + pb.port, std::move(brc));
+  }
+  return spec.ports.size();
 }
 
 qos::DdrcThrottle& Soc::insert_ddrc_throttle(qos::DdrcThrottleConfig tc) {
@@ -421,6 +517,38 @@ telemetry::MetricsRegistry& Soc::collect_metrics() {
   set_counter("dram.conflict_precharges", conflicts);
   set_counter("dram.refreshes", refreshes);
   set_gauge("dram.bus_utilization", util / static_cast<double>(drams_.size()));
+  std::uint64_t oob = 0;
+  for (const auto& d : drams_) {
+    oob += d->mapper().oob_decodes();
+  }
+  set_counter("dram.oob_decodes", oob);
+
+  if (cfg_.bank_telemetry) {
+    const auto banks = static_cast<std::uint32_t>(cfg_.dram.timing.banks);
+    for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
+      const auto mid = static_cast<axi::MasterId>(m);
+      const std::string pname = xbar_->master(m).name();
+      std::uint64_t port_total = 0;
+      for (const auto& d : drams_) {
+        port_total += d->master_bytes(mid);
+      }
+      set_counter("dram.port." + pname + ".bytes", port_total);
+      for (std::uint32_t b = 0; b < banks; ++b) {
+        std::uint64_t bytes = 0, cas = 0;
+        for (const auto& d : drams_) {
+          bytes += d->bank_bytes(mid, b);
+          cas += d->bank_cas(mid, b);
+        }
+        if (bytes == 0 && cas == 0) {
+          continue;  // keep the cardinality at touched cells only
+        }
+        const std::string prefix =
+            "dram.bank." + std::to_string(b) + ".port." + pname + ".";
+        set_counter(prefix + "bytes", bytes);
+        set_counter(prefix + "cas", cas);
+      }
+    }
+  }
 
   for (std::size_t m = 0; m < xbar_->master_count(); ++m) {
     const axi::MasterPort& p = xbar_->master(m);
@@ -443,6 +571,26 @@ telemetry::MetricsRegistry& Soc::collect_metrics() {
     const std::string mp = "qos." + block.monitor->config().name + ".";
     set_counter(mp + "total_bytes", block.monitor->total_bytes());
     set_counter(mp + "windows_closed", block.monitor->windows_closed());
+  }
+
+  for (const auto& br : bank_regs_) {
+    if (br == nullptr) {
+      continue;
+    }
+    const std::string rp = "qos." + br->config().name + ".";
+    set_counter(rp + "exhausted_windows", br->total_exhausted_windows());
+    set_counter(rp + "throttled_ps", br->total_throttled_ps());
+    set_counter(rp + "regulated_bytes", br->regulated_bytes());
+    for (std::uint32_t b = 0; b < br->banks(); ++b) {
+      if (!br->bank_limited(b)) {
+        continue;
+      }
+      const qos::BankRegBankStats& bs = br->bank_stats(b);
+      const std::string bp = rp + "bank." + std::to_string(b) + ".";
+      set_counter(bp + "exhausted_windows", bs.exhausted_windows);
+      set_counter(bp + "throttled_ps", bs.throttled_ps);
+      set_counter(bp + "regulated_bytes", bs.regulated_bytes);
+    }
   }
 
   for (const auto& tg : traffic_gens_) {
@@ -472,7 +620,13 @@ telemetry::MetricsRegistry& Soc::collect_metrics() {
     set_gauge(prefix + "p99_ps", static_cast<double>(tenant->latency().p99()));
     set_gauge(prefix + "p999_ps",
               static_cast<double>(tenant->latency().p999()));
-    set_gauge(prefix + "slo_attainment_pct", tenant->slo_attainment() * 100.0);
+    // Zero-sample attainment is unavailable, not 100%: the gauge is only
+    // published once a request finished, so downstream readers get
+    // absence (rendered n/a / null) instead of a fabricated number.
+    if (tenant->slo_attainment_available()) {
+      set_gauge(prefix + "slo_attainment_pct",
+                tenant->slo_attainment() * 100.0);
+    }
     telemetry::Histogram& lat = reg.histogram(prefix + "latency_ps");
     lat.reset();
     lat.merge(tenant->latency());

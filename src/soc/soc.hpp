@@ -17,6 +17,7 @@
 #include "cpu/core.hpp"
 #include "dram/controller.hpp"
 #include "fault/injector.hpp"
+#include "qos/bank_regulator.hpp"
 #include "qos/ddrc_throttle.hpp"
 #include "qos/regfile.hpp"
 #include "qos/regulator_watchdog.hpp"
@@ -111,6 +112,22 @@ class Soc {
   /// memory controller (the coarse commercial-knob baseline; EXP11).
   /// Call at most once, before running.
   qos::DdrcThrottle& insert_ddrc_throttle(qos::DdrcThrottleConfig cfg);
+
+  /// Adds a per-bank regulator gating crossbar master \p master_index
+  /// (0 = CPU, 1.. = HP), decoding each line with the DRAM channel's
+  /// mapping policy. Composes with the port's aggregate QoS block (both
+  /// gates must allow). Single-channel platforms only: with channel
+  /// interleaving the line's bank depends on which channel it routes to.
+  /// At most one per master, added before running.
+  qos::BankRegulator& add_bank_regulator(std::size_t master_index,
+                                         qos::BankRegulatorConfig cfg);
+  /// The per-bank regulator on \p master_index, or nullptr.
+  [[nodiscard]] qos::BankRegulator* bank_regulator(std::size_t master_index);
+
+  /// Instantiates one per-bank regulator per spec entry (spec ports index
+  /// the HP ports, matching serving specs) with the spec's window/kind and
+  /// per-bank budgets. Returns the number of regulators added.
+  std::size_t apply_bank_budgets(const qos::BankBudgetSpec& spec);
 
   // --- fault injection ---------------------------------------------------
 
@@ -236,6 +253,9 @@ class Soc {
   std::vector<std::unique_ptr<wl::ServingTenant>> serving_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<std::unique_ptr<qos::RegulatorWatchdog>> watchdogs_;
+  /// Per-master per-bank regulators, indexed by crossbar master (sparse:
+  /// nullptr where none was added).
+  std::vector<std::unique_ptr<qos::BankRegulator>> bank_regs_;
 };
 
 }  // namespace fgqos::soc

@@ -40,6 +40,17 @@ void AttributionEngine::add_window_listener(WindowListener fn) {
   listeners_.push_back(std::move(fn));
 }
 
+void AttributionEngine::enable_bank_dimension(std::uint32_t banks) {
+  config_check(banks > 0, "AttributionEngine: bank count must be > 0");
+  config_check(!names_.empty(),
+               "AttributionEngine: register masters before enabling the "
+               "bank dimension");
+  config_check(history_.empty(),
+               "AttributionEngine: enable the bank dimension before charging");
+  banks_ = banks;
+  bank_totals_.assign(names_.size() * banks_ * kCauseCount, Cell{});
+}
+
 void AttributionEngine::set_trace(TraceWriter* writer) {
   trace_ = writer;
   tracks_.clear();
@@ -80,17 +91,22 @@ void AttributionEngine::add(axi::MasterId victim, axi::MasterId aggressor,
 
 void AttributionEngine::charge(WaitState& w, axi::MasterId victim,
                                axi::MasterId aggressor, Cause cause,
-                               sim::TimePs now, axi::Transaction* txn) {
+                               sim::TimePs now, axi::Transaction* txn,
+                               std::uint32_t bank) {
   FGQOS_ASSERT(w.open && now >= w.last, "AttributionEngine: bad charge");
   normalize(victim, aggressor, cause);
   const std::uint64_t slice = now - w.last;
   w.last = now;
   w.last_aggressor = aggressor;
+  w.last_bank = bank;
   w.last_cause = cause;
   if (slice == 0) {
     return;
   }
   add(victim, aggressor, cause, slice, now);
+  if (banks_ != 0 && bank < banks_) {
+    bank_totals_[bank_index(victim, bank, cause)].stall_ps += slice;
+  }
   if (txn != nullptr) {
     txn->attr_charged_ps += slice;
   }
@@ -104,8 +120,12 @@ void AttributionEngine::end_wait(WaitState& w, axi::MasterId victim,
   Cause cause = w.last_cause;
   normalize(victim, aggressor, cause);
   const std::uint64_t slice = now - w.last;
+  const bool bank_cell = banks_ != 0 && w.last_bank < banks_;
   if (slice != 0) {
     add(victim, aggressor, cause, slice, now);
+    if (bank_cell) {
+      bank_totals_[bank_index(victim, w.last_bank, cause)].stall_ps += slice;
+    }
     if (txn != nullptr) {
       txn->attr_charged_ps += slice;
     }
@@ -115,6 +135,9 @@ void AttributionEngine::end_wait(WaitState& w, axi::MasterId victim,
     const std::size_t i = index(victim, aggressor, cause);
     window_cells_[i].bytes += bytes;
     totals_[i].bytes += bytes;
+    if (bank_cell) {
+      bank_totals_[bank_index(victim, w.last_bank, cause)].bytes += bytes;
+    }
   }
   w.open = false;
 }
@@ -184,6 +207,19 @@ std::uint64_t AttributionEngine::victim_stall_ps(axi::MasterId victim) const {
       ps += totals_[index(victim, static_cast<axi::MasterId>(a),
                           static_cast<Cause>(c))].stall_ps;
     }
+  }
+  return ps;
+}
+
+std::uint64_t AttributionEngine::bank_stall_ps(axi::MasterId victim,
+                                               std::uint32_t bank) const {
+  if (banks_ == 0 || bank >= banks_) {
+    return 0;
+  }
+  std::uint64_t ps = 0;
+  for (std::size_t c = 0; c < kCauseCount; ++c) {
+    ps += bank_totals_[bank_index(victim, bank, static_cast<Cause>(c))]
+              .stall_ps;
   }
   return ps;
 }
@@ -262,6 +298,23 @@ void AttributionEngine::write_csv(std::ostream& os, bool header,
   const sim::TimePs end =
       history_.empty() ? window_start_ : history_.back().end;
   write_cells(os, totals_, "total", 0, end, row_prefix);
+  // Bank-dimension rows reuse the schema with the aggressor column holding
+  // the bank label; absent entirely while the dimension is disabled, so
+  // bank-less exports stay byte-identical.
+  for (axi::MasterId v = 0; v < names_.size(); ++v) {
+    for (std::uint32_t b = 0; b < banks_; ++b) {
+      for (std::size_t c = 0; c < kCauseCount; ++c) {
+        const Cell& cell = bank_totals_[bank_index(v, b,
+                                                   static_cast<Cause>(c))];
+        if (cell.stall_ps == 0 && cell.bytes == 0) {
+          continue;
+        }
+        os << row_prefix << "bank_total,0," << end << ',' << names_[v]
+           << ",bank" << b << ',' << cause_name(static_cast<Cause>(c)) << ','
+           << cell.stall_ps << ',' << cell.bytes << '\n';
+      }
+    }
+  }
 }
 
 void AttributionEngine::save_csv(const std::string& path) const {
@@ -311,6 +364,27 @@ void AttributionEngine::write_json(std::ostream& os) const {
   }
   os << "],\"totals\":";
   write_matrix(totals_);
+  if (banks_ != 0) {
+    os << ",\"banks\":" << banks_ << ",\"bank_totals\":[";
+    bool first = true;
+    for (axi::MasterId v = 0; v < names_.size(); ++v) {
+      for (std::uint32_t b = 0; b < banks_; ++b) {
+        for (std::size_t c = 0; c < kCauseCount; ++c) {
+          const Cell& cell = bank_totals_[bank_index(v, b,
+                                                     static_cast<Cause>(c))];
+          if (cell.stall_ps == 0 && cell.bytes == 0) {
+            continue;
+          }
+          os << (first ? "" : ",") << "{\"victim\":" << v << ",\"bank\":" << b
+             << ",\"cause\":\"" << cause_name(static_cast<Cause>(c))
+             << "\",\"stall_ps\":" << cell.stall_ps << ",\"bytes\":"
+             << cell.bytes << '}';
+          first = false;
+        }
+      }
+    }
+    os << ']';
+  }
   os << ",\"residual_ps\":" << residual_ps_ << "}\n";
 }
 
@@ -336,6 +410,12 @@ void AttributionEngine::publish_metrics() {
     }
     for (axi::MasterId a = 0; a < names_.size(); ++a) {
       set_counter(prefix + "from." + names_[a] + "_ps", blame_ps(v, a));
+    }
+    for (std::uint32_t b = 0; b < banks_; ++b) {
+      const std::uint64_t ps = bank_stall_ps(v, b);
+      if (ps != 0) {
+        set_counter(prefix + "bank." + std::to_string(b) + "_ps", ps);
+      }
     }
   }
   set_counter("telemetry.attribution.windows", history_.size());

@@ -71,12 +71,17 @@ inline constexpr std::size_t kCauseCount = 5;
 /// engine folds it onto the victim itself.
 inline constexpr axi::MasterId kNoOwner = 0xFFFF;
 
+/// Sentinel for "no DRAM bank involved" (fabric-level waits, or the bank
+/// dimension being disabled).
+inline constexpr std::uint32_t kNoBank = 0xFFFF'FFFFu;
+
 /// Per-wait bookkeeping embedded in the waiting component (one per AXI
 /// port head, one per DRAM queue entry). POD; default state = closed.
 struct WaitState {
   sim::TimePs start = 0;  ///< wait begin (independent measurement anchor)
   sim::TimePs last = 0;   ///< end of the last charged slice
   axi::MasterId last_aggressor = 0;
+  std::uint32_t last_bank = kNoBank;  ///< bank the victim was waiting on
   Cause last_cause = Cause::kSelf;
   bool open = false;
 };
@@ -121,6 +126,16 @@ class AttributionEngine {
 
   void add_window_listener(WindowListener fn);
 
+  /// Enables the per-bank blame dimension: charges carrying a bank id
+  /// additionally accumulate into cumulative (victim, bank, cause) cells
+  /// exported as `bank_total` CSV rows / `bank_totals` JSON and
+  /// `attr.<victim>.bank.<b>_ps` metrics. Call after register_master(),
+  /// before any charge. Off by default — all exports are byte-identical
+  /// to the bank-less engine while disabled.
+  void enable_bank_dimension(std::uint32_t banks);
+  [[nodiscard]] bool bank_dimension_enabled() const { return banks_ > 0; }
+  [[nodiscard]] std::uint32_t bank_count() const { return banks_; }
+
   /// Attaches the Chrome-trace sink: one counter track per victim
   /// (category "attr"), one series per cause, sampled at window ends.
   void set_trace(TraceWriter* writer);
@@ -133,6 +148,7 @@ class AttributionEngine {
     w.start = start;
     w.last = start;
     w.last_aggressor = kNoOwner;
+    w.last_bank = kNoBank;
     w.last_cause = Cause::kSelf;
     w.open = true;
   }
@@ -140,9 +156,11 @@ class AttributionEngine {
   /// Charges the slice [w.last, now] of \p victim's open wait to
   /// (\p aggressor, \p cause) and remembers the blocker for the final
   /// slice. kNoOwner (or the victim itself for kFabricArb) folds to
-  /// (victim, self).
+  /// (victim, self). \p bank (DRAM bank the wait targets) feeds the
+  /// optional bank dimension; kNoBank for fabric-level waits.
   void charge(WaitState& w, axi::MasterId victim, axi::MasterId aggressor,
-              Cause cause, sim::TimePs now, axi::Transaction* txn);
+              Cause cause, sim::TimePs now, axi::Transaction* txn,
+              std::uint32_t bank = kNoBank);
 
   /// Closes \p w at \p now: charges the final slice to the last observed
   /// blocker and credits \p bytes to that cell (only when the wait had
@@ -175,6 +193,14 @@ class AttributionEngine {
   }
   /// Total stall charged to \p victim across aggressors and causes.
   [[nodiscard]] std::uint64_t victim_stall_ps(axi::MasterId victim) const;
+  /// Cumulative (victim, bank, cause) cell; bank dimension must be enabled.
+  [[nodiscard]] const Cell& bank_total(axi::MasterId victim,
+                                       std::uint32_t bank, Cause cause) const {
+    return bank_totals_[bank_index(victim, bank, cause)];
+  }
+  /// Stall of \p victim on \p bank (all causes); 0 while disabled.
+  [[nodiscard]] std::uint64_t bank_stall_ps(axi::MasterId victim,
+                                            std::uint32_t bank) const;
   /// Stall of \p victim charged to \p aggressor (all causes).
   [[nodiscard]] std::uint64_t blame_ps(axi::MasterId victim,
                                        axi::MasterId aggressor) const;
@@ -219,6 +245,12 @@ class AttributionEngine {
            static_cast<std::size_t>(cause);
   }
 
+  [[nodiscard]] std::size_t bank_index(axi::MasterId victim,
+                                       std::uint32_t bank, Cause cause) const {
+    return (static_cast<std::size_t>(victim) * banks_ + bank) * kCauseCount +
+           static_cast<std::size_t>(cause);
+  }
+
   /// Folds sentinel / self-blamed-arbitration charges onto (victim, self).
   void normalize(axi::MasterId victim, axi::MasterId& aggressor,
                  Cause& cause) const;
@@ -237,6 +269,8 @@ class AttributionEngine {
   std::vector<std::string> names_;
   std::vector<Cell> window_cells_;   ///< open window, M*M*C
   std::vector<Cell> totals_;         ///< cumulative, M*M*C
+  std::uint32_t banks_ = 0;          ///< bank dimension size (0 = disabled)
+  std::vector<Cell> bank_totals_;    ///< cumulative, M*banks*C
   std::vector<WindowRecord> history_;
   std::vector<WindowListener> listeners_;
   std::uint64_t residual_ps_ = 0;

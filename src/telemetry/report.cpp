@@ -178,6 +178,8 @@ void RunData::load_metrics_json(const std::string& path) {
       s.p90 = number_or(m, "p90", 0.0);
       s.p99 = number_or(m, "p99", 0.0);
       s.p999 = number_or(m, "p999", 0.0);
+      s.has_quantiles =
+          m.contains("p50") && m.contains("p99") && m.contains("p999");
     } else {
       throw ConfigError("report: metric '" + name + "' in '" + path +
                         "' has unknown type '" + type + "'");
@@ -358,7 +360,10 @@ RunReport compare_runs(const RunData& a, const RunData& b,
     const std::string hop = "port." + t + ".hop.total_ps";
     const MetricSample* ha = find_metric(a, hop);
     const MetricSample* hb = find_metric(b, hop);
-    if (ha != nullptr && hb != nullptr && ha->count > 0 && hb->count > 0) {
+    const bool hop_usable = ha != nullptr && hb != nullptr &&
+                            ha->count > 0 && hb->count > 0 &&
+                            ha->has_quantiles && hb->has_quantiles;
+    if (hop_usable) {
       push_delta(rep, t, "p50_ps", ha->p50, hb->p50, 0.0, true);
       push_delta(rep, t, "p99_ps", ha->p99, hb->p99,
                  thresholds.max_p99_regress_pct, true);
@@ -377,6 +382,17 @@ RunReport compare_runs(const RunData& a, const RunData& b,
         na.metric = "p999_ps";
         na.available = false;
         rep.tenant_deltas.push_back(std::move(na));
+      } else if (ha != nullptr && hb != nullptr) {
+        // Hop histograms exist but carry no usable quantiles (empty, or
+        // an export that dropped the keys): explicit n/a rows, never the
+        // zero-initialised placeholders masquerading as measurements.
+        for (const char* metric : {"p50_ps", "p99_ps", "p999_ps"}) {
+          TenantDelta na;
+          na.tenant = t;
+          na.metric = metric;
+          na.available = false;
+          rep.tenant_deltas.push_back(std::move(na));
+        }
       }
     }
     const MetricSample* ba = find_metric(a, "port." + t + ".bytes");

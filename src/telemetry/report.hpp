@@ -40,6 +40,11 @@ struct MetricSample {
   double p90 = 0.0;
   double p99 = 0.0;
   double p999 = 0.0;
+  /// True when the histogram export actually carried its quantile keys.
+  /// Empty histograms (and truncated or foreign exports) omit them; the
+  /// zero-initialised fields above are then placeholders, not
+  /// measurements, and must render as "n/a"/null rather than 0.
+  bool has_quantiles = false;
 };
 
 /// Whole-run summary of one time series (parsed from the recorder's JSON).

@@ -9,6 +9,7 @@
 #include "exec/job.hpp"
 #include "util/config_error.hpp"
 #include "util/json.hpp"
+#include "util/string_util.hpp"
 
 namespace fgqos::wl {
 
@@ -486,13 +487,22 @@ bool ServingTenant::drained() const {
   return next_op_ == ops_.size() && queue_.empty() && in_flight_ == 0;
 }
 
+std::uint64_t ServingTenant::finished() const {
+  return stats_.completed + stats_.dropped;
+}
+
+bool ServingTenant::slo_attainment_available() const {
+  return finished() != 0;
+}
+
 double ServingTenant::slo_attainment() const {
-  const std::uint64_t finished = stats_.completed + stats_.dropped;
-  if (finished == 0) {
+  const std::uint64_t n = finished();
+  if (n == 0) {
+    // Pinned zero-sample result: total and NaN-free, but meaningless —
+    // render paths consult slo_attainment_available() and emit n/a.
     return 1.0;
   }
-  return static_cast<double>(stats_.slo_met) /
-         static_cast<double>(finished);
+  return static_cast<double>(stats_.slo_met) / static_cast<double>(n);
 }
 
 double ServingTenant::offered_qps() const {
@@ -548,6 +558,13 @@ bool ServingTenant::tick(sim::Cycles /*cycle*/) {
     wake_at(ops_[next_op_].arrival_ps);
   }
   return false;  // sleep; the next arrival or a completion wakes us
+}
+
+std::string attainment_pct_cell(const ServingTenant& tenant, int decimals) {
+  if (!tenant.slo_attainment_available()) {
+    return "n/a";
+  }
+  return util::format_fixed(tenant.slo_attainment() * 100.0, decimals);
 }
 
 }  // namespace fgqos::wl

@@ -178,8 +178,17 @@ class ServingTenant final : public sim::Clocked {
   /// True when every generated request has completed or been dropped.
   [[nodiscard]] bool drained() const;
 
+  /// Requests with a final disposition (completed + dropped).
+  [[nodiscard]] std::uint64_t finished() const;
+  /// True once at least one request finished — only then is SLO
+  /// attainment a measurement. Render paths must report "n/a" (CSV/text)
+  /// or null (JSON) while this is false instead of a fabricated number;
+  /// see attainment_pct_cell().
+  [[nodiscard]] bool slo_attainment_available() const;
   /// SLO attainment over finished requests: slo_met / (completed +
-  /// dropped). Drops count as misses; 1.0 when nothing finished yet.
+  /// dropped). Drops count as misses. Zero-sample result is pinned to
+  /// 1.0 (total function, never NaN) but carries no information — check
+  /// slo_attainment_available() before reporting it.
   [[nodiscard]] double slo_attainment() const;
   /// Offered / completed request rates over [0, now].
   [[nodiscard]] double offered_qps() const;
@@ -197,5 +206,12 @@ class ServingTenant final : public sim::Clocked {
   ServingTenantStats stats_;
   sim::Histogram latency_;
 };
+
+/// Shared attainment-cell formatter for CSV/table output: the attainment
+/// percentage with \p decimals fraction digits, or "n/a" while the tenant
+/// has no finished requests. Every render path uses this so the
+/// zero-sample treatment cannot drift between tools.
+[[nodiscard]] std::string attainment_pct_cell(const ServingTenant& tenant,
+                                              int decimals = 4);
 
 }  // namespace fgqos::wl

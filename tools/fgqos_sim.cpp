@@ -14,8 +14,10 @@
 #include <iostream>
 #include <sstream>
 
+#include "dram/address_mapper.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "qos/bank_regulator.hpp"
 #include "qos/sla_watchdog.hpp"
 #include "qos/soft_memguard.hpp"
 #include "qos/window.hpp"
@@ -50,6 +52,23 @@ void usage() {
       "  --scheme S          none | hw | sw (default none)\n"
       "  --budget-mbps B     per-aggressor budget (default 400)\n"
       "  --window-us W       HW regulation window (default 1)\n"
+      "  --mapping M         DRAM mapping: row_bank_col | bank_interleaved |\n"
+      "                      bank_partitioned (default: preset policy)\n"
+      "  --bank-budget-spec FILE\n"
+      "                      JSON per-bank budget plan: per-bank token-bucket\n"
+      "                      regulators on the listed HP ports\n"
+      "  --bank-telemetry    publish per-bank metrics/series (dram.bank.*)\n"
+      "                      and the blame-matrix bank dimension\n"
+      "  --aggressor-footprint-mb MB\n"
+      "                      aggressor working-set size (default 16)\n"
+      "  --aggressor-stride-mb MB\n"
+      "                      spacing between aggressor base addresses\n"
+      "                      (default 64; one bank slice apart under\n"
+      "                      bank_partitioned needs capacity/banks MB)\n"
+      "  --thrash-aggressors K\n"
+      "                      make the first K aggressors single-line\n"
+      "                      row-miss thrashers (random 64 B reads, deep\n"
+      "                      outstanding window) regardless of --pattern\n"
       "  --duration-ms D     simulated time (default 20)\n"
       "  --seed N            base RNG seed (default 100)\n"
       "  --csv FILE          also write the stats table as CSV\n"
@@ -128,6 +147,24 @@ int main(int argc, char** argv) {
     const double sla_stall_frac = args.get_double("sla-stall-frac", 0);
     const std::string fault_spec = args.get("fault-spec", "");
     const std::string serving_spec_path = args.get("serving-spec", "");
+    const std::string mapping = args.get("mapping", "");
+    const std::string bank_spec_path = args.get("bank-budget-spec", "");
+    const bool bank_telemetry = args.has("bank-telemetry");
+    const double aggressor_footprint_mb =
+        args.get_double("aggressor-footprint-mb", 16);
+    if (aggressor_footprint_mb <= 0) {
+      throw ConfigError("--aggressor-footprint-mb must be positive");
+    }
+    const double aggressor_stride_mb =
+        args.get_double("aggressor-stride-mb", 64);
+    if (aggressor_stride_mb <= 0) {
+      throw ConfigError("--aggressor-stride-mb must be positive");
+    }
+    const auto thrash_aggressors =
+        static_cast<std::size_t>(args.get_int("thrash-aggressors", 0));
+    if (thrash_aggressors > aggressors) {
+      throw ConfigError("--thrash-aggressors exceeds --aggressors");
+    }
     const double wd_fallback_mbps =
         args.get_double("watchdog-fallback-mbps", 0);
     const std::string timeseries_csv = args.get("timeseries-csv", "");
@@ -159,6 +196,14 @@ int main(int argc, char** argv) {
     }
 
     soc::SocConfig cfg = soc::preset_by_name(preset);
+    // Config knobs must land before the Soc exists: the controller's
+    // address mapper and the telemetry gating are fixed at construction.
+    if (!mapping.empty()) {
+      cfg.dram.mapping = dram::mapping_policy_from_name(mapping);
+    }
+    if (bank_telemetry) {
+      cfg.bank_telemetry = true;
+    }
     soc::Soc chip(cfg);
 
     // Provenance embedded in every export: semantic inputs only, so two
@@ -174,6 +219,23 @@ int main(int argc, char** argv) {
          << args.get("pattern", "seq_rd") << " scheme=" << scheme
          << " budget_mbps=" << budget_bps / 1e6 << " window_us=" << window_us
          << " duration_ms=" << duration_ms;
+      // Conditional tokens keep manifests of pre-existing scenarios
+      // byte-identical (golden compatibility).
+      if (!mapping.empty()) {
+        sc << " mapping=" << mapping;
+      }
+      if (bank_telemetry) {
+        sc << " bank_telemetry=1";
+      }
+      if (args.has("aggressor-footprint-mb")) {
+        sc << " aggressor_footprint_mb=" << aggressor_footprint_mb;
+      }
+      if (args.has("aggressor-stride-mb")) {
+        sc << " aggressor_stride_mb=" << aggressor_stride_mb;
+      }
+      if (thrash_aggressors > 0) {
+        sc << " thrash_aggressors=" << thrash_aggressors;
+      }
       manifest.scenario = sc.str();
     }
 
@@ -208,8 +270,19 @@ int main(int argc, char** argv) {
       wl::TrafficGenConfig tg;
       tg.name = "agg" + std::to_string(i);
       tg.pattern = pattern;
-      tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+      tg.base = 0x8000'0000 +
+                static_cast<axi::Addr>(i) *
+                    static_cast<axi::Addr>(aggressor_stride_mb * (1 << 20));
+      tg.footprint_bytes =
+          static_cast<std::uint64_t>(aggressor_footprint_mb * (1 << 20));
       tg.seed = seed + i;
+      if (i < thrash_aggressors) {
+        // Single-line bursts open a fresh row on every access; the deep
+        // outstanding window keeps the target bank's miss pipeline full.
+        tg.pattern = wl::Pattern::kRandomRead;
+        tg.burst_bytes = 64;
+        tg.max_outstanding = 48;
+      }
       const std::size_t port = i % cfg.accel_ports;
       chip.add_traffic_gen(port, tg);
       if (scheme == "hw") {
@@ -222,6 +295,14 @@ int main(int argc, char** argv) {
         memguard->set_rate(mp.id(), budget_bps);
         mp.add_gate(*memguard);
       }
+    }
+
+    if (!bank_spec_path.empty()) {
+      const qos::BankBudgetSpec bspec = qos::BankBudgetSpec::load(bank_spec_path);
+      manifest.scenario +=
+          " bank_budgets=" + telemetry::fnv1a_hex(bspec.to_json());
+      const std::size_t regs = chip.apply_bank_budgets(bspec);
+      std::printf("per-bank regulation: %zu port regulator(s) armed\n", regs);
     }
 
     if (!serving_spec_path.empty()) {
@@ -391,7 +472,7 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < chip.serving_tenant_count(); ++i) {
         wl::ServingTenant& t = chip.serving_tenant(i);
         std::printf("  %-12s %-8s %12.0f %12.0f %9llu %9.2f %9.2f %9.2f "
-                    "%10.2f\n",
+                    "%10s\n",
                     t.spec().name.c_str(),
                     wl::arrival_kind_name(t.spec().arrival), t.offered_qps(),
                     t.completed_qps(),
@@ -399,7 +480,7 @@ int main(int argc, char** argv) {
                     static_cast<double>(t.latency().p50()) / 1e6,
                     static_cast<double>(t.latency().p99()) / 1e6,
                     static_cast<double>(t.latency().p999()) / 1e6,
-                    t.slo_attainment() * 100.0);
+                    wl::attainment_pct_cell(t, 2).c_str());
       }
     }
     if (watchdog != nullptr) {

@@ -27,9 +27,11 @@
 
 #include <map>
 
+#include "dram/address_mapper.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "fgqos.hpp"
+#include "qos/bank_regulator.hpp"
 #include "telemetry/manifest.hpp"
 #include "util/cli.hpp"
 #include "util/config_error.hpp"
@@ -113,6 +115,15 @@ struct SweepPoint {
   /// so op buffers are byte-identical for any job count.
   const wl::ServingSpec* serving = nullptr;
   bool merge_serving_csv = false;  ///< render rows for the merged CSV
+  /// DRAM mapping-policy override ("" = platform default).
+  std::string mapping;
+  /// Publish per-bank telemetry (dram.bank.*, blame bank dimension).
+  bool bank_telemetry = false;
+  /// Aggressor working-set size per generator.
+  std::uint64_t aggressor_footprint_bytes = 16ull << 20;
+  /// Shared per-bank budget plan (nullptr = no per-bank regulation).
+  /// Points only read it, so one parsed spec serves every job.
+  const qos::BankBudgetSpec* bank_budgets = nullptr;
 };
 
 /// "out.json" + budget=400 -> "out.budget400.json".
@@ -131,6 +142,14 @@ std::string point_path(const std::string& path, const std::string& knob,
 
 Outcome run_point(const SweepPoint& p) {
   soc::SocConfig cfg;
+  // Must land before the Soc exists: the controller's address mapper and
+  // the telemetry gating are fixed at construction.
+  if (!p.mapping.empty()) {
+    cfg.dram.mapping = dram::mapping_policy_from_name(p.mapping);
+  }
+  if (p.bank_telemetry) {
+    cfg.bank_telemetry = true;
+  }
   soc::Soc chip(cfg);
   cpu::CoreConfig cc;
   cc.name = "critical";
@@ -147,6 +166,7 @@ Outcome run_point(const SweepPoint& p) {
     wl::TrafficGenConfig tg;
     tg.name = "agg" + std::to_string(i);
     tg.base = 0x8000'0000 + (static_cast<axi::Addr>(i) << 26);
+    tg.footprint_bytes = p.aggressor_footprint_bytes;
     tg.seed = p.seed + i;
     const std::size_t port = i % cfg.accel_ports;
     chip.add_traffic_gen(port, tg);
@@ -160,6 +180,9 @@ Outcome run_point(const SweepPoint& p) {
       mg->set_rate(mp.id(), p.budget_mbps * 1e6);
       mp.add_gate(*mg);
     }
+  }
+  if (p.bank_budgets != nullptr) {
+    chip.apply_bank_budgets(*p.bank_budgets);
   }
   if (p.serving != nullptr) {
     chip.add_serving(*p.serving, p.seed);
@@ -207,7 +230,22 @@ Outcome run_point(const SweepPoint& p) {
        << " scheme=" << p.scheme << " aggressors=" << p.aggressors
        << " budget_mbps=" << p.budget_mbps << " window_us=" << p.window_us
        << " isr_us=" << p.isr_us << " iterations=" << p.iterations;
+    // Conditional tokens keep manifests of pre-existing scenarios
+    // byte-identical (golden compatibility).
+    if (!p.mapping.empty()) {
+      sc << " mapping=" << p.mapping;
+    }
+    if (p.bank_telemetry) {
+      sc << " bank_telemetry=1";
+    }
+    if (p.aggressor_footprint_bytes != (16ull << 20)) {
+      sc << " aggressor_footprint_bytes=" << p.aggressor_footprint_bytes;
+    }
     manifest.scenario = sc.str();
+  }
+  if (p.bank_budgets != nullptr) {
+    manifest.scenario +=
+        " bank_budgets=" + telemetry::fnv1a_hex(p.bank_budgets->to_json());
   }
   if (p.faults != nullptr) {
     manifest.fault_spec_hash = telemetry::fnv1a_hex(p.faults->to_json());
@@ -294,7 +332,7 @@ Outcome run_point(const SweepPoint& p) {
            << util::format_fixed(t.completed_qps(), 2) << ','
            << t.latency().p50() << ',' << t.latency().p99() << ','
            << t.latency().p999() << ','
-           << util::format_fixed(t.slo_attainment() * 100.0, 4) << '\n';
+           << wl::attainment_pct_cell(t, 4) << '\n';
     }
     o.serving_rows = rows.str();
   }
@@ -335,6 +373,10 @@ int main(int argc, char** argv) {
           "            [--fault-spec FILE] [--job-timeout-s T] "
           "[--job-retries N]\n"
           "            [--serving-spec FILE] [--serving-csv FILE]\n"
+          "            [--mapping row_bank_col|bank_interleaved|"
+          "bank_partitioned]\n"
+          "            [--bank-budget-spec FILE] [--bank-telemetry]\n"
+          "            [--aggressor-footprint-mb MB]\n"
           "--serving-spec instantiates the same JSON request-serving\n"
           "scenario (docs/SERVING.md) in every point, tenant op buffers\n"
           "seeded per point; --serving-csv writes ONE merged per-tenant\n"
@@ -348,6 +390,12 @@ int main(int argc, char** argv) {
           "still written from the points that succeeded (failed indices\n"
           "are reported). SIGINT/SIGTERM skip remaining points and flush\n"
           "partial results.\n"
+          "--bank-budget-spec arms per-bank token-bucket regulators from a\n"
+          "JSON budget plan in every point; --mapping overrides the DRAM\n"
+          "address-mapping policy, --bank-telemetry publishes dram.bank.*\n"
+          "metrics/series and the blame bank dimension, and\n"
+          "--aggressor-footprint-mb sizes each aggressor's working set\n"
+          "(default 16).\n"
           "--blame-csv writes ONE merged interference-attribution CSV with a\n"
           "leading `point` column (the knob value); --blame-json writes one\n"
           "JSON file per point (suffixed like the other telemetry files).\n"
@@ -395,6 +443,18 @@ int main(int argc, char** argv) {
     const std::string fault_spec = args.get("fault-spec", "");
     const std::string serving_spec_path = args.get("serving-spec", "");
     const std::string serving_csv = args.get("serving-csv", "");
+    const std::string mapping = args.get("mapping", "");
+    const std::string bank_spec_path = args.get("bank-budget-spec", "");
+    const bool bank_telemetry = args.has("bank-telemetry");
+    const double aggressor_footprint_mb =
+        args.get_double("aggressor-footprint-mb", 16);
+    if (aggressor_footprint_mb <= 0) {
+      throw ConfigError("--aggressor-footprint-mb must be positive");
+    }
+    if (!mapping.empty()) {
+      // Fail fast on a bad name here, before the job fan-out.
+      static_cast<void>(dram::mapping_policy_from_name(mapping));
+    }
     exec::ExecConfig ec;
     ec.jobs = static_cast<std::size_t>(args.get_int(
         "jobs", static_cast<std::int64_t>(exec::jobs_from_env(1))));
@@ -426,6 +486,14 @@ int main(int argc, char** argv) {
     if (!serving_spec_path.empty()) {
       serving_spec = wl::ServingSpec::from_file(serving_spec_path);
     }
+    qos::BankBudgetSpec bank_budget_spec;
+    if (!bank_spec_path.empty()) {
+      bank_budget_spec = qos::BankBudgetSpec::load(bank_spec_path);
+    }
+    base.mapping = mapping;
+    base.bank_telemetry = bank_telemetry;
+    base.aggressor_footprint_bytes =
+        static_cast<std::uint64_t>(aggressor_footprint_mb * (1 << 20));
 
     // Materialise every point first; jobs read only their own point.
     std::vector<std::string> values = util::split(values_arg, ',');
@@ -463,6 +531,7 @@ int main(int argc, char** argv) {
       p.faults = fault_spec.empty() ? nullptr : &fault_plan;
       p.serving = serving_spec_path.empty() ? nullptr : &serving_spec;
       p.merge_serving_csv = !serving_csv.empty();
+      p.bank_budgets = bank_spec_path.empty() ? nullptr : &bank_budget_spec;
       points.push_back(std::move(p));
     }
 
@@ -530,6 +599,13 @@ int main(int argc, char** argv) {
       manifest.build = telemetry::RunManifest::build_flavor();
       manifest.scenario = "knob=" + knob + " values=" + values_arg +
                           " scheme=" + base.scheme;
+      if (!mapping.empty()) {
+        manifest.scenario += " mapping=" + mapping;
+      }
+      if (!bank_spec_path.empty()) {
+        manifest.scenario += " bank_budgets=" +
+                             telemetry::fnv1a_hex(bank_budget_spec.to_json());
+      }
       if (!fault_spec.empty()) {
         manifest.fault_spec_hash = telemetry::fnv1a_hex(fault_plan.to_json());
       }
@@ -552,6 +628,13 @@ int main(int argc, char** argv) {
       manifest.scenario = "knob=" + knob + " values=" + values_arg +
                           " scheme=" + base.scheme + " serving=" +
                           telemetry::fnv1a_hex(serving_spec.to_json());
+      if (!mapping.empty()) {
+        manifest.scenario += " mapping=" + mapping;
+      }
+      if (!bank_spec_path.empty()) {
+        manifest.scenario += " bank_budgets=" +
+                             telemetry::fnv1a_hex(bank_budget_spec.to_json());
+      }
       // An empty plan is contractually a perfect no-op, so it must not
       // perturb this file either: hash only plans that inject something.
       if (!fault_spec.empty() && !fault_plan.faults.empty()) {
