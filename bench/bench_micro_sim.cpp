@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "soc/soc.hpp"
+#include "telemetry/profiler.hpp"
 #include "workload/cpu_workloads.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -122,12 +124,16 @@ BENCHMARK(BM_DramRandomTraffic)->Unit(benchmark::kMillisecond);
 struct OneShotTimer {
   sim::Simulator* sim;
   sim::TimePs period;
+  std::uint32_t tag = 0;
   std::uint64_t fired = 0;
   void arm(sim::TimePs when) {
-    sim->schedule_at(when, [this, when]() {
-      ++fired;
-      arm(when + period);
-    });
+    sim->schedule_at(
+        when,
+        [this, when]() {
+          ++fired;
+          arm(when + period);
+        },
+        tag);
   }
 };
 
@@ -136,12 +142,15 @@ struct RecurringTimer {
   sim::Simulator* sim;
   sim::TimePs period;
   sim::EventQueue::RecurringId id = 0;
+  std::uint32_t tag = 0;
   std::uint64_t fired = 0;
   void start(sim::TimePs when) {
-    id = sim->make_recurring_event([this](std::uint64_t) {
-      ++fired;
-      sim->schedule_recurring(id, sim->now() + period);
-    });
+    id = sim->make_recurring_event(
+        [this](std::uint64_t) {
+          ++fired;
+          sim->schedule_recurring(id, sim->now() + period);
+        },
+        tag);
     sim->schedule_recurring(id, when);
   }
 };
@@ -161,12 +170,20 @@ struct KernelRun {
   double wall_ns = 0.0;
 };
 
-KernelRun run_kernel_workload(sim::TimePs sim_time) {
+KernelRun run_kernel_workload(sim::TimePs sim_time,
+                              telemetry::HostProfiler* prof = nullptr) {
   constexpr int kOneShotTimers = 32;
   constexpr int kRecurringTimers = 32;
   constexpr int kSpinners = 4;
 
   sim::Simulator s;
+  if (prof != nullptr) {
+    prof->attach(s);
+  }
+  // profile_tag() is 0 (untagged) when no profiler is attached, so the
+  // headline profile-off reps take the identical code path.
+  const std::uint32_t oneshot_tag = s.profile_tag("bench.oneshot");
+  const std::uint32_t recurring_tag = s.profile_tag("bench.recurring");
   sim::ClockDomain clk("c", 1000);  // 1 GHz
   std::vector<std::unique_ptr<Spinner>> spinners;
   for (int i = 0; i < kSpinners; ++i) {
@@ -177,6 +194,7 @@ KernelRun run_kernel_workload(sim::TimePs sim_time) {
     one_shot[static_cast<std::size_t>(i)].sim = &s;
     one_shot[static_cast<std::size_t>(i)].period =
         1000 + 17 * static_cast<sim::TimePs>(i);
+    one_shot[static_cast<std::size_t>(i)].tag = oneshot_tag;
     one_shot[static_cast<std::size_t>(i)].arm(
         one_shot[static_cast<std::size_t>(i)].period);
   }
@@ -185,6 +203,7 @@ KernelRun run_kernel_workload(sim::TimePs sim_time) {
     recurring[static_cast<std::size_t>(i)].sim = &s;
     recurring[static_cast<std::size_t>(i)].period =
         1000 + 17 * static_cast<sim::TimePs>(kOneShotTimers + i);
+    recurring[static_cast<std::size_t>(i)].tag = recurring_tag;
     recurring[static_cast<std::size_t>(i)].start(
         recurring[static_cast<std::size_t>(i)].period);
   }
@@ -228,6 +247,15 @@ int run_kernel_json(const std::string& path) {
   const double events_per_sec = dispatched / (best.wall_ns / 1e9);
   const double ns_per_event = best.wall_ns / dispatched;
 
+  // One extra profiled rep for the "profile" section. The headline
+  // events/sec above comes exclusively from the profile-off reps, so the
+  // attribution cost never pollutes the perf record CI gates on.
+  telemetry::HostProfiler prof;
+  run_kernel_workload(kSimTime, &prof);
+  const telemetry::ProfileSnapshot snap = prof.snapshot();
+  std::ostringstream profile_json;
+  snap.write_json_object(profile_json);
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -246,14 +274,15 @@ int run_kernel_json(const std::string& path) {
                "  \"wall_ms\": %.3f,\n"
                "  \"events_per_sec\": %.6e,\n"
                "  \"ns_per_event\": %.3f,\n"
-               "  \"peak_rss_kb\": %ld\n"
+               "  \"peak_rss_kb\": %ld,\n"
+               "  \"profile\": %s\n"
                "}\n",
                static_cast<unsigned long long>(kSimTime),
                static_cast<unsigned long long>(best.events),
                static_cast<unsigned long long>(best.ticks),
                static_cast<unsigned long long>(best.max_queue),
                best.wall_ns / 1e6, events_per_sec, ns_per_event,
-               peak_rss_kb());
+               peak_rss_kb(), profile_json.str().c_str());
   std::fclose(f);
   std::printf("kernel throughput: %.3e events/s (%.2f ns/event) -> %s\n",
               events_per_sec, ns_per_event, path.c_str());

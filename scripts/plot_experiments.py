@@ -395,6 +395,69 @@ def plot_bank(args, plt):
     print("wrote", out)
 
 
+def load_profile(path):
+    """Reads a host-profile artifact (--profile-json output, or the
+    'profile' section spliced into BENCH_micro.json, or a folded-stack
+    file); returns (tags, total_cycles) with tags = {name: cycles}."""
+    with open(path) as f:
+        text = f.read()
+    if text.lstrip().startswith("{"):
+        doc = json.loads(text)
+        prof = doc.get("profile", doc)
+        tags = {t["name"]: int(t["cycles"]) for t in prof["tags"]}
+        total = int(prof.get("total_cycles", 0)) or sum(tags.values())
+        return tags, total
+    tags = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        frames, _, cycles = line.rpartition(" ")
+        tags[frames.split(";")[-1]] = (
+            tags.get(frames.split(";")[-1], 0) + int(cycles))
+    return tags, sum(tags.values())
+
+
+def plot_profile(args, plt):
+    tags_a, total_a = load_profile(args.profile)
+    if not tags_a:
+        sys.exit(f"no tags in {args.profile}")
+    if args.baseline:
+        # Delta view: share movement per tag, fresh minus baseline.
+        tags_b, total_b = load_profile(args.baseline)
+        names = sorted(set(tags_a) | set(tags_b),
+                       key=lambda n: -(tags_a.get(n, 0) / total_a -
+                                       tags_b.get(n, 0) / max(total_b, 1)))
+        deltas = [100.0 * (tags_a.get(n, 0) / total_a -
+                           tags_b.get(n, 0) / max(total_b, 1))
+                  for n in names]
+        fig, ax = plt.subplots(figsize=(7, 0.35 * len(names) + 1.5))
+        colors = ["firebrick" if d > 0 else "steelblue" for d in deltas]
+        ax.barh(range(len(names)), deltas, color=colors)
+        ax.set_yticks(range(len(names)))
+        ax.set_yticklabels(names, fontsize=7)
+        ax.invert_yaxis()
+        ax.axvline(0.0, color="grey", linewidth=0.8)
+        ax.set_xlabel("cycle-share delta vs. baseline (pp)")
+        ax.set_title("Host hot-path share movement", fontsize=10)
+        name = "profile_delta.png"
+    else:
+        names = sorted(tags_a, key=tags_a.get, reverse=True)[:args.top]
+        shares = [100.0 * tags_a[n] / total_a for n in names]
+        fig, ax = plt.subplots(figsize=(7, 0.35 * len(names) + 1.5))
+        ax.barh(range(len(names)), shares, color="steelblue")
+        ax.set_yticks(range(len(names)))
+        ax.set_yticklabels(names, fontsize=7)
+        ax.invert_yaxis()
+        ax.set_xlabel("share of measured host cycles (%)")
+        ax.set_title("Host hot-path attribution", fontsize=10)
+        name = "profile_shares.png"
+    fig.tight_layout()
+    os.makedirs(args.out, exist_ok=True)
+    out = os.path.join(args.out, name)
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
 def import_pyplot():
     try:
         import matplotlib
@@ -454,6 +517,23 @@ def main():
         ap.add_argument("--out", default="plots", help="output directory")
         args = ap.parse_args(sys.argv[2:])
         plot_bank(args, import_pyplot())
+        return
+
+    if len(sys.argv) > 1 and sys.argv[1] == "profile":
+        ap = argparse.ArgumentParser(
+            prog="plot_experiments.py profile",
+            description="host hot-path attribution from a --profile-json "
+                        "or --profile-folded artifact: top-tag cycle-share "
+                        "bars, or share deltas against a --baseline profile")
+        ap.add_argument("profile",
+                        help="profile JSON or folded-stack file")
+        ap.add_argument("--baseline", default=None,
+                        help="baseline profile; plots share deltas instead")
+        ap.add_argument("--top", type=int, default=20,
+                        help="tags shown in the share view (default 20)")
+        ap.add_argument("--out", default="plots", help="output directory")
+        args = ap.parse_args(sys.argv[2:])
+        plot_profile(args, import_pyplot())
         return
 
     if len(sys.argv) > 1 and sys.argv[1] == "blame":

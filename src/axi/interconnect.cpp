@@ -11,6 +11,7 @@ Interconnect::Interconnect(sim::Simulator& sim, const sim::ClockDomain& clk,
       cfg_(std::move(cfg)),
       arbiter_(std::make_unique<RoundRobinArbiter>()) {
   config_check(cfg_.issue_width > 0, "Interconnect: issue_width must be > 0");
+  prof_tag_deliver_ = sim.profile_tag("axi.deliver");
 }
 
 MasterPort& Interconnect::add_master(MasterPortConfig cfg) {
@@ -175,9 +176,9 @@ void Interconnect::line_done(const LineRequest& line, sim::TimePs now) {
   }
   MasterPort& port = *ports_.at(txn->master);
   const sim::TimePs deliver = now + port.config().response_latency_ps;
-  simulator().schedule_at(deliver, [&port, txn, deliver]() {
-    port.complete_txn(*txn, deliver);
-  });
+  simulator().schedule_at(
+      deliver, [&port, txn, deliver]() { port.complete_txn(*txn, deliver); },
+      prof_tag_deliver_);
 }
 
 }  // namespace fgqos::axi

@@ -118,6 +118,7 @@ class Interconnect final : public sim::Clocked, public ResponseSink {
   std::vector<std::unique_ptr<MasterPort>> ports_;
   std::unique_ptr<Arbiter> arbiter_;
   sim::ObjectPool<Transaction> txn_pool_;
+  std::uint32_t prof_tag_deliver_ = 0;  ///< host-profiler tag, axi.deliver
   SlaveIf* slave_ = nullptr;
   TxnId txn_seq_ = 0;
   std::vector<bool> eligible_;  ///< scratch, sized to master count

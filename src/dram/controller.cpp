@@ -34,6 +34,7 @@ Controller::Controller(sim::Simulator& sim, const sim::ClockDomain& clk,
   config_check(clk.period_ps() == cfg_.timing.period_ps(),
                "Controller: clock domain does not match timing.clock_mhz");
   next_refresh_ = cfg_.timing.tREFI;
+  prof_tag_done_ = sim.profile_tag("dram.line_done");
 }
 
 std::uint64_t Controller::master_bytes(axi::MasterId m) const {
@@ -266,8 +267,9 @@ void Controller::issue_cas(QueueEntry entry, Cycle c, bool auto_precharge) {
   }
   axi::ResponseSink* sink = sink_;
   const axi::LineRequest line = entry.line;
-  simulator().schedule_at(done_ps,
-                          [sink, line, done_ps]() { sink->line_done(line, done_ps); });
+  simulator().schedule_at(
+      done_ps, [sink, line, done_ps]() { sink->line_done(line, done_ps); },
+      prof_tag_done_);
 }
 
 void Controller::scan_order(std::vector<const QueueEntry*>& out,

@@ -175,6 +175,7 @@ class Controller final : public sim::Clocked, public axi::SlaveIf {
   ControllerConfig cfg_;
   AddressMapper mapper_;
   axi::ResponseSink* sink_;
+  std::uint32_t prof_tag_done_ = 0;  ///< host-profiler tag, dram.line_done
   std::vector<Bank> banks_;
   RequestQueue read_q_;
   RequestQueue write_q_;

@@ -181,6 +181,9 @@ RunReport ScenarioRunner::run_report(std::vector<JobFn> batch) {
   auto& jobs_timed_out = metrics_.counter("exec.jobs_timed_out");
   auto& queue_wait_us = metrics_.histogram("exec.queue_wait_us");
   auto& job_us = metrics_.histogram("exec.job_us");
+  auto& job_wall_ms = metrics_.histogram("exec.job_wall_ms");
+  auto& queue_depth = metrics_.gauge("exec.queue_depth");
+  queue_depth.set(static_cast<double>(n));
   std::mutex metrics_mu;
 
   std::atomic<std::size_t> next{0};
@@ -257,10 +260,18 @@ RunReport ScenarioRunner::run_report(std::vector<JobFn> batch) {
         return;
       }
       JobOutcome& out = report.jobs[i];
+      {
+        // Unclaimed jobs left right now; re-read the shared cursor so late
+        // writers cannot revive a depth another worker already lowered.
+        const std::size_t claimed = std::min(next.load(), n);
+        const std::lock_guard<std::mutex> lock(metrics_mu);
+        queue_depth.set(static_cast<double>(n - claimed));
+      }
       const double wait_s = seconds_since(batch_start);
       const auto job_start = Clock::now();
       for (std::uint32_t attempt = 0;; ++attempt) {
         out.attempts = attempt + 1;
+        const auto attempt_start = Clock::now();
         JobContext ctx;
         ctx.index = i;
         ctx.seed = derive_seed(cfg_.base_seed, i, attempt);
@@ -268,6 +279,13 @@ RunReport ScenarioRunner::run_report(std::vector<JobFn> batch) {
         ctx.attempt = attempt;
         ctx.cancelled = stop_.get();
         std::shared_ptr<AttemptState> hung = run_attempt(i, ctx, out);
+        {
+          // Per-attempt wall time: retries and timeouts each get their own
+          // sample (job_us keeps the whole-job view).
+          const double attempt_s = seconds_since(attempt_start);
+          const std::lock_guard<std::mutex> lock(metrics_mu);
+          job_wall_ms.record(static_cast<std::uint64_t>(attempt_s * 1e3));
+        }
         if (out.status == JobStatus::kOk) {
           break;
         }

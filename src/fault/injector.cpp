@@ -28,7 +28,9 @@ FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan,
     : sim_(sim),
       plan_(std::move(plan)),
       mix_seed_(mix64(plan_.seed ^ mix64(run_seed))),
-      metrics_(metrics) {}
+      metrics_(metrics) {
+  prof_tag_ = sim_.profile_tag("fault.injector");
+}
 
 FaultInjector::Site* FaultInjector::make_site(const FaultSpec& spec) {
   sites_.emplace_back(&spec, mix64(mix_seed_ + ++site_count_));
@@ -142,18 +144,21 @@ void FaultInjector::wire_interconnect(axi::Interconnect& xbar) {
 
 void FaultInjector::schedule_port_stall(Site* site, axi::MasterPort* port,
                                         sim::TimePs at) {
-  sim_.schedule_at(at, [this, site, port]() {
-    const sim::TimePs now = sim_.now();
-    const FaultSpec& s = *site->spec;
-    if (now >= s.end_ps) {
-      return;  // fault window over; stop the event chain
-    }
-    if (roll(*site, now)) {
-      record(*site, now);
-      port->inject_stall(s.duration_ps);
-    }
-    schedule_port_stall(site, port, now + s.period_ps);
-  });
+  sim_.schedule_at(
+      at,
+      [this, site, port]() {
+        const sim::TimePs now = sim_.now();
+        const FaultSpec& s = *site->spec;
+        if (now >= s.end_ps) {
+          return;  // fault window over; stop the event chain
+        }
+        if (roll(*site, now)) {
+          record(*site, now);
+          port->inject_stall(s.duration_ps);
+        }
+        schedule_port_stall(site, port, now + s.period_ps);
+      },
+      prof_tag_);
 }
 
 void FaultInjector::wire_port(axi::MasterPort& port) {
@@ -283,22 +288,27 @@ void FaultInjector::wire_dram(dram::Controller& dram) {
       continue;
     }
     Site* site = make_site(s);
-    sim_.schedule_at(std::max(s.start_ps, sim_.now()),
-                     [this, site, storms]() {
-                       record(*site, sim_.now());
-                       storms->active.push_back(site->spec->factor);
-                       storms->apply();
-                     });
+    sim_.schedule_at(
+        std::max(s.start_ps, sim_.now()),
+        [this, site, storms]() {
+          record(*site, sim_.now());
+          storms->active.push_back(site->spec->factor);
+          storms->apply();
+        },
+        prof_tag_);
     if (s.end_ps != sim::kTimeNever) {
-      sim_.schedule_at(s.end_ps, [site, storms]() {
-        auto& active = storms->active;
-        const auto it =
-            std::find(active.begin(), active.end(), site->spec->factor);
-        if (it != active.end()) {
-          active.erase(it);
-        }
-        storms->apply();
-      });
+      sim_.schedule_at(
+          s.end_ps,
+          [site, storms]() {
+            auto& active = storms->active;
+            const auto it =
+                std::find(active.begin(), active.end(), site->spec->factor);
+            if (it != active.end()) {
+              active.erase(it);
+            }
+            storms->apply();
+          },
+          prof_tag_);
     }
   }
 }

@@ -110,6 +110,7 @@ class FaultInjector {
   }
 
   sim::Simulator& sim_;
+  std::uint32_t prof_tag_ = 0;  ///< host-profiler tag, fault.injector
   FaultPlan plan_;
   std::uint64_t mix_seed_;
   std::uint64_t site_count_ = 0;

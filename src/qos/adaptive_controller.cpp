@@ -30,7 +30,8 @@ AdaptiveQosController::AdaptiveQosController(
   }
   stats_.current_bps = cfg_.initial_bps;
   tick_event_ = sim_.make_recurring_event(
-      [this](std::uint64_t epoch) { control_tick(epoch); });
+      [this](std::uint64_t epoch) { control_tick(epoch); },
+      sim_.profile_tag("qos.adaptive"));
 }
 
 void AdaptiveQosController::apply(double per_port_bps) {

@@ -11,7 +11,8 @@ BandwidthMonitor::BandwidthMonitor(sim::Simulator& sim, MonitorConfig cfg)
                "BandwidthMonitor: must count at least one direction");
   window_start_ = sim_.now();
   boundary_event_ = sim_.make_recurring_event(
-      [this](std::uint64_t epoch) { on_boundary(epoch); });
+      [this](std::uint64_t epoch) { on_boundary(epoch); },
+      sim_.profile_tag("qos.monitor"));
   schedule_boundary();
 }
 

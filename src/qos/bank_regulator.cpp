@@ -36,7 +36,8 @@ BankRegulator::BankRegulator(sim::Simulator& sim, BankRegulatorConfig cfg,
   }
   window_start_ = sim_.now();
   replenish_event_ = sim_.make_recurring_event(
-      [this](std::uint64_t epoch) { on_replenish(epoch); });
+      [this](std::uint64_t epoch) { on_replenish(epoch); },
+      sim_.profile_tag("qos.bank_regulator"));
   schedule_replenish();
 }
 

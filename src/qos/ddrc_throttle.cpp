@@ -14,8 +14,9 @@ DdrcThrottle::DdrcThrottle(sim::Simulator& sim, DdrcThrottleConfig cfg,
       write_bucket_(budget_for_rate(cfg_.write_bps, cfg_.window_ps),
                     ReplenishKind::kFixedWindow) {
   config_check(cfg_.window_ps > 0, "DdrcThrottle: window must be > 0");
-  window_event_ =
-      sim_.make_recurring_event([this](std::uint64_t) { on_window(); });
+  window_event_ = sim_.make_recurring_event(
+      [this](std::uint64_t) { on_window(); },
+      sim_.profile_tag("qos.ddrc_throttle"));
   sim_.schedule_recurring(window_event_, sim_.now() + cfg_.window_ps);
 }
 

@@ -10,7 +10,8 @@ LatencyMonitor::LatencyMonitor(sim::Simulator& sim, LatencyMonitorConfig cfg)
   config_check(cfg_.track_reads || cfg_.track_writes,
                "LatencyMonitor: must track at least one direction");
   boundary_event_ = sim_.make_recurring_event(
-      [this](std::uint64_t epoch) { on_boundary(epoch); });
+      [this](std::uint64_t epoch) { on_boundary(epoch); },
+      sim_.profile_tag("qos.latency_monitor"));
   schedule_boundary();
 }
 

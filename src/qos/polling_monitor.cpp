@@ -8,8 +8,9 @@ LaggedRegulator::LaggedRegulator(sim::Simulator& sim,
                                  LaggedRegulatorConfig cfg)
     : sim_(sim), cfg_(std::move(cfg)) {
   config_check(cfg_.window_ps > 0, "LaggedRegulator: window must be > 0");
-  window_event_ =
-      sim_.make_recurring_event([this](std::uint64_t) { on_window(); });
+  prof_tag_ = sim_.profile_tag("qos.lagged_regulator");
+  window_event_ = sim_.make_recurring_event(
+      [this](std::uint64_t) { on_window(); }, prof_tag_);
   sim_.schedule_recurring(window_event_, sim_.now() + cfg_.window_ps);
 }
 
@@ -56,7 +57,8 @@ void LaggedRegulator::on_grant(const axi::LineRequest& line,
     return;
   }
   sim_.schedule_at(now + cfg_.observation_latency_ps,
-                   [this, bytes, epoch]() { on_observe(bytes, epoch); });
+                   [this, bytes, epoch]() { on_observe(bytes, epoch); },
+                   prof_tag_);
 }
 
 }  // namespace fgqos::qos

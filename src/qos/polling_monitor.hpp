@@ -61,6 +61,7 @@ class LaggedRegulator final : public axi::TxnGate {
   sim::Simulator& sim_;
   LaggedRegulatorConfig cfg_;
   sim::EventQueue::RecurringId window_event_ = 0;
+  std::uint32_t prof_tag_ = 0;  ///< host-profiler attribution tag
   std::uint64_t true_bytes_ = 0;      ///< granted this window
   std::uint64_t observed_bytes_ = 0;  ///< what the regulator "knows"
   std::uint64_t max_overshoot_ = 0;

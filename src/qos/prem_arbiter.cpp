@@ -8,8 +8,9 @@ PremArbiter::PremArbiter(sim::Simulator& sim, PremConfig cfg)
     : sim_(sim), cfg_(std::move(cfg)) {
   config_check(!cfg_.schedule.empty(), "PremArbiter: empty schedule");
   config_check(cfg_.slot_ps > 0, "PremArbiter: slot length must be > 0");
-  slot_event_ =
-      sim_.make_recurring_event([this](std::uint64_t) { on_slot_boundary(); });
+  slot_event_ = sim_.make_recurring_event(
+      [this](std::uint64_t) { on_slot_boundary(); },
+      sim_.profile_tag("qos.prem_arbiter"));
   sim_.schedule_recurring(slot_event_, sim_.now() + cfg_.slot_ps);
 }
 

@@ -96,7 +96,8 @@ void QosManager::start_reclamation() {
   if (!reclaim_event_made_) {
     reclaim_event_made_ = true;
     reclaim_event_ = sim_.make_recurring_event(
-        [this](std::uint64_t epoch) { reclaim_tick(epoch); });
+        [this](std::uint64_t epoch) { reclaim_tick(epoch); },
+        sim_.profile_tag("qos.manager"));
   }
   sim_.schedule_recurring(reclaim_event_, sim_.now() + cfg_.reclaim_period_ps,
                           ++reclaim_epoch_);

@@ -14,8 +14,9 @@ Regulator::Regulator(sim::Simulator& sim, RegulatorConfig cfg)
   config_check(cfg_.gate_reads || cfg_.gate_writes,
                "Regulator: must gate at least one direction");
   window_start_ = sim_.now();
+  prof_tag_ = sim_.profile_tag("qos.regulator");
   replenish_event_ = sim_.make_recurring_event(
-      [this](std::uint64_t epoch) { on_replenish(epoch); });
+      [this](std::uint64_t epoch) { on_replenish(epoch); }, prof_tag_);
   schedule_replenish();
 }
 
@@ -55,11 +56,14 @@ void Regulator::on_replenish(std::uint64_t epoch) {
                          "delay_ps=" + std::to_string(verdict));
       }
       const std::uint64_t guard = epoch_;
-      sim_.schedule_after(verdict, [this, guard]() {
-        if (guard == epoch_) {
-          apply_replenish();
-        }
-      });
+      sim_.schedule_after(
+          verdict,
+          [this, guard]() {
+            if (guard == epoch_) {
+              apply_replenish();
+            }
+          },
+          prof_tag_);
       window_start_ = sim_.now();
       schedule_replenish();
       return;

@@ -138,6 +138,7 @@ class Regulator final : public axi::TxnGate {
   std::uint64_t epoch_ = 0;
   sim::TimePs window_start_ = 0;
   sim::EventQueue::RecurringId replenish_event_ = 0;
+  std::uint32_t prof_tag_ = 0;  ///< host-profiler attribution tag
   IrqFaultFn irq_fault_;
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;

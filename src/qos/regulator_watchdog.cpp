@@ -26,8 +26,9 @@ RegulatorWatchdog::RegulatorWatchdog(sim::Simulator& sim, Regulator& reg,
                "RegulatorWatchdog: stale_checks_to_trip must be >= 1");
   config_check(cfg_.sane_checks_to_rearm >= 1,
                "RegulatorWatchdog: sane_checks_to_rearm must be >= 1");
-  check_event_ =
-      sim_.make_recurring_event([this](std::uint64_t) { on_check(); });
+  check_event_ = sim_.make_recurring_event(
+      [this](std::uint64_t) { on_check(); },
+      sim_.profile_tag("qos.watchdog"));
   sim_.schedule_recurring(check_event_, sim_.now() + cfg_.check_period_ps);
 }
 

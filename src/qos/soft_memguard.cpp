@@ -25,8 +25,9 @@ SoftMemguard::SoftMemguard(sim::Simulator& sim, SoftMemguardConfig cfg)
   config_check(cfg_.period_ps > 0, "SoftMemguard: period must be > 0");
   config_check(cfg_.isr_latency_ps < cfg_.period_ps,
                "SoftMemguard: ISR latency must be below the period");
-  period_event_ =
-      sim_.make_recurring_event([this](std::uint64_t) { on_period_tick(); });
+  prof_tag_ = sim_.profile_tag("qos.memguard");
+  period_event_ = sim_.make_recurring_event(
+      [this](std::uint64_t) { on_period_tick(); }, prof_tag_);
   sim_.schedule_recurring(period_event_, sim_.now() + cfg_.period_ps);
 }
 
@@ -64,10 +65,10 @@ void SoftMemguard::set_budget(axi::MasterId master, std::uint64_t budget_bytes) 
     st.overflow_pending = true;
     if (cfg_.use_overflow_irq) {
       const std::uint64_t period = period_index_;
-      sim_.schedule_at(now + cfg_.isr_latency_ps,
-                       [this, master, period]() {
-                         deliver_stall(master, period, 0, true);
-                       });
+      sim_.schedule_at(
+          now + cfg_.isr_latency_ps,
+          [this, master, period]() { deliver_stall(master, period, 0, true); },
+          prof_tag_);
     }
   }
 }
@@ -162,10 +163,10 @@ void SoftMemguard::on_grant(const axi::LineRequest& line, sim::TimePs now) {
     st.stats.violation_bytes += st.bytes - st.quota;
     if (cfg_.use_overflow_irq) {
       const std::uint64_t period = period_index_;
-      sim_.schedule_at(now + cfg_.isr_latency_ps,
-                       [this, m, period]() {
-                         deliver_stall(m, period, 0, true);
-                       });
+      sim_.schedule_at(
+          now + cfg_.isr_latency_ps,
+          [this, m, period]() { deliver_stall(m, period, 0, true); },
+          prof_tag_);
     }
     // Without the overflow IRQ the master keeps running until the period
     // boundary; every grant above budget counts as violation (handled by
@@ -202,9 +203,10 @@ void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period,
                            master_detail(m, attempt) +
                                " backoff_ps=" + std::to_string(backoff));
         }
-        sim_.schedule_after(backoff, [this, m, p, next]() {
-          deliver_stall(m, p, next, true);
-        });
+        sim_.schedule_after(
+            backoff,
+            [this, m, p, next]() { deliver_stall(m, p, next, true); },
+            prof_tag_);
       } else {
         ++irq_stats_.irqs_lost;
         if (journal_ != nullptr) {
@@ -225,9 +227,9 @@ void SoftMemguard::deliver_stall(axi::MasterId m, std::uint64_t period,
                          static_cast<double>(verdict), "irq_fault",
                          master_detail(m, attempt));
       }
-      sim_.schedule_after(verdict, [this, m, p, a]() {
-        deliver_stall(m, p, a, false);
-      });
+      sim_.schedule_after(
+          verdict, [this, m, p, a]() { deliver_stall(m, p, a, false); },
+          prof_tag_);
       return;
     }
   }

@@ -154,6 +154,7 @@ class SoftMemguard final : public axi::TxnGate {
   SoftMemguardConfig cfg_;
   std::vector<MasterState> masters_;
   sim::EventQueue::RecurringId period_event_ = 0;
+  std::uint32_t prof_tag_ = 0;  ///< host-profiler attribution tag
   std::uint64_t period_index_ = 0;
   std::uint64_t pool_ = 0;
   std::uint64_t reclaimed_total_ = 0;

@@ -65,7 +65,8 @@ void QosVcdTap::attach_regulator(const Regulator& reg) {
     if (!poll_event_made_) {
       poll_event_made_ = true;
       poll_event_ = sim_.make_recurring_event(
-          [this](std::uint64_t epoch) { poll(epoch); });
+          [this](std::uint64_t epoch) { poll(epoch); },
+          sim_.profile_tag("telemetry.vcd_tap"));
     }
     sim_.schedule_recurring(poll_event_, sim_.now() + period_, ++epoch_);
   }

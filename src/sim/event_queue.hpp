@@ -45,9 +45,11 @@ class EventQueue {
 
   /// Schedules \p fn at absolute time \p when. \p when may equal the time
   /// of the event currently executing (fires in the same delta step).
-  /// One-shot: the closure is dropped after it fires.
+  /// One-shot: the closure is dropped after it fires. \p tag is the host
+  /// profiler's attribution tag (0 = untagged); it rides in the heap
+  /// entry's padding, so tagging costs nothing either way.
   template <typename F>
-  void schedule(TimePs when, F&& fn) {
+  void schedule(TimePs when, F&& fn, std::uint32_t tag = 0) {
     std::uint32_t slot;
     if (!free_slots_.empty()) {
       slot = free_slots_.back();
@@ -60,17 +62,21 @@ class EventQueue {
     slots_[slot].emplace(std::forward<F>(fn));
     FGQOS_ASSERT(static_cast<bool>(slots_[slot]),
                  "EventQueue: null callback");
-    push_entry(when, slot);
+    push_entry(when, slot, 0, tag);
   }
 
   /// Registers a recurring closure; it fires every time a
   /// schedule_recurring() entry for it reaches the head of the queue. The
   /// closure may take a std::uint64_t to receive the per-schedule payload.
+  /// The attribution \p tag is registered once here and stamped on every
+  /// re-arm, so a recurring event keeps one tag for its whole life no
+  /// matter how many times it re-arms itself.
   template <typename F>
-  RecurringId make_recurring(F&& fn) {
+  RecurringId make_recurring(F&& fn, std::uint32_t tag = 0) {
     FGQOS_ASSERT(recurring_.size() < kRecurringBit,
                  "EventQueue: recurring id space exhausted");
     recurring_.emplace_back(std::forward<F>(fn));
+    recurring_tags_.push_back(tag);
     return static_cast<RecurringId>(recurring_.size() - 1);
   }
 
@@ -79,7 +85,7 @@ class EventQueue {
   /// closure disambiguates via \p arg, e.g. an epoch counter.
   void schedule_recurring(RecurringId id, TimePs when, std::uint64_t arg = 0) {
     FGQOS_ASSERT(id < recurring_.size(), "EventQueue: bad recurring id");
-    push_entry(when, id | kRecurringBit, arg);
+    push_entry(when, id | kRecurringBit, arg, recurring_tags_[id]);
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -94,11 +100,18 @@ class EventQueue {
 
   /// Removes and dispatches the earliest event; returns its time.
   /// Pre: !empty(). Defined inline: this is the kernel's innermost call
-  /// and inlining it into the run loop saves a call per event.
+  /// and inlining it into the run loop saves a call per event. Only the
+  /// profiled run loop instantiates kTag=true; the default instantiation
+  /// never touches last_tag_, so unprofiled dispatch pays nothing for
+  /// the attribution plumbing.
+  template <bool kTag = false>
   TimePs run_next() {
     FGQOS_ASSERT(!heap_.empty(), "run_next on empty EventQueue");
     const Entry e = heap_.pop();
     const TimePs when = e.when();
+    if constexpr (kTag) {
+      last_tag_ = e.tag;
+    }
     if ((e.slot & kRecurringBit) != 0) {
       recurring_[e.slot & ~kRecurringBit](e.arg);
       return when;
@@ -111,6 +124,11 @@ class EventQueue {
     return when;
   }
 
+  /// Attribution tag of the event most recently dispatched by
+  /// run_next<true>(). Read by the profiled run loop immediately after
+  /// each dispatch.
+  [[nodiscard]] std::uint32_t last_dispatch_tag() const { return last_tag_; }
+
  private:
   /// High bit of Entry::slot marks a recurring event.
   static constexpr std::uint32_t kRecurringBit = 0x8000'0000u;
@@ -121,20 +139,25 @@ class EventQueue {
     unsigned __int128 key;
     std::uint64_t arg;  ///< payload for recurring closures
     std::uint32_t slot;
+    std::uint32_t tag;  ///< host-profiler attribution tag (was padding)
     [[nodiscard]] TimePs when() const {
       return static_cast<TimePs>(key >> 64);
     }
   };
+  static_assert(sizeof(Entry) == 32,
+                "Entry must stay 32 bytes: the tag lives in what used to "
+                "be alignment padding, not in new heap traffic");
   struct Earlier {
     bool operator()(const Entry& a, const Entry& b) const {
       return a.key < b.key;
     }
   };
 
-  void push_entry(TimePs when, std::uint32_t slot, std::uint64_t arg = 0) {
+  void push_entry(TimePs when, std::uint32_t slot, std::uint64_t arg = 0,
+                  std::uint32_t tag = 0) {
     const auto key =
         (static_cast<unsigned __int128>(when) << 64) | next_seq_++;
-    heap_.push(Entry{key, arg, slot});
+    heap_.push(Entry{key, arg, slot, tag});
     if (heap_.size() > max_size_) {
       max_size_ = heap_.size();
     }
@@ -144,8 +167,10 @@ class EventQueue {
   std::vector<InlineEvent> slots_;        ///< one-shot closures
   std::vector<std::uint32_t> free_slots_;
   std::deque<InlineEvent> recurring_;     ///< stable registered closures
+  std::vector<std::uint32_t> recurring_tags_;  ///< parallel to recurring_
   std::uint64_t next_seq_ = 0;
   std::size_t max_size_ = 0;
+  std::uint32_t last_tag_ = 0;
 };
 
 }  // namespace fgqos::sim

@@ -65,10 +65,31 @@ double Simulator::wall_s_per_sim_s() const {
 }
 
 void Simulator::run_until(TimePs t_end) {
+  // The whole profiling price when disabled is this one predicted branch
+  // per run_until() call; the kProfile=false instantiation is the exact
+  // pre-profiler loop.
+  if (prof_ != nullptr) {
+    run_loop<true>(t_end);
+  } else {
+    run_loop<false>(t_end);
+  }
+}
+
+template <bool kProfile>
+void Simulator::run_loop(TimePs t_end) {
   FGQOS_ASSERT(!running_, "run_until: re-entrant call");
   running_ = true;
   stop_requested_ = false;
   const auto wall_start = std::chrono::steady_clock::now();
+  // Fence-post cycle attribution: the span between consecutive counter
+  // reads is charged to the dispatch that ended it (heap ops and loop
+  // bookkeeping ride along with the work they set up), and the tail after
+  // the last dispatch goes to kernel.overhead — so the per-tag cycles of
+  // a run sum exactly to total_cycles.
+  std::uint64_t c_prev = kProfile ? prof_now_cycles() : 0;
+  const std::uint64_t c_start = c_prev;
+  TimePs run_ts = kTimeNever;     // timestamp of the current event run
+  std::uint64_t run_len = 0;      // same-timestamp events seen in it
   while (!stop_requested_) {
     const TimePs ev_t = events_.next_time();
     const TimePs tk_t = ticks_.empty() ? kTimeNever : ticks_.top().when;
@@ -79,8 +100,26 @@ void Simulator::run_until(TimePs t_end) {
     now_ = next;
     // Events fire before ticks at equal timestamps.
     if (ev_t <= tk_t && ev_t != kTimeNever) {
+      if constexpr (kProfile) {
+        prof_->heap_depth.record(events_.size());
+        if (ev_t == run_ts) {
+          ++run_len;
+        } else {
+          if (run_len > 0) {
+            prof_->run_length.record(run_len);
+          }
+          run_ts = ev_t;
+          run_len = 1;
+        }
+      }
       ++events_dispatched_;
-      events_.run_next();
+      events_.run_next<kProfile>();
+      if constexpr (kProfile) {
+        const std::uint64_t c = prof_now_cycles();
+        prof_->hit(events_.last_dispatch_tag(), c - c_prev);
+        ++prof_->events_dispatched;
+        c_prev = c;
+      }
       continue;
     }
     const TickEntry e = ticks_.pop();
@@ -97,6 +136,11 @@ void Simulator::run_until(TimePs t_end) {
     // itself (e.g. to fast-forward over a long compute phase) and then
     // return false.
     c.scheduled_ = false;
+    if constexpr (kProfile) {
+      if (c.prof_tag_ == 0 && prof_register_) {
+        c.prof_tag_ = prof_register_("tick." + c.name_);
+      }
+    }
     if (c.tick(cycle)) {
       const TimePs next_edge = e.when + c.clk_->period_ps();
       if (!c.scheduled_ || c.next_tick_ > next_edge) {
@@ -107,9 +151,23 @@ void Simulator::run_until(TimePs t_end) {
       }
     }
     // When tick() returned false, any wake_at() it performed stands.
+    if constexpr (kProfile) {
+      const std::uint64_t cy = prof_now_cycles();
+      prof_->hit(c.prof_tag_, cy - c_prev);
+      ++prof_->ticks_dispatched;
+      c_prev = cy;
+    }
   }
   if (!stop_requested_ && now_ < t_end) {
     now_ = t_end;
+  }
+  if constexpr (kProfile) {
+    if (run_len > 0) {
+      prof_->run_length.record(run_len);
+    }
+    const std::uint64_t c_end = prof_now_cycles();
+    prof_->hit(kProfTagOverhead, c_end - c_prev);
+    prof_->total_cycles += c_end - c_start;
   }
   wall_ns_ += static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -117,5 +175,8 @@ void Simulator::run_until(TimePs t_end) {
           .count());
   running_ = false;
 }
+
+template void Simulator::run_loop<false>(TimePs);
+template void Simulator::run_loop<true>(TimePs);
 
 }  // namespace fgqos::sim

@@ -23,13 +23,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "sim/clock_domain.hpp"
 #include "sim/dheap.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/prof.hpp"
 #include "sim/time.hpp"
 #include "util/assert.hpp"
 
@@ -75,6 +78,9 @@ class Clocked {
   std::string name_;
   std::uint64_t order_ = 0;   ///< registration order, for deterministic ties
   std::uint64_t ticks_fired_ = 0;
+  /// Host-profiler tag ("tick.<name>"), assigned lazily by the profiled
+  /// run loop on this component's first profiled tick.
+  std::uint32_t prof_tag_ = 0;
   bool scheduled_ = false;
   bool has_ticked_ = false;
   TimePs next_tick_ = 0;      ///< valid iff scheduled_
@@ -98,26 +104,33 @@ class Simulator {
 
   /// Schedules a one-shot callback at absolute time \p when (>= now).
   /// The callable must fit the InlineEvent contract (capture <= 48 B,
-  /// nothrow-movable); oversized captures are a compile error.
+  /// nothrow-movable); oversized captures are a compile error. \p tag is
+  /// the host-profiler attribution tag from profile_tag() (0 = untagged).
   template <typename F>
-  void schedule_at(TimePs when, F&& fn) {
+  void schedule_at(TimePs when, F&& fn, std::uint32_t tag = 0) {
     FGQOS_ASSERT(when >= now_, "schedule_at: time in the past");
-    events_.schedule(when, std::forward<F>(fn));
+    if (prof_ != nullptr) {
+      ++prof_->oneshot_scheduled;
+      prof_->arm_delta_ps.record(when - now_);
+    }
+    events_.schedule(when, std::forward<F>(fn), tag);
   }
 
   /// Schedules a one-shot callback \p delay after the current time.
   template <typename F>
-  void schedule_after(TimePs delay, F&& fn) {
-    schedule_at(now_ + delay, std::forward<F>(fn));
+  void schedule_after(TimePs delay, F&& fn, std::uint32_t tag = 0) {
+    schedule_at(now_ + delay, std::forward<F>(fn), tag);
   }
 
   /// Registers a recurring closure (see EventQueue::make_recurring).
   /// Periodic work — window boundaries, replenish ticks, refresh — should
   /// register once and re-arm via schedule_recurring(): re-arming pushes a
-  /// plain heap entry and constructs no closure.
+  /// plain heap entry and constructs no closure. \p tag is stamped on
+  /// every re-arm of this id, so the tag is registered exactly once per
+  /// recurring event however long it lives.
   template <typename F>
-  EventQueue::RecurringId make_recurring_event(F&& fn) {
-    return events_.make_recurring(std::forward<F>(fn));
+  EventQueue::RecurringId make_recurring_event(F&& fn, std::uint32_t tag = 0) {
+    return events_.make_recurring(std::forward<F>(fn), tag);
   }
 
   /// Arms recurring event \p id at absolute time \p when (>= now). \p arg
@@ -125,6 +138,10 @@ class Simulator {
   void schedule_recurring(EventQueue::RecurringId id, TimePs when,
                           std::uint64_t arg = 0) {
     FGQOS_ASSERT(when >= now_, "schedule_recurring: time in the past");
+    if (prof_ != nullptr) {
+      ++prof_->recurring_armed;
+      prof_->arm_delta_ps.record(when - now_);
+    }
     events_.schedule_recurring(id, when, arg);
   }
 
@@ -163,11 +180,40 @@ class Simulator {
   /// 0 before the first run).
   [[nodiscard]] double wall_s_per_sim_s() const;
 
+  // --- host profiling ----------------------------------------------------
+
+  /// Attaches a host profiler: \p table receives per-tag cycle
+  /// attribution and kernel micro-telemetry, \p register_tag maps tag
+  /// names to ids (owned by the telemetry::HostProfiler behind it; the
+  /// indirection keeps sim/ free of telemetry types). Pass nullptr to
+  /// detach. When no profiler is attached the run loop takes exactly one
+  /// predicted branch extra per run_until() call — nothing per event.
+  void set_profiler(ProfTable* table,
+                    std::function<std::uint32_t(std::string_view)>
+                        register_tag) {
+    FGQOS_ASSERT(!running_, "set_profiler while running");
+    prof_ = table;
+    prof_register_ = std::move(register_tag);
+  }
+
+  /// True when a host profiler is attached.
+  [[nodiscard]] bool profiling() const { return prof_ != nullptr; }
+
+  /// Registers (idempotently) the attribution tag named \p name with the
+  /// attached profiler; returns 0 — the untagged bucket — when profiling
+  /// is off, so components can tag unconditionally at construction time.
+  [[nodiscard]] std::uint32_t profile_tag(std::string_view name) {
+    return prof_ != nullptr && prof_register_ ? prof_register_(name) : 0;
+  }
+
  private:
   friend class Clocked;
 
   void register_clocked(Clocked& c);
   void push_tick(Clocked& c);
+
+  template <bool kProfile>
+  void run_loop(TimePs t_end);
 
   struct TickEntry {
     TimePs when;
@@ -192,6 +238,8 @@ class Simulator {
   std::uint64_t wall_ns_ = 0;
   bool running_ = false;
   bool stop_requested_ = false;
+  ProfTable* prof_ = nullptr;  ///< null = profiling off (the common case)
+  std::function<std::uint32_t(std::string_view)> prof_register_;
 };
 
 }  // namespace fgqos::sim

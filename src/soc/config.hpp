@@ -74,6 +74,12 @@ struct SocConfig {
   /// attribution bank dimension. Off by default so every existing export
   /// stays byte-identical; the controller tracks the counters either way.
   bool bank_telemetry = false;
+
+  /// Attach the host-side hot-path profiler (telemetry::HostProfiler) at
+  /// construction, before any component registers attribution tags. Off
+  /// by default: disabled profiling costs one predicted branch per
+  /// run_until() call and leaves every export byte-identical (CI-gated).
+  bool profile = false;
   qos::RegulatorConfig default_regulator{
       .name = "reg",
       .budget_bytes = 4096,

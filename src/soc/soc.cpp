@@ -11,6 +11,11 @@ Soc::Soc(SocConfig cfg)
       xbar_clk_(sim::ClockDomain::from_mhz("xbar", cfg_.xbar_mhz)),
       dram_clk_(sim::ClockDomain::from_mhz("dram", cfg_.dram.timing.clock_mhz)) {
   cfg_.validate();
+  if (cfg_.profile) {
+    // Attach before any component is built so construction-time tag
+    // registrations all land in the profiler's tag table.
+    telemetry_.enable_profiler(sim_);
+  }
   xbar_ = std::make_unique<axi::Interconnect>(sim_, xbar_clk_, cfg_.xbar);
 
   // Master 0: CPU cluster port.
@@ -654,17 +659,49 @@ telemetry::MetricsRegistry& Soc::collect_metrics() {
             static_cast<double>(sim_.max_event_queue()));
   set_counter("sim.wall_ns", sim_.wall_ns());
   set_gauge("sim.wall_s_per_sim_s", sim_.wall_s_per_sim_s());
+
+  // Host profiler (cfg.profile): per-tag CPU attribution plus kernel
+  // micro-telemetry. Host-dependent like sim.wall*, so collect_stats()
+  // excludes the whole profile.* namespace from the legacy view.
+  if (telemetry::HostProfiler* prof = telemetry_.profiler()) {
+    prof->record_arena("xbar.txn_pool", xbar_->txn_pool().live(),
+                       xbar_->txn_pool().capacity());
+    const telemetry::ProfileSnapshot snap = prof->snapshot();
+    set_counter("profile.total_cycles", snap.total_cycles);
+    set_gauge("profile.coverage", snap.coverage());
+    set_counter("profile.oneshot_scheduled", snap.oneshot_scheduled);
+    set_counter("profile.recurring_armed", snap.recurring_armed);
+    for (const auto& t : snap.tags) {
+      set_counter("profile.tag." + t.name + ".count", t.count);
+      set_counter("profile.tag." + t.name + ".cycles", t.cycles);
+    }
+    for (const auto& a : snap.arenas) {
+      set_gauge("profile.arena." + a.name + ".peak_live",
+                static_cast<double>(a.peak_live));
+      set_gauge("profile.arena." + a.name + ".capacity",
+                static_cast<double>(a.capacity));
+    }
+    const auto publish_hist = [&reg](const std::string& name,
+                                     const telemetry::Histogram& h) {
+      telemetry::Histogram& out = reg.histogram(name);
+      out.reset();
+      out.merge(h);
+    };
+    publish_hist("profile.heap_depth", snap.heap_depth);
+    publish_hist("profile.run_length", snap.run_length);
+    publish_hist("profile.arm_delta_ps", snap.arm_delta_ps);
+  }
   return reg;
 }
 
 void Soc::collect_stats(sim::StatsRegistry& out) const {
   // Legacy scalar view, derived from the metrics registry so both exports
   // agree; histograms are only visible through the registry. Host-side
-  // wall-clock metrics are excluded: this view must stay bit-identical
-  // across runs of the same configuration.
+  // wall-clock metrics (sim.wall*, profile.*) are excluded: this view must
+  // stay bit-identical across runs of the same configuration.
   const_cast<Soc*>(this)->collect_metrics().for_each_scalar(
       [&out](const std::string& name, double value) {
-        if (name.rfind("sim.wall", 0) == 0) {
+        if (name.rfind("sim.wall", 0) == 0 || name.rfind("profile.", 0) == 0) {
           return;
         }
         out.set(name, value);

@@ -164,6 +164,14 @@ class Soc {
   /// sink + per-port lifecycle tracers).
   [[nodiscard]] telemetry::Hub& telemetry() { return telemetry_; }
 
+  /// The host profiler, or nullptr when cfg.profile is off.
+  [[nodiscard]] telemetry::HostProfiler* profiler() {
+    return telemetry_.profiler();
+  }
+  [[nodiscard]] const telemetry::HostProfiler* profiler() const {
+    return telemetry_.profiler();
+  }
+
   /// Opens the Chrome-trace sink at \p path and wires every component to
   /// it: ports (per-transaction spans), DRAM channels (CAS bursts, queue
   /// occupancy), QoS blocks (throttle intervals, token credit, window

@@ -34,6 +34,13 @@ TimeSeriesRecorder& Hub::enable_timeseries(sim::Simulator& sim,
   return *timeseries_;
 }
 
+HostProfiler& Hub::enable_profiler(sim::Simulator& sim) {
+  config_check(profiler_ == nullptr, "Hub: profiler already enabled");
+  profiler_ = std::make_unique<HostProfiler>();
+  profiler_->attach(sim);
+  return *profiler_;
+}
+
 DecisionJournal& Hub::enable_journal(std::size_t capacity) {
   config_check(journal_ == nullptr, "Hub: journal already enabled");
   journal_ = std::make_unique<DecisionJournal>(capacity);
@@ -78,7 +85,8 @@ void Hub::start_kernel_sampling(sim::Simulator& sim, sim::TimePs period_ps) {
     kernel_track_ = trace_->track(Cat::kKernel, "sim");
   }
   sample_event_ = sim.make_recurring_event(
-      [this, &sim, period_ps](std::uint64_t) { kernel_sample(sim, period_ps); });
+      [this, &sim, period_ps](std::uint64_t) { kernel_sample(sim, period_ps); },
+      sim.profile_tag("telemetry.kernel_sampler"));
   last_events_ = sim.events_dispatched();
   last_ticks_ = sim.tick_count();
   // Baseline sample so even runs shorter than one period get the counter

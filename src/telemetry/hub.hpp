@@ -19,6 +19,7 @@
 #include "telemetry/journal.hpp"
 #include "telemetry/lifecycle.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/timeseries.hpp"
 #include "telemetry/trace.hpp"
 
@@ -73,6 +74,16 @@ class Hub {
   /// The journal, or nullptr when journaling is disabled.
   [[nodiscard]] DecisionJournal* journal() { return journal_.get(); }
 
+  /// Creates the host-side hot-path profiler and attaches it to \p sim
+  /// (at most one per hub; throws ConfigError on a second call). Must run
+  /// before components register tags, i.e. before platform assembly.
+  HostProfiler& enable_profiler(sim::Simulator& sim);
+  /// The profiler, or nullptr when host profiling is disabled.
+  [[nodiscard]] HostProfiler* profiler() { return profiler_.get(); }
+  [[nodiscard]] const HostProfiler* profiler() const {
+    return profiler_.get();
+  }
+
   /// Starts the kernel self-profiling sampler: every \p period_ps it
   /// records event-queue occupancy and event/tick dispatch rates as
   /// counter tracks (category "kernel") and registry metrics.
@@ -91,6 +102,7 @@ class Hub {
   std::unique_ptr<AttributionEngine> attribution_;
   std::unique_ptr<TimeSeriesRecorder> timeseries_;
   std::unique_ptr<DecisionJournal> journal_;
+  std::unique_ptr<HostProfiler> profiler_;
   std::vector<std::unique_ptr<TxnLifecycleTracer>> lifecycles_;
   std::vector<const axi::MasterPort*> lifecycle_ports_;
   TrackId kernel_track_;

@@ -36,7 +36,12 @@ std::string RunManifest::to_json_object() const {
      << util::json_escape(tool) << "\",\"scenario\":\""
      << util::json_escape(scenario) << "\",\"seed\":" << seed
      << ",\"fault_spec_hash\":\"" << util::json_escape(fault_spec_hash)
-     << "\",\"build\":\"" << util::json_escape(build) << "\"}";
+     << "\",\"build\":\"" << util::json_escape(build) << "\"";
+  if (profile_tag_table_version != 0) {
+    // Conditional: profile-off manifests (all goldens) stay byte-identical.
+    os << ",\"profile_tag_table_version\":" << profile_tag_table_version;
+  }
+  os << "}";
   return os.str();
 }
 
@@ -46,8 +51,11 @@ std::string RunManifest::to_csv_comment() const {
   std::ostringstream os;
   os << "# fgqos-manifest schema_version=" << schema_version
      << " tool=" << tool << " seed=" << seed
-     << " fault_spec_hash=" << fault_spec_hash << " build=" << build
-     << " scenario=" << scenario << "\n";
+     << " fault_spec_hash=" << fault_spec_hash << " build=" << build;
+  if (profile_tag_table_version != 0) {
+    os << " profile_tag_table_version=" << profile_tag_table_version;
+  }
+  os << " scenario=" << scenario << "\n";
   return os.str();
 }
 
@@ -75,6 +83,10 @@ RunManifest RunManifest::from_json(const util::JsonValue& v) {
   }
   if (v.contains("build")) {
     m.build = v.at("build").as_string();
+  }
+  if (v.contains("profile_tag_table_version")) {
+    m.profile_tag_table_version =
+        static_cast<int>(v.at("profile_tag_table_version").as_number());
   }
   return m;
 }
@@ -120,6 +132,8 @@ bool RunManifest::from_csv_comment(const std::string& line, RunManifest& out) {
       m.fault_spec_hash = value;
     } else if (key == "build") {
       m.build = value;
+    } else if (key == "profile_tag_table_version") {
+      m.profile_tag_table_version = std::stoi(value);
     }
     pos = end + 1;
   }

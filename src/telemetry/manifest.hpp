@@ -38,6 +38,11 @@ struct RunManifest {
   std::string fault_spec_hash;
   /// Build flavour ("release" / "debug"); informational only.
   std::string build;
+  /// Host-profiler tag-table version when the run profiled itself, 0 when
+  /// profiling was off. Emitted only when non-zero, so manifests of
+  /// profile-off runs — including every committed golden — are untouched.
+  /// fgqos_report refuses to diff profiles across versions unless forced.
+  int profile_tag_table_version = 0;
 
   /// Fills \p build from the compile-time flavour of this library.
   [[nodiscard]] static const char* build_flavor();

@@ -686,4 +686,207 @@ void BenchComparison::write_json(std::ostream& os) const {
   os << ",\"pass\":" << (pass() ? "true" : "false") << "}\n";
 }
 
+// ---------------------------------------------------------------------------
+// Host-profile comparison
+
+double ProfileData::share(const std::string& tag) const {
+  if (total_cycles == 0) {
+    return 0.0;
+  }
+  const auto it = tags.find(tag);
+  if (it == tags.end()) {
+    return 0.0;
+  }
+  return static_cast<double>(it->second.second) /
+         static_cast<double>(total_cycles);
+}
+
+ProfileData ProfileData::parse(const std::string& text) {
+  ProfileData d;
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  config_check(first != std::string::npos, "report: empty profile artifact");
+  if (text[first] == '{') {
+    const util::JsonValue root = util::JsonValue::parse(text);
+    config_check(root.is_object(), "report: profile artifact must be an object");
+    if (root.contains("manifest")) {
+      d.manifest = RunManifest::from_json(root.at("manifest"));
+      d.has_manifest = true;
+    }
+    // Accept both the wrapped form ({"profile":{...}}) and a bare
+    // profile object (has total_cycles/tags at the top level).
+    const util::JsonValue& prof =
+        root.contains("profile") ? root.at("profile") : root;
+    config_check(prof.is_object() && prof.contains("tags"),
+                 "report: profile artifact has no tags array");
+    d.tag_table_version =
+        static_cast<int>(number_or(prof, "tag_table_version", 0.0));
+    if (d.tag_table_version == 0 && d.has_manifest) {
+      d.tag_table_version = d.manifest.profile_tag_table_version;
+    }
+    d.total_cycles =
+        static_cast<std::uint64_t>(number_or(prof, "total_cycles", 0.0));
+    d.coverage = number_or(prof, "coverage", 0.0);
+    for (const util::JsonValue& t : prof.at("tags").as_array()) {
+      config_check(t.is_object() && t.contains("name"),
+                   "report: malformed profile tag entry");
+      d.tags[t.at("name").as_string()] = {
+          static_cast<std::uint64_t>(number_or(t, "count", 0.0)),
+          static_cast<std::uint64_t>(number_or(t, "cycles", 0.0))};
+    }
+    return d;
+  }
+  // Folded-stack format: "fgqos;<group>;<tag> <cycles>" per line. The
+  // total is reconstructed as the attributed sum, so coverage is 1 by
+  // construction and untagged time is whatever the kernel.* frames say.
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t sp = line.find_last_of(' ');
+    config_check(sp != std::string::npos && sp + 1 < line.size(),
+                 "report: malformed folded line '" + line + "'");
+    const std::size_t semi = line.find_last_of(';', sp);
+    config_check(semi != std::string::npos,
+                 "report: malformed folded line '" + line + "'");
+    const std::string name = line.substr(semi + 1, sp - semi - 1);
+    std::uint64_t cycles = 0;
+    const char* begin = line.c_str() + sp + 1;
+    const auto res = std::from_chars(begin, line.c_str() + line.size(), cycles);
+    config_check(res.ec == std::errc(),
+                 "report: bad cycle count in folded line '" + line + "'");
+    auto& slot = d.tags[name];
+    slot.second += cycles;
+    d.total_cycles += cycles;
+  }
+  config_check(!d.tags.empty(), "report: folded profile has no frames");
+  d.coverage = 1.0;
+  return d;
+}
+
+ProfileData ProfileData::load(const std::string& path) {
+  return parse(read_file(path));
+}
+
+ProfileComparison compare_profiles(const ProfileData& a, const ProfileData& b,
+                                   double max_share_regress_pp, bool force) {
+  ProfileComparison c;
+  c.max_share_regress_pp = max_share_regress_pp;
+  c.coverage_a = a.coverage;
+  c.coverage_b = b.coverage;
+  if (a.tag_table_version != 0 && b.tag_table_version != 0 &&
+      a.tag_table_version != b.tag_table_version) {
+    const std::string note =
+        "profile tag-table version mismatch: baseline v" +
+        std::to_string(a.tag_table_version) + " vs v" +
+        std::to_string(b.tag_table_version);
+    config_check(force, "report: " + note + " (use --force to compare anyway)");
+    c.manifest_note = note;
+  }
+  // Union of tag names; both sides are name-sorted maps already.
+  std::vector<std::string> names;
+  for (const auto& [name, cc] : a.tags) {
+    names.push_back(name);
+  }
+  for (const auto& [name, cc] : b.tags) {
+    if (a.tags.find(name) == a.tags.end()) {
+      names.push_back(name);
+    }
+  }
+  for (const std::string& name : names) {
+    ProfileTagDelta d;
+    d.name = name;
+    d.share_a = a.share(name);
+    d.share_b = b.share(name);
+    c.deltas.push_back(d);
+    if (d.delta_pp() > max_share_regress_pp) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "%s: cycle share %.1f%% -> %.1f%% (+%.1fpp > %.1fpp)",
+                    name.c_str(), d.share_a * 100.0, d.share_b * 100.0,
+                    d.delta_pp(), max_share_regress_pp);
+      c.regressions.emplace_back(buf);
+    }
+  }
+  std::stable_sort(c.deltas.begin(), c.deltas.end(),
+                   [](const ProfileTagDelta& x, const ProfileTagDelta& y) {
+                     const double ax = std::abs(x.delta_pp());
+                     const double ay = std::abs(y.delta_pp());
+                     if (ax != ay) {
+                       return ax > ay;
+                     }
+                     // Equal magnitude: regressions ahead of improvements.
+                     return x.delta_pp() > y.delta_pp();
+                   });
+  return c;
+}
+
+void ProfileComparison::write_text(std::ostream& os) const {
+  if (!manifest_note.empty()) {
+    os << "note: " << manifest_note << "\n";
+  }
+  char line[192];
+  std::snprintf(line, sizeof line, "coverage: baseline %.3f, now %.3f\n",
+                coverage_a, coverage_b);
+  os << line;
+  os << "top cycle-share movements:\n";
+  const std::size_t shown = std::min<std::size_t>(deltas.size(), 10);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const ProfileTagDelta& d = deltas[i];
+    std::snprintf(line, sizeof line, "  %-32s %6.1f%% -> %6.1f%% (%+.1fpp)\n",
+                  d.name.c_str(), d.share_a * 100.0, d.share_b * 100.0,
+                  d.delta_pp());
+    os << line;
+  }
+  if (regressions.empty()) {
+    std::snprintf(line, sizeof line,
+                  "verdict: PASS (no tag grew more than %.1fpp)\n",
+                  max_share_regress_pp);
+    os << line;
+  } else {
+    os << "verdict: FAIL\n";
+    for (const std::string& r : regressions) {
+      os << "  regression: " << r << "\n";
+    }
+  }
+}
+
+void ProfileComparison::write_json(std::ostream& os) const {
+  os << "{\"max_share_regress_pp\":";
+  write_number(os, max_share_regress_pp);
+  os << ",\"coverage_a\":";
+  write_number(os, coverage_a);
+  os << ",\"coverage_b\":";
+  write_number(os, coverage_b);
+  if (!manifest_note.empty()) {
+    os << ",\"manifest_note\":\"" << util::json_escape(manifest_note) << "\"";
+  }
+  os << ",\"deltas\":[";
+  bool first = true;
+  for (const ProfileTagDelta& d : deltas) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"name\":\"" << util::json_escape(d.name) << "\",\"share_a\":";
+    write_number(os, d.share_a);
+    os << ",\"share_b\":";
+    write_number(os, d.share_b);
+    os << ",\"delta_pp\":";
+    write_number(os, d.delta_pp());
+    os << "}";
+  }
+  os << "],\"regressions\":[";
+  first = true;
+  for (const std::string& r : regressions) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\"" << util::json_escape(r) << "\"";
+  }
+  os << "],\"pass\":" << (pass() ? "true" : "false") << "}\n";
+}
+
 }  // namespace fgqos::telemetry

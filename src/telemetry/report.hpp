@@ -19,6 +19,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -191,5 +192,57 @@ struct BenchComparison {
 [[nodiscard]] BenchComparison compare_bench(const std::string& baseline_json,
                                             const std::string& fresh_json,
                                             double max_drop_pct = 10.0);
+
+/// One host-profile artifact parsed back from disk: either the JSON a
+/// run writes via --profile-json (`{"manifest":...,"profile":{...}}`,
+/// the bare `{"profile":{...}}` form, or a raw profile object), or a
+/// folded-stack file (`fgqos;<group>;<tag> <cycles>` lines).
+struct ProfileData {
+  RunManifest manifest;
+  bool has_manifest = false;
+  int tag_table_version = 0;
+  std::uint64_t total_cycles = 0;
+  double coverage = 0.0;
+  /// tag name -> {count, cycles}, sorted by name (std::map).
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> tags;
+
+  /// Cycle share of \p tag (0 when the profile is empty).
+  [[nodiscard]] double share(const std::string& tag) const;
+
+  /// Autodetects JSON vs folded by the first non-space byte ('{' = JSON).
+  [[nodiscard]] static ProfileData parse(const std::string& text);
+  [[nodiscard]] static ProfileData load(const std::string& path);
+};
+
+/// Per-tag cycle-share movement between two profiles.
+struct ProfileTagDelta {
+  std::string name;
+  double share_a = 0.0;
+  double share_b = 0.0;
+  [[nodiscard]] double delta_pp() const { return (share_b - share_a) * 100.0; }
+};
+
+/// Host-profile comparison: flags tags whose cycle share grew by more
+/// than max_share_regress_pp percentage points.
+struct ProfileComparison {
+  std::vector<ProfileTagDelta> deltas;      ///< sorted by |delta| descending
+  std::vector<std::string> regressions;     ///< human-readable verdicts
+  std::string manifest_note;                ///< set when forced past a mismatch
+  double max_share_regress_pp = 2.0;
+  double coverage_a = 0.0;
+  double coverage_b = 0.0;
+  [[nodiscard]] bool pass() const { return regressions.empty(); }
+
+  void write_text(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+};
+
+/// Compares profile \p b against baseline \p a. Throws ConfigError when
+/// the two profiles carry different tag-table versions (the tag sets are
+/// not comparable), unless \p force — then the mismatch is recorded in
+/// manifest_note instead.
+[[nodiscard]] ProfileComparison compare_profiles(
+    const ProfileData& a, const ProfileData& b,
+    double max_share_regress_pp = 2.0, bool force = false);
 
 }  // namespace fgqos::telemetry

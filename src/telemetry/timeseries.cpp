@@ -36,7 +36,8 @@ TimeSeriesRecorder::TimeSeriesRecorder(sim::Simulator& sim,
   config_check(cfg_.capacity > 0,
                "TimeSeriesRecorder: capacity must be positive");
   rollover_event_ = sim_.make_recurring_event(
-      [this](std::uint64_t epoch) { on_rollover(epoch); });
+      [this](std::uint64_t epoch) { on_rollover(epoch); },
+      sim_.profile_tag("telemetry.timeseries"));
 }
 
 bool TimeSeriesRecorder::admits(const std::string& name) const {

@@ -31,6 +31,7 @@ TrafficGen::TrafficGen(sim::Simulator& sim, const sim::ClockDomain& clk,
                "TrafficGen: max_outstanding must be > 0");
   config_check((cfg_.active_ps == 0) == (cfg_.idle_ps == 0),
                "TrafficGen: active_ps and idle_ps must both be set or unset");
+  prof_tag_ = sim.profile_tag("workload.traffic_gen");
   port_->set_completion_handler([this](const axi::Transaction& txn) {
     --outstanding_;
     if (txn.resp != axi::Resp::kOkay) {
@@ -45,14 +46,16 @@ TrafficGen::TrafficGen(sim::Simulator& sim, const sim::ClockDomain& clk,
         const axi::Addr addr = txn.addr;
         const std::uint32_t bytes = txn.bytes;
         simulator().schedule_after(
-            backoff, [this, dir, addr, bytes, attempt]() {
+            backoff,
+            [this, dir, addr, bytes, attempt]() {
               if (port_->issue(dir, addr, bytes, attempt + 1)) {
                 ++outstanding_;
                 ++stats_.retries_issued;
               } else {
                 ++stats_.retries_abandoned;
               }
-            });
+            },
+            prof_tag_);
       } else {
         ++stats_.retries_abandoned;
       }

@@ -111,6 +111,7 @@ class TrafficGen final : public sim::Clocked {
   axi::MasterPort* port_;
   sim::Xoshiro256 rng_;
   TrafficGenStats stats_;
+  std::uint32_t prof_tag_ = 0;  ///< host-profiler tag, workload.traffic_gen
   std::uint64_t cursor_ = 0;
   bool copy_phase_write_ = false;
   std::size_t outstanding_ = 0;

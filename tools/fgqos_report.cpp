@@ -11,6 +11,8 @@
 ///               deltas.
 ///   bench     — two BENCH_micro.json kernel-throughput records
 ///               (--bench + --bench-baseline): events/sec drop gate.
+///   profile   — two host-profile artifacts (--profile-a + --profile-b,
+///               JSON or folded): per-tag cycle-share regression gate.
 ///
 /// Exit codes: 0 = pass, 1 = usage/parse error, 2 = regression detected.
 ///
@@ -52,6 +54,12 @@ void usage() {
       "  --bench FILE             fresh BENCH_micro.json\n"
       "  --bench-baseline FILE    committed baseline record\n"
       "  --max-drop-pct N         tolerated events/sec drop (default 10)\n"
+      "profile mode:\n"
+      "  --profile-a FILE         baseline host profile (JSON or folded)\n"
+      "  --profile-b FILE         fresh host profile (JSON or folded)\n"
+      "  --max-share-regress-pp N tolerated per-tag cycle-share growth in\n"
+      "                           percentage points (default 2)\n"
+      "  --force                  compare across tag-table versions\n"
       "common:\n"
       "  --json               emit the report as JSON instead of text\n"
       "  --out FILE           write the report there instead of stdout\n"
@@ -130,6 +138,31 @@ int main(int argc, char** argv) {
       }
       const telemetry::BenchComparison c = telemetry::compare_bench(
           slurp(bench_baseline), slurp(bench), max_drop);
+      std::ostringstream ss;
+      if (as_json) {
+        c.write_json(ss);
+      } else {
+        c.write_text(ss);
+      }
+      emit(ss.str(), out);
+      return c.pass() ? 0 : 2;
+    }
+
+    // --- profile mode -----------------------------------------------------
+    const std::string profile_a = args.get("profile-a", "");
+    const std::string profile_b = args.get("profile-b", "");
+    if (!profile_a.empty() || !profile_b.empty()) {
+      if (profile_a.empty() || profile_b.empty()) {
+        throw ConfigError("--profile-a and --profile-b go together");
+      }
+      const double max_pp = args.get_double("max-share-regress-pp", 2.0);
+      const bool profile_force = args.get_bool("force", false);
+      for (const auto& k : args.unused_keys()) {
+        throw ConfigError("unknown option --" + k + " (see --help)");
+      }
+      const telemetry::ProfileComparison c = telemetry::compare_profiles(
+          telemetry::ProfileData::load(profile_a),
+          telemetry::ProfileData::load(profile_b), max_pp, profile_force);
       std::ostringstream ss;
       if (as_json) {
         c.write_json(ss);

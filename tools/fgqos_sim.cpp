@@ -90,6 +90,12 @@ void usage() {
       "  --timeseries-filter G   comma-separated series globs (qos.*,dram.*)\n"
       "  --timeseries-window-us W  sampling window (default 100)\n"
       "  --journal FILE      QoS decision journal as JSON-lines\n"
+      "  --profile           host-side hot-path profiler: per-component\n"
+      "                      CPU attribution + kernel micro-telemetry\n"
+      "  --profile-json FILE profile snapshot as JSON (implies --profile)\n"
+      "  --profile-folded FILE\n"
+      "                      folded-stack text for flamegraph tooling\n"
+      "                      (implies --profile)\n"
       "  --watchdog-fallback-mbps B\n"
       "                      degraded-mode watchdog on each regulated port:\n"
       "                      fall back to B MB/s when the monitor feed goes\n"
@@ -173,6 +179,10 @@ int main(int argc, char** argv) {
     const double timeseries_window_us =
         args.get_double("timeseries-window-us", 100);
     const std::string journal_path = args.get("journal", "");
+    const std::string profile_json = args.get("profile-json", "");
+    const std::string profile_folded = args.get("profile-folded", "");
+    const bool profile_on =
+        args.has("profile") || !profile_json.empty() || !profile_folded.empty();
     const bool want_timeseries =
         !timeseries_csv.empty() || !timeseries_json.empty();
     if (trace_path.empty() && !trace_filter.empty()) {
@@ -204,6 +214,7 @@ int main(int argc, char** argv) {
     if (bank_telemetry) {
       cfg.bank_telemetry = true;
     }
+    cfg.profile = profile_on;
     soc::Soc chip(cfg);
 
     // Provenance embedded in every export: semantic inputs only, so two
@@ -212,6 +223,9 @@ int main(int argc, char** argv) {
     manifest.tool = "fgqos_sim";
     manifest.seed = seed;
     manifest.build = telemetry::RunManifest::build_flavor();
+    if (profile_on) {
+      manifest.profile_tag_table_version = telemetry::kProfilerTagTableVersion;
+    }
     {
       std::ostringstream sc;
       sc << "preset=" << preset << " critical=" << critical
@@ -444,6 +458,36 @@ int main(int argc, char** argv) {
       chip.journal()->save_jsonl(journal_path, &manifest);
       std::printf("\ndecision journal written to %s (%zu entries)\n",
                   journal_path.c_str(), chip.journal()->size());
+    }
+    if (profile_on) {
+      const telemetry::ProfileSnapshot prof = chip.profiler()->snapshot();
+      std::printf("\nhost profile: %llu events, %llu ticks, coverage %.1f%%\n",
+                  static_cast<unsigned long long>(prof.events_dispatched),
+                  static_cast<unsigned long long>(prof.ticks_dispatched),
+                  prof.coverage() * 100.0);
+      std::vector<telemetry::ProfileTagEntry> top = prof.tags;
+      std::sort(top.begin(), top.end(),
+                [](const auto& a, const auto& b) { return a.cycles > b.cycles; });
+      const std::size_t n = std::min<std::size_t>(top.size(), 8);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double share =
+            prof.total_cycles == 0
+                ? 0.0
+                : static_cast<double>(top[i].cycles) /
+                      static_cast<double>(prof.total_cycles);
+        std::printf("  %-28s %6.2f%%  %12llu cycles  %10llu hits\n",
+                    top[i].name.c_str(), share * 100.0,
+                    static_cast<unsigned long long>(top[i].cycles),
+                    static_cast<unsigned long long>(top[i].count));
+      }
+      if (!profile_json.empty()) {
+        prof.save_json(profile_json, &manifest);
+        std::printf("profile JSON written to %s\n", profile_json.c_str());
+      }
+      if (!profile_folded.empty()) {
+        prof.save_folded(profile_folded);
+        std::printf("folded stacks written to %s\n", profile_folded.c_str());
+      }
     }
     if (!blame_csv.empty()) {
       chip.attribution()->save_csv(blame_csv);

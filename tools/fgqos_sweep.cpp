@@ -73,6 +73,11 @@ struct Outcome {
   /// (folded in submission order, so the summary is deterministic for any
   /// job count).
   std::vector<std::pair<std::string, sim::Histogram>> series_summaries;
+  /// Host-profile snapshot of this point (--profile); merged in submission
+  /// order by main() into one sweep-level profile, so the merged export is
+  /// identical for any job count.
+  telemetry::ProfileSnapshot profile;
+  bool has_profile = false;
 };
 
 struct SweepPoint {
@@ -124,6 +129,8 @@ struct SweepPoint {
   /// Shared per-bank budget plan (nullptr = no per-bank regulation).
   /// Points only read it, so one parsed spec serves every job.
   const qos::BankBudgetSpec* bank_budgets = nullptr;
+  /// Attach the host profiler to this point's platform.
+  bool profile = false;
 };
 
 /// "out.json" + budget=400 -> "out.budget400.json".
@@ -150,6 +157,7 @@ Outcome run_point(const SweepPoint& p) {
   if (p.bank_telemetry) {
     cfg.bank_telemetry = true;
   }
+  cfg.profile = p.profile;
   soc::Soc chip(cfg);
   cpu::CoreConfig cc;
   cc.name = "critical";
@@ -224,6 +232,9 @@ Outcome run_point(const SweepPoint& p) {
   manifest.tool = "fgqos_sweep";
   manifest.seed = p.seed;
   manifest.build = telemetry::RunManifest::build_flavor();
+  if (p.profile) {
+    manifest.profile_tag_table_version = telemetry::kProfilerTagTableVersion;
+  }
   {
     std::ostringstream sc;
     sc << "knob=" << p.knob << " value=" << p.point_label
@@ -281,7 +292,10 @@ Outcome run_point(const SweepPoint& p) {
     telemetry::MetricsRegistry& reg = chip.collect_metrics();
     // Host wall-clock self-profiling would make otherwise identical
     // points differ between runs; drop it so snapshots stay reproducible.
+    // The profile namespace is host cycles too: the profile JSON/folded
+    // exports carry that data instead.
     reg.erase_prefix("sim.wall");
+    reg.erase_prefix("profile.");
     if (!p.metrics_json.empty()) {
       reg.save_json(p.metrics_json, chip.now(), &manifest);
     }
@@ -290,6 +304,13 @@ Outcome run_point(const SweepPoint& p) {
     }
   }
   Outcome o;
+  if (p.profile) {
+    // collect_metrics samples the slab arenas into the profiler before
+    // the snapshot is taken.
+    chip.collect_metrics();
+    o.profile = chip.profiler()->snapshot();
+    o.has_profile = true;
+  }
   if (p.timeseries) {
     telemetry::TimeSeriesRecorder* ts = chip.timeseries();
     if (!p.timeseries_json.empty()) {
@@ -377,6 +398,8 @@ int main(int argc, char** argv) {
           "bank_partitioned]\n"
           "            [--bank-budget-spec FILE] [--bank-telemetry]\n"
           "            [--aggressor-footprint-mb MB]\n"
+          "            [--profile] [--profile-json FILE] "
+          "[--profile-folded FILE]\n"
           "--serving-spec instantiates the same JSON request-serving\n"
           "scenario (docs/SERVING.md) in every point, tenant op buffers\n"
           "seeded per point; --serving-csv writes ONE merged per-tenant\n"
@@ -404,6 +427,11 @@ int main(int argc, char** argv) {
           "one file per point (suffixed). A merged percentile summary per\n"
           "series (per-point histograms folded in point order) is printed\n"
           "after the sweep.\n"
+          "--profile attaches the host-side hot-path profiler to every\n"
+          "point; per-point snapshots are merged in submission order, so\n"
+          "the ONE merged profile (--profile-json / --profile-folded) is\n"
+          "identical for any job count (cycle values still vary run to\n"
+          "run — they are host time).\n"
           "--jobs N runs N sweep points concurrently (0 = all hardware\n"
           "threads; FGQOS_JOBS sets the default); outcomes are merged in\n"
           "point order, so CSV and metrics files are byte-identical for\n"
@@ -438,6 +466,10 @@ int main(int argc, char** argv) {
     const double timeseries_window_us =
         args.get_double("timeseries-window-us", 100);
     const std::string journal_path = args.get("journal", "");
+    const std::string profile_json = args.get("profile-json", "");
+    const std::string profile_folded = args.get("profile-folded", "");
+    const bool profile_on = args.has("profile") || !profile_json.empty() ||
+                            !profile_folded.empty();
     const bool want_timeseries =
         !timeseries_csv.empty() || !timeseries_json.empty();
     const std::string fault_spec = args.get("fault-spec", "");
@@ -532,6 +564,7 @@ int main(int argc, char** argv) {
       p.serving = serving_spec_path.empty() ? nullptr : &serving_spec;
       p.merge_serving_csv = !serving_csv.empty();
       p.bank_budgets = bank_spec_path.empty() ? nullptr : &bank_budget_spec;
+      p.profile = profile_on;
       points.push_back(std::move(p));
     }
 
@@ -673,6 +706,38 @@ int main(int argc, char** argv) {
       }
       std::printf("\nmerged time-series summary (all points):\n");
       summary.print();
+    }
+    if (profile_on) {
+      // One sweep-level profile: per-point snapshots folded in submission
+      // order (merge is commutative, so any fold order would agree — the
+      // fixed order keeps the bytes identical for any job count).
+      telemetry::ProfileSnapshot merged;
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (report.jobs[i].status == exec::JobStatus::kOk &&
+            outcomes[i].has_profile) {
+          merged.merge(outcomes[i].profile);
+        }
+      }
+      std::printf("\nhost profile: %llu events across %zu point(s), "
+                  "coverage %.1f%%\n",
+                  static_cast<unsigned long long>(merged.events_dispatched),
+                  outcomes.size(), merged.coverage() * 100.0);
+      telemetry::RunManifest manifest;
+      manifest.tool = "fgqos_sweep";
+      manifest.seed = ec.base_seed;
+      manifest.build = telemetry::RunManifest::build_flavor();
+      manifest.scenario = "knob=" + knob + " values=" + values_arg +
+                          " scheme=" + base.scheme;
+      manifest.profile_tag_table_version =
+          telemetry::kProfilerTagTableVersion;
+      if (!profile_json.empty()) {
+        merged.save_json(profile_json, &manifest);
+        std::printf("profile JSON written to %s\n", profile_json.c_str());
+      }
+      if (!profile_folded.empty()) {
+        merged.save_folded(profile_folded);
+        std::printf("folded stacks written to %s\n", profile_folded.c_str());
+      }
     }
     if (runner.worker_count() > 1 || !report.all_ok()) {
       std::printf("\n%s\n", runner.summary().c_str());
