@@ -1,0 +1,134 @@
+/// \file envelope.hpp
+/// \brief Certified worst-case contention envelope.
+///
+/// A CertifiedEnvelope is the artifact the adversarial contention search
+/// (src/search) emits: per-master worst-case bandwidth/latency bounds
+/// measured under the *argmax* aggressor configuration the search found,
+/// together with the argmax config itself and full search provenance.
+/// The envelope is versioned and manifest-stamped so the admission path
+/// and the report tooling can refuse stale or foreign envelopes.
+///
+/// The struct lives in qos/ (not search/) because its consumers are the
+/// QosManager admission check and the SlaWatchdog cross-check — neither
+/// may depend on the search subsystem. The search layer only *produces*
+/// envelopes; this header is the contract between the two.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/manifest.hpp"
+
+namespace fgqos::util {
+class JsonValue;
+}
+
+namespace fgqos::qos {
+
+/// Certified bounds for one master port. A zero bound means "not
+/// certified" and disables the corresponding check.
+struct MasterBound {
+  /// Upper bound on the master's read p99 latency under worst-case
+  /// regulated contention (ps). Victim masters only.
+  double max_p99_ps = 0.0;
+  /// Lower bound on the master's delivered bandwidth under worst-case
+  /// regulated contention (bytes/second). Victim masters only.
+  double min_bandwidth_bps = 0.0;
+  /// Upper bound on the master's delivered bandwidth (bytes/second);
+  /// for regulated aggressor ports this is the certified budget plus
+  /// margin. 0 = unchecked.
+  double max_bandwidth_bps = 0.0;
+  /// Worst-case slowdown vs. solo execution (informational; reproduced
+  /// by bench_exp14_certification).
+  double max_slowdown = 0.0;
+  /// Admission cap: QosManager::reserve() rejects a reservation for this
+  /// master above this rate (bytes/second). 0 = no per-master cap.
+  double max_reserved_bps = 0.0;
+};
+
+/// Summary statistics of one evaluation folded into the envelope (the
+/// argmax attack, evaluated with and without regulation).
+struct EnvelopeEvalStats {
+  double iter_mean_ps = 0.0;    ///< victim mean iteration time
+  double iter_p99_ps = 0.0;     ///< victim p99 iteration time
+  double read_p99_ps = 0.0;     ///< victim port read p99
+  double victim_bw_bps = 0.0;   ///< victim delivered bandwidth
+  double aggressor_bps = 0.0;   ///< aggregate aggressor bandwidth
+  double slo_miss_frac = 0.0;   ///< fraction of iterations over the SLO
+};
+
+/// The certified envelope. Serialization is canonical: fixed key order,
+/// `%.17g` doubles, sorted master map — two envelopes from the same
+/// search are byte-identical whatever the --jobs fan-out (CI-enforced).
+struct CertifiedEnvelope {
+  /// Bump when the JSON shape changes incompatibly; loaders refuse
+  /// foreign versions.
+  static constexpr int kSchemaVersion = 1;
+
+  int schema_version = kSchemaVersion;
+  telemetry::RunManifest manifest;
+
+  // --- search provenance -------------------------------------------------
+  std::string optimizer;        ///< "coord" | "es" | "both"
+  std::string objective;        ///< "slowdown" | "p99" | "slo_miss"
+  std::uint64_t seed = 0;
+  std::uint64_t evaluations = 0;  ///< unique attack configs evaluated
+  std::string space_hash;         ///< FNV-1a of the attack-space catalog
+  std::string spec_hash;          ///< FNV-1a of the full search spec
+  std::string fault_spec_hash;    ///< faults composed into certification
+  std::uint64_t victim_accesses = 0;
+  std::uint64_t victim_iterations = 0;
+  double deadline_ms = 0.0;
+  double slo_iter_us = 0.0;
+  double regulated_budget_mbps = 0.0;
+  double window_us = 0.0;
+  double margin = 0.0;
+  std::vector<std::uint64_t> validate_seeds;
+  double solo_iter_mean_ps = 0.0;
+  /// Objective of the hand-written EXP1 aggressor mix (the search's
+  /// seeded baseline); best_objective / exp1_mix_objective is the
+  /// headline ratio bench_exp14 pins at >= 1.5.
+  double exp1_mix_objective = 0.0;
+
+  // --- the argmax attack -------------------------------------------------
+  /// Canonical JSON of the argmax attack config (opaque here; the search
+  /// layer parses it back for validation replay).
+  std::string argmax_config_json;
+  double argmax_objective = 0.0;   ///< unregulated objective at the argmax
+  EnvelopeEvalStats unregulated;   ///< argmax evaluated without regulation
+  EnvelopeEvalStats regulated;     ///< argmax evaluated under regulation
+
+  // --- admission inputs --------------------------------------------------
+  double capacity_bps = 0.0;
+  double max_reservable_frac = 0.0;
+  /// Total guaranteed bandwidth the certification covered; reserve()
+  /// rejects when the reserved total would exceed it.
+  double certified_total_bps = 0.0;
+  /// Per-master bounds, keyed by port name ("cpu", "hp0", ...).
+  std::map<std::string, MasterBound> masters;
+
+  /// Canonical JSON (fixed key order, trailing newline).
+  [[nodiscard]] std::string to_json() const;
+  /// Parses an envelope; throws ConfigError on malformed input or a
+  /// schema_version mismatch.
+  [[nodiscard]] static CertifiedEnvelope from_json(const util::JsonValue& v);
+  [[nodiscard]] static CertifiedEnvelope from_file(const std::string& path);
+  void save(const std::string& path) const;
+
+  /// The bound for \p master, or nullptr when none was certified.
+  [[nodiscard]] const MasterBound* bound_for(const std::string& master) const;
+};
+
+/// Renders \p v back to canonical JSON text: object keys in map (sorted)
+/// order, exact uint64 integers, `%.17g` doubles. Canonical-in implies
+/// byte-identical-out, which is what lets envelopes round-trip through
+/// parse/serialize without perturbing committed goldens.
+[[nodiscard]] std::string to_canonical_json(const util::JsonValue& v);
+
+/// Formats \p d the way every envelope emitter does: integral values
+/// without a fraction, everything else with %.17g (round-trip exact).
+[[nodiscard]] std::string envelope_double(double d);
+
+}  // namespace fgqos::qos

@@ -1,0 +1,137 @@
+#include "qos/envelope_check.hpp"
+
+#include <sstream>
+
+#include "util/config_error.hpp"
+#include "util/json.hpp"
+
+namespace fgqos::qos {
+namespace {
+
+std::string num(double d) { return envelope_double(d); }
+
+void add_row(EnvelopeReport& rep, EnvelopeCheckRow row) {
+  if (!row.available) {
+    // An uncaptured measurement cannot demonstrate an upper-bound
+    // excursion; an uncaptured *minimum* is itself the failure.
+    row.ok = row.upper;
+  } else {
+    row.ok = row.upper ? row.measured <= row.bound : row.measured >= row.bound;
+  }
+  if (!row.ok) {
+    std::ostringstream os;
+    os << row.scenario << ": " << row.master << " " << row.quantity << " ";
+    if (!row.available) {
+      os << "not measured (certified minimum " << num(row.bound) << ")";
+    } else {
+      os << num(row.measured) << (row.upper ? " > " : " < ") << num(row.bound)
+         << " certified " << (row.upper ? "max" : "min");
+    }
+    rep.excursions.push_back(os.str());
+  }
+  rep.rows.push_back(std::move(row));
+}
+
+}  // namespace
+
+EnvelopeReport check_envelope(const CertifiedEnvelope& env,
+                              const std::vector<telemetry::RunData>& runs,
+                              bool force) {
+  EnvelopeReport rep;
+  for (const auto& run : runs) {
+    if (run.has_manifest &&
+        run.manifest.schema_version != env.manifest.schema_version) {
+      const std::string note =
+          "export schema mismatch: envelope v" +
+          std::to_string(env.manifest.schema_version) + " vs run '" +
+          run.label + "' v" + std::to_string(run.manifest.schema_version);
+      if (!force) {
+        throw ConfigError("envelope check: " + note +
+                                " (use --force to compare anyway)");
+      }
+      rep.manifest_note = note;
+    }
+    for (const auto& [master, bound] : env.masters) {
+      if (bound.max_p99_ps > 0) {
+        EnvelopeCheckRow row;
+        row.scenario = run.label;
+        row.master = master;
+        row.quantity = "read_p99_ps";
+        row.bound = bound.max_p99_ps;
+        row.upper = true;
+        const auto it = run.metrics.find("port." + master + ".read_p99_ps");
+        row.available = it != run.metrics.end();
+        if (row.available) row.measured = it->second.value;
+        add_row(rep, std::move(row));
+      }
+      const auto bytes_it = run.metrics.find("port." + master + ".bytes");
+      const bool have_bw = bytes_it != run.metrics.end() && run.time_ps > 0;
+      const double bw =
+          have_bw ? bytes_it->second.value * 1e12 /
+                        static_cast<double>(run.time_ps)
+                  : 0.0;
+      if (bound.min_bandwidth_bps > 0) {
+        EnvelopeCheckRow row;
+        row.scenario = run.label;
+        row.master = master;
+        row.quantity = "bandwidth_bps";
+        row.bound = bound.min_bandwidth_bps;
+        row.upper = false;
+        row.available = have_bw;
+        row.measured = bw;
+        add_row(rep, std::move(row));
+      }
+      if (bound.max_bandwidth_bps > 0) {
+        EnvelopeCheckRow row;
+        row.scenario = run.label;
+        row.master = master;
+        row.quantity = "bandwidth_bps";
+        row.bound = bound.max_bandwidth_bps;
+        row.upper = true;
+        row.available = have_bw;
+        row.measured = bw;
+        add_row(rep, std::move(row));
+      }
+    }
+  }
+  return rep;
+}
+
+void EnvelopeReport::write_text(std::ostream& os) const {
+  os << "bounds-vs-measured: " << rows.size() << " check(s), "
+     << excursions.size() << " excursion(s)\n";
+  if (!manifest_note.empty()) {
+    os << "  note: " << manifest_note << '\n';
+  }
+  for (const auto& r : rows) {
+    os << "  [" << (r.ok ? "PASS" : "FAIL") << "] " << r.scenario << " "
+       << r.master << " " << r.quantity << ": ";
+    if (!r.available) {
+      os << "n/a";
+    } else {
+      os << num(r.measured);
+    }
+    os << (r.upper ? " <= " : " >= ") << num(r.bound) << '\n';
+  }
+  os << (pass() ? "PASS" : "FAIL") << '\n';
+}
+
+void EnvelopeReport::write_json(std::ostream& os) const {
+  os << "{\"pass\":" << (pass() ? "true" : "false") << ",\"manifest_note\":\""
+     << util::json_escape(manifest_note) << "\",\"rows\":[";
+  bool first = true;
+  for (const auto& r : rows) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"scenario\":\"" << util::json_escape(r.scenario)
+       << "\",\"master\":\"" << util::json_escape(r.master)
+       << "\",\"quantity\":\"" << r.quantity << "\",\"measured\":"
+       << (r.available ? num(r.measured) : "null")
+       << ",\"bound\":" << num(r.bound)
+       << ",\"direction\":\"" << (r.upper ? "max" : "min") << "\",\"ok\":"
+       << (r.ok ? "true" : "false") << '}';
+  }
+  os << "]}\n";
+}
+
+}  // namespace fgqos::qos

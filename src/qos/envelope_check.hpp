@@ -1,0 +1,55 @@
+/// \file envelope_check.hpp
+/// \brief Bounds-vs-measured verification of a certified envelope.
+///
+/// The library behind `fgqos_report --envelope`: it takes a
+/// CertifiedEnvelope and any number of measured runs (metrics JSON
+/// exports parsed into telemetry::RunData) and renders a PASS/FAIL row
+/// per (scenario, master, quantity) — did the measurement stay inside the
+/// certified bound? Upper-bound rows whose metric the run did not capture
+/// are reported as "n/a" and do not fail; a *lower*-bound row with no
+/// measurement fails, because "we could not show the guaranteed minimum
+/// was delivered" is exactly what a certification gate must not ignore.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "qos/envelope.hpp"
+#include "telemetry/report.hpp"
+
+namespace fgqos::qos {
+
+/// One checked (scenario, master, quantity) cell.
+struct EnvelopeCheckRow {
+  std::string scenario;  ///< run label (file path by default)
+  std::string master;
+  std::string quantity;  ///< "read_p99_ps" | "bandwidth_bps"
+  double measured = 0.0;
+  double bound = 0.0;
+  bool upper = true;     ///< bound direction (false = certified minimum)
+  bool available = true; ///< the run captured the metric
+  bool ok = true;
+};
+
+/// The verification result.
+struct EnvelopeReport {
+  std::vector<EnvelopeCheckRow> rows;
+  std::string manifest_note;  ///< set when a mismatch was forced past
+  /// Excursions (rows with ok == false), pre-rendered one per line.
+  std::vector<std::string> excursions;
+  [[nodiscard]] bool pass() const { return excursions.empty(); }
+
+  void write_text(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+};
+
+/// Checks every run in \p runs against \p env. Throws ConfigError when a
+/// run's manifest carries a different export schema version than the
+/// envelope's, unless \p force — then the mismatch is recorded in
+/// manifest_note instead.
+[[nodiscard]] EnvelopeReport check_envelope(
+    const CertifiedEnvelope& env,
+    const std::vector<telemetry::RunData>& runs, bool force = false);
+
+}  // namespace fgqos::qos

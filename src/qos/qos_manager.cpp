@@ -1,7 +1,11 @@
 #include "qos/qos_manager.hpp"
 
 #include <algorithm>
+#include <sstream>
 
+#include "qos/envelope.hpp"
+#include "telemetry/journal.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/config_error.hpp"
 
 namespace fgqos::qos {
@@ -45,8 +49,39 @@ void QosManager::program_rate(ManagedPort& port, double bps) {
   const sim::TimePs window_ps =
       static_cast<sim::TimePs>(window_ns) * sim::kPsPerNs;
   const std::uint64_t budget = budget_for_rate(bps, window_ps);
+  if (budget == rf.read(Reg::kBudget) && rf.read(Reg::kCtrl) == 1u) {
+    return;  // already programmed: don't kick a fresh window for nothing
+  }
   rf.write(Reg::kBudget, static_cast<std::uint32_t>(budget));
-  rf.write(Reg::kCtrl, 1);
+  // Enable + window-restart command: the new budget takes effect as a
+  // fresh full window right now rather than at the next boundary, exactly
+  // like a direct set_rate() on an untouched regulator. This is what makes
+  // an all-accepted admission run byte-identical to unmanaged programming.
+  rf.write(Reg::kCtrl, 1u | 2u);
+}
+
+void QosManager::journal_record(const std::string& action, double old_value,
+                                double new_value, const std::string& cause,
+                                const std::string& detail) {
+  if (journal_ != nullptr) {
+    journal_->record(sim_.now(), "qos.manager", action, old_value, new_value,
+                     cause, detail);
+  }
+}
+
+void QosManager::set_metrics(telemetry::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  update_reserved_gauge();
+}
+
+void QosManager::update_reserved_gauge() {
+  if (metrics_ != nullptr) {
+    metrics_->gauge("qos.admission.reserved_bps").set(reserved_total_bps());
+  }
+}
+
+void QosManager::set_envelope(const CertifiedEnvelope* envelope) {
+  envelope_ = envelope;
 }
 
 bool QosManager::reserve(axi::MasterId master, double bytes_per_second) {
@@ -55,21 +90,106 @@ bool QosManager::reserve(axi::MasterId master, double bytes_per_second) {
   config_check(bytes_per_second > 0, "QosManager: rate must be > 0");
   const double already = p->best_effort ? 0.0 : p->reserved_bps;
   const double total = reserved_total_bps() - already + bytes_per_second;
+
+  auto reject = [&](const std::string& cause, double bound) {
+    std::ostringstream detail;
+    detail << "master=" << p->name
+           << " rate_bps=" << static_cast<std::uint64_t>(bytes_per_second)
+           << " total_bps=" << static_cast<std::uint64_t>(total);
+    journal_record("reserve_reject", already, bytes_per_second, cause,
+                   detail.str() + " bound_bps=" +
+                       std::to_string(static_cast<std::uint64_t>(bound)));
+    if (metrics_ != nullptr) {
+      metrics_->counter("qos.admission.rejected").add();
+    }
+    return false;
+  };
+
+  if (envelope_fallback_) {
+    return reject("envelope_fallback", 0.0);
+  }
+  if (envelope_ != nullptr) {
+    // Same strict-inequality boundary convention as the capacity check:
+    // a request landing exactly on a certified cap is admitted.
+    if (const MasterBound* b = envelope_->bound_for(p->name);
+        b != nullptr && b->max_reserved_bps > 0 &&
+        bytes_per_second > b->max_reserved_bps) {
+      return reject("envelope_master_bound", b->max_reserved_bps);
+    }
+    if (envelope_->certified_total_bps > 0 &&
+        total > envelope_->certified_total_bps) {
+      return reject("envelope_total_bound", envelope_->certified_total_bps);
+    }
+  }
   if (total > cfg_.capacity_bps * cfg_.max_reservable_frac) {
-    return false;  // admission control rejects
+    return reject("capacity_frac",
+                  cfg_.capacity_bps * cfg_.max_reservable_frac);
   }
   p->best_effort = false;
   p->reserved_bps = bytes_per_second;
   program_rate(*p, bytes_per_second);
+  journal_record("reserve_accept", already, bytes_per_second, "admission",
+                 "master=" + p->name + " total_bps=" +
+                     std::to_string(static_cast<std::uint64_t>(total)));
+  if (metrics_ != nullptr) {
+    metrics_->counter("qos.admission.accepted").add();
+  }
+  update_reserved_gauge();
   return true;
 }
 
 void QosManager::release(axi::MasterId master) {
   ManagedPort* p = find(master);
   config_check(p != nullptr, "QosManager: unknown master");
+  const double old_bps = p->best_effort ? 0.0 : p->reserved_bps;
   p->best_effort = true;
   p->reserved_bps = 0.0;
   program_rate(*p, cfg_.best_effort_floor_bps);
+  journal_record("release", old_bps, 0.0, "host_release",
+                 "master=" + p->name);
+  if (metrics_ != nullptr) {
+    metrics_->counter("qos.admission.released").add();
+  }
+  update_reserved_gauge();
+}
+
+void QosManager::on_envelope_violated(const std::string& source,
+                                      const std::string& quantity,
+                                      double bound, double measured) {
+  if (metrics_ != nullptr) {
+    metrics_->counter("qos.admission.envelope_violated").add();
+  }
+  if (envelope_fallback_) {
+    return;  // already degraded; only count the further excursion
+  }
+  envelope_fallback_ = true;
+  journal_record("envelope_violated", bound, measured, quantity,
+                 "source=" + source);
+  if (reclaiming_) {
+    stop_reclamation();
+  }
+  // Conservative fallback budgets: best-effort ports drop to the floor,
+  // reserved ports are clamped to their certified caps.
+  for (auto& p : ports_) {
+    if (p.best_effort) {
+      program_rate(p, cfg_.best_effort_floor_bps);
+      continue;
+    }
+    double capped = p.reserved_bps;
+    if (envelope_ != nullptr) {
+      if (const MasterBound* b = envelope_->bound_for(p.name);
+          b != nullptr && b->max_reserved_bps > 0) {
+        capped = std::min(capped, b->max_reserved_bps);
+      }
+    }
+    if (capped != p.reserved_bps) {
+      journal_record("fallback_clamp", p.reserved_bps, capped,
+                     "envelope_fallback", "master=" + p.name);
+      p.reserved_bps = capped;
+    }
+    program_rate(p, capped);
+  }
+  update_reserved_gauge();
 }
 
 double QosManager::reserved_total_bps() const {

@@ -7,6 +7,14 @@
 /// through their register files (as a Linux driver would) and periodically
 /// redistributes slack bandwidth from under-consuming guaranteed masters
 /// to best-effort masters.
+///
+/// Admission can additionally be backed by a measured worst-case
+/// CertifiedEnvelope (set_envelope): reserve() then also rejects requests
+/// that exceed a master's certified cap or the certified total, and a
+/// reported excursion beyond any certified bound (on_envelope_violated)
+/// drops the manager into a conservative fallback mode — reclamation
+/// stops, every port is clamped to its certified budget, and further
+/// reservations are refused until the envelope is re-certified.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +27,14 @@
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
+namespace fgqos::telemetry {
+class DecisionJournal;
+class MetricsRegistry;
+}  // namespace fgqos::telemetry
+
 namespace fgqos::qos {
+
+struct CertifiedEnvelope;
 
 /// How reclaimed slack is split across best-effort ports.
 enum class ReclaimPolicy : std::uint8_t {
@@ -64,6 +79,19 @@ class QosManager {
 
   /// Reserves \p bytes_per_second for \p master. Returns false (and leaves
   /// state unchanged) when admission control rejects the request.
+  ///
+  /// Boundary semantics (pinned by test): the capacity check rejects on
+  /// `total > capacity_bps * max_reservable_frac` — strictly greater —
+  /// so a request that lands *exactly* on the admissible boundary is
+  /// accepted. The prospective total counts the requesting master at its
+  /// new rate, not additionally at its old one, so re-reserving a master
+  /// to a smaller rate can never be rejected. The envelope checks (when
+  /// an envelope is attached) use the same strict-inequality convention.
+  ///
+  /// Every decision is recorded in the attached DecisionJournal with the
+  /// binding constraint as its cause ("capacity_frac",
+  /// "envelope_master_bound", "envelope_total_bound", or
+  /// "envelope_fallback") and counted in qos.admission.{accepted,rejected}.
   [[nodiscard]] bool reserve(axi::MasterId master, double bytes_per_second);
 
   /// Drops the reservation; the port reverts to best-effort.
@@ -84,6 +112,38 @@ class QosManager {
     return reclaim_iterations_;
   }
 
+  // --- observability -------------------------------------------------------
+
+  /// Attaches the decision journal (nullptr detaches): every admission
+  /// accept/reject/release and envelope event is recorded as component
+  /// "qos.manager".
+  void set_journal(telemetry::DecisionJournal* journal) { journal_ = journal; }
+  /// Attaches the metrics registry (nullptr detaches): exports
+  /// qos.admission.{accepted,rejected,released,envelope_violated} counters
+  /// and the qos.admission.reserved_bps gauge.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
+  // --- certified-envelope admission ---------------------------------------
+
+  /// Backs admission with \p envelope (borrowed; must outlive the manager;
+  /// nullptr detaches). reserve() then additionally enforces the
+  /// per-master max_reserved_bps caps and certified_total_bps.
+  void set_envelope(const CertifiedEnvelope* envelope);
+  [[nodiscard]] const CertifiedEnvelope* envelope() const { return envelope_; }
+
+  /// Reports a measured excursion beyond a certified bound (called by the
+  /// SlaWatchdog cross-check, or by any external monitor). First call
+  /// drops the manager into conservative fallback: a structured
+  /// "envelope_violated" journal entry, reclamation stopped, best-effort
+  /// ports floored, reserved ports clamped to their certified caps, and
+  /// every later reserve() rejected with cause "envelope_fallback".
+  /// Subsequent calls only bump the excursion counter.
+  void on_envelope_violated(const std::string& source,
+                            const std::string& quantity, double bound,
+                            double measured);
+  /// True once an excursion dropped the manager into fallback mode.
+  [[nodiscard]] bool envelope_fallback() const { return envelope_fallback_; }
+
   [[nodiscard]] const QosManagerConfig& config() const { return cfg_; }
   [[nodiscard]] const std::vector<ManagedPort>& ports() const {
     return ports_;
@@ -93,6 +153,10 @@ class QosManager {
   ManagedPort* find(axi::MasterId master);
   void program_rate(ManagedPort& port, double bps);
   void reclaim_tick(std::uint64_t epoch);
+  void journal_record(const std::string& action, double old_value,
+                      double new_value, const std::string& cause,
+                      const std::string& detail);
+  void update_reserved_gauge();
 
   sim::Simulator& sim_;
   QosManagerConfig cfg_;
@@ -103,6 +167,10 @@ class QosManager {
   bool reclaim_event_made_ = false;
   std::uint64_t reclaim_epoch_ = 0;
   std::uint64_t reclaim_iterations_ = 0;
+  telemetry::DecisionJournal* journal_ = nullptr;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  const CertifiedEnvelope* envelope_ = nullptr;
+  bool envelope_fallback_ = false;
 };
 
 }  // namespace fgqos::qos

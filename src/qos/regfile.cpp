@@ -58,6 +58,11 @@ void QosRegFile::write(Reg reg, std::uint32_t value) {
     case Reg::kCtrl:
       if (regulator_ != nullptr) {
         regulator_->set_enabled((value & 1u) != 0);
+        if ((value & 2u) != 0) {
+          // Self-clearing restart command: reload credit from BUDGET and
+          // restart the replenish window (reads back as 0).
+          regulator_->restart_window();
+        }
       }
       return;
     case Reg::kBudget:

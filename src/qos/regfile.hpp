@@ -16,7 +16,9 @@ namespace fgqos::qos {
 
 /// Register offsets (byte addresses, 32-bit registers).
 enum class Reg : std::uint32_t {
-  kCtrl = 0x00,          ///< bit0: regulator enable
+  kCtrl = 0x00,          ///< bit0: regulator enable; bit1: window restart
+                         ///< command (self-clearing — reloads the credit
+                         ///< counter from kBudget and restarts the window)
   kBudget = 0x04,        ///< bytes per window (RW)
   kWindowNs = 0x08,      ///< window length in ns (RW)
   kStatus = 0x0C,        ///< bit0: exhausted now (RO)

@@ -152,6 +152,23 @@ void Regulator::set_window(sim::TimePs window_ps) {
   reevaluate_exhaustion();
 }
 
+void Regulator::restart_window() {
+  if (journal_ != nullptr) {
+    journal_->record(sim_.now(), cfg_.name, "window_restart",
+                     static_cast<double>(bucket_.tokens()),
+                     static_cast<double>(cfg_.budget_bytes), "host_write");
+  }
+  bucket_.load();
+  ++epoch_;
+  window_start_ = sim_.now();
+  schedule_replenish();
+  reevaluate_exhaustion();
+  if (trace_ != nullptr) {
+    trace_->counter(track_, "tokens", sim_.now(),
+                    static_cast<double>(bucket_.tokens()));
+  }
+}
+
 void Regulator::reevaluate_exhaustion() {
   // Reprogramming BUDGET/WINDOW while the gate is shut must not let the
   // open throttle interval straddle the configuration change: the time

@@ -84,6 +84,14 @@ class Regulator final : public axi::TxnGate {
   /// Reprograms the window length; restarts the replenish schedule.
   void set_window(sim::TimePs window_ps);
 
+  /// Host CTRL restart command (self-clearing bit 1): reloads the credit
+  /// counter to one full BUDGET and restarts the replenish window at the
+  /// current time. This is the explicit handshake drivers use to make a
+  /// freshly programmed budget take effect immediately instead of at the
+  /// next window boundary — set_budget()/set_window() on their own never
+  /// refill credit (pinned regulator semantics).
+  void restart_window();
+
   /// Convenience: budget from a target rate for the current window.
   void set_rate(double bytes_per_second);
 

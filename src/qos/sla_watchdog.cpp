@@ -1,5 +1,7 @@
 #include "qos/sla_watchdog.hpp"
 
+#include "qos/envelope.hpp"
+#include "qos/qos_manager.hpp"
 #include "telemetry/journal.hpp"
 #include "util/assert.hpp"
 #include "util/config_error.hpp"
@@ -85,6 +87,12 @@ void SlaWatchdog::set_trace(telemetry::TraceWriter* writer) {
       trace_ = nullptr;  // qos category filtered out
     }
   }
+}
+
+void SlaWatchdog::set_envelope(const CertifiedEnvelope* envelope,
+                               QosManager* manager) {
+  envelope_ = envelope;
+  manager_ = envelope == nullptr ? nullptr : manager;
 }
 
 void SlaWatchdog::on_issue(const axi::Transaction& /*txn*/,
@@ -203,6 +211,25 @@ void SlaWatchdog::on_window(
         static_cast<double>(interference_ps(engine_, rec, w.master));
     check(w, ViolationKind::kInterference,
           stalled / static_cast<double>(rec.end - rec.start), rec);
+    if (envelope_ != nullptr && w.window_latency.count() > 0) {
+      if (const MasterBound* b = envelope_->bound_for(w.name);
+          b != nullptr && b->max_p99_ps > 0) {
+        const double p99 = static_cast<double>(w.window_latency.p99());
+        if (p99 > b->max_p99_ps) {
+          metrics_.counter("qos.sla." + w.name + ".envelope_excursions").add();
+          if (journal_ != nullptr) {
+            journal_->record(
+                rec.end, "sla." + w.name, "envelope_violated", b->max_p99_ps,
+                p99, "latency_p99",
+                "window_us=" + std::to_string(rec.start / sim::kPsPerUs));
+          }
+          if (manager_ != nullptr) {
+            manager_->on_envelope_violated("sla." + w.name, "latency_p99",
+                                           b->max_p99_ps, p99);
+          }
+        }
+      }
+    }
     w.window_bytes = 0;
     w.window_latency.reset();
     double active = 0.0;

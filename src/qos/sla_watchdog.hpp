@@ -35,6 +35,9 @@ class DecisionJournal;
 
 namespace fgqos::qos {
 
+struct CertifiedEnvelope;
+class QosManager;
+
 /// Service-level objectives for one master. A zero bound disables that
 /// check.
 struct SlaSpec {
@@ -102,6 +105,18 @@ class SlaWatchdog final : public axi::TxnObserver {
   /// ("sla_clear") is recorded.
   void set_journal(telemetry::DecisionJournal* journal) { journal_ = journal; }
 
+  /// Cross-checks observed behaviour against a certified worst-case
+  /// envelope (borrowed; nullptr detaches): whenever a watched master's
+  /// windowed latency p99 exceeds its certified max_p99_ps bound, the
+  /// watchdog records an "envelope_violated" journal entry (component
+  /// "sla.<port>", cause "latency_p99"), bumps the
+  /// qos.sla.<port>.envelope_excursions counter, and — when \p manager is
+  /// given — drops it into conservative fallback via
+  /// QosManager::on_envelope_violated(). Per-window bandwidth is
+  /// deliberately NOT cross-checked: the certified min-bandwidth bound is
+  /// a whole-run quantity and bursty-but-fine windows would false-trip it.
+  void set_envelope(const CertifiedEnvelope* envelope, QosManager* manager);
+
   /// Wires a fault probe (typically fault::FaultInjector::active_faults):
   /// each tripped violation records the faults active at the end of its
   /// window, so reports can answer "was this SLA miss fault-induced?".
@@ -158,6 +173,8 @@ class SlaWatchdog final : public axi::TxnObserver {
   telemetry::TraceWriter* trace_ = nullptr;
   telemetry::TrackId track_;
   telemetry::DecisionJournal* journal_ = nullptr;
+  const CertifiedEnvelope* envelope_ = nullptr;
+  QosManager* manager_ = nullptr;
 };
 
 }  // namespace fgqos::qos

@@ -41,6 +41,10 @@ void TokenBucket::set_budget(std::uint64_t budget_bytes) {
   tokens_ = std::min(tokens_, cap());
 }
 
+void TokenBucket::load() {
+  tokens_ = static_cast<std::int64_t>(budget_);
+}
+
 std::uint64_t budget_for_rate(double bytes_per_second, sim::TimePs window_ps) {
   config_check(bytes_per_second >= 0, "budget_for_rate: negative rate");
   if (bytes_per_second == 0) {

@@ -50,6 +50,12 @@ class TokenBucket {
   /// oversized credit pools.
   void set_budget(std::uint64_t budget_bytes);
 
+  /// Reloads the credit counter to one full window budget, discarding any
+  /// partial spend or outstanding debt — the start-of-window state. Only
+  /// an explicit host command (CTRL restart) uses this; set_budget()
+  /// deliberately never refills.
+  void load();
+
   /// Current credit (negative while in overdraft).
   [[nodiscard]] std::int64_t tokens() const { return tokens_; }
   [[nodiscard]] std::uint64_t budget() const { return budget_; }

@@ -1,0 +1,100 @@
+/// \file attack_space.hpp
+/// \brief The discrete aggressor-configuration space the contention
+///        search optimizes over.
+///
+/// An AttackConfig is a point in a small categorical product space:
+/// aggressor count × address pattern (R/W mix) × burst length × stride ×
+/// outstanding depth × bank targeting × arrival phasing. Each dimension
+/// is a fixed catalog of values; a config stores per-dimension *choice
+/// indices*, which keeps optimizer moves (flip one dimension, mutate with
+/// probability 1/d) trivial and makes every config canonically
+/// serializable for caching and journaling.
+///
+/// The catalogs deliberately contain the hand-written EXP1 aggressor mix
+/// (4 × seq_rd / 1 KiB bursts / 4 outstanding / spread banks / always-on)
+/// and the PR-8 "thrash" point (rnd_rd / 64 B / 48 outstanding), so the
+/// search space provably includes both the paper's baseline and a known
+/// nasty configuration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/traffic_gen.hpp"
+
+namespace fgqos::util {
+class JsonValue;
+}
+
+namespace fgqos::search {
+
+/// Dimension indices into AttackConfig::choice.
+enum Dim : std::size_t {
+  kDimCount = 0,        ///< number of aggressor generators
+  kDimPattern = 1,      ///< address pattern / R/W mix
+  kDimBurst = 2,        ///< burst length (bytes per transaction)
+  kDimStride = 3,       ///< stride (kStrided pattern only)
+  kDimOutstanding = 4,  ///< per-generator outstanding cap
+  kDimBankFocus = 5,    ///< 0 = spread footprints, 1 = all on one region
+  kDimPhase = 6,        ///< arrival pattern: always-on or on/off phased
+  kNumDims = 7,
+};
+
+/// One point in the attack space: a choice index per dimension.
+struct AttackConfig {
+  std::array<std::uint8_t, kNumDims> choice{};
+
+  friend bool operator==(const AttackConfig& a, const AttackConfig& b) {
+    return a.choice == b.choice;
+  }
+};
+
+/// The catalog of the space plus the decode to simulator objects.
+class AttackSpace {
+ public:
+  static constexpr std::array<int, 6> kCounts = {1, 2, 3, 4, 6, 8};
+  static constexpr std::array<wl::Pattern, 6> kPatterns = {
+      wl::Pattern::kSeqRead,   wl::Pattern::kSeqWrite, wl::Pattern::kRandomRead,
+      wl::Pattern::kRandomWrite, wl::Pattern::kCopy,   wl::Pattern::kStrided};
+  static constexpr std::array<std::uint32_t, 4> kBursts = {64, 256, 1024, 4096};
+  static constexpr std::array<std::uint64_t, 3> kStrides = {256, 4096, 65536};
+  static constexpr std::array<std::size_t, 4> kOutstanding = {4, 8, 16, 48};
+  static constexpr std::array<int, 2> kBankFocus = {0, 1};
+  /// {active_us, idle_us}; {0,0} = always on.
+  static constexpr std::array<std::array<std::uint32_t, 2>, 3> kPhases = {
+      {{0, 0}, {10, 10}, {100, 100}}};
+
+  /// Number of choices along dimension \p d.
+  [[nodiscard]] static std::size_t dim_size(std::size_t d);
+
+  /// Canonicalizes \p c: the stride dimension collapses to index 0 for
+  /// non-strided patterns (it is then meaningless, and two configs that
+  /// differ only there must compare, cache, and serialize identically).
+  [[nodiscard]] static AttackConfig normalize(AttackConfig c);
+
+  /// The hand-written EXP1 aggressor mix as a point in this space.
+  [[nodiscard]] static AttackConfig exp1_mix();
+
+  /// Canonical JSON object (alphabetical keys, decoded values), e.g.
+  /// {"bank_focus":0,"burst_bytes":1024,"count":4,"outstanding":4,
+  ///  "pattern":"seq_rd","phase_us":[0,0],"stride_bytes":0}.
+  [[nodiscard]] static std::string to_json(const AttackConfig& c);
+
+  /// Inverse of to_json(); throws ConfigError on out-of-catalog values.
+  [[nodiscard]] static AttackConfig from_json(const util::JsonValue& v);
+
+  /// Decodes \p c into per-generator configs. Generator i is named
+  /// "atk<i>", seeded \p seed + i, and targets accelerator port
+  /// i % \p accel_ports. With bank focusing all generators hammer one
+  /// shared 4 MiB region; spread mode gives each a private 16 MiB slab.
+  [[nodiscard]] static std::vector<wl::TrafficGenConfig> to_traffic_gens(
+      const AttackConfig& c, std::uint64_t seed);
+
+  /// FNV-1a hash over the full catalog rendering — stamps envelopes so a
+  /// catalog change invalidates cached searches and committed goldens.
+  [[nodiscard]] static std::string space_hash();
+};
+
+}  // namespace fgqos::search

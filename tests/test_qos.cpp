@@ -251,6 +251,39 @@ TEST(RegFile, ProgramsRegulatorThroughRegisters) {
   EXPECT_TRUE(reg.enabled());
 }
 
+TEST(RegFile, CtrlRestartReloadsCreditAndRestartsWindow) {
+  sim::Simulator s;
+  RegulatorConfig rc;
+  rc.budget_bytes = 128;
+  rc.window_ps = 1000;
+  Regulator reg(s, rc);
+  QosRegFile rf(&reg, nullptr);
+  LineFactory lf;
+  s.schedule_at(0, [&] { reg.on_grant(lf.make(0, 128), 0); });  // exhausts
+  s.schedule_at(300, [&] {
+    // A plain enable write never refills (pinned set_budget/set_enabled
+    // semantics) ...
+    rf.write(Reg::kCtrl, 1);
+    EXPECT_TRUE(reg.exhausted());
+    // ... but the self-clearing restart command (bit 1) reloads a full
+    // window of credit right now and restarts the replenish schedule.
+    rf.write(Reg::kCtrl, 1u | 2u);
+    EXPECT_FALSE(reg.exhausted());
+    EXPECT_EQ(reg.tokens(), 128);
+    EXPECT_EQ(reg.stats().throttled_ps, 300u);
+    EXPECT_EQ(rf.read(Reg::kCtrl), 1u);  // restart bit reads back as 0
+  });
+  s.schedule_at(400, [&] { reg.on_grant(lf.make(0, 128), 400); });
+  s.schedule_at(1250, [&] {
+    // The pre-restart boundary at t=1000 is stale: the restarted window
+    // replenishes at t=1300, so the gate is still shut here.
+    EXPECT_TRUE(reg.exhausted());
+  });
+  s.run_until(1400);
+  EXPECT_FALSE(reg.exhausted());
+  EXPECT_EQ(reg.tokens(), 128);
+}
+
 TEST(RegFile, MonitorCountersReadable) {
   sim::Simulator s;
   BandwidthMonitor mon(s, MonitorConfig{});

@@ -13,6 +13,10 @@
 ///               (--bench + --bench-baseline): events/sec drop gate.
 ///   profile   — two host-profile artifacts (--profile-a + --profile-b,
 ///               JSON or folded): per-tag cycle-share regression gate.
+///   envelope  — bounds-vs-measured certification gate (--envelope +
+///               --measured f1.json,f2.json,...): every measured run is
+///               checked against the certified per-master worst-case
+///               bounds; any excursion fails the gate.
 ///
 /// Exit codes: 0 = pass, 1 = usage/parse error, 2 = regression detected.
 ///
@@ -27,6 +31,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "qos/envelope.hpp"
+#include "qos/envelope_check.hpp"
 #include "telemetry/report.hpp"
 #include "util/cli.hpp"
 #include "util/config_error.hpp"
@@ -60,6 +66,10 @@ void usage() {
       "  --max-share-regress-pp N tolerated per-tag cycle-share growth in\n"
       "                           percentage points (default 2)\n"
       "  --force                  compare across tag-table versions\n"
+      "envelope mode:\n"
+      "  --envelope FILE          certified envelope JSON (fgqos_certify)\n"
+      "  --measured F1,F2,...     measured metrics JSON export(s)\n"
+      "  --force                  check across export schema versions\n"
       "common:\n"
       "  --json               emit the report as JSON instead of text\n"
       "  --out FILE           write the report there instead of stdout\n"
@@ -124,6 +134,45 @@ int main(int argc, char** argv) {
     }
     const bool as_json = args.get_bool("json", false);
     const std::string out = args.get("out", "");
+
+    // --- envelope (bounds-vs-measured) mode ------------------------------
+    const std::string envelope_path = args.get("envelope", "");
+    const std::string measured_list = args.get("measured", "");
+    if (!envelope_path.empty() || !measured_list.empty()) {
+      if (envelope_path.empty() || measured_list.empty()) {
+        throw ConfigError("--envelope and --measured go together");
+      }
+      const bool env_force = args.get_bool("force", false);
+      for (const auto& k : args.unused_keys()) {
+        throw ConfigError("unknown option --" + k + " (see --help)");
+      }
+      const qos::CertifiedEnvelope env =
+          qos::CertifiedEnvelope::from_file(envelope_path);
+      std::vector<telemetry::RunData> runs;
+      std::istringstream paths(measured_list);
+      std::string path;
+      while (std::getline(paths, path, ',')) {
+        if (path.empty()) {
+          continue;
+        }
+        telemetry::RunData run;
+        run.label = path;
+        run.load_metrics_json(path);
+        runs.push_back(std::move(run));
+      }
+      if (runs.empty()) {
+        throw ConfigError("--measured lists no files");
+      }
+      const qos::EnvelopeReport rep = qos::check_envelope(env, runs, env_force);
+      std::ostringstream ss;
+      if (as_json) {
+        rep.write_json(ss);
+      } else {
+        rep.write_text(ss);
+      }
+      emit(ss.str(), out);
+      return rep.pass() ? 0 : 2;
+    }
 
     // --- bench mode ------------------------------------------------------
     const std::string bench = args.get("bench", "");

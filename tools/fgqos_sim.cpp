@@ -18,6 +18,8 @@
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "qos/bank_regulator.hpp"
+#include "qos/envelope.hpp"
+#include "qos/qos_manager.hpp"
 #include "qos/sla_watchdog.hpp"
 #include "qos/soft_memguard.hpp"
 #include "qos/window.hpp"
@@ -83,6 +85,13 @@ void usage() {
       "  --sla-p99-us L      SLA watchdog: max CPU read p99 per window\n"
       "  --sla-stall-frac F  SLA watchdog: max interference fraction [0,1]\n"
       "  --fault-spec FILE   JSON fault plan to inject (see docs/FAULTS.md)\n"
+      "  --envelope-spec FILE\n"
+      "                      certified worst-case envelope (fgqos_certify):\n"
+      "                      regulated ports are admitted through a\n"
+      "                      QosManager whose reserve() checks the certified\n"
+      "                      bounds; the SLA watchdog (when active)\n"
+      "                      cross-checks observed p99 against the envelope\n"
+      "                      (requires --scheme hw; see docs/CERTIFICATION.md)\n"
       "  --serving-spec FILE JSON request-serving scenario: key-value\n"
       "                      tenants on HP ports (see docs/SERVING.md)\n"
       "  --timeseries-csv FILE   windowed time series as long-format CSV\n"
@@ -152,6 +161,7 @@ int main(int argc, char** argv) {
     const double sla_p99_us = args.get_double("sla-p99-us", 0);
     const double sla_stall_frac = args.get_double("sla-stall-frac", 0);
     const std::string fault_spec = args.get("fault-spec", "");
+    const std::string envelope_spec_path = args.get("envelope-spec", "");
     const std::string serving_spec_path = args.get("serving-spec", "");
     const std::string mapping = args.get("mapping", "");
     const std::string bank_spec_path = args.get("bank-budget-spec", "");
@@ -200,6 +210,9 @@ int main(int argc, char** argv) {
         !blame_csv.empty() || !blame_json.empty() || want_sla;
     if (wd_fallback_mbps > 0 && scheme != "hw") {
       throw ConfigError("--watchdog-fallback-mbps requires --scheme hw");
+    }
+    if (!envelope_spec_path.empty() && scheme != "hw") {
+      throw ConfigError("--envelope-spec requires --scheme hw");
     }
     for (const auto& k : args.unused_keys()) {
       throw ConfigError("unknown option --" + k + " (see --help)");
@@ -280,6 +293,28 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Certified-envelope admission: regulated ports are programmed through
+    // a QosManager sized from the envelope's certification run, so the
+    // per-port budgets pass (or fail) real admission control.
+    std::unique_ptr<qos::CertifiedEnvelope> envelope;
+    std::unique_ptr<qos::QosManager> manager;
+    if (!envelope_spec_path.empty()) {
+      envelope = std::make_unique<qos::CertifiedEnvelope>(
+          qos::CertifiedEnvelope::from_file(envelope_spec_path));
+      manifest.scenario +=
+          " envelope=" + telemetry::fnv1a_hex(envelope->to_json());
+      qos::QosManagerConfig mc;
+      mc.capacity_bps = envelope->capacity_bps;
+      mc.max_reservable_frac = envelope->max_reservable_frac;
+      manager = std::make_unique<qos::QosManager>(chip.sim(), mc);
+      manager->set_envelope(envelope.get());
+      manager->set_metrics(&chip.telemetry().metrics());
+      if (telemetry::DecisionJournal* j = chip.journal()) {
+        manager->set_journal(j);
+      }
+    }
+
+    std::vector<std::size_t> managed_ports;
     for (std::size_t i = 0; i < aggressors; ++i) {
       wl::TrafficGenConfig tg;
       tg.name = "agg" + std::to_string(i);
@@ -302,12 +337,41 @@ int main(int argc, char** argv) {
       if (scheme == "hw") {
         qos::Regulator& reg = *chip.qos_block(1 + port).regulator;
         reg.set_window(static_cast<sim::TimePs>(window_us * 1e6));
-        reg.set_rate(budget_bps);
-        reg.set_enabled(true);
+        if (manager != nullptr) {
+          // The manager owns rate programming: this port's budget goes
+          // through reserve() below instead of being forced on directly.
+          if (std::find(managed_ports.begin(), managed_ports.end(), port) ==
+              managed_ports.end()) {
+            managed_ports.push_back(port);
+          }
+        } else {
+          reg.set_rate(budget_bps);
+          reg.set_enabled(true);
+        }
       } else if (scheme == "sw") {
         axi::MasterPort& mp = chip.accel_port(port);
         memguard->set_rate(mp.id(), budget_bps);
         mp.add_gate(*memguard);
+      }
+    }
+
+    if (manager != nullptr) {
+      std::size_t rejected = 0;
+      for (const std::size_t port : managed_ports) {
+        axi::MasterPort& mp = chip.accel_port(port);
+        manager->add_port(mp.name(), mp.id(), chip.regfile(1 + port));
+        const bool admitted = manager->reserve(mp.id(), budget_bps);
+        std::printf("admission: %s reserve %.0f MB/s -> %s\n",
+                    mp.name().c_str(), budget_bps / 1e6,
+                    admitted ? "accepted" : "REJECTED");
+        if (!admitted) {
+          ++rejected;
+        }
+      }
+      if (rejected > 0) {
+        std::printf("admission: %zu reservation(s) rejected against the "
+                    "certified envelope; rejected ports run best-effort\n",
+                    rejected);
       }
     }
 
@@ -382,6 +446,9 @@ int main(int argc, char** argv) {
         }
         if (telemetry::DecisionJournal* j = chip.journal()) {
           watchdog->set_journal(j);
+        }
+        if (envelope != nullptr) {
+          watchdog->set_envelope(envelope.get(), manager.get());
         }
       }
     }
@@ -531,6 +598,10 @@ int main(int argc, char** argv) {
       std::ostringstream report;
       watchdog->write_report(report);
       std::printf("\n%s", report.str().c_str());
+    }
+    if (manager != nullptr && manager->envelope_fallback()) {
+      std::printf("\nWARNING: certified envelope violated during the run — "
+                  "manager degraded to conservative fallback budgets\n");
     }
     if (!trace_path.empty()) {
       std::printf("\ntrace written to %s (%zu events)\n", trace_path.c_str(),

@@ -20,6 +20,7 @@
 ///   fgqos_sweep --knob window --values 0.2,1,10,100,1000 --scheme hw
 ///   fgqos_sweep --knob aggressors --values 0,1,2,3,4 --scheme none
 ///   fgqos_sweep --knob isr --values 1,3,10,50 --scheme sw --jobs 4
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -32,6 +33,8 @@
 #include "fault/injector.hpp"
 #include "fgqos.hpp"
 #include "qos/bank_regulator.hpp"
+#include "qos/envelope.hpp"
+#include "qos/qos_manager.hpp"
 #include "telemetry/manifest.hpp"
 #include "util/cli.hpp"
 #include "util/config_error.hpp"
@@ -69,6 +72,9 @@ struct Outcome {
   /// Pre-rendered per-tenant serving CSV rows ("<point>,tenant,..."),
   /// merged the same way.
   std::string serving_rows;
+  /// Reservations refused by certified-envelope admission control in this
+  /// point (jobs never print; main() warns after the deterministic merge).
+  std::size_t admission_rejections = 0;
   /// Per-series whole-run histograms, for the sweep-level merged summary
   /// (folded in submission order, so the summary is deterministic for any
   /// job count).
@@ -129,6 +135,10 @@ struct SweepPoint {
   /// Shared per-bank budget plan (nullptr = no per-bank regulation).
   /// Points only read it, so one parsed spec serves every job.
   const qos::BankBudgetSpec* bank_budgets = nullptr;
+  /// Shared certified envelope (nullptr = direct regulator programming).
+  /// When set, hw-scheme budgets are admitted through a QosManager that
+  /// enforces the certified bounds; rejected ports run best-effort.
+  const qos::CertifiedEnvelope* envelope = nullptr;
   /// Attach the host profiler to this point's platform.
   bool profile = false;
 };
@@ -170,6 +180,7 @@ Outcome run_point(const SweepPoint& p) {
     mc.isr_latency_ps = static_cast<sim::TimePs>(p.isr_us * 1e6);
     mg = std::make_unique<qos::SoftMemguard>(chip.sim(), mc);
   }
+  std::vector<std::size_t> managed_ports;
   for (std::size_t i = 0; i < p.aggressors; ++i) {
     wl::TrafficGenConfig tg;
     tg.name = "agg" + std::to_string(i);
@@ -181,8 +192,18 @@ Outcome run_point(const SweepPoint& p) {
     if (p.scheme == "hw") {
       qos::Regulator& reg = *chip.qos_block(1 + port).regulator;
       reg.set_window(static_cast<sim::TimePs>(p.window_us * 1e6));
-      reg.set_rate(p.budget_mbps * 1e6);
-      reg.set_enabled(true);
+      if (p.envelope != nullptr) {
+        // Budgets go through certified admission below; rate programming
+        // lands on exactly the same registers, so an all-accepted sweep
+        // is byte-identical to the direct path.
+        if (std::find(managed_ports.begin(), managed_ports.end(), port) ==
+            managed_ports.end()) {
+          managed_ports.push_back(port);
+        }
+      } else {
+        reg.set_rate(p.budget_mbps * 1e6);
+        reg.set_enabled(true);
+      }
     } else if (p.scheme == "sw") {
       axi::MasterPort& mp = chip.accel_port(port);
       mg->set_rate(mp.id(), p.budget_mbps * 1e6);
@@ -225,6 +246,26 @@ Outcome run_point(const SweepPoint& p) {
       mg->set_journal(&journal);
     }
   }
+  std::size_t admission_rejections = 0;
+  std::unique_ptr<qos::QosManager> manager;
+  if (p.envelope != nullptr && p.scheme == "hw") {
+    qos::QosManagerConfig mc;
+    mc.capacity_bps = p.envelope->capacity_bps;
+    mc.max_reservable_frac = p.envelope->max_reservable_frac;
+    manager = std::make_unique<qos::QosManager>(chip.sim(), mc);
+    manager->set_envelope(p.envelope);
+    manager->set_metrics(&chip.telemetry().metrics());
+    if (telemetry::DecisionJournal* j = chip.journal()) {
+      manager->set_journal(j);
+    }
+    for (const std::size_t port : managed_ports) {
+      axi::MasterPort& mp = chip.accel_port(port);
+      manager->add_port(mp.name(), mp.id(), chip.regfile(1 + port));
+      if (!manager->reserve(mp.id(), p.budget_mbps * 1e6)) {
+        ++admission_rejections;
+      }
+    }
+  }
   // Per-point provenance: depends only on the scenario and the derived
   // seed, never on job fan-out, so exports stay byte-identical across
   // --jobs.
@@ -265,6 +306,10 @@ Outcome run_point(const SweepPoint& p) {
     manifest.scenario +=
         " serving=" + telemetry::fnv1a_hex(p.serving->to_json());
   }
+  if (p.envelope != nullptr) {
+    manifest.scenario +=
+        " envelope=" + telemetry::fnv1a_hex(p.envelope->to_json());
+  }
   chip.run_until_cores_finished(2000 * sim::kPsPerMs);
   if (p.serving != nullptr) {
     // Cover the whole arrival horizon, then give in-flight requests a
@@ -304,6 +349,7 @@ Outcome run_point(const SweepPoint& p) {
     }
   }
   Outcome o;
+  o.admission_rejections = admission_rejections;
   if (p.profile) {
     // collect_metrics samples the slab arenas into the profiler before
     // the snapshot is taken.
@@ -397,6 +443,7 @@ int main(int argc, char** argv) {
           "            [--mapping row_bank_col|bank_interleaved|"
           "bank_partitioned]\n"
           "            [--bank-budget-spec FILE] [--bank-telemetry]\n"
+          "            [--envelope-spec FILE]\n"
           "            [--aggressor-footprint-mb MB]\n"
           "            [--profile] [--profile-json FILE] "
           "[--profile-folded FILE]\n"
@@ -413,6 +460,12 @@ int main(int argc, char** argv) {
           "still written from the points that succeeded (failed indices\n"
           "are reported). SIGINT/SIGTERM skip remaining points and flush\n"
           "partial results.\n"
+          "--envelope-spec admits every point's hw-scheme budgets through a\n"
+          "QosManager backed by the certified worst-case envelope\n"
+          "(docs/CERTIFICATION.md); rejected reservations leave that port\n"
+          "best-effort and are warned about after the merge. A sweep where\n"
+          "every reservation is accepted is byte-identical to the direct\n"
+          "programming path (requires --scheme hw).\n"
           "--bank-budget-spec arms per-bank token-bucket regulators from a\n"
           "JSON budget plan in every point; --mapping overrides the DRAM\n"
           "address-mapping policy, --bank-telemetry publishes dram.bank.*\n"
@@ -477,6 +530,7 @@ int main(int argc, char** argv) {
     const std::string serving_csv = args.get("serving-csv", "");
     const std::string mapping = args.get("mapping", "");
     const std::string bank_spec_path = args.get("bank-budget-spec", "");
+    const std::string envelope_spec_path = args.get("envelope-spec", "");
     const bool bank_telemetry = args.has("bank-telemetry");
     const double aggressor_footprint_mb =
         args.get_double("aggressor-footprint-mb", 16);
@@ -506,6 +560,9 @@ int main(int argc, char** argv) {
     if (!serving_csv.empty() && serving_spec_path.empty()) {
       throw ConfigError("--serving-csv requires --serving-spec");
     }
+    if (!envelope_spec_path.empty() && base.scheme != "hw") {
+      throw ConfigError("--envelope-spec requires --scheme hw");
+    }
     for (const auto& k : args.unused_keys()) {
       throw ConfigError("unknown option --" + k + " (see --help)");
     }
@@ -521,6 +578,10 @@ int main(int argc, char** argv) {
     qos::BankBudgetSpec bank_budget_spec;
     if (!bank_spec_path.empty()) {
       bank_budget_spec = qos::BankBudgetSpec::load(bank_spec_path);
+    }
+    qos::CertifiedEnvelope envelope_spec;
+    if (!envelope_spec_path.empty()) {
+      envelope_spec = qos::CertifiedEnvelope::from_file(envelope_spec_path);
     }
     base.mapping = mapping;
     base.bank_telemetry = bank_telemetry;
@@ -564,6 +625,7 @@ int main(int argc, char** argv) {
       p.serving = serving_spec_path.empty() ? nullptr : &serving_spec;
       p.merge_serving_csv = !serving_csv.empty();
       p.bank_budgets = bank_spec_path.empty() ? nullptr : &bank_budget_spec;
+      p.envelope = envelope_spec_path.empty() ? nullptr : &envelope_spec;
       p.profile = profile_on;
       points.push_back(std::move(p));
     }
@@ -605,6 +667,19 @@ int main(int argc, char** argv) {
     if (!csv.empty()) {
       table.save_csv(csv);
       std::printf("\nCSV written to %s\n", csv.c_str());
+    }
+    if (!envelope_spec_path.empty()) {
+      std::size_t rejected = 0;
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (report.jobs[i].status == exec::JobStatus::kOk) {
+          rejected += outcomes[i].admission_rejections;
+        }
+      }
+      if (rejected > 0) {
+        std::printf("\nWARNING: %zu reservation(s) rejected against the "
+                    "certified envelope; those ports ran best-effort\n",
+                    rejected);
+      }
     }
     if (!blame_csv.empty()) {
       std::ofstream blame(blame_csv);
